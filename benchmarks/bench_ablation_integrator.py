@@ -1,0 +1,89 @@
+"""Ablation: Euler vs. RK4 discretization (solver-template design choice).
+
+The RoboX Program Translator fixes the discretization method as part of the
+invariant solver template (§VII); DESIGN.md calls the choice out for
+ablation.  RK4 buys integration accuracy at ~4x the dynamics-evaluation work
+per stage; this bench quantifies both sides:
+
+* one-step prediction error on the 12-state Quadrotor at an aggressive
+  flight condition (no solving required — pure integrator accuracy),
+* closed-loop target miss on the MobileRobot (fast solves keep the bench
+  quick), and
+* accelerator cycles of the dynamics phase for each template.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.compiler import compile_problem
+from repro.mpc import MPCController, TranscribedProblem
+from repro.mpc.controller import integrate_plant
+from repro.robots import build_benchmark
+
+
+def run_comparison():
+    quad = build_benchmark("Quadrotor")
+    mobile = build_benchmark("MobileRobot")
+    rows = []
+    for integrator in ("euler", "rk4"):
+        qp = TranscribedProblem(
+            quad.model, quad.task, horizon=4, dt=quad.dt, integrator=integrator
+        )
+        # One-step prediction error away from hover (where any integrator
+        # is exact): tilted, translating, rotating.
+        x_probe = quad.x0.copy()
+        x_probe[3:6] = (0.8, -0.5, 0.3)
+        x_probe[6:8] = (0.3, -0.25)
+        x_probe[9:12] = (0.7, -0.6, 0.4)
+        u_probe = np.array(quad.model.trim_inputs()) * 1.2
+        pred = qp._F(np.concatenate([x_probe, u_probe]))
+        truth = integrate_plant(qp, x_probe, u_probe, substeps=64)
+        one_step = float(np.abs(pred - truth).max())
+
+        # Closed loop on the fast benchmark.
+        mp = TranscribedProblem(
+            mobile.model, mobile.task, horizon=12, dt=mobile.dt,
+            integrator=integrator,
+        )
+        ctrl = mobile.make_controller(mp, max_iterations=25)
+        x = mobile.x0.copy()
+        for _ in range(20):
+            u = ctrl.step(x, ref=mobile.ref)
+            x = integrate_plant(mp, x, u, substeps=8)
+        miss = float(np.hypot(x[0] - mobile.ref[0], x[1] - mobile.ref[1]))
+
+        _, _, sched = compile_problem(qp)
+        rows.append(
+            {
+                "integrator": integrator,
+                "one_step_err": one_step,
+                "closed_loop_miss": miss,
+                "dynamics_cycles": sched.phase("dynamics").cycles,
+                "total_cycles": sched.cycles_per_iteration,
+            }
+        )
+    return rows
+
+
+def test_integrator_ablation(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    banner("Ablation: Euler vs RK4 solver template")
+    print(
+        f"{'integrator':>10} {'1-step err (quad)':>18} {'loop miss (mobile)':>19} "
+        f"{'dyn cycles':>11} {'total cycles':>13}"
+    )
+    for r in rows:
+        print(
+            f"{r['integrator']:>10} {r['one_step_err']:>18.2e} "
+            f"{r['closed_loop_miss']:>19.4f} {r['dynamics_cycles']:>11,.0f} "
+            f"{r['total_cycles']:>13,.0f}"
+        )
+    euler, rk4 = rows
+    # RK4 is far more accurate per step...
+    assert rk4["one_step_err"] < 0.1 * euler["one_step_err"]
+    # ...and costs more dynamics work on the accelerator.
+    assert rk4["dynamics_cycles"] > euler["dynamics_cycles"]
+    # Both controllers still reach the target region.
+    assert euler["closed_loop_miss"] < 0.3
+    assert rk4["closed_loop_miss"] < 0.3

@@ -1,0 +1,67 @@
+"""Ablation: fixed-point wordsize / LUT resolution (§VIII-A design choice).
+
+The paper: "we found 32-bit fixed-point with 17 fractional bits and
+4096-entry LUTs were sufficient to make the effects on convergence
+negligible."  This bench quantifies the dynamics-evaluation error of the
+functional simulator across LUT sizes, confirming 4096 entries sit below the
+solver's practical tolerance while small tables do not.
+"""
+
+import pytest
+
+from conftest import banner
+from repro.accelerator import simulate_phase
+from repro.robots import build_benchmark
+
+LUT_SIZES = (16, 64, 512, 4096)
+
+#: a flight condition that actually exercises the trig tables (large tilt,
+#: nonzero rates) — near-zero inputs would make every table look perfect
+_INPUTS = {
+    "pos[0]": 0.4,
+    "pos[1]": -0.7,
+    "pos[2]": 1.3,
+    "vel[0]": 0.9,
+    "vel[1]": -0.5,
+    "vel[2]": 0.2,
+    "roll": 0.45,
+    "pitch": -0.38,
+    "yaw": 1.1,
+    "w[0]": 0.6,
+    "w[1]": -0.8,
+    "w[2]": 0.3,
+    "f[0]": 1.4,
+    "f[1]": 1.1,
+    "f[2]": 1.3,
+    "f[3]": 1.2,
+}
+
+
+def run_error_sweep():
+    bench = build_benchmark("Quadrotor")
+    problem = bench.transcribe(horizon=4)
+    rows = []
+    for entries in LUT_SIZES:
+        res, ref = simulate_phase(
+            problem, "dynamics", inputs=dict(_INPUTS), lut_entries=entries
+        )
+        err = max(abs(res.outputs[k] - ref[k]) for k in ref)
+        rows.append((entries, err))
+    return rows
+
+
+def test_precision_ablation(benchmark):
+    rows = benchmark.pedantic(run_error_sweep, rounds=1, iterations=1)
+    banner("Ablation: LUT entries vs. fixed-point dynamics error (Quadrotor)")
+    print(f"{'LUT entries':>12} {'max |error|':>14}")
+    for entries, err in rows:
+        print(f"{entries:>12} {err:>14.3e}")
+    print(
+        "\npaper reference: 4096 entries + Q14.17 make convergence effects "
+        "negligible"
+    )
+    errors = dict(rows)
+    assert errors[4096] < 1e-3
+    assert errors[16] > errors[4096]
+    # Coarse tables are at least an order of magnitude worse.
+    assert errors[16] > 5 * errors[4096]

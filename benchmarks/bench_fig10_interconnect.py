@@ -1,0 +1,26 @@
+"""Figure 10: ablation of the compute-enabled on-chip interconnect (N=1024)."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import figure10, render_figure
+
+
+def test_figure10(benchmark):
+    fig = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    banner("Figure 10: Compute-enabled interconnect ablation (N = 1024)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: 25.2x average without vs 38.7x with the "
+        "interconnect ALUs (~35% average performance increase)"
+    )
+    with_ic = fig.geomean["With Compute-Enabled Interconnect"]
+    without = fig.geomean["Without Compute-Enabled Interconnect"]
+    assert with_ic > without
+    gain = with_ic / without
+    assert 1.15 < gain < 1.7, f"interconnect gain {gain:.2f}x out of range"
+    for b in fig.series["With Compute-Enabled Interconnect"]:
+        assert (
+            fig.series["With Compute-Enabled Interconnect"][b]
+            > fig.series["Without Compute-Enabled Interconnect"][b]
+        ), f"interconnect must help {b}"

@@ -1,0 +1,32 @@
+"""Figure 11: sensitivity of RoboX speedup to the number of Compute Units."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import CU_SWEEP, figure11, render_figure
+
+
+def test_figure11(benchmark):
+    fig = benchmark.pedantic(
+        figure11, kwargs={"cu_counts": CU_SWEEP}, rounds=1, iterations=1
+    )
+    banner("Figure 11: Speedup over ARM A57 vs. number of CUs (N = 1024)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: near-linear growth that plateaus around 256 CUs "
+        "(diminishing returns beyond); MobileRobot saturates earliest"
+    )
+    geo = {n: fig.geomean[f"{n} CUs"] for n in CU_SWEEP}
+    # Monotone non-decreasing through the sweep.
+    values = [geo[n] for n in CU_SWEEP]
+    for a, b in zip(values, values[1:]):
+        assert b >= a * 0.99
+    # Early scaling strong, late scaling weak (the plateau).
+    assert geo[64] / geo[8] > 3.0
+    assert geo[1024] / geo[256] < 1.25
+    # MobileRobot saturates earliest: its 64->1024 CU gain is the smallest.
+    gains = {
+        b: fig.series["1024 CUs"][b] / fig.series["64 CUs"][b]
+        for b in fig.series["64 CUs"]
+    }
+    assert gains["MobileRobot"] == min(gains.values())

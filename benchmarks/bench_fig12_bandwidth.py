@@ -1,0 +1,33 @@
+"""Figure 12: sensitivity of RoboX speedup to off-chip memory bandwidth."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import BANDWIDTH_SWEEP, figure12, render_figure
+
+
+def test_figure12(benchmark):
+    fig = benchmark.pedantic(
+        figure12, kwargs={"factors": BANDWIDTH_SWEEP}, rounds=1, iterations=1
+    )
+    banner("Figure 12: Speedup over ARM A57 vs. off-chip bandwidth (N = 1024)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: larger robot models are most bandwidth-sensitive "
+        "(Hexacopter spans 46.1x-94.3x across the sweep) with diminishing "
+        "returns at high bandwidth"
+    )
+    geo = {f: fig.geomean[f"{f:g} x"] for f in BANDWIDTH_SWEEP}
+    values = [geo[f] for f in sorted(geo)]
+    for a, b in zip(values, values[1:]):
+        assert b >= a * 0.99, "speedup must not drop with more bandwidth"
+    # Diminishing returns: the 1x -> 4x gain is smaller than 0.25x -> 1x.
+    assert geo[4.0] / geo[1.0] < geo[1.0] / geo[0.25]
+    # Hexacopter among the most sensitive, MobileRobot the least.
+    sens = {
+        b: fig.series["4 x"][b] / fig.series["0.25 x"][b]
+        for b in fig.series["0.25 x"]
+    }
+    ranked = sorted(sens, key=sens.get, reverse=True)
+    assert "Hexacopter" in ranked[:2]
+    assert sens["MobileRobot"] == min(sens.values())

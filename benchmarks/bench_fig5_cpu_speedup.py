@@ -1,0 +1,22 @@
+"""Figure 5: speedup of Xeon E3 and RoboX over the ARM A57 baseline (N=32)."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import figure5, render_figure
+
+
+def test_figure5(benchmark):
+    fig = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    banner("Figure 5: Speedup over ARM A57 baseline (N = 32)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: RoboX geomean 29.4x (range 6.2x-79.1x), "
+        "Xeon ~4x, MobileRobot lowest, Hexacopter among the highest"
+    )
+    assert fig.geomean["RoboX"] == pytest.approx(29.4, rel=0.02)
+    assert fig.geomean["Xeon"] == pytest.approx(29.4 / 7.3, rel=0.05)
+    robox = fig.series["RoboX"]
+    assert robox["MobileRobot"] == min(robox.values())
+    top_two = sorted(robox, key=robox.get, reverse=True)[:2]
+    assert {"Hexacopter", "Quadrotor"} & set(top_two)

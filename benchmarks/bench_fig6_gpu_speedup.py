@@ -1,0 +1,25 @@
+"""Figure 6: speedup of the GPUs and RoboX over the GTX 650 Ti (N=32)."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import figure6, render_figure
+
+
+def test_figure6(benchmark):
+    fig = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    banner("Figure 6: Speedup over GTX 650 Ti baseline (N = 32)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: RoboX geomean 2.0x over GTX (range 1.63x-2.74x), "
+        "3.5x over Tegra, but 1.3x SLOWER than the 2880-core Tesla K40"
+    )
+    assert fig.geomean["RoboX"] == pytest.approx(2.0, rel=0.02)
+    # RoboX / Tegra = 2.0 / (Tegra/GTX)
+    assert fig.geomean["RoboX"] / fig.geomean["Tegra X2"] == pytest.approx(
+        3.5, rel=0.05
+    )
+    # The K40 outruns RoboX on raw speed (efficiency is Figure 8's story).
+    assert fig.geomean["Tesla K40"] > fig.geomean["RoboX"]
+    for b, v in fig.series["RoboX"].items():
+        assert v > fig.series["Tegra X2"][b], f"RoboX must beat Tegra on {b}"

@@ -1,0 +1,21 @@
+"""Figure 7: performance-per-watt of Xeon and RoboX over the ARM A57."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import figure7, render_figure
+
+
+def test_figure7(benchmark):
+    fig = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    banner("Figure 7: Performance-per-Watt over ARM A57 baseline (N = 32)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: RoboX geomean 22.1x (range 4.5x-65.3x); "
+        "the Xeon E3 is 0.28x (its speed costs disproportionate power)"
+    )
+    assert fig.geomean["RoboX"] == pytest.approx(22.1, rel=0.05)
+    assert fig.geomean["Xeon"] == pytest.approx(0.28, abs=0.02)
+    # RoboX wins on efficiency on every benchmark.
+    for b, v in fig.series["RoboX"].items():
+        assert v > 1.0, f"RoboX must beat the ARM on PPW for {b}"

@@ -1,0 +1,23 @@
+"""Figure 8: performance-per-watt of the GPUs and RoboX over the GTX 650 Ti."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import figure8, render_figure
+
+
+def test_figure8(benchmark):
+    fig = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    banner("Figure 8: Performance-per-Watt over GTX 650 Ti baseline (N = 32)")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: RoboX geomean 65.5x over GTX (range 52.5x-88.4x); "
+        "7.8x over the Tegra X2; 71.8x over the Tesla K40 — despite the K40's "
+        "raw-speed win, RoboX dominates under a power budget"
+    )
+    assert fig.geomean["RoboX"] == pytest.approx(65.5, rel=0.05)
+    assert fig.geomean["RoboX"] / fig.geomean["Tegra X2"] == pytest.approx(
+        7.8, rel=0.15
+    )
+    for series in ("Tegra X2", "Tesla K40"):
+        assert fig.geomean["RoboX"] > fig.geomean[series]

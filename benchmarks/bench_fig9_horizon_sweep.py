@@ -1,0 +1,33 @@
+"""Figure 9: RoboX speedup over the ARM A57 vs. prediction horizon."""
+
+import pytest
+
+from conftest import banner
+from repro.experiments import HORIZON_SWEEP, figure9, render_figure
+
+
+def test_figure9(benchmark):
+    fig = benchmark.pedantic(
+        figure9, kwargs={"horizons": HORIZON_SWEEP}, rounds=1, iterations=1
+    )
+    banner("Figure 9: RoboX speedup over ARM A57 vs. prediction horizon")
+    print(render_figure(fig))
+    print(
+        "\npaper reference: geomean grows from 29.4x at 32 steps to 38.7x at "
+        "1024 steps; the Hexacopter shows the greatest change"
+    )
+    g32 = fig.geomean["32 steps"]
+    g1024 = fig.geomean["1024 steps"]
+    assert g32 == pytest.approx(29.4, rel=0.02)
+    assert g1024 > g32, "speedup must grow with the horizon"
+    assert g1024 / g32 > 1.15
+    # The big 12-state UAV models gain from longer horizons (more exposed
+    # parallelism + the ARM's cache spill); the tiny MobileRobot gains least.
+    growth = {
+        b: fig.series["1024 steps"][b] / fig.series["32 steps"][b]
+        for b in fig.series["32 steps"]
+    }
+    ranked = sorted(growth, key=growth.get, reverse=True)
+    assert {"Hexacopter", "Quadrotor"} & set(ranked[:3])
+    assert growth["Hexacopter"] > growth["MobileRobot"]
+    assert growth["MobileRobot"] == min(growth.values())

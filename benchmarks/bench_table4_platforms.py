@@ -1,0 +1,25 @@
+"""Table IV: specifications of the baselines and RoboX."""
+
+from conftest import banner
+from repro.experiments import render_table, table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(table4)
+    banner("Table IV: Specifications of the baselines and RoboX")
+    print(render_table(rows))
+    robox = next(r for r in rows if r["platform"] == "RoboX")
+    assert robox["cores"] == 256
+    assert robox["clock_ghz"] == 1.0
+    assert robox["tdp_w"] == 3.4
+    assert robox["technology_nm"] == 45
+    assert robox["lut_entries"] == 4096
+    names = {r["platform"] for r in rows}
+    assert names == {
+        "ARM Cortex A57",
+        "Intel Xeon E3",
+        "Tegra X2",
+        "GTX 650 Ti",
+        "Tesla K40",
+        "RoboX",
+    }

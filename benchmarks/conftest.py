@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints the
+reproduced rows next to the paper's reference values, and asserts the shape
+properties that define a successful reproduction.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    line = "=" * len(title)
+    print(f"\n{line}\n{title}\n{line}")

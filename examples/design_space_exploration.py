@@ -1,0 +1,59 @@
+"""Accelerator design-space exploration (the paper's §VIII-C workflow).
+
+Sweeps the RoboX machine configuration — compute-unit count, off-chip
+bandwidth, and the compute-enabled interconnect — for one benchmark and
+prints the per-iteration cycle estimates, the same methodology behind
+Figures 10-12.
+
+Run:
+    python examples/design_space_exploration.py [BenchmarkName] [horizon]
+"""
+
+import sys
+
+from repro.compiler import MachineConfig, compile_problem
+from repro.robots import BENCHMARK_NAMES, build_benchmark
+
+
+def cycles(problem, **kwargs) -> float:
+    _, _, schedule = compile_problem(problem, MachineConfig(**kwargs))
+    return schedule.cycles_per_iteration
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Hexacopter"
+    horizon = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; pick from {BENCHMARK_NAMES}")
+
+    bench = build_benchmark(name)
+    problem = bench.transcribe(horizon=horizon)
+    base = cycles(problem)
+    print(f"{name} at horizon N={horizon}")
+    print(f"Table IV design point (256 CUs, 16 B/cycle): {base:,.0f} cycles/iter\n")
+
+    print("Compute-unit sweep (Fig. 11 axis):")
+    print(f"  {'CUs':>6} {'cycles/iter':>14} {'vs 256':>8}")
+    for n_cus in (1, 4, 16, 64, 256, 1024):
+        c = cycles(problem, n_cus=n_cus, cus_per_cc=min(8, n_cus))
+        print(f"  {n_cus:>6} {c:>14,.0f} {base / c:>7.2f}x")
+
+    print("\nBandwidth sweep (Fig. 12 axis):")
+    print(f"  {'factor':>6} {'cycles/iter':>14} {'vs 1x':>8}")
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        c = cycles(problem, bandwidth_bytes_per_cycle=16.0 * factor)
+        print(f"  {factor:>5.2g}x {c:>14,.0f} {base / c:>7.2f}x")
+
+    print("\nCompute-enabled interconnect (Fig. 10 ablation):")
+    off = cycles(problem, compute_enabled_interconnect=False)
+    print(f"  enabled : {base:>14,.0f} cycles/iter")
+    print(f"  disabled: {off:>14,.0f} cycles/iter ({off / base:.2f}x slower)")
+
+    print("\nCluster-shape sweep (CUs per CC at 256 total):")
+    for cus_per_cc in (4, 8, 16, 32):
+        c = cycles(problem, cus_per_cc=cus_per_cc)
+        print(f"  {cus_per_cc:>3} CUs/CC: {c:>14,.0f} cycles/iter")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""End-to-end RoboX pipeline: DSL program -> solver -> accelerator.
+
+Walks the full toolchain of the paper on its own §IV example:
+
+1. the RoboX DSL source for the mobile robot and its ``moveTo`` task,
+2. semantic analysis into the model/task IR and a closed-loop MPC solve,
+3. the Program Translator's macro dataflow graph,
+4. Algorithm-1 mapping + static schedule (cycle estimate at the Table IV
+   design point), and
+5. the functional fixed-point simulator executing the dynamics phase on the
+   modeled silicon, compared against double precision.
+
+Run:
+    python examples/dsl_to_accelerator.py
+"""
+
+import numpy as np
+
+from repro.accelerator import simulate_phase
+from repro.compiler import MachineConfig, Translator, compile_problem
+from repro.dsl import compile_program
+from repro.mpc import InteriorPointSolver, TranscribedProblem
+
+PROGRAM = """
+// The paper's Section IV walkthrough, verbatim structure.
+System MobileRobot( param vel_bound, param ang_bound ) {
+  // system states
+  state pos[2], angle;
+  // system inputs
+  input vel, ang_vel;
+  // system dynamics
+  pos[0].dt = vel * cos(angle);
+  pos[1].dt = vel * sin(angle);
+  angle.dt = ang_vel;
+  // physical constraints
+  vel.lower_bound <= -vel_bound;
+  vel.upper_bound <= vel_bound;
+  ang_vel.lower_bound <= -ang_bound;
+  ang_vel.upper_bound <= ang_bound;
+
+  Task moveTo( reference desired_x, reference desired_y,
+               param weight, param radius ) {
+    penalty target_x, target_y;
+    target_x.running = pos[0] - desired_x;
+    target_y.running = pos[1] - desired_y;
+    target_x.weight <= weight;
+    target_y.weight <= weight;
+    range i[0:2];
+    constraint pos_bound;
+    pos_bound.running = norm[i](pos[i]);
+    pos_bound.upper_bound <= radius;
+  }
+}
+reference desired_x;
+reference desired_y;
+MobileRobot robot(1.0, 2.0);
+robot.moveTo(desired_x, desired_y, 10, 5.0);
+"""
+
+
+def main() -> None:
+    # -- 1+2: frontend and solve --------------------------------------------------
+    analysis = compile_program(PROGRAM)
+    model, task = analysis.model, analysis.task
+    print(f"DSL produced {model} and {task}")
+
+    problem = TranscribedProblem(model, task, horizon=16, dt=0.1)
+    solver = InteriorPointSolver(problem)
+    target = np.array([0.8, 0.5])
+    result = solver.solve(np.zeros(3), ref=target)
+    xs, _ = problem.split(result.z)
+    print(
+        f"MPC solve: converged={result.converged} iters={result.iterations} "
+        f"horizon-end=({xs[-1, 0]:.3f}, {xs[-1, 1]:.3f})"
+    )
+
+    # -- 3: Program Translator -------------------------------------------------------
+    info = Translator(problem).info()
+    print(f"\nM-DFG: {info.n_nodes} nodes, phases {info.phases}")
+    print(
+        f"  group aggregations: {info.group_nodes}, "
+        f"solver kernels: {info.kernel_nodes}"
+    )
+    dyn_ops = sum(info.op_counts_per_phase["dynamics"].values())
+    solver_ops = sum(info.op_counts_per_phase["solver"].values())
+    print(f"  ops/iteration: dynamics {dyn_ops}, solver kernels {solver_ops}")
+
+    # -- 4: Controller Compiler (Table IV design point) ---------------------------------
+    machine = MachineConfig()
+    graph, pm, schedule = compile_problem(problem, machine)
+    print(
+        f"\nstatic schedule on {machine.n_cus} CUs "
+        f"({machine.n_ccs} clusters): {schedule.instruction_count} "
+        f"instructions, {schedule.cycles_per_iteration:,.0f} cycles/iteration "
+        f"({schedule.seconds_per_iteration() * 1e6:.1f} us at 1 GHz)"
+    )
+    print(f"  CU utilization (Algorithm-1 map): {pm.utilization():.0%}")
+
+    # Ablation: the same problem without the compute-enabled interconnect.
+    _, _, ablated = compile_problem(
+        problem, MachineConfig(compute_enabled_interconnect=False)
+    )
+    print(
+        "  without compute-enabled interconnect: "
+        f"{ablated.cycles_per_iteration:,.0f} cycles "
+        f"({ablated.cycles_per_iteration / schedule.cycles_per_iteration:.2f}x)"
+    )
+
+    # -- 5: functional fixed-point simulation of the dynamics phase ----------------------
+    inputs = {
+        "pos[0]": 0.3,
+        "pos[1]": -0.1,
+        "angle": 0.4,
+        "vel": 0.7,
+        "ang_vel": 0.5,
+    }
+    sim, ref = simulate_phase(problem, "dynamics", inputs)
+    print(
+        f"\nfixed-point simulation (Q14.17, 4096-entry LUTs): "
+        f"{sim.cycles} cycles, {sim.aggregation_waves} interconnect waves"
+    )
+    worst = 0.0
+    for key in sorted(ref):
+        err = abs(sim.outputs[key] - ref[key])
+        worst = max(worst, err)
+        print(
+            f"  {key}: accelerator {sim.outputs[key]:+.6f} "
+            f"float64 {ref[key]:+.6f} |err| {err:.2e}"
+        )
+    print(f"worst-case fixed-point error: {worst:.2e} (paper: negligible)")
+    assert worst < 1e-3
+    print("end-to-end pipeline complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""MicroSat attitude recovery: detumble and re-point under tiny actuators.
+
+The 8-state microsatellite benchmark starts ~11 degrees off its nadir
+attitude with a residual tumble.  The MPC controller must bring it back
+using four coupled torque actuators limited to 10 mN·m each, while the
+shared-power-bus constraints cap how hard actuator pairs can fire together
+and the momentum state guards against wheel saturation.
+
+Run:
+    python examples/satellite_detumble.py
+"""
+
+import numpy as np
+
+from repro.mpc.controller import integrate_plant
+from repro.robots import build_benchmark
+
+
+def attitude_error_deg(q: np.ndarray, q_ref: np.ndarray) -> float:
+    """Rotation angle between two quaternions, in degrees."""
+    dot = abs(float(np.dot(q, q_ref)) / (np.linalg.norm(q) * np.linalg.norm(q_ref)))
+    return float(np.degrees(2.0 * np.arccos(min(dot, 1.0))))
+
+
+def main() -> None:
+    bench = build_benchmark("MicroSat")
+    problem = bench.transcribe(horizon=12)
+    controller = bench.make_controller(problem, max_iterations=30)
+
+    x = bench.x0.copy()
+    q_ref = bench.ref
+    print(f"initial attitude error: {attitude_error_deg(x[:4], q_ref):.2f} deg")
+    print(f"initial body rates: {x[4:7]} rad/s")
+
+    history = []
+    for step in range(24):
+        u = controller.step(x, ref=q_ref)
+        x = integrate_plant(problem, x, u, substeps=8)
+        err = attitude_error_deg(x[:4], q_ref)
+        rate = float(np.abs(x[4:7]).max())
+        history.append((err, rate))
+        if step % 4 == 0:
+            print(
+                f"  t={step * problem.dt:6.2f}s attitude_err={err:6.3f} deg "
+                f"max_rate={rate:.4f} rad/s momentum={x[7]:+.4f} "
+                f"|u|max={np.abs(u).max() * 1e3:.2f} mNm "
+                f"its={controller.last_result.iterations}"
+            )
+
+    final_err, final_rate = history[-1]
+    print(f"\nfinal attitude error: {final_err:.3f} deg")
+    print(f"final max body rate: {final_rate:.5f} rad/s")
+    # Quaternion norm must have been preserved through the maneuver.
+    norm = float(np.linalg.norm(x[:4]))
+    print(f"quaternion norm: {norm:.6f}")
+
+    assert final_err < 0.35 * attitude_error_deg(bench.x0[:4], q_ref)
+    assert final_rate < 0.05
+    assert abs(norm - 1.0) < 0.02
+    print("satellite detumbled and re-pointed. done.")
+
+
+if __name__ == "__main__":
+    main()

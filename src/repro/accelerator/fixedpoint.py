@@ -1,0 +1,124 @@
+"""32-bit fixed-point arithmetic with 17 fractional bits.
+
+§VIII-A: "From our empirical study, we found 32-bit fixed-point with 17
+fractional bits and 4096-entry LUTs were sufficient to make the effects on
+convergence negligible."  This module implements that datapath: Q14.17
+(1 sign + 14 integer + 17 fractional bits), with saturating add/sub/mul/div
+as a hardware ALU would behave.  All operations work on Python ints or NumPy
+int64 arrays holding the raw fixed-point words.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FixedPointError
+
+__all__ = [
+    "FRACTION_BITS",
+    "WORD_BITS",
+    "SCALE",
+    "FXP_MAX",
+    "FXP_MIN",
+    "to_fixed",
+    "from_fixed",
+    "fxp_add",
+    "fxp_sub",
+    "fxp_mul",
+    "fxp_div",
+    "fxp_neg",
+    "resolution",
+]
+
+WORD_BITS = 32
+FRACTION_BITS = 17
+SCALE = 1 << FRACTION_BITS
+FXP_MAX = (1 << (WORD_BITS - 1)) - 1
+FXP_MIN = -(1 << (WORD_BITS - 1))
+
+_Number = Union[int, np.ndarray]
+
+
+def resolution() -> float:
+    """Smallest representable increment (2^-17 ~ 7.6e-6)."""
+    return 1.0 / SCALE
+
+
+def _saturate(raw: _Number) -> _Number:
+    if isinstance(raw, np.ndarray):
+        return np.clip(raw, FXP_MIN, FXP_MAX)
+    return max(FXP_MIN, min(FXP_MAX, raw))
+
+
+def to_fixed(value) -> _Number:
+    """Quantize a float (or array) to the raw Q14.17 representation.
+
+    Values outside the representable range saturate, as the hardware would.
+    """
+    if isinstance(value, np.ndarray):
+        if not np.all(np.isfinite(value)):
+            raise FixedPointError("cannot quantize non-finite values")
+        raw = np.round(value * SCALE).astype(np.int64)
+        return _saturate(raw)
+    if not np.isfinite(value):
+        raise FixedPointError(f"cannot quantize non-finite value {value!r}")
+    return int(_saturate(int(round(float(value) * SCALE))))
+
+
+def from_fixed(raw: _Number) -> Union[float, np.ndarray]:
+    """Convert raw Q14.17 word(s) back to float."""
+    if isinstance(raw, np.ndarray):
+        return raw.astype(np.float64) / SCALE
+    return float(raw) / SCALE
+
+
+def fxp_add(a: _Number, b: _Number) -> _Number:
+    return _saturate(a + b)
+
+
+def fxp_sub(a: _Number, b: _Number) -> _Number:
+    return _saturate(a - b)
+
+
+def fxp_neg(a: _Number) -> _Number:
+    return _saturate(-a if not isinstance(a, np.ndarray) else -a)
+
+
+def fxp_mul(a: _Number, b: _Number) -> _Number:
+    """Fixed-point multiply: (a * b) >> FRACTION_BITS with rounding."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        rounded = (wide + (1 << (FRACTION_BITS - 1))) >> FRACTION_BITS
+        return _saturate(rounded)
+    wide = int(a) * int(b)
+    rounded = (wide + (1 << (FRACTION_BITS - 1))) >> FRACTION_BITS
+    return int(_saturate(rounded))
+
+
+def fxp_div(a: _Number, b: _Number) -> _Number:
+    """Fixed-point divide: (a << FRACTION_BITS) / b, truncating toward zero.
+
+    Division by zero saturates to the sign-appropriate extreme (hardware
+    behavior), rather than raising.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_b, b_b = np.broadcast_arrays(
+            np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+        )
+        zero = b_b == 0
+        safe_b = np.where(zero, 1, b_b)
+        # Truncating division on the widened numerator (Python-style floor
+        # division would skew negative quotients).
+        numer = a_b << FRACTION_BITS
+        quotient = np.sign(numer) * np.sign(safe_b) * (
+            np.abs(numer) // np.abs(safe_b)
+        )
+        quotient[zero & (a_b >= 0)] = FXP_MAX
+        quotient[zero & (a_b < 0)] = FXP_MIN
+        return _saturate(quotient)
+    if b == 0:
+        return FXP_MAX if a >= 0 else FXP_MIN
+    quotient = int((int(a) << FRACTION_BITS) / b)  # true division, truncated
+    return int(_saturate(quotient))

@@ -1,0 +1,151 @@
+"""Lookup-table evaluation of nonlinear functions (paper §V / §VIII-A).
+
+Each CU supports nonlinear operations "as lookup tables"; the evaluated
+design point uses 4096-entry LUTs, which the paper found sufficient to make
+the effect on solver convergence negligible.  Each table covers a bounded
+input domain with uniform spacing and linear interpolation between entries
+(a common hardware choice: the fractional offset multiplies the slope term
+stored alongside the sample).  Out-of-domain inputs are handled by range
+reduction where the function allows it (periodicity for sin/cos, argument
+normalization for sqrt) and by clamping where it does not.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.accelerator.fixedpoint import from_fixed, to_fixed
+from repro.errors import AcceleratorError
+
+__all__ = ["LookupTable", "LUTBank", "DEFAULT_LUT_ENTRIES"]
+
+DEFAULT_LUT_ENTRIES = 4096
+
+
+class LookupTable:
+    """One uniformly-sampled function table with linear interpolation."""
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[[float], float],
+        domain: Tuple[float, float],
+        entries: int = DEFAULT_LUT_ENTRIES,
+    ):
+        if entries < 2:
+            raise AcceleratorError("a lookup table needs at least 2 entries")
+        lo, hi = domain
+        if not lo < hi:
+            raise AcceleratorError(f"invalid LUT domain [{lo}, {hi}]")
+        self.name = name
+        self.domain = (float(lo), float(hi))
+        self.entries = entries
+        xs = np.linspace(lo, hi, entries)
+        self._step = xs[1] - xs[0]
+        self._samples = np.array([func(float(x)) for x in xs])
+
+    def evaluate(self, x: float) -> float:
+        """Interpolated lookup; inputs are clamped into the domain."""
+        lo, hi = self.domain
+        x = min(max(x, lo), hi)
+        pos = (x - lo) / self._step
+        idx = min(int(pos), self.entries - 2)
+        frac = pos - idx
+        return float(
+            self._samples[idx] * (1.0 - frac) + self._samples[idx + 1] * frac
+        )
+
+    def max_abs_error(self, probe_points: int = 20001, reference=None) -> float:
+        """Worst-case absolute error against the reference on a dense grid."""
+        lo, hi = self.domain
+        xs = np.linspace(lo, hi, probe_points)
+        approx = np.array([self.evaluate(float(x)) for x in xs])
+        if reference is None:
+            # Rebuild from the stored samples' generator via interpolation is
+            # meaningless; caller should pass the true function.
+            raise AcceleratorError("max_abs_error requires the reference function")
+        exact = np.array([reference(float(x)) for x in xs])
+        return float(np.max(np.abs(approx - exact)))
+
+
+class LUTBank:
+    """The accelerator's nonlinear-function tables with range reduction.
+
+    Note §V: "each CU only supports two such operations" — the bank models
+    the full set; per-CU operation subsets are a mapping concern handled by
+    the compiler (a CU is only assigned the nonlinears its two tables hold).
+    """
+
+    def __init__(self, entries: int = DEFAULT_LUT_ENTRIES):
+        self.entries = entries
+        two_pi = 2.0 * math.pi
+        self.tables: Dict[str, LookupTable] = {
+            "sin": LookupTable("sin", math.sin, (0.0, two_pi), entries),
+            "cos": LookupTable("cos", math.cos, (0.0, two_pi), entries),
+            "tan": LookupTable("tan", math.tan, (-1.45, 1.45), entries),
+            "asin": LookupTable("asin", math.asin, (-1.0, 1.0), entries),
+            "acos": LookupTable("acos", math.acos, (-1.0, 1.0), entries),
+            "atan": LookupTable("atan", math.atan, (-8.0, 8.0), entries),
+            "exp": LookupTable("exp", math.exp, (-8.0, 8.0), entries),
+            "log": LookupTable("log", math.log, (2.0**-9, 2.0), entries),
+            # sqrt over [1, 4): arguments are normalized by even powers of 2.
+            "sqrt": LookupTable("sqrt", math.sqrt, (1.0, 4.0), entries),
+            "tanh": LookupTable("tanh", math.tanh, (-6.0, 6.0), entries),
+        }
+
+    def evaluate(self, func: str, x: float) -> float:
+        """Evaluate ``func(x)`` with range reduction + table interpolation."""
+        if func in ("sin", "cos"):
+            two_pi = 2.0 * math.pi
+            return self.tables[func].evaluate(x % two_pi)
+        if func == "sqrt":
+            if x <= 0.0:
+                return 0.0
+            # Normalize into [1, 4) by even powers of two: sqrt(m * 4^k) =
+            # 2^k sqrt(m) — a shift in hardware.
+            k = 0
+            m = x
+            while m >= 4.0:
+                m /= 4.0
+                k += 1
+            while m < 1.0:
+                m *= 4.0
+                k -= 1
+            return self.tables["sqrt"].evaluate(m) * (2.0**k)
+        if func == "atan":
+            # atan(x) = pi/2 - atan(1/x) for |x| > table range
+            lo, hi = self.tables["atan"].domain
+            if x > hi:
+                return math.pi / 2.0 - self.tables["atan"].evaluate(1.0 / x)
+            if x < lo:
+                return -math.pi / 2.0 - self.tables["atan"].evaluate(1.0 / x)
+            return self.tables["atan"].evaluate(x)
+        if func == "log":
+            if x <= 0.0:
+                raise AcceleratorError("log of non-positive value")
+            # log(m * 2^k) = log(m) + k log 2 with m in [1, 2).
+            k = 0
+            m = x
+            while m >= 2.0:
+                m /= 2.0
+                k += 1
+            while m < 1.0:
+                m *= 2.0
+                k -= 1
+            return self.tables["log"].evaluate(m) + k * math.log(2.0)
+        if func == "tanh":
+            if x > 6.0:
+                return 1.0
+            if x < -6.0:
+                return -1.0
+            return self.tables["tanh"].evaluate(x)
+        if func in self.tables:
+            return self.tables[func].evaluate(x)
+        raise AcceleratorError(f"no lookup table for {func!r}")
+
+    def evaluate_fixed(self, func: str, raw: int) -> int:
+        """Fixed-point in, fixed-point out (the CU datapath view)."""
+        return to_fixed(self.evaluate(func, from_fixed(raw)))

@@ -1,0 +1,181 @@
+"""Programmable memory access engine (paper §V, §VI "Memory instructions").
+
+The engine actively fetches and stores data according to its own static
+microprogram instead of responding to requests from compute elements.  This
+module implements its functional model:
+
+* external memory is partitioned into **namespaces** (INPUT, STATE,
+  GRADIENT, HESSIAN, REFERENCE, INSTRUCTION), each subdivided into
+  fixed-size **blocks** so the 16-bit offset field of a ``Load``/``Store``
+  reaches the full address range via ``Set Block`` instructions;
+* an integrated **shifter** realigns misaligned bursts ("the programmability
+  allows dealing with misaligned data to prevent bandwidth
+  under-utilization");
+* executing a memory instruction stream moves words between the external
+  memory image and a staging buffer (the global LD/ST buffer of Fig. 3) and
+  accounts the cycles a real engine would spend: ``ceil(words x word_bytes /
+  bandwidth)`` per burst, +1 cycle when the shifter engages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.isa import MemInstr, Namespace, decode
+from repro.errors import AcceleratorError
+
+__all__ = ["MemoryImage", "MemoryAccessEngine", "EngineRun"]
+
+_WORD_BYTES = 4
+#: words per namespace block (64 KiB blocks of 4-byte words)
+BLOCK_WORDS = 1 << 14
+
+
+class MemoryImage:
+    """External memory partitioned into per-namespace block arrays."""
+
+    VALID_NAMESPACES = (
+        Namespace.INPUT,
+        Namespace.STATE,
+        Namespace.GRADIENT,
+        Namespace.HESSIAN,
+        Namespace.REFERENCE,
+        Namespace.INSTRUCTION,
+    )
+
+    def __init__(self):
+        self._data: Dict[Tuple[int, int], List[int]] = {}
+
+    def _block(self, namespace: int, block: int) -> List[int]:
+        if namespace not in self.VALID_NAMESPACES:
+            raise AcceleratorError(f"invalid memory namespace {namespace}")
+        key = (namespace, block)
+        if key not in self._data:
+            self._data[key] = [0] * BLOCK_WORDS
+        return self._data[key]
+
+    def read(self, namespace: int, block: int, offset: int, count: int) -> List[int]:
+        if offset < 0 or offset + count > BLOCK_WORDS:
+            raise AcceleratorError(
+                f"read [{offset}, {offset + count}) exceeds block size "
+                f"{BLOCK_WORDS}"
+            )
+        blk = self._block(namespace, block)
+        return blk[offset : offset + count]
+
+    def write(
+        self, namespace: int, block: int, offset: int, words: Sequence[int]
+    ) -> None:
+        if offset < 0 or offset + len(words) > BLOCK_WORDS:
+            raise AcceleratorError(
+                f"write [{offset}, {offset + len(words)}) exceeds block size"
+            )
+        blk = self._block(namespace, block)
+        blk[offset : offset + len(words)] = [int(w) for w in words]
+
+
+@dataclass
+class EngineRun:
+    """Result of executing one memory microprogram."""
+
+    #: words loaded into the staging buffer, in arrival order
+    loaded: List[int] = field(default_factory=list)
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    shifter_engagements: int = 0
+    ended: bool = False
+
+
+class MemoryAccessEngine:
+    """Executes encoded memory instruction streams against a MemoryImage."""
+
+    def __init__(
+        self,
+        memory: Optional[MemoryImage] = None,
+        bandwidth_bytes_per_cycle: float = 16.0,
+    ):
+        if bandwidth_bytes_per_cycle <= 0:
+            raise AcceleratorError("bandwidth must be positive")
+        self.memory = memory or MemoryImage()
+        self.bandwidth = bandwidth_bytes_per_cycle
+        #: current block pointer per namespace (Set Block state)
+        self.block_pointer: Dict[int, int] = {
+            ns: 0 for ns in MemoryImage.VALID_NAMESPACES
+        }
+        #: outgoing store queue consumed by Store instructions
+        self.store_queue: List[int] = []
+
+    def queue_stores(self, words: Sequence[int]) -> None:
+        """Stage result words the compute side produced (Fig. 3 ST buffer)."""
+        self.store_queue.extend(int(w) for w in words)
+
+    def run(self, stream: Sequence[int]) -> EngineRun:
+        """Execute a stream of encoded 32-bit memory instructions.
+
+        The stream must terminate with an ``End of Code`` instruction;
+        instructions after it are not executed.
+        """
+        result = EngineRun()
+        for word in stream:
+            instr = decode(word, "memory")
+            if instr.kind == "end":
+                result.ended = True
+                break
+            self._execute(instr, result)
+        if not result.ended:
+            raise AcceleratorError(
+                "memory microprogram missing End-of-Code terminator"
+            )
+        return result
+
+    # -------------------------------------------------------------------------
+    def _execute(self, instr: MemInstr, result: EngineRun) -> None:
+        if instr.kind == "set_block":
+            if instr.namespace not in self.block_pointer:
+                raise AcceleratorError(
+                    f"set_block on invalid namespace {instr.namespace}"
+                )
+            self.block_pointer[instr.namespace] = instr.block
+            result.cycles += 1
+            return
+
+        block = self.block_pointer.get(instr.namespace)
+        if block is None:
+            raise AcceleratorError(
+                f"memory instruction uses invalid namespace {instr.namespace}"
+            )
+
+        burst_cycles = math.ceil(instr.burst * _WORD_BYTES / self.bandwidth)
+        if instr.shift:
+            # The shifter realigns the burst in-flight: one extra cycle, not
+            # a second pass over the data.
+            result.cycles += 1
+            result.shifter_engagements += 1
+
+        if instr.kind == "load":
+            words = self.memory.read(
+                instr.namespace, block, instr.offset, instr.burst
+            )
+            if instr.shift:
+                words = words[instr.shift :] + words[: instr.shift]
+            result.loaded.extend(words)
+            result.loads += 1
+            result.cycles += burst_cycles
+        elif instr.kind == "store":
+            if len(self.store_queue) < instr.burst:
+                raise AcceleratorError(
+                    f"store of {instr.burst} words but only "
+                    f"{len(self.store_queue)} staged"
+                )
+            words = self.store_queue[: instr.burst]
+            del self.store_queue[: instr.burst]
+            if instr.shift:
+                words = words[-instr.shift :] + words[: -instr.shift]
+            self.memory.write(instr.namespace, block, instr.offset, words)
+            result.stores += 1
+            result.cycles += burst_cycles
+        else:  # pragma: no cover - decode() limits the kinds
+            raise AcceleratorError(f"unknown memory instruction {instr.kind!r}")

@@ -1,0 +1,256 @@
+"""Micro-operation program representation and the expression assembler.
+
+The ISA words of :mod:`repro.compiler.isa` are the *encoding*; the simulator
+executes the decoded form defined here: per-CU ALU micro-ops over register
+slots, ordered bus transfers, and interconnect aggregation waves.  The
+assembler lowers an expression M-DFG plus its Algorithm-1 :class:`ProgramMap`
+into a :class:`MicroProgram`, allocating one register slot per produced
+value on its home CU.
+
+With the compute-enabled interconnect disabled (the Figure 10 ablation), the
+assembler expands every GROUP aggregation into a binary tree of CU adds plus
+the gather transfers the shared bus must then carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.mapping import ProgramMap
+from repro.compiler.mdfg import MDFG, NodeType
+from repro.errors import AcceleratorError
+
+__all__ = ["CUOp", "BusTransfer", "TreeAggregate", "MicroProgram", "assemble"]
+
+
+@dataclass(frozen=True)
+class CUOp:
+    """One ALU micro-op on one CU: ``dst = op(srcs...)`` over local slots."""
+
+    op: str
+    dst: int
+    srcs: Tuple[int, ...] = ()
+    #: inline constant operand (replaces a src slot when set)
+    imm: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BusTransfer:
+    """Move a value between CUs (intra-CC shared bus or tree-bus)."""
+
+    src_cu: int
+    src_slot: int
+    dst_cu: int
+    dst_slot: int
+
+
+@dataclass(frozen=True)
+class TreeAggregate:
+    """In-network reduction of values resident on several CUs."""
+
+    func: str  # add | mul | min | max
+    sources: Tuple[Tuple[int, int], ...]  # (cu, slot) pairs
+    dst_cu: int
+    dst_slot: int
+
+
+@dataclass
+class MicroProgram:
+    """A complete statically scheduled program for the simulator."""
+
+    n_cus: int
+    cus_per_cc: int
+    #: ALU micro-ops per CU, in issue order
+    cu_ops: List[List[CUOp]] = field(default_factory=list)
+    #: ordered bus transfers
+    transfers: List[BusTransfer] = field(default_factory=list)
+    #: ordered aggregation waves
+    aggregates: List[TreeAggregate] = field(default_factory=list)
+    #: input name -> (cu, slot) where the memory engine deposits it
+    input_slots: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: output label -> (cu, slot) to read back after execution
+    output_slots: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: slots per CU that the program uses
+    slots_used: List[int] = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.cu_ops)
+
+
+class _SlotAllocator:
+    def __init__(self, n_cus: int):
+        self.next_slot = [0] * n_cus
+
+    def alloc(self, cu: int) -> int:
+        slot = self.next_slot[cu]
+        self.next_slot[cu] += 1
+        return slot
+
+
+def assemble(
+    graph: MDFG,
+    program_map: ProgramMap,
+    phase: str,
+    outputs: Optional[Sequence[int]] = None,
+    compute_enabled_interconnect: bool = True,
+) -> MicroProgram:
+    """Lower one expression phase of ``graph`` into a :class:`MicroProgram`.
+
+    Args:
+        graph: the M-DFG.
+        program_map: Algorithm-1 mapping for the same graph.
+        phase: which phase's nodes to assemble (e.g. ``"dynamics"``).
+        outputs: node ids whose values should be exposed as outputs
+            (default: every node in the phase with no consumer in the phase).
+        compute_enabled_interconnect: when False, GROUP nodes are expanded
+            into CU adds + gather transfers (the ablation path).
+    """
+    n_cus = program_map.n_cus
+    prog = MicroProgram(
+        n_cus=n_cus,
+        cus_per_cc=program_map.cus_per_cc,
+        cu_ops=[[] for _ in range(n_cus)],
+    )
+    alloc = _SlotAllocator(n_cus)
+    #: node id -> (cu, slot) of its value; const nodes -> float immediate
+    location: Dict[int, Tuple[int, int]] = {}
+    const_value: Dict[int, float] = {}
+
+    phase_nodes = [n for n in graph.nodes if n.phase == phase]
+    if not phase_nodes:
+        raise AcceleratorError(f"graph has no nodes in phase {phase!r}")
+    needed = {p for n in phase_nodes for p in n.parents}
+    nodes = [
+        n
+        for n in graph.nodes
+        if n.phase == phase
+        or (n.type in (NodeType.INPUT, NodeType.CONST) and n.id in needed)
+    ]
+    phase_ids = {n.id for n in nodes}
+
+    def ensure_local(node_id: int, home: int) -> Tuple[int, Optional[float]]:
+        """Return (slot, imm) making node_id's value usable on CU `home`."""
+        if node_id in const_value:
+            return -1, const_value[node_id]
+        cu, slot = location[node_id]
+        if cu == home:
+            return slot, None
+        dst_slot = alloc.alloc(home)
+        prog.transfers.append(BusTransfer(cu, slot, home, dst_slot))
+        location_cache[(node_id, home)] = dst_slot
+        return dst_slot, None
+
+    location_cache: Dict[Tuple[int, int], int] = {}
+
+    def local_slot(node_id: int, home: int) -> Tuple[int, Optional[float]]:
+        if node_id in const_value:
+            return -1, const_value[node_id]
+        cached = location_cache.get((node_id, home))
+        if cached is not None:
+            return cached, None
+        return ensure_local(node_id, home)
+
+    def gather_to(src: Tuple[int, int], home: int) -> int:
+        """Copy a remote (cu, slot) value onto ``home``; returns its slot."""
+        cu, slot = src
+        if cu == home:
+            return slot
+        dst_slot = alloc.alloc(home)
+        prog.transfers.append(BusTransfer(cu, slot, home, dst_slot))
+        return dst_slot
+
+    for node in nodes:
+        if node.type == NodeType.CONST:
+            const_value[node.id] = float(node.label)
+            continue
+        if node.type == NodeType.INPUT:
+            cu = program_map.placement.get(node.id, 0)
+            slot = alloc.alloc(cu)
+            location[node.id] = (cu, slot)
+            prog.input_slots[node.label] = (cu, slot)
+            continue
+        if node.id not in phase_ids or node.phase != phase:
+            continue
+
+        if node.type == NodeType.GROUP:
+            sources = [(location[p]) for p in node.parents if p not in const_value]
+            const_parents = [const_value[p] for p in node.parents if p in const_value]
+            home = program_map.placement[node.id]
+            dst_slot = alloc.alloc(home)
+            if compute_enabled_interconnect:
+                prog.aggregates.append(
+                    TreeAggregate(
+                        func=node.op,
+                        sources=tuple(sources),
+                        dst_cu=home,
+                        dst_slot=dst_slot,
+                    )
+                )
+                result_slot = dst_slot
+                # Constants folded in afterwards on the home CU.
+                for c in const_parents:
+                    nxt = alloc.alloc(home)
+                    prog.cu_ops[home].append(
+                        CUOp(node.op, nxt, (result_slot,), imm=c)
+                    )
+                    result_slot = nxt
+                location[node.id] = (home, result_slot)
+            else:
+                # Ablation: gather everything to `home` and reduce on the CU.
+                acc_slot = None
+                for src in sources:
+                    s_slot = gather_to(src, home)
+                    if acc_slot is None:
+                        acc_slot = s_slot
+                    else:
+                        nxt = alloc.alloc(home)
+                        prog.cu_ops[home].append(
+                            CUOp(node.op, nxt, (acc_slot, s_slot))
+                        )
+                        acc_slot = nxt
+                for c in const_parents:
+                    nxt = alloc.alloc(home)
+                    prog.cu_ops[home].append(CUOp(node.op, nxt, (acc_slot,), imm=c))
+                    acc_slot = nxt
+                if acc_slot is None:
+                    raise AcceleratorError("empty group aggregation")
+                location[node.id] = (home, acc_slot)
+            continue
+
+        # SCALAR / VECTOR op on its mapped CU.
+        home = program_map.placement[node.id]
+        srcs: List[int] = []
+        imm: Optional[float] = None
+        for p in node.parents:
+            slot, c = local_slot(p, home)
+            if c is not None:
+                if imm is not None:
+                    # Two constant operands: fold on the fly via a mov.
+                    tmp = alloc.alloc(home)
+                    prog.cu_ops[home].append(CUOp("mov", tmp, (), imm=c))
+                    srcs.append(tmp)
+                else:
+                    imm = c
+            else:
+                srcs.append(slot)
+        dst = alloc.alloc(home)
+        prog.cu_ops[home].append(CUOp(node.op, dst, tuple(srcs), imm=imm))
+        location[node.id] = (home, dst)
+
+    # Expose outputs.
+    if outputs is None:
+        consumed = {p for n in nodes for p in n.parents}
+        outputs = [
+            n.id
+            for n in nodes
+            if n.phase == phase and n.id not in consumed
+        ]
+    for node_id in outputs:
+        if node_id in const_value:
+            continue
+        prog.output_slots[f"node{node_id}"] = location[node_id]
+
+    prog.slots_used = list(alloc.next_slot)
+    return prog

@@ -1,0 +1,301 @@
+"""Cycle-driven functional simulator of the RoboX accelerator (paper §V).
+
+Executes a :class:`MicroProgram` on the modeled machine:
+
+* every CU issues at most one ALU micro-op per cycle, in program order, when
+  its operands are ready; results become visible after the 3-stage pipeline
+  latency (independent ops pipeline back-to-back);
+* each Compute Cluster's shared bus moves one value per cycle (its transfer
+  queue is statically ordered); transfers that cross clusters traverse the
+  tree-bus and pay its round-trip latency;
+* aggregation waves run on the compute-enabled interconnect: neighbor-hop
+  reductions within a CC, tree-bus combining across CCs — each wave costs
+  one hop level per tree level and occupies the participating segment;
+* the memory access engine deposits program inputs before cycle 0 and its
+  streaming time is reported separately (``memory_cycles``).
+
+All datapath values are 32-bit fixed point (Q14.17) and nonlinears go
+through the 4096-entry LUT bank, so the simulator doubles as the numerical
+testbed for the paper's precision claim (§VIII-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.accelerator.fixedpoint import (
+    from_fixed,
+    fxp_add,
+    fxp_div,
+    fxp_mul,
+    fxp_neg,
+    fxp_sub,
+    to_fixed,
+)
+from repro.accelerator.lut import DEFAULT_LUT_ENTRIES, LUTBank
+from repro.accelerator.program import (
+    BusTransfer,
+    CUOp,
+    MicroProgram,
+    TreeAggregate,
+)
+from repro.errors import AcceleratorError
+
+__all__ = ["SimulationResult", "AcceleratorSimulator"]
+
+_CU_LATENCY = 3
+_BUS_LATENCY = 1
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one program execution."""
+
+    outputs: Dict[str, float]
+    outputs_raw: Dict[str, int]
+    cycles: int
+    memory_cycles: int
+    #: per-CU issued op counts (utilization analysis)
+    ops_per_cu: List[int] = field(default_factory=list)
+    #: aggregation waves executed on the interconnect
+    aggregation_waves: int = 0
+    bus_transfers: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles + self.memory_cycles
+
+
+class AcceleratorSimulator:
+    """Functional + cycle simulator for micro-programs."""
+
+    def __init__(
+        self,
+        lut_entries: int = DEFAULT_LUT_ENTRIES,
+        bandwidth_bytes_per_cycle: float = 16.0,
+        max_cycles: int = 10_000_000,
+    ):
+        self.lut = LUTBank(lut_entries)
+        self.bandwidth = bandwidth_bytes_per_cycle
+        self.max_cycles = max_cycles
+
+    # ---------------------------------------------------------------------------
+    def run(
+        self, program: MicroProgram, inputs: Dict[str, float]
+    ) -> SimulationResult:
+        """Execute ``program`` with named input values (floats; quantized)."""
+        n_cus = program.n_cus
+        cus_per_cc = program.cus_per_cc
+        n_ccs = max(1, math.ceil(n_cus / cus_per_cc))
+
+        # Register files: value + ready cycle per slot.
+        slots = max(program.slots_used) + 8 if program.slots_used else 8
+        value = [[0] * slots for _ in range(n_cus)]
+        ready = [[None] * slots for _ in range(n_cus)]
+
+        # Memory engine: deposit inputs (all ready at cycle 0), count its
+        # streaming cycles against the off-chip bandwidth.
+        missing = [k for k in program.input_slots if k not in inputs]
+        if missing:
+            raise AcceleratorError(f"missing program inputs: {missing}")
+        for name, (cu, slot) in program.input_slots.items():
+            value[cu][slot] = to_fixed(float(inputs[name]))
+            ready[cu][slot] = 0
+        memory_cycles = math.ceil(
+            len(program.input_slots) * 4 / self.bandwidth
+        )
+
+        # Engine state.
+        pc = [0] * n_cus  # next op index per CU
+        pending_writes: List[Tuple[int, int, int, int]] = []  # (cycle, cu, slot, val)
+        bus_queue: Dict[int, List[BusTransfer]] = {cc: [] for cc in range(n_ccs)}
+        tree_queue: List[BusTransfer] = []
+        for tr in program.transfers:
+            src_cc = tr.src_cu // cus_per_cc
+            dst_cc = tr.dst_cu // cus_per_cc
+            if src_cc == dst_cc:
+                bus_queue[src_cc].append(tr)
+            else:
+                tree_queue.append(tr)
+        agg_queue: List[TreeAggregate] = list(program.aggregates)
+        tree_busy_until = 0
+        tree_depth = max(1, math.ceil(math.log2(max(n_ccs, 2))))
+
+        ops_issued = [0] * n_cus
+        waves = 0
+        transfers_done = 0
+        cycle = 0
+        last_progress = 0
+
+        def slot_ready(cu: int, slot: int, now: int) -> bool:
+            r = ready[cu][slot]
+            return r is not None and r <= now
+
+        while True:
+            progress = False
+
+            # Retire pipeline writes due this cycle (they were scheduled with
+            # their completion cycle when issued).
+            still = []
+            for wcycle, cu, slot, val in pending_writes:
+                if wcycle <= cycle:
+                    value[cu][slot] = val
+                    ready[cu][slot] = wcycle
+                else:
+                    still.append((wcycle, cu, slot, val))
+            pending_writes = still
+
+            # CU issue.
+            for cu in range(n_cus):
+                if pc[cu] >= len(program.cu_ops[cu]):
+                    continue
+                op = program.cu_ops[cu][pc[cu]]
+                if all(slot_ready(cu, s, cycle) for s in op.srcs):
+                    result = self._execute(op, value[cu])
+                    pending_writes.append(
+                        (cycle + _CU_LATENCY, cu, op.dst, result)
+                    )
+                    # Mark destination as in flight so later readers wait.
+                    ready[cu][op.dst] = cycle + _CU_LATENCY
+                    value[cu][op.dst] = result
+                    pc[cu] += 1
+                    ops_issued[cu] += 1
+                    progress = True
+
+            # Intra-CC buses: one transfer per CC per cycle.  The first
+            # *ready* transfer in the queue issues — equivalent to the
+            # compiler having ordered the static bus schedule correctly.
+            for cc in range(n_ccs):
+                queue = bus_queue[cc]
+                for i, tr in enumerate(queue):
+                    if slot_ready(tr.src_cu, tr.src_slot, cycle):
+                        queue.pop(i)
+                        value[tr.dst_cu][tr.dst_slot] = value[tr.src_cu][tr.src_slot]
+                        ready[tr.dst_cu][tr.dst_slot] = cycle + _BUS_LATENCY
+                        transfers_done += 1
+                        progress = True
+                        break
+
+            # Tree-bus: transfers and aggregation waves share the resource;
+            # again the first ready item issues.
+            if tree_busy_until <= cycle:
+                issued = False
+                for i, tr in enumerate(tree_queue):
+                    if slot_ready(tr.src_cu, tr.src_slot, cycle):
+                        tree_queue.pop(i)
+                        latency = 2 * tree_depth
+                        value[tr.dst_cu][tr.dst_slot] = value[tr.src_cu][tr.src_slot]
+                        ready[tr.dst_cu][tr.dst_slot] = cycle + latency
+                        tree_busy_until = cycle + 1  # pipelined hops
+                        transfers_done += 1
+                        progress = True
+                        issued = True
+                        break
+                if not issued:
+                    for i, agg in enumerate(agg_queue):
+                        if all(
+                            slot_ready(cu, slot, cycle)
+                            for cu, slot in agg.sources
+                        ):
+                            agg_queue.pop(i)
+                            raw = self._aggregate(agg, value)
+                            ccs = {cu // cus_per_cc for cu, _ in agg.sources}
+                            levels = math.ceil(
+                                math.log2(max(len(agg.sources), 2))
+                            )
+                            latency = levels * (1 if len(ccs) == 1 else 2)
+                            value[agg.dst_cu][agg.dst_slot] = raw
+                            ready[agg.dst_cu][agg.dst_slot] = cycle + latency
+                            tree_busy_until = cycle + latency
+                            waves += 1
+                            progress = True
+                            break
+
+            done = (
+                all(pc[cu] >= len(program.cu_ops[cu]) for cu in range(n_cus))
+                and not pending_writes
+                and not tree_queue
+                and not agg_queue
+                and all(not q for q in bus_queue.values())
+            )
+            if done:
+                break
+            if progress:
+                last_progress = cycle
+            cycle += 1
+            if cycle > self.max_cycles:
+                raise AcceleratorError(
+                    f"simulation exceeded {self.max_cycles} cycles (deadlock?)"
+                )
+            # Stall watchdog: idle cycles are legal while pipeline or
+            # interconnect latencies drain, but a long span with no engine
+            # making progress means the program has a dependency deadlock.
+            if cycle - last_progress > 4 * _CU_LATENCY + 8 * tree_depth + 64:
+                raise AcceleratorError(
+                    f"simulator deadlock: no progress since cycle {last_progress}"
+                )
+
+        outputs_raw = {
+            name: value[cu][slot]
+            for name, (cu, slot) in program.output_slots.items()
+        }
+        return SimulationResult(
+            outputs={k: from_fixed(v) for k, v in outputs_raw.items()},
+            outputs_raw=outputs_raw,
+            cycles=cycle,
+            memory_cycles=memory_cycles,
+            ops_per_cu=ops_issued,
+            aggregation_waves=waves,
+            bus_transfers=transfers_done,
+        )
+
+    # ---------------------------------------------------------------------------
+    def _execute(self, op: CUOp, regs: List[int]) -> int:
+        operands = [regs[s] for s in op.srcs]
+        if op.imm is not None:
+            operands.append(to_fixed(op.imm))
+        name = op.op
+        if name == "mov":
+            return operands[0]
+        if name == "neg":
+            return fxp_neg(operands[0])
+        if name in ("add", "sub", "mul", "div"):
+            if len(operands) != 2:
+                raise AcceleratorError(
+                    f"{name} needs 2 operands, got {len(operands)}"
+                )
+            fn = {"add": fxp_add, "sub": fxp_sub, "mul": fxp_mul, "div": fxp_div}[
+                name
+            ]
+            return fn(operands[0], operands[1])
+        if name == "pow":
+            # pow lowers to exp/log in general; integer powers were expanded
+            # by the translator, so only the LUT path remains.
+            base, exponent = operands
+            return to_fixed(
+                self.lut.evaluate("exp", from_fixed(exponent) * math.log(max(from_fixed(base), 1e-9)))
+            )
+        # Nonlinear via LUT.
+        if len(operands) != 1:
+            raise AcceleratorError(f"{name} needs 1 operand")
+        return self.lut.evaluate_fixed(name, operands[0])
+
+    def _aggregate(self, agg: TreeAggregate, value: List[List[int]]) -> int:
+        vals = [value[cu][slot] for cu, slot in agg.sources]
+        if agg.func == "add":
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = fxp_add(acc, v)
+            return acc
+        if agg.func == "mul":
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = fxp_mul(acc, v)
+            return acc
+        if agg.func == "min":
+            return min(vals)
+        if agg.func == "max":
+            return max(vals)
+        raise AcceleratorError(f"unknown aggregation {agg.func!r}")

@@ -1,0 +1,41 @@
+"""Baseline platform models and reference implementations (paper §VIII-A)."""
+
+from repro.baselines.cost_model import (
+    IterationCost,
+    estimate_iteration_time,
+    working_set_bytes,
+)
+from repro.baselines.platforms import (
+    ALL_PLATFORMS,
+    ARM_A57,
+    CPU_PLATFORMS,
+    GPU_PLATFORMS,
+    GTX_650_TI,
+    PlatformSpec,
+    TEGRA_X2,
+    TESLA_K40,
+    XEON_E3,
+)
+from repro.baselines.reference_solver import (
+    reference_kkt_step,
+    reference_qp_objective,
+    reference_solve_qp,
+)
+
+__all__ = [
+    "PlatformSpec",
+    "ALL_PLATFORMS",
+    "CPU_PLATFORMS",
+    "GPU_PLATFORMS",
+    "ARM_A57",
+    "XEON_E3",
+    "TEGRA_X2",
+    "GTX_650_TI",
+    "TESLA_K40",
+    "IterationCost",
+    "estimate_iteration_time",
+    "working_set_bytes",
+    "reference_kkt_step",
+    "reference_solve_qp",
+    "reference_qp_objective",
+]

@@ -1,0 +1,121 @@
+"""Dense NumPy reference implementations for cross-validation.
+
+Stands in for the ACADO/HPMPC software stack of the paper's CPU baseline:
+an independent, dense-linear-algebra implementation of the same QP
+subproblem and KKT step, built on ``numpy.linalg`` instead of the
+from-scratch kernels.  Tests solve the same problems with both paths and
+require matching answers — guarding the hand-written Cholesky/substitution
+and the condensed Schur elimination against silent numerical bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BaselineError
+
+__all__ = ["reference_kkt_step", "reference_solve_qp", "reference_qp_objective"]
+
+
+def reference_kkt_step(
+    Phi: np.ndarray,
+    G: np.ndarray,
+    rhs1: np.ndarray,
+    rhs2: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve the saddle system ``[[Phi, G^T], [G, 0]] [dx, dnu] = [rhs1, rhs2]``
+    by forming the full KKT matrix and calling ``numpy.linalg.solve``.
+    """
+    n = Phi.shape[0]
+    p = G.shape[0]
+    K = np.zeros((n + p, n + p))
+    K[:n, :n] = Phi
+    K[:n, n:] = G.T
+    K[n:, :n] = G
+    sol = np.linalg.solve(K, np.concatenate([rhs1, rhs2]))
+    return sol[:n], sol[n:]
+
+
+def reference_solve_qp(
+    H: np.ndarray,
+    g: np.ndarray,
+    G: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    J: Optional[np.ndarray],
+    d: Optional[np.ndarray],
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense long-step barrier method for the convex QP (NumPy linalg only).
+
+    Same problem form as :func:`repro.mpc.qp.solve_qp`; returns
+    ``(x, nu, lam)``.  Deliberately a *different* algorithm (log-barrier with
+    centering steps rather than Mehrotra predictor-corrector) so agreement
+    between the two is meaningful.
+    """
+    n = g.shape[0]
+    has_eq = G is not None and G.shape[0] > 0
+    has_in = J is not None and J.shape[0] > 0
+    p = G.shape[0] if has_eq else 0
+    m = J.shape[0] if has_in else 0
+
+    if not has_in:
+        # Equality-only QP: one KKT solve.
+        if has_eq:
+            x, nu = reference_kkt_step(H, G, -g, b)
+            return x, nu, np.zeros(0)
+        return np.linalg.solve(H, -g), np.zeros(0), np.zeros(0)
+
+    # Strictly feasible start for the inequalities w.r.t. slack variables.
+    x = np.zeros(n)
+    s = np.maximum(1.0, d - J @ x)
+    lam = np.ones(m)
+    nu = np.zeros(p)
+    mu = 1.0
+
+    for _ in range(max_iterations):
+        r_dual = H @ x + g + J.T @ lam + (G.T @ nu if has_eq else 0.0)
+        r_eq = (G @ x - b) if has_eq else np.zeros(0)
+        r_in = J @ x + s - d
+        r_comp = s * lam - mu
+        residual = max(
+            np.abs(r_dual).max(),
+            np.abs(r_eq).max() if p else 0.0,
+            np.abs(r_in).max(),
+            float(s @ lam) / m,
+        )
+        if residual < tol and mu < tol:
+            break
+
+        w = lam / s
+        Phi = H + (J.T * w) @ J
+        rhs1 = -(r_dual + J.T @ (w * r_in - r_comp / s))
+        if has_eq:
+            dx, dnu = reference_kkt_step(Phi, G, rhs1, -r_eq)
+        else:
+            dx = np.linalg.solve(Phi, rhs1)
+            dnu = np.zeros(0)
+        ds = -r_in - J @ dx
+        dlam = (-r_comp - lam * ds) / s
+
+        alpha = 1.0
+        for vec, dvec in ((s, ds), (lam, dlam)):
+            neg = dvec < 0
+            if np.any(neg):
+                alpha = min(alpha, float(np.min(-0.99 * vec[neg] / dvec[neg])))
+        x = x + alpha * dx
+        nu = nu + alpha * dnu
+        s = s + alpha * ds
+        lam = lam + alpha * dlam
+        mu = max(1e-14, 0.2 * float(s @ lam) / m)
+    else:
+        raise BaselineError("reference QP solver did not converge")
+
+    return x, nu, lam
+
+
+def reference_qp_objective(H: np.ndarray, g: np.ndarray, x: np.ndarray) -> float:
+    """``1/2 x^T H x + g^T x`` for optimality comparisons."""
+    return 0.5 * float(x @ H @ x) + float(g @ x)

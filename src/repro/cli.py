@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The six Table III benchmarks and their model/task parameters.
+``solve BENCHMARK``
+    Run closed-loop MPC for one benchmark and print the trajectory summary.
+``compile BENCHMARK``
+    Compile one benchmark to the accelerator and print the schedule summary.
+``table {3,4}``
+    Print a reproduced paper table.
+``figure {5,...,12}``
+    Print a reproduced paper figure (9-12 sweep to N = 1024; takes longer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RoboX reproduction: DSL-to-accelerator MPC toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table III benchmarks")
+
+    p_solve = sub.add_parser("solve", help="run closed-loop MPC for a benchmark")
+    p_solve.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    p_solve.add_argument("--horizon", type=int, default=16, help="MPC horizon N")
+    p_solve.add_argument("--steps", type=int, default=10, help="closed-loop steps")
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a benchmark to the accelerator"
+    )
+    p_compile.add_argument("benchmark")
+    p_compile.add_argument("--horizon", type=int, default=32)
+    p_compile.add_argument("--cus", type=int, default=256, help="compute units")
+    p_compile.add_argument(
+        "--cus-per-cc", type=int, default=8, help="CUs per compute cluster"
+    )
+    p_compile.add_argument(
+        "--bandwidth",
+        type=float,
+        default=16.0,
+        help="off-chip bandwidth in bytes/cycle",
+    )
+    p_compile.add_argument(
+        "--no-interconnect",
+        action="store_true",
+        help="disable the compute-enabled interconnect (Fig. 10 ablation)",
+    )
+
+    p_table = sub.add_parser("table", help="print a reproduced paper table")
+    p_table.add_argument("number", type=int, choices=(3, 4))
+
+    p_fig = sub.add_parser("figure", help="print a reproduced paper figure")
+    p_fig.add_argument("number", type=int, choices=tuple(range(5, 13)))
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import render_table, table3
+
+    print(render_table(table3(), "Table III benchmarks"))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.mpc.controller import integrate_plant
+    from repro.robots import BENCHMARK_NAMES, build_benchmark
+
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(
+            f"unknown benchmark {args.benchmark!r}; choose from "
+            f"{', '.join(BENCHMARK_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    bench = build_benchmark(args.benchmark)
+    problem = bench.transcribe(horizon=args.horizon)
+    controller = bench.make_controller(problem)
+    x = bench.x0.copy()
+    print(f"{bench.name}: {bench.system_description} / {bench.task_description}")
+    print(f"horizon N={args.horizon}, dt={problem.dt}s, nz={problem.nz}")
+    for step in range(args.steps):
+        u = controller.step(x, ref=bench.ref)
+        x = integrate_plant(problem, x, u)
+        res = controller.last_result
+        print(
+            f"  step {step:3d}: iters={res.iterations:3d} "
+            f"kkt={res.kkt_residual:8.2e} obj={res.objective:10.4f} "
+            f"|u|max={np.abs(u).max():8.4f}"
+        )
+    print(f"final state: {np.array2string(x, precision=4)}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.compiler import MachineConfig, compile_problem
+    from repro.robots import BENCHMARK_NAMES, build_benchmark
+
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(
+            f"unknown benchmark {args.benchmark!r}; choose from "
+            f"{', '.join(BENCHMARK_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    machine = MachineConfig(
+        n_cus=args.cus,
+        cus_per_cc=min(args.cus_per_cc, args.cus),
+        bandwidth_bytes_per_cycle=args.bandwidth,
+        compute_enabled_interconnect=not args.no_interconnect,
+    )
+    bench = build_benchmark(args.benchmark)
+    problem = bench.transcribe(horizon=args.horizon)
+    graph, pm, sched = compile_problem(problem, machine)
+
+    print(f"{bench.name} at N={args.horizon} on {machine.n_cus} CUs")
+    print(f"  M-DFG nodes:            {len(graph)}")
+    print(f"  aggregation plans:      {len(pm.aggregation)}")
+    print(f"  communication volume:   {pm.communication_volume()}")
+    print(f"  encoded instructions:   {sched.instruction_count}")
+    print(f"  cycles / IPM iteration: {sched.cycles_per_iteration:,.0f}")
+    print(
+        f"  time / IPM iteration:   "
+        f"{sched.seconds_per_iteration() * 1e6:.2f} us at "
+        f"{machine.frequency_ghz:g} GHz"
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import render_table, table3, table4
+
+    if args.number == 3:
+        print(render_table(table3(), "Table III"))
+    else:
+        print(render_table(table4(), "Table IV"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import (
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        figure10,
+        figure11,
+        figure12,
+        render_figure,
+    )
+
+    figures = {
+        5: figure5,
+        6: figure6,
+        7: figure7,
+        8: figure8,
+        9: figure9,
+        10: figure10,
+        11: figure11,
+        12: figure12,
+    }
+    print(render_figure(figures[args.number]()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""RoboX compilation workflow (paper §VII).
+
+Program Translator (:mod:`repro.compiler.translator`) turns a transcribed
+MPC problem into the macro dataflow graph; the Controller Compiler
+(:mod:`repro.compiler.mapping` + :mod:`repro.compiler.scheduler`) maps it
+onto the accelerator with Algorithm 1 and emits the three static schedules
+(compute / interconnect / memory) in the 32-bit ISA of §VI.
+"""
+
+from repro.compiler.isa import (
+    AggFunction,
+    AluFunction,
+    CommInstr,
+    ComputeInstr,
+    MemInstr,
+    Namespace,
+    decode,
+    encode,
+)
+from repro.compiler.mapping import AggregationPlan, ProgramMap, map_mdfg
+from repro.compiler.mdfg import KERNELS, MDFG, MDFGNode, NodeType, kernel_op_counts
+from repro.compiler.scheduler import (
+    MachineConfig,
+    PhaseCost,
+    Scheduler,
+    StaticSchedule,
+)
+from repro.compiler.translator import TranslationInfo, Translator, translate
+
+__all__ = [
+    "MDFG",
+    "MDFGNode",
+    "NodeType",
+    "KERNELS",
+    "kernel_op_counts",
+    "Translator",
+    "TranslationInfo",
+    "translate",
+    "ProgramMap",
+    "AggregationPlan",
+    "map_mdfg",
+    "MachineConfig",
+    "PhaseCost",
+    "Scheduler",
+    "StaticSchedule",
+    "Namespace",
+    "AluFunction",
+    "AggFunction",
+    "ComputeInstr",
+    "CommInstr",
+    "MemInstr",
+    "encode",
+    "decode",
+]
+
+
+def compile_problem(problem, machine=None, group_threshold: int = 3):
+    """One-call pipeline: transcribed problem -> static schedule.
+
+    Returns ``(mdfg, program_map, schedule)``.
+    """
+    from repro.compiler.mapping import map_mdfg as _map
+
+    machine = machine or MachineConfig()
+    graph = translate(problem, group_threshold)
+    pm = _map(graph, machine.n_cus, machine.cus_per_cc)
+    schedule = Scheduler(machine).schedule(graph, pm)
+    return graph, pm, schedule

@@ -1,0 +1,365 @@
+"""The RoboX instruction set architecture (paper §VI, Table II).
+
+All instructions are 32 bits and split into three categories — compute,
+communication, and memory — each with its own opcode space, mirroring the
+three statically scheduled engines of the architecture (CUs, interconnect,
+memory access engine).  Namespaces organize operand storage (paper §VI):
+
+    shared:        INPUT, STATE, GRADIENT, HESSIAN
+    compute/comm:  INTERM, LEFT_NEIGHBOR, RIGHT_NEIGHBOR
+    memory:        REFERENCE, INSTRUCTION
+
+Encodings follow Table II's field structure: a 3-bit major opcode, function
+/ namespace / index / mask fields below it.  (The table in the paper is a
+compressed layout figure; this module defines one concrete, self-consistent
+bit assignment per instruction kind and verifies round-tripping in tests.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ISAError
+
+__all__ = [
+    "Namespace",
+    "AluFunction",
+    "AggFunction",
+    "ComputeInstr",
+    "CommInstr",
+    "MemInstr",
+    "encode",
+    "decode",
+]
+
+
+class Namespace:
+    """Operand namespaces (3-bit field)."""
+
+    INPUT = 0
+    STATE = 1
+    GRADIENT = 2
+    HESSIAN = 3
+    INTERM = 4
+    LEFT_NEIGHBOR = 5
+    RIGHT_NEIGHBOR = 6
+    REFERENCE = 7  # memory instructions only
+    INSTRUCTION = 4  # memory instructions reuse the compute-local slot
+
+    NAMES = {
+        0: "INPUT",
+        1: "STATE",
+        2: "GRADIENT",
+        3: "HESSIAN",
+        4: "INTERM",
+        5: "LEFT_NEIGHBOR",
+        6: "RIGHT_NEIGHBOR",
+        7: "REFERENCE",
+    }
+
+
+class AluFunction:
+    """CU ALU functions (4-bit field): the DSL's elementary + nonlinear ops."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    SIN = 4
+    COS = 5
+    TAN = 6
+    ASIN = 7
+    ACOS = 8
+    ATAN = 9
+    EXP = 10
+    LOG = 11
+    SQRT = 12
+    TANH = 13
+    NEG = 14
+    MOV = 15
+
+    BY_NAME = {
+        "add": ADD,
+        "sub": SUB,
+        "mul": MUL,
+        "div": DIV,
+        "sin": SIN,
+        "cos": COS,
+        "tan": TAN,
+        "asin": ASIN,
+        "acos": ACOS,
+        "atan": ATAN,
+        "exp": EXP,
+        "log": LOG,
+        "sqrt": SQRT,
+        "tanh": TANH,
+        "neg": NEG,
+        "mov": MOV,
+        "pow": MUL,  # pow lowers to repeated multiplication
+    }
+    NAMES = {v: k for k, v in BY_NAME.items() if k != "pow"}
+
+
+class AggFunction:
+    """Compute-enabled interconnect aggregation functions (2-bit field)."""
+
+    ADD = 0
+    MUL = 1
+    MIN = 2
+    MAX = 3
+
+    BY_NAME = {"add": ADD, "mul": MUL, "min": MIN, "max": MAX}
+    NAMES = {v: k for k, v in BY_NAME.items()}
+
+
+# -- instruction dataclasses ----------------------------------------------------------
+
+# Compute opcodes (bits 31-29)
+_OP_SCALAR_QUEUE = 0
+_OP_VECTOR_QUEUE = 1
+_OP_SCALAR_IMM = 2
+_OP_VECTOR_IMM = 3
+
+# Communication opcodes
+_OP_UNICAST = 0
+_OP_CU_MULTICAST = 2
+_OP_CC_MULTICAST = 3
+_OP_BROADCAST = 4
+_OP_CU_AGG = 5
+_OP_CC_AGG = 6
+
+# Memory opcodes
+_OP_LOAD = 0
+_OP_STORE = 1
+_OP_SET_BLOCK = 2
+_OP_END_OF_CODE = 7
+
+
+def _check(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise ISAError(f"{what}={value} does not fit in {bits} bits")
+    return value
+
+
+@dataclass(frozen=True)
+class ComputeInstr:
+    """A CU/CC compute instruction.
+
+    Layout (32 bits)::
+
+        [31:29] opcode   (scalar/vector x queue/immediate)
+        [28:25] function (AluFunction)
+        [24:22] dest namespace
+        [21:19] src1 namespace     | vector ops: [21:19] repeat-hi
+        [18:16] src1 index (top-8 queue slots)
+        [15]    src1 pop
+        [14:12] src2 namespace (queue form)
+        [11:9]  src2 index
+        [8]     src2 pop
+        [7:0]   immediate (imm form) / repeat count (vector form)
+    """
+
+    function: str
+    dest_ns: int
+    src1_ns: int
+    src1_index: int = 0
+    src1_pop: bool = False
+    src2_ns: int = 0
+    src2_index: int = 0
+    src2_pop: bool = False
+    vector: bool = False
+    immediate: Optional[int] = None  # 8-bit unsigned
+    repeat: int = 0  # vector repeat field
+
+    def encode(self) -> int:
+        if self.function not in AluFunction.BY_NAME:
+            raise ISAError(f"unknown ALU function {self.function!r}")
+        imm_form = self.immediate is not None
+        opcode = {
+            (False, False): _OP_SCALAR_QUEUE,
+            (True, False): _OP_VECTOR_QUEUE,
+            (False, True): _OP_SCALAR_IMM,
+            (True, True): _OP_VECTOR_IMM,
+        }[(self.vector, imm_form)]
+        word = opcode << 29
+        word |= _check(AluFunction.BY_NAME[self.function], 4, "function") << 25
+        word |= _check(self.dest_ns, 3, "dest_ns") << 22
+        word |= _check(self.src1_ns, 3, "src1_ns") << 19
+        word |= _check(self.src1_index, 3, "src1_index") << 16
+        word |= (1 << 15) if self.src1_pop else 0
+        if imm_form:
+            word |= _check(self.immediate, 8, "immediate")
+            if self.vector:
+                # Immediate occupies [7:0]; the repeat count uses the free
+                # src2 field bits [14:9] in the immediate form.
+                word |= _check(self.repeat, 6, "repeat") << 9
+        else:
+            word |= _check(self.src2_ns, 3, "src2_ns") << 12
+            word |= _check(self.src2_index, 3, "src2_index") << 9
+            word |= (1 << 8) if self.src2_pop else 0
+            if self.vector:
+                word |= _check(self.repeat, 8, "repeat")
+        return word
+
+
+@dataclass(frozen=True)
+class CommInstr:
+    """An interconnect instruction (transfer or in-network aggregation).
+
+    Layout (32 bits)::
+
+        [31:29] opcode  (unicast / multicasts / broadcast / aggregations)
+        [28:26] source CU (within its CC)
+        [25:21] source CC
+        [20:13] destination mask (CU mask for CU-multicast, CC mask for
+                CC-multicast, CU+CC for unicast)
+        [12:10] destination CU (unicast)
+        [9:5]   destination CC (unicast)
+        [4:3]   aggregation function (AggFunction)
+        [2:0]   reserved
+    """
+
+    kind: str  # unicast | cu_multicast | cc_multicast | broadcast | cu_agg | cc_agg
+    src_cu: int = 0
+    src_cc: int = 0
+    dest_cu: int = 0
+    dest_cc: int = 0
+    mask: int = 0
+    agg: str = "add"
+
+    _OPCODES = {
+        "unicast": _OP_UNICAST,
+        "cu_multicast": _OP_CU_MULTICAST,
+        "cc_multicast": _OP_CC_MULTICAST,
+        "broadcast": _OP_BROADCAST,
+        "cu_agg": _OP_CU_AGG,
+        "cc_agg": _OP_CC_AGG,
+    }
+    _KINDS = {v: k for k, v in _OPCODES.items()}
+
+    def encode(self) -> int:
+        if self.kind not in self._OPCODES:
+            raise ISAError(f"unknown communication kind {self.kind!r}")
+        word = self._OPCODES[self.kind] << 29
+        word |= _check(self.src_cu, 3, "src_cu") << 26
+        word |= _check(self.src_cc, 5, "src_cc") << 21
+        word |= _check(self.mask, 8, "mask") << 13
+        word |= _check(self.dest_cu, 3, "dest_cu") << 10
+        word |= _check(self.dest_cc, 5, "dest_cc") << 5
+        word |= _check(AggFunction.BY_NAME[self.agg], 2, "agg") << 3
+        return word
+
+
+@dataclass(frozen=True)
+class MemInstr:
+    """A memory access engine instruction.
+
+    Layout (32 bits)::
+
+        [31:29] opcode  (load / store / set-block / end-of-code)
+        [28:26] namespace
+        [25:10] offset within the current block (16 bits)
+        [9:5]   shift amount (data alignment, §VI)
+        [4:0]   burst length - 1 / block number (set-block)
+    """
+
+    kind: str  # load | store | set_block | end
+    namespace: int = 0
+    offset: int = 0
+    shift: int = 0
+    burst: int = 1
+    block: int = 0
+
+    _OPCODES = {
+        "load": _OP_LOAD,
+        "store": _OP_STORE,
+        "set_block": _OP_SET_BLOCK,
+        "end": _OP_END_OF_CODE,
+    }
+    _KINDS = {v: k for k, v in _OPCODES.items()}
+
+    def encode(self) -> int:
+        if self.kind not in self._OPCODES:
+            raise ISAError(f"unknown memory kind {self.kind!r}")
+        word = self._OPCODES[self.kind] << 29
+        word |= _check(self.namespace, 3, "namespace") << 26
+        word |= _check(self.offset, 16, "offset") << 10
+        word |= _check(self.shift, 5, "shift") << 5
+        if self.kind == "set_block":
+            word |= _check(self.block, 5, "block")
+        elif self.kind in ("load", "store"):
+            word |= _check(self.burst - 1, 5, "burst")
+        return word
+
+
+def encode(instr) -> int:
+    """Encode any instruction object to its 32-bit word."""
+    return instr.encode()
+
+
+def decode(word: int, category: str):
+    """Decode a 32-bit word given its engine category.
+
+    Args:
+        word: the instruction word.
+        category: "compute", "comm", or "memory" — the three engines have
+            separate instruction streams (and thus separate opcode spaces).
+    """
+    if not 0 <= word < (1 << 32):
+        raise ISAError(f"word {word:#x} is not 32-bit")
+    opcode = (word >> 29) & 0x7
+
+    if category == "compute":
+        vector = opcode in (_OP_VECTOR_QUEUE, _OP_VECTOR_IMM)
+        imm_form = opcode in (_OP_SCALAR_IMM, _OP_VECTOR_IMM)
+        func = (word >> 25) & 0xF
+        if func not in AluFunction.NAMES:
+            raise ISAError(f"unknown ALU function code {func}")
+        return ComputeInstr(
+            function=AluFunction.NAMES[func],
+            dest_ns=(word >> 22) & 0x7,
+            src1_ns=(word >> 19) & 0x7,
+            src1_index=(word >> 16) & 0x7,
+            src1_pop=bool((word >> 15) & 1),
+            src2_ns=0 if imm_form else (word >> 12) & 0x7,
+            src2_index=0 if imm_form else (word >> 9) & 0x7,
+            src2_pop=False if imm_form else bool((word >> 8) & 1),
+            vector=vector,
+            immediate=(word & 0xFF) if imm_form else None,
+            repeat=(
+                ((word >> 9) & 0x3F)
+                if vector and imm_form
+                else (word & 0xFF)
+                if vector
+                else 0
+            ),
+        )
+
+    if category == "comm":
+        if opcode not in CommInstr._KINDS:
+            raise ISAError(f"unknown communication opcode {opcode}")
+        return CommInstr(
+            kind=CommInstr._KINDS[opcode],
+            src_cu=(word >> 26) & 0x7,
+            src_cc=(word >> 21) & 0x1F,
+            mask=(word >> 13) & 0xFF,
+            dest_cu=(word >> 10) & 0x7,
+            dest_cc=(word >> 5) & 0x1F,
+            agg=AggFunction.NAMES[(word >> 3) & 0x3],
+        )
+
+    if category == "memory":
+        if opcode not in MemInstr._KINDS:
+            raise ISAError(f"unknown memory opcode {opcode}")
+        kind = MemInstr._KINDS[opcode]
+        return MemInstr(
+            kind=kind,
+            namespace=(word >> 26) & 0x7,
+            offset=(word >> 10) & 0xFFFF,
+            shift=(word >> 5) & 0x1F,
+            burst=((word & 0x1F) + 1) if kind in ("load", "store") else 1,
+            block=(word & 0x1F) if kind == "set_block" else 0,
+        )
+
+    raise ISAError(f"unknown instruction category {category!r}")

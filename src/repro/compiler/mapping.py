@@ -1,0 +1,187 @@
+"""Controller Compiler, stage 1: compute-enabled-interconnect-aware mapping.
+
+Implements Algorithm 1 of the paper.  The input is the expression-level part
+of the M-DFG plus an initial data map ``D`` pre-assigning state/input operand
+locations; the output is a :class:`ProgramMap` with
+
+* an **operation map** ``M.O[cu]`` — the ops each Compute Unit executes,
+* a **data map** ``M.D[cu]`` — which operands live in which CU's buffers,
+* a **communication map** ``M.C[edge]`` — the destination CUs every produced
+  value must be sent to, and
+* an **aggregation map** ``M.A[vertex]`` — for GROUP vertices, the CUs whose
+  partial results the compute-enabled interconnect reduces (over the
+  intra-CC neighbor hops when they share a cluster, over the tree-bus when
+  they span clusters).
+
+The algorithm walks ready vertices, keeps an operation on the CU that
+already holds one of its sources when possible, round-robins fresh work over
+the CUs (``cuidx``), and records cross-CU edges in the communication map —
+exactly the flow of the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.compiler.mdfg import MDFG, MDFGNode, NodeType
+from repro.errors import MappingError
+
+__all__ = ["ProgramMap", "AggregationPlan", "map_mdfg"]
+
+
+@dataclass
+class AggregationPlan:
+    """Where one GROUP vertex's reduction happens."""
+
+    vertex: int
+    func: str
+    #: CUs holding the partial values, in operand order
+    cus: Tuple[int, ...]
+    #: "intra_cc" -> neighbor-hop reduction inside one cluster;
+    #: "tree_bus"  -> cross-cluster reduction in the tree-bus hops
+    level: str
+
+    @property
+    def width(self) -> int:
+        return len(self.cus)
+
+
+@dataclass
+class ProgramMap:
+    """Output of Algorithm 1 (operation / data / communication / aggregation)."""
+
+    n_cus: int
+    cus_per_cc: int
+    #: M.O — op node ids per CU, in issue order
+    operations: List[List[int]] = field(default_factory=list)
+    #: M.D — operand labels resident in each CU's buffers
+    data: List[List[str]] = field(default_factory=list)
+    #: M.C — edge (producer id, consumer id) -> destination CUs
+    communication: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    #: M.A — aggregation plans for GROUP vertices
+    aggregation: Dict[int, AggregationPlan] = field(default_factory=dict)
+    #: where each node's result lives
+    placement: Dict[int, int] = field(default_factory=dict)
+
+    def cc_of(self, cu: int) -> int:
+        return cu // self.cus_per_cc
+
+    @property
+    def n_ccs(self) -> int:
+        return (self.n_cus + self.cus_per_cc - 1) // self.cus_per_cc
+
+    def ops_on(self, cu: int) -> List[int]:
+        return self.operations[cu]
+
+    def communication_volume(self) -> int:
+        """Total point-to-point transfers recorded in the communication map."""
+        return sum(len(dests) for dests in self.communication.values())
+
+    def utilization(self) -> float:
+        """Fraction of CUs with at least one mapped operation."""
+        used = sum(1 for ops in self.operations if ops)
+        return used / self.n_cus if self.n_cus else 0.0
+
+
+def map_mdfg(
+    graph: MDFG,
+    n_cus: int,
+    cus_per_cc: int,
+    initial_data: Optional[Dict[str, int]] = None,
+) -> ProgramMap:
+    """Run Algorithm 1 over the expression-level nodes of ``graph``.
+
+    Args:
+        graph: the M-DFG (KERNEL nodes are skipped — they are scheduled by
+            the solver-kernel scheduler, not placed per-CU).
+        n_cus: total number of Compute Units (``ntotal``).
+        cus_per_cc: CUs per Compute Cluster (``ncu``).
+        initial_data: pre-assignment of operand labels (state/input names) to
+            CUs — the initial data map ``D`` the paper's compiler constructs
+            from the Program Translator's variable ordering.
+    """
+    if n_cus < 1:
+        raise MappingError(f"need at least one CU, got {n_cus}")
+    if cus_per_cc < 1 or cus_per_cc > n_cus:
+        raise MappingError(
+            f"cus_per_cc={cus_per_cc} invalid for n_cus={n_cus}"
+        )
+
+    M = ProgramMap(
+        n_cus=n_cus,
+        cus_per_cc=cus_per_cc,
+        operations=[[] for _ in range(n_cus)],
+        data=[[] for _ in range(n_cus)],
+    )
+
+    # -- initialize the data map D -------------------------------------------------
+    # INPUT nodes (states, inputs, references, solver operands) are assigned
+    # either from the provided map or round-robin in declaration order.
+    placement = M.placement
+    rr = 0
+    for node in graph.nodes:
+        if node.type == NodeType.INPUT:
+            if initial_data and node.label in initial_data:
+                cu = initial_data[node.label] % n_cus
+            else:
+                cu = rr % n_cus
+                rr += 1
+            placement[node.id] = cu
+            M.data[cu].append(node.label)
+        elif node.type == NodeType.CONST:
+            # Constants are embedded as immediates; no placement needed, but
+            # give them a home CU so edges resolve uniformly.
+            placement[node.id] = 0
+
+    # -- Algorithm 1 main loop ------------------------------------------------------
+    cuidx = 0
+    for v in graph.topological_order():
+        if v.type in (NodeType.INPUT, NodeType.CONST, NodeType.KERNEL):
+            continue
+
+        sources = list(v.parents)
+        mapped_srcs = [s for s in sources if s in placement]
+        if any(s not in placement for s in sources):  # pragma: no cover
+            raise MappingError(f"node {v.id} has unplaced parent")
+
+        if v.type == NodeType.GROUP:
+            # The partial values stay on their producing CUs; the reduction
+            # itself happens in the interconnect.  Record the aggregation
+            # map entry and place the result on the first contributing CU.
+            cus = tuple(placement[s] for s in sources)
+            ccs = {cu // cus_per_cc for cu in cus}
+            level = "intra_cc" if len(ccs) == 1 else "tree_bus"
+            M.aggregation[v.id] = AggregationPlan(
+                vertex=v.id, func=v.op, cus=cus, level=level
+            )
+            placement[v.id] = cus[0]
+            continue
+
+        # SCALAR / VECTOR: prefer a CU that already holds a source operand
+        # (step 3-4 of the paper's description); otherwise take the next CU
+        # round-robin (step 3: "assign all source nodes to CU counter").
+        home: Optional[int] = None
+        for s in sources:
+            src_cu = placement[s]
+            if graph.nodes[s].type != NodeType.CONST:
+                home = src_cu
+                break
+        if home is None:
+            home = cuidx % n_cus
+            cuidx += 1
+
+        # Any source living elsewhere must be communicated to `home`.
+        for s in sources:
+            if graph.nodes[s].type == NodeType.CONST:
+                continue
+            src_cu = placement[s]
+            if src_cu != home:
+                M.communication.setdefault((s, v.id), []).append(home)
+            elif graph.nodes[s].type == NodeType.INPUT:
+                M.data[home].append(graph.nodes[s].label)
+
+        M.operations[home].append(v.id)
+        placement[v.id] = home
+
+    return M

@@ -1,0 +1,172 @@
+"""Interconnect hop microprograms: shift-register bypass patterns (§V).
+
+"Either the flit of data can specify to perform an operation or a preloaded
+queue in the hop may contain the schedule for operating on the transiting
+data.  A shift register is sufficient for the hops in the RoboX
+architecture, in which the interconnect is preprogrammed with a static
+schedule and the hops support a single function.  A 0 in the shift register
+indicates that the operation will be bypassed and the normal data delivery
+is needed.  A 1, on the other hand, engages the functional unit in the hop."
+
+This module expands a :class:`ProgramMap`'s aggregation plans into exactly
+those per-hop bit schedules:
+
+* **intra-CC** reductions ride the single-hop neighbor links: the value
+  entering hop ``i`` (between CU ``i`` and CU ``i+1`` of the cluster)
+  combines with CU ``i+1``'s operand when the bit is 1, producing a systolic
+  left-to-right chain;
+* **tree-bus** reductions engage the multiply-add units of the tree's
+  internal nodes level by level; every level that combines two live partials
+  gets a 1, pass-through levels get a 0.
+
+The expansion is what the hardware's shift registers would be preloaded
+with; the simulator's aggregation waves are its behavioral equivalent, and
+the tests check the two agree on which hops do work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler.mapping import AggregationPlan, ProgramMap
+from repro.errors import CompilerError
+
+__all__ = ["HopSchedule", "InterconnectMicrocode", "build_microcode"]
+
+
+@dataclass
+class HopSchedule:
+    """The bit schedule preloaded into one hop's shift register.
+
+    ``bits[t]`` is the register state when wave ``t`` transits the hop:
+    1 = engage the multiply-add unit, 0 = bypass (plain delivery).
+    """
+
+    level: str  # "neighbor" (intra-CC) or "tree" (inter-CC)
+    #: cluster id for neighbor hops; tree-node id for tree hops
+    location: int
+    #: hop index within its cluster chain / tree level
+    index: int
+    bits: List[int] = field(default_factory=list)
+
+    @property
+    def engagements(self) -> int:
+        return sum(self.bits)
+
+
+@dataclass
+class InterconnectMicrocode:
+    """All hop schedules for one compiled program."""
+
+    neighbor_hops: Dict[Tuple[int, int], HopSchedule] = field(default_factory=dict)
+    tree_hops: Dict[int, HopSchedule] = field(default_factory=dict)
+    #: aggregation waves in schedule order: (vertex id, function)
+    waves: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def total_engagements(self) -> int:
+        return sum(h.engagements for h in self.neighbor_hops.values()) + sum(
+            h.engagements for h in self.tree_hops.values()
+        )
+
+    def hop_utilization(self) -> float:
+        """Fraction of (hop, wave) slots whose functional unit engages."""
+        hops = list(self.neighbor_hops.values()) + list(self.tree_hops.values())
+        slots = sum(len(h.bits) for h in hops)
+        return self.total_engagements / slots if slots else 0.0
+
+
+def build_microcode(program_map: ProgramMap) -> InterconnectMicrocode:
+    """Expand the aggregation map into per-hop shift-register schedules.
+
+    Waves are emitted in vertex order (the Controller Compiler's static
+    schedule order).  Every neighbor hop of a participating cluster and
+    every tree node receives one bit per wave, so all shift registers stay
+    in lockstep — hops not involved in a wave shift in a 0 (bypass).
+    """
+    mc = InterconnectMicrocode()
+    cpc = program_map.cus_per_cc
+    n_ccs = program_map.n_ccs
+    tree_nodes = max(n_ccs - 1, 1)
+
+    # Pre-create schedules so bypass bits exist for uninvolved hops too.
+    for cc in range(n_ccs):
+        for hop in range(cpc - 1):
+            mc.neighbor_hops[(cc, hop)] = HopSchedule("neighbor", cc, hop)
+    for node in range(tree_nodes):
+        mc.tree_hops[node] = HopSchedule("tree", node, node)
+
+    for vertex in sorted(program_map.aggregation):
+        plan = program_map.aggregation[vertex]
+        mc.waves.append((vertex, plan.func))
+        engaged_neighbor = _neighbor_engagements(plan, cpc)
+        engaged_tree = _tree_engagements(plan, cpc, tree_nodes)
+        for (cc, hop), sched in mc.neighbor_hops.items():
+            sched.bits.append(1 if (cc, hop) in engaged_neighbor else 0)
+        for node, sched in mc.tree_hops.items():
+            sched.bits.append(1 if node in engaged_tree else 0)
+    return mc
+
+
+def _neighbor_engagements(
+    plan: AggregationPlan, cpc: int
+) -> set:
+    """Neighbor hops whose FU engages for this wave.
+
+    Within each participating cluster, partials flow along the chain toward
+    the cluster's lowest participating CU; each hop between two live lanes
+    combines, so hop ``i`` (between local CU ``i`` and ``i+1``) engages when
+    some participant sits strictly above it.
+    """
+    engaged = set()
+    by_cc: Dict[int, List[int]] = {}
+    for cu in plan.cus:
+        by_cc.setdefault(cu // cpc, []).append(cu % cpc)
+    for cc, locals_ in by_cc.items():
+        if len(locals_) < 2:
+            continue
+        lo, hi = min(locals_), max(locals_)
+        for hop in range(lo, hi):
+            engaged.add((cc, hop))
+    return engaged
+
+
+def _tree_engagements(
+    plan: AggregationPlan, cpc: int, tree_nodes: int
+) -> set:
+    """Tree-bus nodes whose FU engages for this wave.
+
+    The tree is a balanced binary reduction over cluster leaves; internal
+    node ``n`` at level ``l`` engages when both of its subtrees contain at
+    least one participating cluster (otherwise the single live value passes
+    through).  Nodes are numbered breadth-first.
+    """
+    if plan.level != "tree_bus":
+        return set()
+    ccs = sorted({cu // cpc for cu in plan.cus})
+    if len(ccs) < 2:
+        return set()
+
+    engaged = set()
+    # Breadth-first heap numbering over ceil(log2) levels of cluster leaves.
+    n_leaves = 1 << math.ceil(math.log2(max(len(set(ccs)), 2)))
+    leaf_of = {cc: i for i, cc in enumerate(ccs)}
+    live = [False] * n_leaves
+    for cc in ccs:
+        live[leaf_of[cc]] = True
+
+    node_id = 0
+    level = live
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            left = level[i]
+            right = level[i + 1] if i + 1 < len(level) else False
+            if left and right and node_id < tree_nodes:
+                engaged.add(node_id)
+            node_id += 1
+            nxt.append(left or right)
+        level = nxt
+    return engaged

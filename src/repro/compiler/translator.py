@@ -1,0 +1,284 @@
+"""Program Translator: MPC problem -> macro dataflow graph (paper §VII).
+
+"In RoboX, the solver and discretization method are fixed, allowing us to
+express it as an invariant yet parameterized code" — the translator stitches
+together:
+
+* expression-level subgraphs for the robot-specific computation (dynamics,
+  their Jacobians, penalty gradients, constraint rows), built by walking the
+  symbolic DAGs that the transcription layer compiled, with ``repeat`` set to
+  how many horizon stages execute each template per solver iteration, and
+* macro kernel nodes for the solver-template linear algebra of Eq. 6 (KKT
+  assembly, Cholesky factorizations, forward/backward substitutions), whose
+  sizes are fully determined by the horizon and the model/task dimensions.
+
+Balanced all-``add`` subtrees of at least ``group_threshold`` leaves are
+recognized as GROUP aggregation nodes — these are what the Controller
+Compiler maps onto the compute-enabled interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.mdfg import MDFG, NodeType
+from repro.errors import CompilerError
+from repro.mpc.transcription import TranscribedProblem
+from repro.symbolic import Call, Const, Expr, Var, topological_order
+
+__all__ = ["Translator", "TranslationInfo", "translate"]
+
+
+@dataclass
+class TranslationInfo:
+    """Summary of a translation (consumed by reports and cost models)."""
+
+    n_nodes: int
+    phases: Tuple[str, ...]
+    op_counts_per_phase: Dict[str, Dict[str, int]]
+    group_nodes: int
+    kernel_nodes: int
+
+    @property
+    def total_ops(self) -> int:
+        return sum(
+            count
+            for per_phase in self.op_counts_per_phase.values()
+            for count in per_phase.values()
+        )
+
+
+class Translator:
+    """Builds the M-DFG for one transcribed MPC problem.
+
+    Args:
+        problem: the transcribed MPC problem.
+        group_threshold: minimum leaf count for an all-add subtree to become
+            a GROUP aggregation node (mapped to the interconnect).
+        qp_iterations: assumed interior-point iterations per control step —
+            scales the solver-template kernels relative to the per-iteration
+            derivative evaluation (both execute every IPM iteration in the
+            SQP scheme, so this only matters for whole-control-step totals).
+    """
+
+    def __init__(
+        self,
+        problem: TranscribedProblem,
+        group_threshold: int = 3,
+    ):
+        self.problem = problem
+        self.group_threshold = group_threshold
+
+    # ----------------------------------------------------------------------------
+    def translate(self) -> MDFG:
+        p = self.problem
+        g = MDFG(name=f"{p.model.name}.{p.task.name}.N{p.N}")
+        N = p.N
+
+        # -- expression-level phases (the robot-specific computation) ----------
+        self._add_expression_phase(g, p._F.exprs, "dynamics", repeat=N)
+        self._add_expression_phase(
+            g, p._A.exprs + p._B.exprs, "dynamics_jacobian", repeat=N
+        )
+        self._add_expression_phase(
+            g, p._L_grad.exprs + p._P_run_jac.exprs, "cost", repeat=N
+        )
+        self._add_expression_phase(
+            g, p._Phi_grad.exprs + p._P_term_jac.exprs, "cost_terminal", repeat=1
+        )
+        constraint_exprs = tuple(p._h_state.exprs) + tuple(p._h_state_jac.exprs)
+        self._add_expression_phase(
+            g, constraint_exprs, "constraints", repeat=max(N - 1, 0)
+        )
+        input_rows = tuple(p._h_input.exprs) + tuple(p._h_input_jac.exprs)
+        self._add_expression_phase(g, input_rows, "constraints_input", repeat=N)
+        term_rows = tuple(p._h_term.exprs) + tuple(p._h_term_jac.exprs)
+        self._add_expression_phase(g, term_rows, "constraints_terminal", repeat=1)
+
+        # -- solver-template macro kernels (Eq. 6, per IPM iteration) -----------
+        self._add_solver_template(g)
+        g.validate()
+        return g
+
+    # ----------------------------------------------------------------------------
+    def _add_expression_phase(
+        self, g: MDFG, exprs: Tuple[Expr, ...], phase: str, repeat: int
+    ) -> None:
+        if not exprs or repeat <= 0:
+            return
+        # Skip degenerate single-constant placeholders (empty row sets).
+        if len(exprs) == 1 and isinstance(exprs[0], Const):
+            return
+        order = topological_order(list(exprs))
+        outputs = set(exprs)
+
+        # Consumer map (over distinct DAG nodes).
+        consumers: Dict[Expr, List[Expr]] = {n: [] for n in order}
+        for node in order:
+            for child in node.children():
+                consumers[child].append(node)
+
+        def is_add(n: Expr) -> bool:
+            return isinstance(n, Call) and n.op.name == "add"
+
+        # Structural classification of add nodes:
+        #   maximal root — an add that is an output or has a non-add consumer;
+        #     becomes a GROUP if its pure-add subtree has >= threshold leaves,
+        #     else a plain SCALAR add;
+        #   interior     — an add strictly inside some root's subtree; folded
+        #     into the enclosing GROUP unless a SCALAR root references it
+        #     directly ("materialized" fixup below).
+        is_root = {
+            n: (n in outputs or any(not is_add(c) for c in consumers[n]))
+            for n in order
+            if is_add(n)
+        }
+        materialized: set = set()
+
+        def leaves_of(n: Expr) -> List[Expr]:
+            if is_add(n) and not is_root[n] and n not in materialized:
+                return leaves_of(n.args[0]) + leaves_of(n.args[1])
+            return [n]
+
+        kind: Dict[Expr, str] = {}
+        # Classify roots; SCALAR roots force their direct add-args to
+        # materialize, which may cascade (hence the fixpoint loop).
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if not is_add(node):
+                    continue
+                if is_root[node]:
+                    n_leaves = len(leaves_of(node.args[0])) + len(
+                        leaves_of(node.args[1])
+                    )
+                    new_kind = (
+                        "group" if n_leaves >= self.group_threshold else "scalar"
+                    )
+                    if kind.get(node) != new_kind:
+                        kind[node] = new_kind
+                        changed = True
+                    if new_kind == "scalar":
+                        for arg in node.args:
+                            if (
+                                is_add(arg)
+                                and not is_root[arg]
+                                and arg not in materialized
+                            ):
+                                materialized.add(arg)
+                                changed = True
+                elif node in materialized:
+                    # Treated like a scalar root: a 2-operand add whose args
+                    # must exist.
+                    if kind.get(node) != "scalar":
+                        kind[node] = "scalar"
+                        changed = True
+                    for arg in node.args:
+                        if is_add(arg) and not is_root[arg] and arg not in materialized:
+                            materialized.add(arg)
+                            changed = True
+                else:
+                    if kind.get(node) != "subsumed":
+                        kind[node] = "subsumed"
+                        changed = True
+
+        node_of: Dict[Expr, int] = {}
+        for node in order:
+            if isinstance(node, Const):
+                node_of[node] = g.add_const(node.value, phase)
+            elif isinstance(node, Var):
+                node_of[node] = g.add_input(node.name, phase)
+            elif isinstance(node, Call):
+                k = kind.get(node)
+                if k == "subsumed":
+                    continue
+                if k == "group":
+                    parents = [
+                        node_of[leaf]
+                        for leaf in leaves_of(node.args[0]) + leaves_of(node.args[1])
+                    ]
+                    node_of[node] = g.add_group("add", parents, phase, repeat)
+                else:
+                    parents = [node_of[a] for a in node.args]
+                    node_of[node] = g.add_scalar(
+                        node.op.name, parents, phase, repeat
+                    )
+            else:  # pragma: no cover
+                raise CompilerError(f"unexpected expression node {node!r}")
+
+    # ----------------------------------------------------------------------------
+    def _add_solver_template(self, g: MDFG) -> None:
+        """Macro kernels of one Newton/IPM iteration on Eq. 6.
+
+        The KKT system is *block-banded* in the stage ordering (only
+        neighboring stages couple through the dynamics defects), so the
+        factorization kernels are the banded variants with half-bandwidth
+        ``~ 2 nx + nu`` — the sparsity-exploiting structure of the HPMPC
+        solver the paper builds on.  The Mehrotra scheme performs two
+        right-hand-side solves per factorization (predictor + corrector).
+        """
+        p = self.problem
+        nz, n_eq, m = p.nz, p.n_eq, p.n_ineq
+        nxu = p.nx + p.nu
+        band = 2 * p.nx + p.nu
+        phase = "solver"
+
+        # KKT assembly: Phi = H + (J^T W) J is block-diagonal per stage; the
+        # equality system stays banded.  Rows per stage = inequality rows.
+        if m:
+            rows_per_stage = max(1, m // max(p.N, 1))
+            g.add_kernel(
+                "block_outer",
+                {"blocks": p.N + 1, "rows": rows_per_stage, "dim": nxu},
+                phase=phase,
+            )
+            # J^T(...) — J is block-sparse: each row has at most nxu nonzeros.
+            g.add_kernel("matvec", {"m": m, "n": nxu}, phase=phase)
+        # Factor the banded Phi and push G^T (banded itself) + rhs through.
+        g.add_kernel("cholesky_banded", {"n": nz, "band": band}, phase=phase)
+        g.add_kernel(
+            "trsolve_banded", {"n": nz, "band": band, "nrhs": 2 * band}, phase=phase
+        )
+        g.add_kernel(
+            "trsolve_banded", {"n": nz, "band": band, "nrhs": 2 * band}, phase=phase
+        )
+        # Stage-structured Schur complement (block tridiagonal, band ~ 2 nx).
+        g.add_kernel(
+            "cholesky_banded", {"n": n_eq, "band": 2 * p.nx}, phase=phase
+        )
+        g.add_kernel(
+            "trsolve_banded", {"n": n_eq, "band": 2 * p.nx, "nrhs": 2}, phase=phase
+        )
+        g.add_kernel(
+            "trsolve_banded", {"n": n_eq, "band": 2 * p.nx, "nrhs": 2}, phase=phase
+        )
+        # Recover dz (banded G^T application) and the vector updates.
+        g.add_kernel(
+            "block_outer", {"blocks": p.N, "rows": p.nx, "dim": nxu}, phase=phase
+        )
+        g.add_kernel("axpy", {"n": nz}, phase=phase)
+        if m:
+            g.add_kernel("matvec", {"m": m, "n": nxu}, phase=phase)  # J dz (blocked)
+            g.add_kernel("axpy", {"n": m}, phase=phase)  # slack update
+            g.add_kernel("axpy", {"n": m}, phase=phase)  # dual update
+            g.add_kernel("dot", {"n": m}, phase=phase)  # duality gap
+
+    # ----------------------------------------------------------------------------
+    def info(self, g: Optional[MDFG] = None) -> TranslationInfo:
+        if g is None:
+            g = self.translate()
+        per_phase = {ph: g.total_op_counts(ph) for ph in g.phases()}
+        return TranslationInfo(
+            n_nodes=len(g),
+            phases=g.phases(),
+            op_counts_per_phase=per_phase,
+            group_nodes=sum(1 for n in g.nodes if n.type == NodeType.GROUP),
+            kernel_nodes=sum(1 for n in g.nodes if n.type == NodeType.KERNEL),
+        )
+
+
+def translate(problem: TranscribedProblem, group_threshold: int = 3) -> MDFG:
+    """Convenience wrapper: build the M-DFG for ``problem``."""
+    return Translator(problem, group_threshold).translate()

@@ -1,0 +1,34 @@
+"""RoboX domain-specific language frontend (paper §IV).
+
+The DSL lets a roboticist express a robot ``System`` (states, inputs,
+dynamics, physical constraints) and its ``Task`` (penalties, constraints)
+close to the mathematical formulation; the frontend lowers programs to the
+same :class:`~repro.mpc.model.RobotModel` / :class:`~repro.mpc.task.Task` IR
+used by the Python builder API, from which the Program Translator and
+Controller Compiler proceed.
+
+Typical use::
+
+    from repro.dsl import compile_program
+
+    result = compile_program(source_text)
+    model, task = result.model, result.task
+"""
+
+from repro.dsl.lexer import tokenize
+from repro.dsl.parser import parse
+from repro.dsl.semantics import AnalysisResult, GroupOpRecord, analyze
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "analyze",
+    "compile_program",
+    "AnalysisResult",
+    "GroupOpRecord",
+]
+
+
+def compile_program(source: str) -> AnalysisResult:
+    """Parse and analyze a RoboX program, returning its models and tasks."""
+    return analyze(parse(source))

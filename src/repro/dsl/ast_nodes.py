@@ -1,0 +1,207 @@
+"""AST node definitions for the RoboX DSL.
+
+The tree mirrors the surface syntax closely; all meaning (array expansion,
+range broadcasting, symbolic vs. imperative evaluation) is resolved by the
+semantic analyzer in :mod:`repro.dsl.semantics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Program",
+    "SystemDef",
+    "TaskDef",
+    "ParamDecl",
+    "VarDecl",
+    "Declarator",
+    "Assignment",
+    "LValue",
+    "ReferenceDecl",
+    "InstanceDecl",
+    "TaskCall",
+    "NumberLit",
+    "Name",
+    "Index",
+    "FieldAccess",
+    "BinaryOp",
+    "UnaryOp",
+    "FuncCall",
+    "GroupOp",
+]
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    """``base[index]`` — array element or range-variable subscript."""
+
+    base: "ExprNode"
+    index: "ExprNode"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """``base.field`` (dt, weight, lower_bound, running, ...)."""
+
+    base: "ExprNode"
+    field: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # '+', '-', '*', '/', '^'
+    left: "ExprNode"
+    right: "ExprNode"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # '-'
+    operand: "ExprNode"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Nonlinear builtin: ``sin(expr)``, ``sqrt(expr)``, ..."""
+
+    func: str
+    args: Tuple["ExprNode", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GroupOp:
+    """Group operation over ranges: ``sum[i](expr)``, ``norm[i](...)``."""
+
+    func: str  # 'sum' | 'norm' | 'min' | 'max'
+    ranges: Tuple[str, ...]  # range variable names in the brackets
+    body: "ExprNode"
+    line: int = 0
+
+
+ExprNode = Union[NumberLit, Name, Index, FieldAccess, BinaryOp, UnaryOp, FuncCall, GroupOp]
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Declarator:
+    """One declared name with optional dimensions or a range interval.
+
+    ``state pos[2]`` -> Declarator("pos", dims=(2,))
+    ``range i[0:2]`` -> Declarator("i", interval=(0, 2))
+    """
+
+    name: str
+    dims: Tuple[int, ...] = ()
+    interval: Optional[Tuple[int, int]] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``state a, b[2];`` — one keyword, many declarators."""
+
+    kind: str  # state | input | param | penalty | constraint | reference | range
+    declarators: Tuple[Declarator, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LValue:
+    """Assignment target: name, optional subscripts, optional field."""
+
+    name: str
+    indices: Tuple[ExprNode, ...] = ()
+    field: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``lvalue = expr;`` (symbolic) or ``lvalue <= expr;`` (imperative)."""
+
+    target: LValue
+    expr: ExprNode
+    symbolic: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """Formal parameter of a System or Task header."""
+
+    kind: str  # 'param' | 'reference'
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TaskDef:
+    name: str
+    params: Tuple[ParamDecl, ...]
+    body: Tuple[Union[VarDecl, Assignment], ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SystemDef:
+    name: str
+    params: Tuple[ParamDecl, ...]
+    body: Tuple[Union[VarDecl, Assignment, TaskDef], ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ReferenceDecl:
+    """Global ``reference desired_x;`` declaration."""
+
+    names: Tuple[Declarator, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class InstanceDecl:
+    """``MobileRobot robot(0.1, 0.01);`` — instantiate a System."""
+
+    system: str
+    name: str
+    args: Tuple[ExprNode, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TaskCall:
+    """``robot.moveTo(desired_x, desired_y, 1);``"""
+
+    instance: str
+    task: str
+    args: Tuple[ExprNode, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    items: Tuple[Union[SystemDef, ReferenceDecl, InstanceDecl, TaskCall], ...]

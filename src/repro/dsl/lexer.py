@@ -1,0 +1,139 @@
+"""Lexer for the RoboX DSL.
+
+Produces a flat token stream for the recursive-descent parser.  Supports
+C++-style ``//`` line comments and ``/* ... */`` block comments, decimal and
+scientific-notation numbers, and tracks 1-based line/column positions for
+error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl.tokens import Token, TokenType
+from repro.errors import LexerError
+
+__all__ = ["tokenize"]
+
+_SINGLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "^": TokenType.CARET,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+
+        # -- whitespace -----------------------------------------------------------
+        if ch in " \t\r\n":
+            advance()
+            continue
+
+        # -- comments -------------------------------------------------------------
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                advance()
+            if i + 1 >= n:
+                raise LexerError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+
+        # -- numbers ----------------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    # Don't swallow a field access after an integer: `2.dt`
+                    # never occurs, but `pos[0].dt` requires the dot to stay
+                    # separate when not followed by a digit.
+                    if i + 1 >= n or not source[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                advance()
+            # scientific notation
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    advance(j - i)
+                    while i < n and source[i].isdigit():
+                        advance()
+            text = source[start:i]
+            try:
+                float(text)
+            except ValueError:
+                raise LexerError(f"malformed number {text!r}", start_line, start_col)
+            tokens.append(Token(TokenType.NUMBER, text, start_line, start_col))
+            continue
+
+        # -- identifiers / keywords ---------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance()
+            tokens.append(
+                Token(TokenType.IDENT, source[start:i], start_line, start_col)
+            )
+            continue
+
+        # -- two-character operator <= -----------------------------------------------
+        if ch == "<" and i + 1 < n and source[i + 1] == "=":
+            tokens.append(Token(TokenType.IMPERATIVE, "<=", line, col))
+            advance(2)
+            continue
+
+        if ch == "=":
+            tokens.append(Token(TokenType.ASSIGN, "=", line, col))
+            advance()
+            continue
+
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, col))
+            advance()
+            continue
+
+        raise LexerError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,384 @@
+"""Recursive-descent parser for the RoboX DSL.
+
+Grammar (informal):
+
+    program      := (system_def | reference_decl | instance_decl | task_call)*
+    system_def   := "System" IDENT "(" header_params? ")" "{" system_item* "}"
+    header_params:= header_param ("," header_param)*
+    header_param := ("param" | "reference") IDENT
+    system_item  := var_decl | assignment | task_def
+    task_def     := "Task" IDENT "(" header_params? ")" "{" task_item* "}"
+    task_item    := var_decl | assignment
+    var_decl     := KIND declarator ("," declarator)* ";"
+    declarator   := IDENT ("[" NUMBER (":" NUMBER)? "]")*
+    assignment   := lvalue ("=" | "<=") expr ";"
+    lvalue       := IDENT ("[" expr "]")* ("." IDENT)?
+    expr         := additive (with ^ for power, standard precedence)
+    primary      := NUMBER | func "(" expr ")" | group "[" idents "]" "(" expr ")"
+                  | IDENT postfix* | "(" expr ")" | "-" primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.tokens import (
+    BUILTIN_FUNCTIONS,
+    GROUP_FUNCTIONS,
+    KEYWORDS,
+    Token,
+    TokenType,
+)
+from repro.dsl.lexer import tokenize
+from repro.errors import ParseError
+
+__all__ = ["parse"]
+
+_DECL_KINDS = (
+    "state",
+    "input",
+    "param",
+    "penalty",
+    "constraint",
+    "reference",
+    "range",
+)
+
+_FIELDS = {
+    "dt",
+    "weight",
+    "lower_bound",
+    "upper_bound",
+    "equals",
+    "running",
+    "terminal",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type != TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, type_: str, value: Optional[str] = None) -> bool:
+        tok = self.peek()
+        if tok.type != type_:
+            return False
+        return value is None or tok.value == value
+
+    def expect(self, type_: str, value: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(type_, value):
+            want = value or type_
+            raise ParseError(
+                f"expected {want!r}, found {tok.value or tok.type!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, tok.line, tok.column)
+
+    # -- program -------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        items = []
+        while not self.check(TokenType.EOF):
+            items.append(self.parse_top_level())
+        return ast.Program(tuple(items))
+
+    def parse_top_level(self):
+        tok = self.peek()
+        if self.check(TokenType.IDENT, "System"):
+            return self.parse_system()
+        if self.check(TokenType.IDENT, "reference"):
+            return self.parse_reference_decl()
+        if tok.type == TokenType.IDENT:
+            # Either `Type name(args);` or `instance.task(args);`
+            if self.peek(1).type == TokenType.DOT:
+                return self.parse_task_call()
+            if self.peek(1).type == TokenType.IDENT:
+                return self.parse_instance_decl()
+        raise self.error(
+            "expected a System definition, reference declaration, system "
+            "instantiation, or task call"
+        )
+
+    # -- System / Task ------------------------------------------------------------
+    def parse_system(self) -> ast.SystemDef:
+        start = self.expect(TokenType.IDENT, "System")
+        name = self.expect(TokenType.IDENT).value
+        params = self.parse_header_params()
+        self.expect(TokenType.LBRACE)
+        body = []
+        while not self.check(TokenType.RBRACE):
+            if self.check(TokenType.IDENT, "Task"):
+                body.append(self.parse_task())
+            else:
+                body.append(self.parse_statement())
+        self.expect(TokenType.RBRACE)
+        return ast.SystemDef(name, params, tuple(body), start.line)
+
+    def parse_task(self) -> ast.TaskDef:
+        start = self.expect(TokenType.IDENT, "Task")
+        name = self.expect(TokenType.IDENT).value
+        params = self.parse_header_params()
+        self.expect(TokenType.LBRACE)
+        body = []
+        while not self.check(TokenType.RBRACE):
+            body.append(self.parse_statement())
+        self.expect(TokenType.RBRACE)
+        return ast.TaskDef(name, params, tuple(body), start.line)
+
+    def parse_header_params(self) -> Tuple[ast.ParamDecl, ...]:
+        self.expect(TokenType.LPAREN)
+        params = []
+        while not self.check(TokenType.RPAREN):
+            kind_tok = self.expect(TokenType.IDENT)
+            if kind_tok.value not in ("param", "reference"):
+                raise ParseError(
+                    f"header parameters must be 'param' or 'reference', "
+                    f"found {kind_tok.value!r}",
+                    kind_tok.line,
+                    kind_tok.column,
+                )
+            name = self.expect(TokenType.IDENT).value
+            params.append(ast.ParamDecl(kind_tok.value, name, kind_tok.line))
+            if not self.check(TokenType.RPAREN):
+                self.expect(TokenType.COMMA)
+        self.expect(TokenType.RPAREN)
+        return tuple(params)
+
+    # -- statements -------------------------------------------------------------------
+    def parse_statement(self) -> Union[ast.VarDecl, ast.Assignment]:
+        tok = self.peek()
+        if tok.type == TokenType.IDENT and tok.value in _DECL_KINDS:
+            # Disambiguate `param x;` declaration from an assignment to a
+            # variable that happens to be named like a keyword (disallowed).
+            return self.parse_var_decl()
+        return self.parse_assignment()
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        kind_tok = self.advance()
+        kind = kind_tok.value
+        declarators = [self.parse_declarator(kind)]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            declarators.append(self.parse_declarator(kind))
+        self.expect(TokenType.SEMICOLON)
+        return ast.VarDecl(kind, tuple(declarators), kind_tok.line)
+
+    def parse_declarator(self, kind: str) -> ast.Declarator:
+        name_tok = self.expect(TokenType.IDENT)
+        if name_tok.value in KEYWORDS:
+            raise ParseError(
+                f"{name_tok.value!r} is a reserved word",
+                name_tok.line,
+                name_tok.column,
+            )
+        dims: List[int] = []
+        interval: Optional[Tuple[int, int]] = None
+        while self.check(TokenType.LBRACKET):
+            self.advance()
+            first = self.expect(TokenType.NUMBER)
+            if self.check(TokenType.COLON):
+                if kind != "range":
+                    raise ParseError(
+                        "interval syntax [lo:hi] is only valid for range "
+                        "declarations",
+                        first.line,
+                        first.column,
+                    )
+                self.advance()
+                second = self.expect(TokenType.NUMBER)
+                interval = (int(float(first.value)), int(float(second.value)))
+            else:
+                dims.append(int(float(first.value)))
+            self.expect(TokenType.RBRACKET)
+        if kind == "range" and interval is None:
+            raise ParseError(
+                "range declarations require an interval, e.g. range i[0:2];",
+                name_tok.line,
+                name_tok.column,
+            )
+        return ast.Declarator(
+            name_tok.value, tuple(dims), interval, name_tok.line
+        )
+
+    def parse_assignment(self) -> ast.Assignment:
+        target = self.parse_lvalue()
+        if self.check(TokenType.ASSIGN):
+            self.advance()
+            symbolic = True
+        elif self.check(TokenType.IMPERATIVE):
+            self.advance()
+            symbolic = False
+        else:
+            raise self.error("expected '=' or '<=' in assignment")
+        expr = self.parse_expr()
+        self.expect(TokenType.SEMICOLON)
+        return ast.Assignment(target, expr, symbolic, target.line)
+
+    def parse_lvalue(self) -> ast.LValue:
+        name_tok = self.expect(TokenType.IDENT)
+        indices: List[ast.ExprNode] = []
+        while self.check(TokenType.LBRACKET):
+            self.advance()
+            indices.append(self.parse_expr())
+            self.expect(TokenType.RBRACKET)
+        fld: Optional[str] = None
+        if self.check(TokenType.DOT):
+            self.advance()
+            fld_tok = self.expect(TokenType.IDENT)
+            if fld_tok.value not in _FIELDS:
+                raise ParseError(
+                    f"unknown field {fld_tok.value!r}; valid fields: "
+                    f"{sorted(_FIELDS)}",
+                    fld_tok.line,
+                    fld_tok.column,
+                )
+            fld = fld_tok.value
+        return ast.LValue(name_tok.value, tuple(indices), fld, name_tok.line)
+
+    # -- top-level non-System statements -------------------------------------------
+    def parse_reference_decl(self) -> ast.ReferenceDecl:
+        start = self.expect(TokenType.IDENT, "reference")
+        decls = [self.parse_declarator("reference")]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            decls.append(self.parse_declarator("reference"))
+        self.expect(TokenType.SEMICOLON)
+        return ast.ReferenceDecl(tuple(decls), start.line)
+
+    def parse_instance_decl(self) -> ast.InstanceDecl:
+        system = self.expect(TokenType.IDENT)
+        name = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.LPAREN)
+        args = self.parse_call_args()
+        self.expect(TokenType.SEMICOLON)
+        return ast.InstanceDecl(system.value, name, args, system.line)
+
+    def parse_task_call(self) -> ast.TaskCall:
+        instance = self.expect(TokenType.IDENT)
+        self.expect(TokenType.DOT)
+        task = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.LPAREN)
+        args = self.parse_call_args()
+        self.expect(TokenType.SEMICOLON)
+        return ast.TaskCall(instance.value, task, args, instance.line)
+
+    def parse_call_args(self) -> Tuple[ast.ExprNode, ...]:
+        args: List[ast.ExprNode] = []
+        while not self.check(TokenType.RPAREN):
+            args.append(self.parse_expr())
+            if not self.check(TokenType.RPAREN):
+                self.expect(TokenType.COMMA)
+        self.expect(TokenType.RPAREN)
+        return tuple(args)
+
+    # -- expressions (precedence climbing) --------------------------------------------
+    def parse_expr(self) -> ast.ExprNode:
+        return self.parse_additive()
+
+    def parse_additive(self) -> ast.ExprNode:
+        left = self.parse_multiplicative()
+        while self.peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.BinaryOp(op.value, left, right, op.line)
+        return left
+
+    def parse_multiplicative(self) -> ast.ExprNode:
+        left = self.parse_unary()
+        while self.peek().type in (TokenType.STAR, TokenType.SLASH):
+            op = self.advance()
+            right = self.parse_unary()
+            left = ast.BinaryOp(op.value, left, right, op.line)
+        return left
+
+    def parse_unary(self) -> ast.ExprNode:
+        if self.check(TokenType.MINUS):
+            op = self.advance()
+            return ast.UnaryOp("-", self.parse_unary(), op.line)
+        if self.check(TokenType.PLUS):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> ast.ExprNode:
+        base = self.parse_postfix()
+        if self.check(TokenType.CARET):
+            op = self.advance()
+            # Right associative: a^b^c = a^(b^c)
+            exponent = self.parse_unary()
+            return ast.BinaryOp("^", base, exponent, op.line)
+        return base
+
+    def parse_postfix(self) -> ast.ExprNode:
+        node = self.parse_primary()
+        while True:
+            if self.check(TokenType.LBRACKET):
+                tok = self.advance()
+                index = self.parse_expr()
+                self.expect(TokenType.RBRACKET)
+                node = ast.Index(node, index, tok.line)
+            elif self.check(TokenType.DOT):
+                tok = self.advance()
+                fld = self.expect(TokenType.IDENT)
+                node = ast.FieldAccess(node, fld.value, tok.line)
+            else:
+                return node
+
+    def parse_primary(self) -> ast.ExprNode:
+        tok = self.peek()
+        if tok.type == TokenType.NUMBER:
+            self.advance()
+            return ast.NumberLit(float(tok.value), tok.line)
+        if tok.type == TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if tok.type == TokenType.IDENT:
+            # Group op: sum[i](...) / norm[i][j](...)
+            if tok.value in GROUP_FUNCTIONS and self.peek(1).type == TokenType.LBRACKET:
+                self.advance()
+                ranges: List[str] = []
+                while self.check(TokenType.LBRACKET):
+                    self.advance()
+                    ranges.append(self.expect(TokenType.IDENT).value)
+                    self.expect(TokenType.RBRACKET)
+                self.expect(TokenType.LPAREN)
+                body = self.parse_expr()
+                self.expect(TokenType.RPAREN)
+                return ast.GroupOp(tok.value, tuple(ranges), body, tok.line)
+            # Nonlinear builtin: sin(...), sqrt(...)
+            if tok.value in BUILTIN_FUNCTIONS and self.peek(1).type == TokenType.LPAREN:
+                self.advance()
+                self.advance()  # (
+                args = [self.parse_expr()]
+                while self.check(TokenType.COMMA):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.expect(TokenType.RPAREN)
+                return ast.FuncCall(tok.value, tuple(args), tok.line)
+            self.advance()
+            return ast.Name(tok.value, tok.line)
+        raise self.error(f"unexpected token {tok.value or tok.type!r} in expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse RoboX DSL source text into a :class:`Program` AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,832 @@
+"""Semantic analysis: execute a RoboX DSL program into models and tasks.
+
+The analyzer is an interpreter over the AST.  ``System`` bodies execute at
+*instantiation* time (``MobileRobot robot(0.1);``) with the actual parameter
+values bound, producing a :class:`repro.mpc.model.RobotModel`; ``Task``
+bodies execute at *task-call* time (``robot.moveTo(dx, dy, 1);``), producing
+a :class:`repro.mpc.task.Task`.  Expressions evaluate to either plain floats
+(imperative context — parameters, bounds, weights) or symbolic
+:class:`~repro.symbolic.Expr` trees (symbolic context — dynamics, penalties,
+constraints), mirroring the paper's two assignment forms (``<=`` and ``=``).
+
+Group operations and ``range`` variables are expanded at this stage: a
+``sum[i](...)`` becomes a balanced reduction tree over the range, and an
+assignment whose left side is indexed by range variables broadcasts into one
+scalar assignment per index tuple (§IV-C).  The expansion metadata (which
+reductions existed, over what widths) is recorded in
+:class:`GroupOpRecord` entries so the accelerator compiler can map them onto
+the compute-enabled interconnect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dsl import ast_nodes as ast
+from repro.errors import SemanticError
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import Constraint, Penalty, Task
+from repro.symbolic import Call, Const, Expr, OPS, Var, as_expr, simplify
+
+__all__ = ["analyze", "AnalysisResult", "GroupOpRecord"]
+
+_INF = math.inf
+
+_NONLINEAR = {
+    name: OPS[name]
+    for name in ("sin", "cos", "tan", "asin", "acos", "atan", "exp", "log", "sqrt", "tanh")
+}
+
+
+@dataclass
+class GroupOpRecord:
+    """One expanded group operation (for the accelerator compiler)."""
+
+    func: str  # sum | norm | min | max
+    width: int  # number of reduced elements
+    context: str  # "dynamics" | "penalty" | "constraint"
+
+
+@dataclass
+class _Entry:
+    """Symbol-table entry."""
+
+    kind: str  # state | input | param | reference | penalty | constraint | range
+    shape: Tuple[int, ...] = ()
+    value: object = None  # float for params; (lo, hi) for ranges
+    # per-element metadata, keyed by the flat element name:
+    lower: Dict[str, float] = field(default_factory=dict)
+    upper: Dict[str, float] = field(default_factory=dict)
+    trim: Dict[str, float] = field(default_factory=dict)
+    dt: Dict[str, Expr] = field(default_factory=dict)
+    weight: Dict[str, float] = field(default_factory=dict)
+    running: Dict[str, Expr] = field(default_factory=dict)
+    terminal: Dict[str, Expr] = field(default_factory=dict)
+    equals: Dict[str, float] = field(default_factory=dict)
+
+
+def _element_names(name: str, shape: Tuple[int, ...]) -> List[str]:
+    """Flat element names in row-major order: pos -> pos[0], pos[1]; R -> R[0][0]..."""
+    if not shape:
+        return [name]
+    names = [name]
+    for dim in shape:
+        names = [f"{n}[{i}]" for n in names for i in range(dim)]
+    return names
+
+
+@dataclass
+class AnalysisResult:
+    """Everything a RoboX program produced."""
+
+    models: Dict[str, RobotModel]  # instance name -> model
+    tasks: Dict[str, Task]  # "instance.task" -> task
+    group_ops: List[GroupOpRecord] = field(default_factory=list)
+    #: declaration order of global references
+    references: Tuple[str, ...] = ()
+
+    @property
+    def model(self) -> RobotModel:
+        """The sole model, when the program instantiates exactly one."""
+        if len(self.models) != 1:
+            raise SemanticError(
+                f"program defines {len(self.models)} instances; use .models"
+            )
+        return next(iter(self.models.values()))
+
+    @property
+    def task(self) -> Task:
+        """The sole task, when the program calls exactly one."""
+        if len(self.tasks) != 1:
+            raise SemanticError(
+                f"program defines {len(self.tasks)} tasks; use .tasks"
+            )
+        return next(iter(self.tasks.values()))
+
+
+class _Scope:
+    """Lexically nested symbol table."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.entries: Dict[str, _Entry] = {}
+
+    def declare(self, name: str, entry: _Entry, line: int = 0) -> _Entry:
+        if name in self.entries:
+            raise SemanticError(f"redeclaration of {name!r}", line)
+        self.entries[name] = entry
+        return entry
+
+    def lookup(self, name: str) -> Optional[_Entry]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals = _Scope()
+        self.systems: Dict[str, ast.SystemDef] = {}
+        self.instances: Dict[str, Tuple[ast.SystemDef, RobotModel, _Scope]] = {}
+        self.result = AnalysisResult(models={}, tasks={})
+        self._reference_order: List[str] = []
+
+    # -- driver --------------------------------------------------------------------
+    def run(self) -> AnalysisResult:
+        for item in self.program.items:
+            if isinstance(item, ast.SystemDef):
+                if item.name in self.systems:
+                    raise SemanticError(
+                        f"System {item.name!r} defined twice", item.line
+                    )
+                self.systems[item.name] = item
+            elif isinstance(item, ast.ReferenceDecl):
+                self._declare_references(item)
+            elif isinstance(item, ast.InstanceDecl):
+                self._instantiate(item)
+            elif isinstance(item, ast.TaskCall):
+                self._call_task(item)
+            else:  # pragma: no cover
+                raise SemanticError(f"unknown top-level item {item!r}")
+        self.result.references = tuple(self._reference_order)
+        return self.result
+
+    # -- global references -------------------------------------------------------------
+    def _declare_references(self, decl: ast.ReferenceDecl) -> None:
+        for d in decl.names:
+            if d.interval is not None:
+                raise SemanticError(
+                    "references cannot use interval syntax", d.line
+                )
+            entry = _Entry(kind="reference", shape=d.dims)
+            self.globals.declare(d.name, entry, d.line)
+            self._reference_order.extend(_element_names(d.name, d.dims))
+
+    # -- instantiation ------------------------------------------------------------------
+    def _instantiate(self, decl: ast.InstanceDecl) -> None:
+        system = self.systems.get(decl.system)
+        if system is None:
+            raise SemanticError(f"unknown System {decl.system!r}", decl.line)
+        if decl.name in self.instances:
+            raise SemanticError(
+                f"instance {decl.name!r} already defined", decl.line
+            )
+        scope = _Scope(self.globals)
+        self._bind_header(system.params, decl.args, scope, decl.line, allow_refs=False)
+
+        # Execute the System body (declarations and assignments; Task defs
+        # are collected for later calls).
+        for stmt in system.body:
+            if isinstance(stmt, ast.TaskDef):
+                continue
+            self._exec_statement(stmt, scope, context="system")
+
+        model = self._build_model(decl.name, system, scope)
+        self.instances[decl.name] = (system, model, scope)
+        self.result.models[decl.name] = model
+
+    def _bind_header(
+        self,
+        params: Tuple[ast.ParamDecl, ...],
+        args: Tuple[ast.ExprNode, ...],
+        scope: _Scope,
+        line: int,
+        allow_refs: bool,
+    ) -> None:
+        if len(args) != len(params):
+            raise SemanticError(
+                f"expected {len(params)} argument(s), got {len(args)}", line
+            )
+        for formal, actual in zip(params, args):
+            if formal.kind == "param":
+                value = self._eval_imperative(actual, scope)
+                scope.declare(
+                    formal.name, _Entry(kind="param", value=value), formal.line
+                )
+            else:  # reference
+                if not allow_refs:
+                    raise SemanticError(
+                        "System headers cannot take references", formal.line
+                    )
+                target = self._resolve_reference_arg(actual, scope)
+                scope.declare(
+                    formal.name,
+                    _Entry(kind="reference", shape=(), value=target),
+                    formal.line,
+                )
+
+    def _resolve_reference_arg(self, node: ast.ExprNode, scope: _Scope) -> str:
+        """A reference argument must name a globally-declared reference."""
+        if isinstance(node, ast.Name):
+            entry = self.globals.lookup(node.ident)
+            if entry is not None and entry.kind == "reference":
+                return node.ident
+        raise SemanticError(
+            "reference arguments must be globally declared references",
+            getattr(node, "line", 0),
+        )
+
+    # -- task call -----------------------------------------------------------------------
+    def _call_task(self, call: ast.TaskCall) -> None:
+        if call.instance not in self.instances:
+            raise SemanticError(f"unknown instance {call.instance!r}", call.line)
+        system, model, sys_scope = self.instances[call.instance]
+        task_def = next(
+            (
+                t
+                for t in system.body
+                if isinstance(t, ast.TaskDef) and t.name == call.task
+            ),
+            None,
+        )
+        if task_def is None:
+            raise SemanticError(
+                f"System {system.name!r} has no Task {call.task!r}", call.line
+            )
+        scope = _Scope(sys_scope)
+        self._bind_header(task_def.params, call.args, scope, call.line, allow_refs=True)
+        for stmt in task_def.body:
+            self._exec_statement(stmt, scope, context="task")
+        task = self._build_task(call, task_def, model, scope)
+        key = f"{call.instance}.{call.task}"
+        if key in self.result.tasks:
+            raise SemanticError(f"task {key!r} called twice", call.line)
+        self.result.tasks[key] = task
+
+    # -- statement execution --------------------------------------------------------------
+    def _exec_statement(self, stmt, scope: _Scope, context: str) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, scope, context)
+        elif isinstance(stmt, ast.Assignment):
+            self._exec_assignment(stmt, scope)
+        else:  # pragma: no cover
+            raise SemanticError(f"unexpected statement {stmt!r}", getattr(stmt, "line", 0))
+
+    _SYSTEM_KINDS = {"state", "input", "param", "range"}
+    _TASK_KINDS = {"penalty", "constraint", "reference", "range", "param"}
+
+    def _exec_decl(self, decl: ast.VarDecl, scope: _Scope, context: str) -> None:
+        allowed = self._SYSTEM_KINDS if context == "system" else self._TASK_KINDS
+        if decl.kind not in allowed:
+            raise SemanticError(
+                f"{decl.kind!r} declarations are not allowed in a {context} body",
+                decl.line,
+            )
+        for d in decl.declarators:
+            if decl.kind == "range":
+                lo, hi = d.interval
+                if hi <= lo:
+                    raise SemanticError(
+                        f"range {d.name!r} has empty interval [{lo}:{hi}]", d.line
+                    )
+                scope.declare(
+                    d.name, _Entry(kind="range", value=(lo, hi)), d.line
+                )
+                continue
+            entry = _Entry(kind=decl.kind, shape=d.dims)
+            if decl.kind == "reference":
+                self._reference_order.extend(_element_names(d.name, d.dims))
+            scope.declare(d.name, entry, d.line)
+
+    def _exec_assignment(self, stmt: ast.Assignment, scope: _Scope) -> None:
+        target = stmt.target
+        entry = scope.lookup(target.name)
+        if entry is None:
+            raise SemanticError(f"undeclared name {target.name!r}", stmt.line)
+
+        # Range-indexed targets broadcast: expand over all index tuples.
+        range_vars = [
+            idx.ident
+            for idx in target.indices
+            if isinstance(idx, ast.Name)
+            and (e := scope.lookup(idx.ident)) is not None
+            and e.kind == "range"
+        ]
+        if range_vars:
+            self._broadcast_assignment(stmt, entry, scope, range_vars)
+            return
+        self._assign_single(stmt, entry, scope, bindings={})
+
+    def _broadcast_assignment(
+        self,
+        stmt: ast.Assignment,
+        entry: _Entry,
+        scope: _Scope,
+        range_vars: List[str],
+    ) -> None:
+        intervals = []
+        seen = []
+        for rv in range_vars:
+            if rv in seen:
+                raise SemanticError(
+                    f"range variable {rv!r} used twice in one target", stmt.line
+                )
+            seen.append(rv)
+            lo, hi = scope.lookup(rv).value
+            intervals.append(range(lo, hi))
+
+        def rec(i: int, bindings: Dict[str, int]) -> None:
+            if i == len(range_vars):
+                self._assign_single(stmt, entry, scope, dict(bindings))
+                return
+            for v in intervals[i]:
+                bindings[range_vars[i]] = v
+                rec(i + 1, bindings)
+
+        rec(0, {})
+
+    def _assign_single(
+        self,
+        stmt: ast.Assignment,
+        entry: _Entry,
+        scope: _Scope,
+        bindings: Dict[str, int],
+    ) -> None:
+        target = stmt.target
+        elem = self._target_element(target, entry, scope, bindings)
+        fld = target.field
+
+        if fld is None:
+            raise SemanticError(
+                f"assignment to {target.name!r} requires a field "
+                "(.dt, .weight, .running, ...)",
+                stmt.line,
+            )
+
+        symbolic_fields = {"dt", "running", "terminal"}
+        imperative_fields = {"weight", "lower_bound", "upper_bound", "equals"}
+        if fld in symbolic_fields and not stmt.symbolic:
+            raise SemanticError(
+                f"field .{fld} requires symbolic assignment '='", stmt.line
+            )
+        if fld in imperative_fields and stmt.symbolic:
+            raise SemanticError(
+                f"field .{fld} requires imperative assignment '<='", stmt.line
+            )
+
+        if fld == "dt":
+            if entry.kind != "state":
+                raise SemanticError(
+                    f".dt is only valid on states, not {entry.kind}", stmt.line
+                )
+            if elem in entry.dt:
+                raise SemanticError(
+                    f"duplicate dynamics for state {elem!r}", stmt.line
+                )
+            entry.dt[elem] = self._eval_symbolic(stmt.expr, scope, bindings)
+        elif fld in ("running", "terminal"):
+            if entry.kind not in ("penalty", "constraint"):
+                raise SemanticError(
+                    f".{fld} is only valid on penalties/constraints", stmt.line
+                )
+            store = entry.running if fld == "running" else entry.terminal
+            other = entry.terminal if fld == "running" else entry.running
+            if elem in store or elem in other:
+                raise SemanticError(
+                    f"{elem!r} already has a running/terminal expression",
+                    stmt.line,
+                )
+            store[elem] = self._eval_symbolic(stmt.expr, scope, bindings)
+        elif fld == "weight":
+            if entry.kind != "penalty":
+                raise SemanticError(".weight is only valid on penalties", stmt.line)
+            entry.weight[elem] = self._eval_imperative(stmt.expr, scope, bindings)
+        elif fld in ("lower_bound", "upper_bound"):
+            if entry.kind not in ("state", "input", "constraint"):
+                raise SemanticError(
+                    f".{fld} is not valid on a {entry.kind}", stmt.line
+                )
+            value = self._eval_imperative(stmt.expr, scope, bindings)
+            (entry.lower if fld == "lower_bound" else entry.upper)[elem] = value
+        elif fld == "equals":
+            if entry.kind != "constraint":
+                raise SemanticError(".equals is only valid on constraints", stmt.line)
+            entry.equals[elem] = self._eval_imperative(stmt.expr, scope, bindings)
+        else:  # pragma: no cover - parser restricts fields
+            raise SemanticError(f"unsupported field .{fld}", stmt.line)
+
+    def _target_element(
+        self,
+        target: ast.LValue,
+        entry: _Entry,
+        scope: _Scope,
+        bindings: Dict[str, int],
+    ) -> str:
+        if len(target.indices) != len(entry.shape):
+            raise SemanticError(
+                f"{target.name!r} has {len(entry.shape)} dimension(s), "
+                f"indexed with {len(target.indices)}",
+                target.line,
+            )
+        elem = target.name
+        for idx_node, dim in zip(target.indices, entry.shape):
+            idx = self._eval_index(idx_node, scope, bindings)
+            if not 0 <= idx < dim:
+                raise SemanticError(
+                    f"index {idx} out of bounds for {target.name!r}[{dim}]",
+                    target.line,
+                )
+            elem = f"{elem}[{idx}]"
+        return elem
+
+    def _eval_index(
+        self, node: ast.ExprNode, scope: _Scope, bindings: Dict[str, int]
+    ) -> int:
+        if isinstance(node, ast.Name) and node.ident in bindings:
+            return bindings[node.ident]
+        value = self._eval_imperative(node, scope, bindings)
+        idx = int(value)
+        if idx != value:
+            raise SemanticError(
+                f"array index must be an integer, got {value}",
+                getattr(node, "line", 0),
+            )
+        return idx
+
+    # -- expression evaluation ---------------------------------------------------------------
+    def _eval_imperative(
+        self,
+        node: ast.ExprNode,
+        scope: _Scope,
+        bindings: Optional[Dict[str, int]] = None,
+    ) -> float:
+        value = self._eval(node, scope, bindings or {}, symbolic=False)
+        if isinstance(value, Expr):
+            raise SemanticError(
+                "imperative ('<=') expressions must be constant; this one "
+                "references states, inputs, or references",
+                getattr(node, "line", 0),
+            )
+        return float(value)
+
+    def _eval_symbolic(
+        self,
+        node: ast.ExprNode,
+        scope: _Scope,
+        bindings: Optional[Dict[str, int]] = None,
+    ) -> Expr:
+        value = self._eval(node, scope, bindings or {}, symbolic=True)
+        return simplify(as_expr(value))
+
+    def _eval(
+        self,
+        node: ast.ExprNode,
+        scope: _Scope,
+        bindings: Dict[str, int],
+        symbolic: bool,
+    ) -> Union[float, Expr]:
+        if isinstance(node, ast.NumberLit):
+            return node.value
+
+        if isinstance(node, ast.Name):
+            if node.ident in bindings:
+                return float(bindings[node.ident])
+            entry = scope.lookup(node.ident)
+            if entry is None:
+                raise SemanticError(f"undeclared name {node.ident!r}", node.line)
+            return self._value_of(node.ident, entry, (), node.line, symbolic)
+
+        if isinstance(node, ast.Index):
+            base, indices = self._collect_indices(node)
+            if not isinstance(base, ast.Name):
+                raise SemanticError("only names can be indexed", node.line)
+            entry = scope.lookup(base.ident)
+            if entry is None:
+                raise SemanticError(f"undeclared name {base.ident!r}", node.line)
+            idx_values = tuple(
+                self._eval_index(ix, scope, bindings) for ix in indices
+            )
+            return self._value_of(base.ident, entry, idx_values, node.line, symbolic)
+
+        if isinstance(node, ast.FieldAccess):
+            raise SemanticError(
+                f"field .{node.field} cannot be read inside an expression",
+                node.line,
+            )
+
+        if isinstance(node, ast.BinaryOp):
+            left = self._eval(node.left, scope, bindings, symbolic)
+            right = self._eval(node.right, scope, bindings, symbolic)
+            return self._apply_binary(node.op, left, right, node.line)
+
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, scope, bindings, symbolic)
+            if isinstance(operand, Expr):
+                return -operand
+            return -operand
+
+        if isinstance(node, ast.FuncCall):
+            if len(node.args) != 1:
+                raise SemanticError(
+                    f"{node.func} takes exactly one argument", node.line
+                )
+            arg = self._eval(node.args[0], scope, bindings, symbolic)
+            if isinstance(arg, Expr):
+                return Call(_NONLINEAR[node.func], (arg,))
+            return _NONLINEAR[node.func].func(arg)
+
+        if isinstance(node, ast.GroupOp):
+            return self._eval_group(node, scope, bindings, symbolic)
+
+        raise SemanticError(f"unsupported expression {node!r}", getattr(node, "line", 0))
+
+    def _collect_indices(self, node: ast.Index):
+        indices: List[ast.ExprNode] = []
+        base: ast.ExprNode = node
+        while isinstance(base, ast.Index):
+            indices.append(base.index)
+            base = base.base
+        indices.reverse()
+        return base, indices
+
+    def _value_of(
+        self,
+        name: str,
+        entry: _Entry,
+        indices: Tuple[int, ...],
+        line: int,
+        symbolic: bool,
+    ) -> Union[float, Expr]:
+        if entry.kind == "param":
+            if indices:
+                raise SemanticError(f"parameter {name!r} is scalar", line)
+            return float(entry.value)
+        if entry.kind == "range":
+            raise SemanticError(
+                f"range variable {name!r} used outside a group operation or "
+                "broadcast target",
+                line,
+            )
+        if len(indices) != len(entry.shape):
+            raise SemanticError(
+                f"{name!r} has {len(entry.shape)} dimension(s), "
+                f"indexed with {len(indices)}",
+                line,
+            )
+        for idx, dim in zip(indices, entry.shape):
+            if not 0 <= idx < dim:
+                raise SemanticError(
+                    f"index {idx} out of bounds for {name!r}[{dim}]", line
+                )
+        if entry.kind == "reference" and entry.value is not None:
+            # Task-header reference formal: aliases a global reference.
+            name = str(entry.value)
+        elem = name + "".join(f"[{i}]" for i in indices)
+        if entry.kind in ("state", "input", "reference"):
+            if not symbolic:
+                raise SemanticError(
+                    f"{entry.kind} {elem!r} cannot appear in an imperative "
+                    "('<=') expression",
+                    line,
+                )
+            return Var(elem)
+        raise SemanticError(
+            f"{entry.kind} {elem!r} cannot be read inside an expression", line
+        )
+
+    def _apply_binary(self, op: str, left, right, line: int):
+        both_const = not isinstance(left, Expr) and not isinstance(right, Expr)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if both_const and right == 0:
+                raise SemanticError("division by zero", line)
+            return left / right
+        if op == "^":
+            if both_const:
+                return float(left) ** float(right)
+            return as_expr(left) ** as_expr(right)
+        raise SemanticError(f"unknown operator {op!r}", line)  # pragma: no cover
+
+    def _eval_group(
+        self,
+        node: ast.GroupOp,
+        scope: _Scope,
+        bindings: Dict[str, int],
+        symbolic: bool,
+    ) -> Union[float, Expr]:
+        intervals = []
+        for rv in node.ranges:
+            entry = scope.lookup(rv)
+            if entry is None or entry.kind != "range":
+                raise SemanticError(
+                    f"{rv!r} is not a declared range variable", node.line
+                )
+            if rv in bindings:
+                raise SemanticError(
+                    f"range variable {rv!r} is already bound by the "
+                    "assignment target",
+                    node.line,
+                )
+            lo, hi = entry.value
+            intervals.append((rv, range(lo, hi)))
+
+        # Expand the body over the cartesian product of the ranges.
+        terms: List[Union[float, Expr]] = []
+
+        def rec(i: int, local: Dict[str, int]) -> None:
+            if i == len(intervals):
+                terms.append(self._eval(node.body, scope, {**bindings, **local}, symbolic))
+                return
+            rv, interval = intervals[i]
+            for v in interval:
+                local[rv] = v
+                rec(i + 1, local)
+
+        rec(0, {})
+        if not terms:
+            raise SemanticError("group operation over an empty range", node.line)
+
+        self.result.group_ops.append(
+            GroupOpRecord(func=node.func, width=len(terms), context="expression")
+        )
+
+        exprs = [as_expr(t) if isinstance(t, Expr) or True else t for t in terms]
+        if node.func == "sum":
+            return self._reduce_tree(exprs, "add")
+        if node.func == "norm":
+            squares = [t * t for t in exprs]
+            total = self._reduce_tree(squares, "add")
+            # Epsilon-smoothed: the exact Euclidean norm is nondifferentiable
+            # at zero, which breaks constraint Jacobians whenever the robot
+            # starts exactly at the norm's singular point.
+            return Call(OPS["sqrt"], (as_expr(total) + Const(1e-12),))
+        if node.func in ("min", "max"):
+            # min/max group operations lower to arithmetic via pairwise
+            # selection; the accelerator has native MIN/MAX aggregation, but
+            # the optimizer needs a smooth expression, so we use the standard
+            # smooth encoding |a-b| ~ sqrt((a-b)^2 + eps).
+            return self._smooth_minmax(exprs, node.func)
+        raise SemanticError(f"unknown group op {node.func!r}", node.line)
+
+    def _reduce_tree(self, terms: List[Expr], op_name: str) -> Expr:
+        """Balanced binary reduction (mirrors the tree-bus aggregation)."""
+        layer = [as_expr(t) for t in terms]
+        op = OPS[op_name]
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(Call(op, (layer[i], layer[i + 1])))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def _smooth_minmax(self, terms: List[Expr], func: str) -> Expr:
+        eps = Const(1e-12)
+        result = as_expr(terms[0])
+        for t in terms[1:]:
+            t = as_expr(t)
+            diff = result - t
+            absdiff = Call(OPS["sqrt"], (diff * diff + eps,))
+            if func == "max":
+                result = Const(0.5) * (result + t + absdiff)
+            else:
+                result = Const(0.5) * (result + t - absdiff)
+        return result
+
+    # -- model / task construction ------------------------------------------------------------
+    def _build_model(
+        self, instance: str, system: ast.SystemDef, scope: _Scope
+    ) -> RobotModel:
+        states: List[VarSpec] = []
+        inputs: List[VarSpec] = []
+        dynamics: Dict[str, Expr] = {}
+        params: Dict[str, float] = {}
+
+        # Preserve declaration order by walking the body again.
+        for stmt in system.body:
+            if not isinstance(stmt, ast.VarDecl):
+                continue
+            for d in stmt.declarators:
+                entry = scope.entries.get(d.name)
+                if entry is None:
+                    continue
+                for elem in _element_names(d.name, d.dims):
+                    if stmt.kind == "state":
+                        states.append(
+                            VarSpec(
+                                elem,
+                                entry.lower.get(elem, -_INF),
+                                entry.upper.get(elem, _INF),
+                                entry.trim.get(elem, 0.0),
+                            )
+                        )
+                        if elem not in entry.dt:
+                            raise SemanticError(
+                                f"state {elem!r} has no .dt dynamics", d.line
+                            )
+                        dynamics[elem] = entry.dt[elem]
+                    elif stmt.kind == "input":
+                        inputs.append(
+                            VarSpec(
+                                elem,
+                                entry.lower.get(elem, -_INF),
+                                entry.upper.get(elem, _INF),
+                                entry.trim.get(elem, 0.0),
+                            )
+                        )
+                    elif stmt.kind == "param":
+                        if entry.value is not None:
+                            params[elem] = float(entry.value)
+        for formal in system.params:
+            if formal.kind == "param":
+                params[formal.name] = float(scope.entries[formal.name].value)
+
+        return RobotModel(
+            name=f"{system.name}:{instance}" if instance != system.name else system.name,
+            states=states,
+            inputs=inputs,
+            dynamics=dynamics,
+            params=params,
+        )
+
+    def _build_task(
+        self,
+        call: ast.TaskCall,
+        task_def: ast.TaskDef,
+        model: RobotModel,
+        scope: _Scope,
+    ) -> Task:
+        penalties: List[Penalty] = []
+        constraints: List[Constraint] = []
+
+        for stmt in task_def.body:
+            if not isinstance(stmt, ast.VarDecl):
+                continue
+            for d in stmt.declarators:
+                entry = scope.entries.get(d.name)
+                if entry is None:
+                    continue
+                for elem in _element_names(d.name, d.dims):
+                    if stmt.kind == "penalty":
+                        expr, timing = self._timed_expr(entry, elem, d.line)
+                        penalties.append(
+                            Penalty(
+                                elem,
+                                expr,
+                                entry.weight.get(elem, 1.0),
+                                timing,
+                            )
+                        )
+                    elif stmt.kind == "constraint":
+                        expr, timing = self._timed_expr(entry, elem, d.line)
+                        if elem in entry.equals:
+                            lo = hi = entry.equals[elem]
+                            if elem in entry.lower or elem in entry.upper:
+                                raise SemanticError(
+                                    f"constraint {elem!r} mixes .equals with "
+                                    "bounds",
+                                    d.line,
+                                )
+                        else:
+                            lo = entry.lower.get(elem, -_INF)
+                            hi = entry.upper.get(elem, _INF)
+                        constraints.append(
+                            Constraint(elem, expr, lo, hi, timing)
+                        )
+
+        # References used by this task: model-external vars in the exprs.
+        used = set()
+        from repro.symbolic import variables_of
+
+        model_vars = set(model.state_names) | set(model.input_names)
+        for item in penalties + constraints:
+            for v in variables_of([item.expr]):
+                if v.name not in model_vars:
+                    used.add(v.name)
+        references = [r for r in self._reference_order if r in used]
+
+        return Task(
+            name=call.task,
+            model=model,
+            penalties=penalties,
+            constraints=constraints,
+            references=references,
+        )
+
+    def _timed_expr(self, entry: _Entry, elem: str, line: int):
+        if elem in entry.running:
+            return entry.running[elem], "running"
+        if elem in entry.terminal:
+            return entry.terminal[elem], "terminal"
+        raise SemanticError(
+            f"{entry.kind} {elem!r} was declared but never assigned a "
+            ".running or .terminal expression",
+            line,
+        )
+
+
+def analyze(program: ast.Program) -> AnalysisResult:
+    """Run semantic analysis over a parsed RoboX program."""
+    return _Analyzer(program).run()

@@ -1,0 +1,71 @@
+"""Token definitions for the RoboX DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "TokenType", "KEYWORDS"]
+
+
+class TokenType:
+    """Enumeration of token kinds (plain strings for easy debugging)."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    # punctuation
+    LPAREN = "LPAREN"  # (
+    RPAREN = "RPAREN"  # )
+    LBRACE = "LBRACE"  # {
+    RBRACE = "RBRACE"  # }
+    LBRACKET = "LBRACKET"  # [
+    RBRACKET = "RBRACKET"  # ]
+    COMMA = "COMMA"  # ,
+    SEMICOLON = "SEMICOLON"  # ;
+    COLON = "COLON"  # :
+    DOT = "DOT"  # .
+    # operators
+    PLUS = "PLUS"  # +
+    MINUS = "MINUS"  # -
+    STAR = "STAR"  # *
+    SLASH = "SLASH"  # /
+    CARET = "CARET"  # ^
+    ASSIGN = "ASSIGN"  # =   (symbolic assignment)
+    IMPERATIVE = "IMPERATIVE"  # <=  (imperative assignment / bound)
+    EOF = "EOF"
+
+
+#: Reserved words of the language (Table I of the paper).
+KEYWORDS = frozenset(
+    {
+        "System",
+        "Task",
+        "state",
+        "input",
+        "param",
+        "penalty",
+        "constraint",
+        "reference",
+        "range",
+    }
+)
+
+#: Built-in nonlinear functions (Table I "Mathematical Operations").
+BUILTIN_FUNCTIONS = frozenset(
+    {"sin", "cos", "tan", "asin", "acos", "atan", "exp", "log", "sqrt", "tanh"}
+)
+
+#: Built-in group operations over a range variable.
+GROUP_FUNCTIONS = frozenset({"sum", "norm", "min", "max"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position (1-based line/column)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,61 @@
+"""Evaluation harness: regenerates every table and figure of §VIII."""
+
+from repro.experiments.calibration import (
+    PAPER_GEOMEAN_SPEEDUPS,
+    calibrated_iteration_seconds,
+    platform_calibration,
+)
+from repro.experiments.figures import (
+    BANDWIDTH_SWEEP,
+    CU_SWEEP,
+    FigureResult,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.experiments.report import format_ratio, render_figure, render_table
+from repro.experiments.tables import PAPER_TABLE3, table3, table4
+from repro.experiments.workloads import (
+    BENCHMARK_NAMES,
+    HORIZON_SWEEP,
+    PAPER_HORIZON,
+    mdfg,
+    problem,
+    robox_iteration_seconds,
+    schedule,
+)
+
+__all__ = [
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "FigureResult",
+    "CU_SWEEP",
+    "BANDWIDTH_SWEEP",
+    "table3",
+    "table4",
+    "PAPER_TABLE3",
+    "render_figure",
+    "render_table",
+    "format_ratio",
+    "platform_calibration",
+    "calibrated_iteration_seconds",
+    "PAPER_GEOMEAN_SPEEDUPS",
+    "BENCHMARK_NAMES",
+    "PAPER_HORIZON",
+    "HORIZON_SWEEP",
+    "problem",
+    "mdfg",
+    "schedule",
+    "robox_iteration_seconds",
+]

@@ -1,0 +1,304 @@
+"""Regeneration of every figure of the paper's evaluation (§VIII-B/C).
+
+Each ``figureN()`` returns a :class:`FigureResult`: the per-benchmark series
+the paper plots plus the geomean, so the benchmark harness can print the
+same rows the paper reports and the tests can assert the expected *shape*
+(who wins, by roughly what factor, where the trends bend).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines import ALL_PLATFORMS
+from repro.compiler import MachineConfig
+from repro.experiments.calibration import calibrated_iteration_seconds
+from repro.experiments.workloads import (
+    BENCHMARK_NAMES,
+    HORIZON_SWEEP,
+    PAPER_HORIZON,
+    robox_iteration_seconds,
+)
+
+__all__ = [
+    "FigureResult",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "CU_SWEEP",
+    "BANDWIDTH_SWEEP",
+]
+
+ROBOX_POWER_W = 3.4
+
+#: Figure 11 sweep (paper: 1 .. 1024 CUs, doubling)
+CU_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+#: Figure 12 sweep (fractions of the 16 B/cycle design-point bandwidth)
+BANDWIDTH_SWEEP = (0.25, 0.5, 1.0, 1.5, 2.0, 4.0)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: named series over the six benchmarks."""
+
+    figure: str
+    description: str
+    #: series name -> {benchmark -> value}; the series mirror the paper's bars
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: series name -> geomean over benchmarks
+    geomean: Dict[str, float] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: Dict[str, float]) -> None:
+        self.series[name] = dict(values)
+        self.geomean[name] = _geomean(values.values())
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _robox_seconds(name: str, horizon: int = PAPER_HORIZON, **machine_kwargs):
+    return robox_iteration_seconds(
+        name, horizon, MachineConfig(**machine_kwargs)
+    )
+
+
+# -- Figures 5/6: speedup ---------------------------------------------------------------
+
+
+def figure5(horizon: int = PAPER_HORIZON) -> FigureResult:
+    """Speedup of the Xeon E3 and RoboX over the ARM A57 baseline."""
+    result = FigureResult(
+        "Figure 5",
+        f"Speedup over ARM A57 baseline (N = {horizon})",
+    )
+    arm = {
+        b: calibrated_iteration_seconds(b, "ARM Cortex A57", horizon)
+        for b in BENCHMARK_NAMES
+    }
+    result.add_series(
+        "Xeon",
+        {
+            b: arm[b] / calibrated_iteration_seconds(b, "Intel Xeon E3", horizon)
+            for b in BENCHMARK_NAMES
+        },
+    )
+    result.add_series(
+        "RoboX",
+        {b: arm[b] / _robox_seconds(b, horizon) for b in BENCHMARK_NAMES},
+    )
+    return result
+
+
+def figure6(horizon: int = PAPER_HORIZON) -> FigureResult:
+    """Speedup of the Tegra X2, Tesla K40 and RoboX over the GTX 650 Ti."""
+    result = FigureResult(
+        "Figure 6",
+        f"Speedup over GTX 650 Ti baseline (N = {horizon})",
+    )
+    gtx = {
+        b: calibrated_iteration_seconds(b, "GTX 650 Ti", horizon)
+        for b in BENCHMARK_NAMES
+    }
+    for platform in ("Tegra X2", "Tesla K40"):
+        result.add_series(
+            platform,
+            {
+                b: gtx[b] / calibrated_iteration_seconds(b, platform, horizon)
+                for b in BENCHMARK_NAMES
+            },
+        )
+    result.add_series(
+        "RoboX",
+        {b: gtx[b] / _robox_seconds(b, horizon) for b in BENCHMARK_NAMES},
+    )
+    return result
+
+
+# -- Figures 7/8: performance per watt -------------------------------------------------
+
+
+def _ppw(seconds: float, watts: float) -> float:
+    """Performance-per-watt (iterations/second/watt)."""
+    return 1.0 / (seconds * watts)
+
+
+def figure7(horizon: int = PAPER_HORIZON) -> FigureResult:
+    """Perf-per-watt improvement of Xeon and RoboX over the ARM A57."""
+    result = FigureResult(
+        "Figure 7",
+        f"Performance-per-Watt over ARM A57 baseline (N = {horizon})",
+    )
+    arm_p = ALL_PLATFORMS["ARM Cortex A57"].active_power_w
+    base = {
+        b: _ppw(calibrated_iteration_seconds(b, "ARM Cortex A57", horizon), arm_p)
+        for b in BENCHMARK_NAMES
+    }
+    xeon_p = ALL_PLATFORMS["Intel Xeon E3"].active_power_w
+    result.add_series(
+        "Xeon",
+        {
+            b: _ppw(
+                calibrated_iteration_seconds(b, "Intel Xeon E3", horizon), xeon_p
+            )
+            / base[b]
+            for b in BENCHMARK_NAMES
+        },
+    )
+    result.add_series(
+        "RoboX",
+        {
+            b: _ppw(_robox_seconds(b, horizon), ROBOX_POWER_W) / base[b]
+            for b in BENCHMARK_NAMES
+        },
+    )
+    return result
+
+
+def figure8(horizon: int = PAPER_HORIZON) -> FigureResult:
+    """Perf-per-watt improvement of the GPUs and RoboX over the GTX 650 Ti."""
+    result = FigureResult(
+        "Figure 8",
+        f"Performance-per-Watt over GTX 650 Ti baseline (N = {horizon})",
+    )
+    gtx_p = ALL_PLATFORMS["GTX 650 Ti"].active_power_w
+    base = {
+        b: _ppw(calibrated_iteration_seconds(b, "GTX 650 Ti", horizon), gtx_p)
+        for b in BENCHMARK_NAMES
+    }
+    for platform in ("Tegra X2", "Tesla K40"):
+        p_w = ALL_PLATFORMS[platform].active_power_w
+        result.add_series(
+            platform,
+            {
+                b: _ppw(calibrated_iteration_seconds(b, platform, horizon), p_w)
+                / base[b]
+                for b in BENCHMARK_NAMES
+            },
+        )
+    result.add_series(
+        "RoboX",
+        {
+            b: _ppw(_robox_seconds(b, horizon), ROBOX_POWER_W) / base[b]
+            for b in BENCHMARK_NAMES
+        },
+    )
+    return result
+
+
+# -- Figure 9: horizon sweep ----------------------------------------------------------------
+
+
+def figure9(horizons: Sequence[int] = HORIZON_SWEEP) -> FigureResult:
+    """RoboX speedup over the ARM A57 across prediction-horizon lengths."""
+    result = FigureResult(
+        "Figure 9",
+        "RoboX speedup over ARM A57 vs. prediction horizon",
+    )
+    for horizon in horizons:
+        result.add_series(
+            f"{horizon} steps",
+            {
+                b: calibrated_iteration_seconds(b, "ARM Cortex A57", horizon)
+                / _robox_seconds(b, horizon)
+                for b in BENCHMARK_NAMES
+            },
+        )
+    return result
+
+
+# -- Figure 10: interconnect ablation ---------------------------------------------------------
+
+
+def figure10(horizon: int = 1024) -> FigureResult:
+    """RoboX speedup over ARM with and without the compute-enabled
+    interconnect (paper runs this at N = 1024)."""
+    result = FigureResult(
+        "Figure 10",
+        f"Compute-enabled interconnect ablation (N = {horizon})",
+    )
+    arm = {
+        b: calibrated_iteration_seconds(b, "ARM Cortex A57", horizon)
+        for b in BENCHMARK_NAMES
+    }
+    result.add_series(
+        "Without Compute-Enabled Interconnect",
+        {
+            b: arm[b]
+            / _robox_seconds(b, horizon, compute_enabled_interconnect=False)
+            for b in BENCHMARK_NAMES
+        },
+    )
+    result.add_series(
+        "With Compute-Enabled Interconnect",
+        {b: arm[b] / _robox_seconds(b, horizon) for b in BENCHMARK_NAMES},
+    )
+    return result
+
+
+# -- Figure 11: CU sweep ---------------------------------------------------------------------
+
+
+def figure11(
+    horizon: int = 1024, cu_counts: Sequence[int] = CU_SWEEP
+) -> FigureResult:
+    """Sensitivity of RoboX speedup over ARM to the number of CUs."""
+    result = FigureResult(
+        "Figure 11",
+        f"Speedup over ARM A57 vs. number of CUs (N = {horizon})",
+    )
+    arm = {
+        b: calibrated_iteration_seconds(b, "ARM Cortex A57", horizon)
+        for b in BENCHMARK_NAMES
+    }
+    for n_cus in cu_counts:
+        cus_per_cc = min(8, n_cus)
+        result.add_series(
+            f"{n_cus} CUs",
+            {
+                b: arm[b]
+                / _robox_seconds(
+                    b, horizon, n_cus=n_cus, cus_per_cc=cus_per_cc
+                )
+                for b in BENCHMARK_NAMES
+            },
+        )
+    return result
+
+
+# -- Figure 12: bandwidth sweep ----------------------------------------------------------------
+
+
+def figure12(
+    horizon: int = 1024, factors: Sequence[float] = BANDWIDTH_SWEEP
+) -> FigureResult:
+    """Sensitivity of RoboX speedup over ARM to off-chip memory bandwidth."""
+    result = FigureResult(
+        "Figure 12",
+        f"Speedup over ARM A57 vs. off-chip bandwidth (N = {horizon})",
+    )
+    arm = {
+        b: calibrated_iteration_seconds(b, "ARM Cortex A57", horizon)
+        for b in BENCHMARK_NAMES
+    }
+    base_bw = MachineConfig().bandwidth_bytes_per_cycle
+    for factor in factors:
+        result.add_series(
+            f"{factor:g} x",
+            {
+                b: arm[b]
+                / _robox_seconds(
+                    b, horizon, bandwidth_bytes_per_cycle=base_bw * factor
+                )
+                for b in BENCHMARK_NAMES
+            },
+        )
+    return result

@@ -1,0 +1,65 @@
+"""Plain-text rendering of reproduced figures/tables.
+
+Used by the benchmark harness (every bench prints the same rows/series the
+paper reports) and by the EXPERIMENTS.md generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["render_figure", "render_table", "format_ratio"]
+
+
+def format_ratio(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}x"
+    if value >= 10:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"
+
+
+def render_figure(result: FigureResult, benchmarks: Sequence[str] = ()) -> str:
+    """Render a FigureResult as an aligned text table."""
+    if not benchmarks:
+        first = next(iter(result.series.values()))
+        benchmarks = list(first)
+    lines = [f"{result.figure}: {result.description}"]
+    header = f"{'series':<42}" + "".join(f"{b:>13}" for b in benchmarks)
+    header += f"{'geomean':>13}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in result.series.items():
+        row = f"{name:<42}"
+        for b in benchmarks:
+            row += f"{format_ratio(values[b]):>13}"
+        row += f"{format_ratio(result.geomean[name]):>13}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table(rows: List[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return title
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = [title] if title else []
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append(
+            "  ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,59 @@
+"""Regeneration of the paper's tables (III and IV)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import ALL_PLATFORMS
+from repro.compiler import MachineConfig
+from repro.robots import all_benchmarks, table_iii_row
+
+__all__ = ["table3", "table4", "PAPER_TABLE3"]
+
+#: the paper's Table III, for verification
+PAPER_TABLE3 = {
+    "MobileRobot": {"states": 3, "inputs": 2, "penalties": 5, "constraints": 2},
+    "Manipulator": {"states": 4, "inputs": 2, "penalties": 6, "constraints": 10},
+    "AutoVehicle": {"states": 6, "inputs": 2, "penalties": 8, "constraints": 8},
+    "MicroSat": {"states": 8, "inputs": 4, "penalties": 12, "constraints": 12},
+    "Quadrotor": {"states": 12, "inputs": 4, "penalties": 10, "constraints": 7},
+    "Hexacopter": {"states": 12, "inputs": 6, "penalties": 19, "constraints": 10},
+}
+
+
+def table3() -> List[Dict[str, object]]:
+    """Benchmarks and their model/task parameters (paper Table III)."""
+    return [table_iii_row(b) for b in all_benchmarks()]
+
+
+def table4() -> List[Dict[str, object]]:
+    """Specifications of the baselines and RoboX (paper Table IV)."""
+    rows: List[Dict[str, object]] = []
+    for spec in ALL_PLATFORMS.values():
+        rows.append(
+            {
+                "platform": spec.name,
+                "kind": spec.kind,
+                "cores": spec.cores,
+                "clock_ghz": spec.frequency_ghz,
+                "memory_gb": spec.memory_gb,
+                "tdp_w": spec.tdp_w,
+                "technology_nm": spec.technology_nm,
+            }
+        )
+    machine = MachineConfig()
+    rows.append(
+        {
+            "platform": "RoboX",
+            "kind": "accelerator",
+            "cores": machine.n_cus,
+            "clock_ghz": machine.frequency_ghz,
+            "memory_gb": f"{machine.onchip_sram_bytes // 1024} KB (on-chip)",
+            "tdp_w": machine.total_power_watts,
+            "technology_nm": 45,
+            "peak_bandwidth_gbs": machine.bandwidth_bytes_per_cycle
+            * machine.frequency_ghz,
+            "lut_entries": 4096,
+        }
+    )
+    return rows

@@ -1,0 +1,86 @@
+"""Benchmark workload construction and caching for the evaluation harness.
+
+Building a benchmark's transcription + M-DFG + schedule is pure but not
+free, and the figures sweep the same six robots over many horizons and
+machine configs — so this module memoizes each (benchmark, horizon) problem
+and each (benchmark, horizon, machine) schedule for the process lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.compiler import MDFG, MachineConfig, Scheduler, StaticSchedule, translate
+from repro.compiler.mapping import map_mdfg
+from repro.robots import BENCHMARK_NAMES, build_benchmark
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "PAPER_HORIZON",
+    "HORIZON_SWEEP",
+    "benchmark",
+    "problem",
+    "mdfg",
+    "schedule",
+    "robox_iteration_seconds",
+]
+
+#: default prediction horizon of the paper's main results (Figs. 5-8)
+PAPER_HORIZON = 32
+#: Figure 9 horizon sweep
+HORIZON_SWEEP = (32, 64, 128, 256, 512, 1024)
+
+
+@lru_cache(maxsize=None)
+def benchmark(name: str):
+    return build_benchmark(name)
+
+
+@lru_cache(maxsize=None)
+def problem(name: str, horizon: int = PAPER_HORIZON):
+    return benchmark(name).transcribe(horizon=horizon)
+
+
+@lru_cache(maxsize=None)
+def mdfg(name: str, horizon: int = PAPER_HORIZON) -> MDFG:
+    return translate(problem(name, horizon))
+
+
+@lru_cache(maxsize=None)
+def _schedule_cached(
+    name: str, horizon: int, machine_key: Tuple
+) -> StaticSchedule:
+    machine = MachineConfig(*machine_key)
+    graph = mdfg(name, horizon)
+    pm = map_mdfg(graph, machine.n_cus, machine.cus_per_cc)
+    return Scheduler(machine).schedule(graph, pm)
+
+
+def schedule(
+    name: str,
+    horizon: int = PAPER_HORIZON,
+    machine: MachineConfig = MachineConfig(),
+) -> StaticSchedule:
+    """Memoized static schedule for a benchmark on a machine config."""
+    key = (
+        machine.n_cus,
+        machine.cus_per_cc,
+        machine.frequency_ghz,
+        machine.bandwidth_bytes_per_cycle,
+        machine.onchip_sram_bytes,
+        machine.compute_enabled_interconnect,
+        machine.total_power_watts,
+        machine.kernel_efficiency,
+    )
+    return _schedule_cached(name, horizon, key)
+
+
+def robox_iteration_seconds(
+    name: str,
+    horizon: int = PAPER_HORIZON,
+    machine: MachineConfig = MachineConfig(),
+) -> float:
+    """Seconds per solver iteration on the RoboX accelerator."""
+    return schedule(name, horizon, machine).seconds_per_iteration()

@@ -1,0 +1,59 @@
+"""MPC formulation and primal-dual interior-point solver (paper §II).
+
+Public surface:
+
+* :class:`RobotModel` / :class:`VarSpec` — the ``System`` IR.
+* :class:`Task` / :class:`Penalty` / :class:`Constraint` — the ``Task`` IR.
+* :class:`TranscribedProblem` — horizon discretization (Eq. 5).
+* :class:`InteriorPointSolver` / :class:`IPMOptions` / :class:`IPMResult` —
+  the Eq. 6 solver built on from-scratch Cholesky + substitution kernels.
+* :class:`MPCController` — the receding-horizon loop.
+"""
+
+from repro.mpc.banded import (
+    banded_cholesky,
+    banded_solve,
+    bandwidth_of,
+    from_banded,
+    to_banded,
+)
+from repro.mpc.controller import ClosedLoopLog, MPCController, integrate_plant
+from repro.mpc.ipm import InteriorPointSolver, IPMOptions, IPMResult
+from repro.mpc.linalg import (
+    backward_substitution,
+    cholesky,
+    cholesky_solve,
+    forward_substitution,
+    solve_symmetric,
+)
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import RUNNING, TERMINAL, Constraint, Penalty, Task
+from repro.mpc.transcription import INTEGRATORS, TranscribedProblem
+
+__all__ = [
+    "RobotModel",
+    "VarSpec",
+    "Task",
+    "Penalty",
+    "Constraint",
+    "RUNNING",
+    "TERMINAL",
+    "TranscribedProblem",
+    "INTEGRATORS",
+    "InteriorPointSolver",
+    "IPMOptions",
+    "IPMResult",
+    "MPCController",
+    "ClosedLoopLog",
+    "integrate_plant",
+    "cholesky",
+    "cholesky_solve",
+    "forward_substitution",
+    "backward_substitution",
+    "solve_symmetric",
+    "banded_cholesky",
+    "banded_solve",
+    "bandwidth_of",
+    "to_banded",
+    "from_banded",
+]

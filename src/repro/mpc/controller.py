@@ -1,0 +1,174 @@
+"""Closed-loop MPC controller and plant simulation.
+
+Ties the pieces together the way RoboX runs at deployment (§III): at every
+control step the accelerator (here: the solver) receives the current state
+measurement and any task references, solves the constrained optimization
+problem, and the *first* control input of the optimal trajectory is applied
+to the robot.  The remainder of the solution is shifted and reused as the
+next warm start — the standard receding-horizon loop.
+
+``simulate`` provides the ground-truth plant: the continuous dynamics
+integrated with RK4 at a finer step than the controller, so closed-loop tests
+exercise model mismatch between transcription and plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mpc.ipm import InteriorPointSolver, IPMResult
+from repro.mpc.transcription import TranscribedProblem
+from repro.symbolic import compile_function
+
+__all__ = ["MPCController", "ClosedLoopLog", "integrate_plant"]
+
+
+@dataclass
+class ClosedLoopLog:
+    """Trajectory log of a closed-loop run."""
+
+    states: np.ndarray  # (steps + 1, nx)
+    inputs: np.ndarray  # (steps, nu)
+    objectives: List[float] = field(default_factory=list)
+    solver_iterations: List[int] = field(default_factory=list)
+    converged: List[bool] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return self.inputs.shape[0]
+
+
+class MPCController:
+    """Receding-horizon controller around an :class:`InteriorPointSolver`."""
+
+    def __init__(self, solver: InteriorPointSolver, warm_start: bool = True):
+        self.solver = solver
+        #: when False, every step solves from the cold-start guess — for
+        #: plants whose shifted previous solution is a worse basin than a
+        #: fresh rollout (see RobotBenchmark.warm_start)
+        self.warm_start = warm_start
+        self.problem: TranscribedProblem = solver.problem
+        self._warm: Optional[np.ndarray] = None
+        self._nu_warm: Optional[np.ndarray] = None
+        self._lam_warm: Optional[np.ndarray] = None
+        self.last_result: Optional[IPMResult] = None
+
+    def reset(self) -> None:
+        """Drop the warm start (e.g. after a large disturbance)."""
+        self._warm = None
+        self._nu_warm = None
+        self._lam_warm = None
+        self.last_result = None
+
+    def step(
+        self, x_measured: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Solve for the current state and return the first control input."""
+        if not self.warm_start:
+            self._warm = self._nu_warm = self._lam_warm = None
+        result = self.solver.solve(
+            x_measured,
+            ref=ref,
+            z_warm=self._warm,
+            nu_warm=self._nu_warm,
+            lam_warm=self._lam_warm,
+        )
+        self.last_result = result
+        xs, us = self.problem.split(result.z)
+        self._warm = self._shift(xs, us)
+        self._nu_warm = result.nu
+        self._lam_warm = result.lam
+        return us[0].copy()
+
+    def _shift(self, xs: np.ndarray, us: np.ndarray) -> np.ndarray:
+        """One-step-shifted warm start: drop knot 0, duplicate the last knot."""
+        xs_next = np.vstack([xs[1:], xs[-1]])
+        us_next = np.vstack([us[1:], us[-1]]) if us.shape[0] > 1 else us.copy()
+        return self.problem.join(xs_next, us_next)
+
+    def simulate(
+        self,
+        x0: np.ndarray,
+        steps: int,
+        ref: Optional[np.ndarray] = None,
+        ref_fn: Optional[Callable[[int], np.ndarray]] = None,
+        disturbance: Optional[Callable[[int, np.ndarray], np.ndarray]] = None,
+        substeps: int = 4,
+    ) -> ClosedLoopLog:
+        """Run the controller against the continuous plant for ``steps`` steps.
+
+        Args:
+            x0: initial plant state.
+            steps: number of control intervals to simulate.
+            ref: constant reference values (if the task uses references).
+            ref_fn: per-step reference callback overriding ``ref`` — receives
+                the step index, returns the reference vector for that solve.
+            disturbance: optional additive state disturbance applied after
+                each plant step: ``x <- x + disturbance(k, x)``.
+            substeps: RK4 sub-steps per control interval for the plant.
+        """
+        p = self.problem
+        x = np.asarray(x0, dtype=float).copy()
+        states = [x.copy()]
+        inputs = []
+        log = ClosedLoopLog(states=np.zeros(0), inputs=np.zeros(0))
+
+        plant = _PlantIntegrator(p)
+        for k in range(steps):
+            step_ref = ref_fn(k) if ref_fn is not None else ref
+            u = self.step(x, ref=step_ref)
+            result = self.last_result
+            log.objectives.append(result.objective)
+            log.solver_iterations.append(result.iterations)
+            log.converged.append(result.converged)
+            x = plant.advance(x, u, p.dt, substeps)
+            if disturbance is not None:
+                x = x + np.asarray(disturbance(k, x), dtype=float)
+            states.append(x.copy())
+            inputs.append(u)
+
+        log.states = np.array(states)
+        log.inputs = np.array(inputs)
+        return log
+
+
+class _PlantIntegrator:
+    """Ground-truth RK4 integrator of the *continuous* robot dynamics."""
+
+    def __init__(self, problem: TranscribedProblem):
+        model = problem.model
+        exprs = list(model.dynamics_exprs)
+        variables = list(model.state_vars) + list(model.input_vars)
+        self._f = compile_function(exprs, variables, "plant_dynamics")
+        self._nx = model.n_states
+
+    def advance(
+        self, x: np.ndarray, u: np.ndarray, dt: float, substeps: int
+    ) -> np.ndarray:
+        if substeps < 1:
+            raise SolverError("substeps must be >= 1")
+        h = dt / substeps
+        state = np.asarray(x, dtype=float).copy()
+        for _ in range(substeps):
+            k1 = self._f(np.concatenate([state, u]))
+            k2 = self._f(np.concatenate([state + 0.5 * h * k1, u]))
+            k3 = self._f(np.concatenate([state + 0.5 * h * k2, u]))
+            k4 = self._f(np.concatenate([state + h * k3, u]))
+            state = state + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        return state
+
+
+def integrate_plant(
+    problem: TranscribedProblem,
+    x: np.ndarray,
+    u: np.ndarray,
+    dt: Optional[float] = None,
+    substeps: int = 4,
+) -> np.ndarray:
+    """One plant step with the continuous dynamics (public convenience)."""
+    integ = _PlantIntegrator(problem)
+    return integ.advance(x, u, dt if dt is not None else problem.dt, substeps)

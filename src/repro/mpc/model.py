@@ -1,0 +1,206 @@
+"""Robot model IR: states, control inputs, bounds, and continuous dynamics.
+
+This is the common intermediate representation produced by both frontends
+(the RoboX DSL in :mod:`repro.dsl` and the Python builder API) and consumed
+by the transcription layer and the accelerator compiler.  It corresponds to
+the paper's ``System`` component (§IV-A): a set of named scalar states and
+inputs, per-variable physical bounds, and one symbolic time-derivative
+expression per state (the canonical nonlinear dynamics ``xdot = f(x, u)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.symbolic import Expr, Var, as_expr, variables_of
+
+__all__ = ["VarSpec", "RobotModel"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """A scalar state or input with optional physical bounds.
+
+    Vector DSL variables (``state pos[2]``) are flattened into one spec per
+    element with canonical names like ``pos[0]``.
+
+    ``trim`` is the steady-operating value used for cold-start trajectory
+    initialization (e.g. hover thrust for a UAV rotor); it is clipped into
+    the bounds when used.
+    """
+
+    name: str
+    lower: float = -_INF
+    upper: float = _INF
+    trim: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ModelError("variable name must be non-empty")
+        if self.lower > self.upper:
+            raise ModelError(
+                f"{self.name}: lower bound {self.lower} exceeds upper {self.upper}"
+            )
+
+    @property
+    def clipped_trim(self) -> float:
+        return min(max(self.trim, self.lower), self.upper)
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lower > -_INF or self.upper < _INF
+
+    @property
+    def var(self) -> Var:
+        return Var(self.name)
+
+
+class RobotModel:
+    """A robot ``System``: states, inputs, and symbolic dynamics.
+
+    Args:
+        name: robot name (e.g. ``"Quadrotor"``).
+        states: ordered state specs; order defines the state-vector layout.
+        inputs: ordered input specs; order defines the input-vector layout.
+        dynamics: mapping ``state name -> d(state)/dt`` symbolic expression.
+            Every state must have exactly one entry; expressions may reference
+            only declared states and inputs.
+        params: constant parameters already folded into the dynamics, kept
+            for introspection and reporting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[VarSpec],
+        inputs: Sequence[VarSpec],
+        dynamics: Dict[str, Expr],
+        params: Optional[Dict[str, float]] = None,
+        rollout_guess: bool = True,
+    ):
+        self.name = name
+        self.states: Tuple[VarSpec, ...] = tuple(states)
+        self.inputs: Tuple[VarSpec, ...] = tuple(inputs)
+        self.params: Dict[str, float] = dict(params or {})
+        #: whether an open-loop trim rollout is a sensible cold-start guess
+        #: (False for open-loop unstable plants like a gravity-loaded arm)
+        self.rollout_guess = bool(rollout_guess)
+
+        self._validate_names()
+        self.dynamics: Dict[str, Expr] = {
+            k: as_expr(v) for k, v in dynamics.items()
+        }
+        self._validate_dynamics()
+
+    # -- layout ----------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def state_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.states)
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(u.name for u in self.inputs)
+
+    @property
+    def state_vars(self) -> Tuple[Var, ...]:
+        return tuple(s.var for s in self.states)
+
+    @property
+    def input_vars(self) -> Tuple[Var, ...]:
+        return tuple(u.var for u in self.inputs)
+
+    def state_index(self, name: str) -> int:
+        try:
+            return self.state_names.index(name)
+        except ValueError:
+            raise ModelError(f"{self.name}: unknown state {name!r}") from None
+
+    def input_index(self, name: str) -> int:
+        try:
+            return self.input_names.index(name)
+        except ValueError:
+            raise ModelError(f"{self.name}: unknown input {name!r}") from None
+
+    @property
+    def dynamics_exprs(self) -> Tuple[Expr, ...]:
+        """Time derivatives ordered to match the state layout."""
+        return tuple(self.dynamics[s.name] for s in self.states)
+
+    # -- bound helpers ---------------------------------------------------------
+    def state_bounds(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        return (
+            tuple(s.lower for s in self.states),
+            tuple(s.upper for s in self.states),
+        )
+
+    def input_bounds(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        return (
+            tuple(u.lower for u in self.inputs),
+            tuple(u.upper for u in self.inputs),
+        )
+
+    def trim_inputs(self) -> Tuple[float, ...]:
+        """Steady-operating input vector (clipped into bounds)."""
+        return tuple(u.clipped_trim for u in self.inputs)
+
+    def n_bound_constraints(self) -> int:
+        """Number of scalar inequality rows contributed by variable bounds."""
+        count = 0
+        for spec in self.states + self.inputs:
+            if spec.lower > -_INF:
+                count += 1
+            if spec.upper < _INF:
+                count += 1
+        return count
+
+    # -- validation ------------------------------------------------------------
+    def _validate_names(self) -> None:
+        names: List[str] = [s.name for s in self.states] + [
+            u.name for u in self.inputs
+        ]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ModelError(f"{self.name}: duplicate variable names {sorted(dupes)}")
+        if not self.states:
+            raise ModelError(f"{self.name}: a robot model needs at least one state")
+        if not self.inputs:
+            raise ModelError(f"{self.name}: a robot model needs at least one input")
+
+    def _validate_dynamics(self) -> None:
+        missing = set(self.state_names) - set(self.dynamics)
+        if missing:
+            raise ModelError(
+                f"{self.name}: states without dynamics: {sorted(missing)}"
+            )
+        extra = set(self.dynamics) - set(self.state_names)
+        if extra:
+            raise ModelError(
+                f"{self.name}: dynamics given for unknown states: {sorted(extra)}"
+            )
+        allowed = set(self.state_names) | set(self.input_names)
+        for state_name, expr in self.dynamics.items():
+            for v in variables_of([expr]):
+                if v.name not in allowed:
+                    raise ModelError(
+                        f"{self.name}: dynamics of {state_name!r} references "
+                        f"undeclared variable {v.name!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"RobotModel({self.name!r}, states={self.n_states}, "
+            f"inputs={self.n_inputs})"
+        )

@@ -1,0 +1,241 @@
+"""Primal-dual interior-point solver for convex quadratic programs.
+
+This is the inner solver of the RoboX pipeline, playing the role HPMPC plays
+in the paper's CPU baseline (§VIII-A): each SQP linearization of the MPC
+problem yields the convex QP
+
+    min  1/2 x^T H x + g^T x
+    s.t. G x  = b                      (equalities)
+         J x <= d                      (inequalities)
+
+solved here with a Mehrotra predictor-corrector interior-point method.  The
+Newton system of the paper's Eq. 6 is condensed by eliminating slacks and
+inequality multipliers, then solved with the from-scratch Cholesky and
+forward/backward substitution kernels of :mod:`repro.mpc.linalg` — the
+factorization is computed once per iteration and reused for the corrector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mpc.linalg import cholesky, cholesky_solve
+
+__all__ = ["QPOptions", "QPResult", "solve_qp"]
+
+
+@dataclass
+class QPOptions:
+    """Parameters for the QP interior-point method."""
+
+    max_iterations: int = 50
+    tolerance: float = 1e-8
+    #: fraction-to-the-boundary factor
+    tau: float = 0.995
+    #: diagonal regularization for the condensed Hessian
+    regularization: float = 1e-9
+
+    def __post_init__(self):
+        if self.max_iterations < 1:
+            raise SolverError("max_iterations must be >= 1")
+        if not 0 < self.tau < 1:
+            raise SolverError("tau must lie in (0, 1)")
+
+
+@dataclass
+class QPResult:
+    """Solution of one QP subproblem."""
+
+    x: np.ndarray
+    nu: np.ndarray
+    lam: np.ndarray
+    slacks: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    gap_history: List[float] = field(default_factory=list)
+
+
+def solve_qp(
+    H: np.ndarray,
+    g: np.ndarray,
+    G: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    J: Optional[np.ndarray],
+    d: Optional[np.ndarray],
+    options: Optional[QPOptions] = None,
+) -> QPResult:
+    """Solve a convex QP with a Mehrotra predictor-corrector IPM.
+
+    Args:
+        H: PSD Hessian (n x n); a small regularization is added internally.
+        g: linear objective term (n,).
+        G, b: equality constraints ``G x = b`` (pass ``None`` for none).
+        J, d: inequality constraints ``J x <= d`` (pass ``None`` for none).
+    """
+    opt = options or QPOptions()
+    n = g.shape[0]
+    if H.shape != (n, n):
+        raise SolverError(f"H shape {H.shape} does not match g length {n}")
+
+    has_eq = G is not None and G.shape[0] > 0
+    has_in = J is not None and J.shape[0] > 0
+    p = G.shape[0] if has_eq else 0
+    m = J.shape[0] if has_in else 0
+    if has_eq and (b is None or b.shape != (p,)):
+        raise SolverError("equality right-hand side b missing or mis-shaped")
+    if has_in and (d is None or d.shape != (m,)):
+        raise SolverError("inequality right-hand side d missing or mis-shaped")
+
+    x = np.zeros(n)
+    nu = np.zeros(p)
+    if has_in:
+        s = np.maximum(1.0, d - J @ x)
+        lam = np.ones(m)
+    else:
+        s = np.zeros(0)
+        lam = np.zeros(0)
+
+    gap_history: List[float] = []
+    converged = False
+    it = 0
+    # Relative-tolerance scale, capped so a single huge coefficient (e.g.
+    # the L1 soft-constraint penalty in the extended SQP subproblems) cannot
+    # loosen the stopping test by orders of magnitude.
+    scale = 1.0 + min(
+        max(
+            float(np.max(np.abs(g))),
+            float(np.max(np.abs(b))) if has_eq else 0.0,
+            float(np.max(np.abs(d))) if has_in else 0.0,
+        ),
+        100.0,
+    )
+
+    for it in range(1, opt.max_iterations + 1):
+        r_dual = H @ x + g
+        if has_eq:
+            r_dual = r_dual + G.T @ nu
+        if has_in:
+            r_dual = r_dual + J.T @ lam
+        r_eq = (G @ x - b) if has_eq else np.zeros(0)
+        r_in = (J @ x + s - d) if has_in else np.zeros(0)
+        mu = float(s @ lam) / m if m else 0.0
+        gap_history.append(mu)
+
+        residual = max(
+            _max_abs(r_dual), _max_abs(r_eq), _max_abs(r_in), mu
+        )
+        if residual < opt.tolerance * scale:
+            converged = True
+            break
+        # Divergence guard: an infeasible subproblem drives the inequality
+        # multipliers to infinity; bail out with the best iterate so the
+        # outer solver's merit line search can still use the direction.
+        if m and (not np.isfinite(residual) or float(np.max(lam)) > 1e14 * scale):
+            break
+
+        # -- factorize the condensed system once per iteration -------------------
+        if has_in:
+            # Clip the scaling so slack underflow cannot inject inf/NaN into
+            # the factorization; beyond 1e16 the row is numerically "active".
+            w = np.minimum(lam / np.maximum(s, 1e-300), 1e16)
+            Phi = H + (J.T * w) @ J
+        else:
+            Phi = H
+        L, reg_used = _robust_cholesky(Phi, opt.regularization)
+        if has_eq:
+            PhiInv_Gt = cholesky_solve(L, G.T)
+            S = G @ PhiInv_Gt
+            Ls, _ = _robust_cholesky(S, opt.regularization)
+        else:
+            PhiInv_Gt = None
+            Ls = None
+
+        def newton_step(rd, re, ri, rc):
+            """Solve Eq. 6 for (dx, dnu, dlam, ds) given the residual stack."""
+            if has_in:
+                rhs1 = -(rd + J.T @ (w * ri - rc / np.maximum(s, 1e-300)))
+            else:
+                rhs1 = -rd
+            PhiInv_r1 = cholesky_solve(L, rhs1)
+            if has_eq:
+                dnu = cholesky_solve(Ls, G @ PhiInv_r1 + re)
+                dx = PhiInv_r1 - PhiInv_Gt @ dnu
+            else:
+                dnu = np.zeros(0)
+                dx = PhiInv_r1
+            if has_in:
+                ds = -ri - J @ dx
+                dlam = (-rc - lam * ds) / np.maximum(s, 1e-300)
+            else:
+                ds = np.zeros(0)
+                dlam = np.zeros(0)
+            return dx, dnu, dlam, ds
+
+        # -- predictor (affine) step ------------------------------------------------
+        rc_aff = s * lam if has_in else np.zeros(0)
+        dx_a, dnu_a, dlam_a, ds_a = newton_step(r_dual, r_eq, r_in, rc_aff)
+
+        if has_in:
+            alpha_p_aff = _max_step(s, ds_a, 1.0)
+            alpha_d_aff = _max_step(lam, dlam_a, 1.0)
+            mu_aff = float(
+                (s + alpha_p_aff * ds_a) @ (lam + alpha_d_aff * dlam_a)
+            ) / m
+            sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+            # -- corrector: recenter + second-order complementarity term ------------
+            rc = s * lam + ds_a * dlam_a - sigma * mu
+            dx, dnu, dlam, ds = newton_step(r_dual, r_eq, r_in, rc)
+            alpha_p = opt.tau * _max_step(s, ds, 1.0)
+            alpha_d = opt.tau * _max_step(lam, dlam, 1.0)
+            alpha_p = min(1.0, alpha_p)
+            alpha_d = min(1.0, alpha_d)
+        else:
+            dx, dnu, dlam, ds = dx_a, dnu_a, dlam_a, ds_a
+            alpha_p = alpha_d = 1.0
+
+        x = x + alpha_p * dx
+        nu = nu + alpha_d * dnu
+        if has_in:
+            s = s + alpha_p * ds
+            lam = lam + alpha_d * dlam
+
+    return QPResult(
+        x=x,
+        nu=nu,
+        lam=lam,
+        slacks=s,
+        converged=converged,
+        iterations=it,
+        residual=residual if it else float("inf"),
+        gap_history=gap_history,
+    )
+
+
+def _robust_cholesky(A: np.ndarray, reg: float) -> Tuple[np.ndarray, float]:
+    """Cholesky with geometric regularization escalation on failure."""
+    current = reg
+    for _ in range(16):
+        try:
+            return cholesky(A, reg=current), current
+        except SolverError:
+            current = max(current * 100.0, 1e-12)
+    raise SolverError(
+        f"matrix could not be factorized even with regularization {current:.1e}"
+    )
+
+
+def _max_abs(v: np.ndarray) -> float:
+    return float(np.max(np.abs(v))) if v.size else 0.0
+
+
+def _max_step(x: np.ndarray, dx: np.ndarray, tau: float) -> float:
+    """Largest ``alpha <= 1`` keeping ``x + alpha dx >= (1 - tau) x``."""
+    negative = dx < 0
+    if not np.any(negative):
+        return 1.0
+    return float(min(1.0, np.min(-tau * x[negative] / dx[negative])))

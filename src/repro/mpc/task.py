@@ -1,0 +1,197 @@
+"""Task IR: penalty terms and task-specific constraints.
+
+Mirrors the paper's ``Task`` component (§IV-B).  A task is a set of weighted
+penalty terms — each marked *running* (enforced at every step of the horizon
+except the last) or *terminal* (only at the final step) — plus inequality /
+equality constraints with the same timing split.  The objective assembled by
+the Program Translator is the sum of weighted squared penalties
+``sum_i w_i * p_i^2`` (§VII).
+
+Penalties and constraints may reference *references*: named external inputs
+(e.g. a target location streamed from a perception module) that are bound to
+numeric values at every controller invocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import TaskError
+from repro.mpc.model import RobotModel
+from repro.symbolic import Expr, Var, as_expr, variables_of
+
+__all__ = ["Penalty", "Constraint", "Task", "RUNNING", "TERMINAL"]
+
+RUNNING = "running"
+TERMINAL = "terminal"
+_TIMINGS = (RUNNING, TERMINAL)
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Penalty:
+    """A scalar penalty term minimized as ``weight * expr**2``."""
+
+    name: str
+    expr: Expr
+    weight: float = 1.0
+    timing: str = RUNNING
+
+    def __post_init__(self):
+        object.__setattr__(self, "expr", as_expr(self.expr))
+        if self.timing not in _TIMINGS:
+            raise TaskError(f"penalty {self.name!r}: bad timing {self.timing!r}")
+        if self.weight < 0:
+            raise TaskError(f"penalty {self.name!r}: negative weight {self.weight}")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A scalar constraint ``lower <= expr <= upper``.
+
+    An equality constraint (DSL ``equals`` field) is expressed as
+    ``lower == upper``.  One-sided constraints leave the other bound at
+    +/- infinity.
+    """
+
+    name: str
+    expr: Expr
+    lower: float = -_INF
+    upper: float = _INF
+    timing: str = RUNNING
+
+    def __post_init__(self):
+        object.__setattr__(self, "expr", as_expr(self.expr))
+        if self.timing not in _TIMINGS:
+            raise TaskError(f"constraint {self.name!r}: bad timing {self.timing!r}")
+        if self.lower > self.upper:
+            raise TaskError(
+                f"constraint {self.name!r}: lower {self.lower} > upper {self.upper}"
+            )
+        if self.lower == -_INF and self.upper == _INF:
+            raise TaskError(f"constraint {self.name!r}: no finite bound given")
+
+    @property
+    def is_equality(self) -> bool:
+        return self.lower == self.upper
+
+    def n_inequality_rows(self) -> int:
+        """Scalar rows contributed to the stacked ``h(z) <= 0`` vector."""
+        if self.is_equality:
+            return 0
+        rows = 0
+        if self.lower > -_INF:
+            rows += 1
+        if self.upper < _INF:
+            rows += 1
+        return rows
+
+
+class Task:
+    """A robot task: penalties + constraints, validated against a model.
+
+    Args:
+        name: task name (e.g. ``"moveTo"``).
+        model: the robot the task is defined for.
+        penalties: penalty terms (running and/or terminal).
+        constraints: task-specific constraints.
+        references: names of external reference variables that penalty /
+            constraint expressions may use in addition to model variables.
+        meta: free-form metadata (horizon defaults, controller rate, ...)
+            carried through from the DSL meta-parameters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: RobotModel,
+        penalties: Sequence[Penalty],
+        constraints: Sequence[Constraint] = (),
+        references: Sequence[str] = (),
+        meta: Optional[Dict[str, float]] = None,
+    ):
+        self.name = name
+        self.model = model
+        self.penalties: Tuple[Penalty, ...] = tuple(penalties)
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        self.references: Tuple[str, ...] = tuple(references)
+        self.meta: Dict[str, float] = dict(meta or {})
+        self._validate()
+
+    # -- grouping (the Program Translator organizes penalties/constraints into
+    # -- separate running and terminal groupings, §VII) -------------------------
+    @property
+    def running_penalties(self) -> Tuple[Penalty, ...]:
+        return tuple(p for p in self.penalties if p.timing == RUNNING)
+
+    @property
+    def terminal_penalties(self) -> Tuple[Penalty, ...]:
+        return tuple(p for p in self.penalties if p.timing == TERMINAL)
+
+    @property
+    def running_constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(c for c in self.constraints if c.timing == RUNNING)
+
+    @property
+    def terminal_constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(c for c in self.constraints if c.timing == TERMINAL)
+
+    @property
+    def n_penalties(self) -> int:
+        return len(self.penalties)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def reference_vars(self) -> Tuple[Var, ...]:
+        return tuple(Var(r) for r in self.references)
+
+    def _validate(self) -> None:
+        if not self.penalties:
+            raise TaskError(f"task {self.name!r} defines no penalty terms")
+        names = [p.name for p in self.penalties] + [c.name for c in self.constraints]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise TaskError(
+                f"task {self.name!r}: duplicate penalty/constraint names "
+                f"{sorted(dupes)}"
+            )
+        allowed = (
+            set(self.model.state_names)
+            | set(self.model.input_names)
+            | set(self.references)
+        )
+        for item in list(self.penalties) + list(self.constraints):
+            used = {v.name for v in variables_of([item.expr])}
+            unknown = used - allowed
+            if unknown:
+                raise TaskError(
+                    f"task {self.name!r}: {item.name!r} references undeclared "
+                    f"variables {sorted(unknown)}"
+                )
+            if not used & (set(self.model.state_names) | set(self.model.input_names)):
+                raise TaskError(
+                    f"task {self.name!r}: {item.name!r} must reference at least "
+                    f"one state or input variable"
+                )
+        terminal_inputs = [
+            item.name
+            for item in list(self.terminal_penalties) + list(self.terminal_constraints)
+            if {v.name for v in variables_of([item.expr])}
+            & set(self.model.input_names)
+        ]
+        if terminal_inputs:
+            raise TaskError(
+                f"task {self.name!r}: terminal terms cannot reference inputs "
+                f"(no input exists at the final step): {terminal_inputs}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self.name!r}, model={self.model.name!r}, "
+            f"penalties={self.n_penalties}, constraints={self.n_constraints})"
+        )

@@ -1,0 +1,734 @@
+"""Direct transcription of an MPC problem over a finite horizon.
+
+Implements §II-B of the paper: the trajectory is discretized over a horizon
+of ``N`` steps into the decision vector ``z = [x_0 .. x_N, u_0 .. u_{N-1}]``
+(Eq. 5); the robot dynamics become equality constraints linking consecutive
+states; variable bounds and task constraints become the stacked inequality
+vector; and the objective is the weighted sum of squared penalties.
+
+The transcription is *stage-wise*: one set of symbolic expressions is built
+and compiled per stage kind (running / terminal) and evaluated at every time
+step, exactly how structure-exploiting MPC solvers (HPMPC, the paper's CPU
+baseline) operate.  All gradients, Jacobians and Hessians are produced by
+symbolic automatic differentiation (§VII), and their exact primitive-op
+counts are exposed for the accelerator compiler and baseline cost models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TranscriptionError
+from repro.mpc.model import RobotModel
+from repro.mpc.task import Task
+from repro.symbolic import (
+    Const,
+    Expr,
+    Var,
+    as_expr,
+    compile_function,
+    diff,
+    simplify,
+    substitute,
+)
+
+__all__ = ["TranscribedProblem", "INTEGRATORS"]
+
+INTEGRATORS = ("euler", "rk4")
+_INF = math.inf
+
+
+class TranscribedProblem:
+    """A discretized constrained optimization problem ready for the solver.
+
+    Args:
+        model: robot ``System``.
+        task: robot ``Task``.
+        horizon: number of control intervals ``N`` (the trajectory has
+            ``N + 1`` state knots and ``N`` input knots).
+        dt: integration step in seconds.
+        integrator: ``"euler"`` or ``"rk4"`` discretization of the continuous
+            dynamics (a solver-template parameter in RoboX).
+        move_block: move-blocking factor ``B`` — the control input is held
+            constant over blocks of ``B`` consecutive steps, shrinking the
+            decision vector from ``N`` to ``ceil(N / B)`` input knots.  This
+            is the algorithmic-approximation technique of the paper's §IX
+            (ref. [77]) that trades control accuracy for solver speed; the
+            default ``1`` disables it.
+    """
+
+    def __init__(
+        self,
+        model: RobotModel,
+        task: Task,
+        horizon: int,
+        dt: float,
+        integrator: str = "rk4",
+        move_block: int = 1,
+    ):
+        if horizon < 1:
+            raise TranscriptionError(f"horizon must be >= 1, got {horizon}")
+        if dt <= 0:
+            raise TranscriptionError(f"dt must be positive, got {dt}")
+        if integrator not in INTEGRATORS:
+            raise TranscriptionError(
+                f"unknown integrator {integrator!r}; choose from {INTEGRATORS}"
+            )
+        if task.model is not model:
+            raise TranscriptionError(
+                f"task {task.name!r} was defined for model {task.model.name!r}, "
+                f"not {model.name!r}"
+            )
+        if move_block < 1:
+            raise TranscriptionError(
+                f"move_block must be >= 1, got {move_block}"
+            )
+
+        self.model = model
+        self.task = task
+        self.N = horizon
+        self.dt = dt
+        self.integrator = integrator
+        self.move_block = move_block
+        #: number of independent input knots after move blocking
+        self.n_input_knots = -(-horizon // move_block)  # ceil division
+
+        self.nx = model.n_states
+        self.nu = model.n_inputs
+        self.nref = len(task.references)
+        self.nz = (self.N + 1) * self.nx + self.n_input_knots * self.nu
+
+        self._state_vars = list(model.state_vars)
+        self._input_vars = list(model.input_vars)
+        self._ref_vars = list(task.reference_vars)
+        self._stage_vars = self._state_vars + self._input_vars + self._ref_vars
+        self._term_vars = self._state_vars + self._ref_vars
+
+        self._build_dynamics()
+        self._build_costs()
+        self._build_constraints()
+        self._compute_counts()
+
+    # -- decision-vector layout (Eq. 5) -----------------------------------------
+    def state_slice(self, k: int) -> slice:
+        """Slice of ``z`` holding ``x_k`` (``0 <= k <= N``)."""
+        if not 0 <= k <= self.N:
+            raise TranscriptionError(f"state index {k} outside [0, {self.N}]")
+        return slice(k * self.nx, (k + 1) * self.nx)
+
+    def input_slice(self, k: int) -> slice:
+        """Slice of ``z`` holding ``u_k`` (``0 <= k < N``).
+
+        With move blocking, steps in the same block share one knot, so the
+        same slice is returned for every ``k`` in a block — gradient/Hessian
+        accumulation through this slice then sums block members' sensitivities,
+        which is exactly the chain rule for the shared variable.
+        """
+        if not 0 <= k < self.N:
+            raise TranscriptionError(f"input index {k} outside [0, {self.N - 1}]")
+        base = (self.N + 1) * self.nx
+        knot = k // self.move_block
+        return slice(base + knot * self.nu, base + (knot + 1) * self.nu)
+
+    def split(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``z`` into the state matrix ``(N+1, nx)`` and the *per-step*
+        input matrix ``(N, nu)`` (blocked knots are expanded)."""
+        z = np.asarray(z, dtype=float)
+        if z.shape != (self.nz,):
+            raise TranscriptionError(f"z has shape {z.shape}, expected ({self.nz},)")
+        xs = z[: (self.N + 1) * self.nx].reshape(self.N + 1, self.nx)
+        knots = z[(self.N + 1) * self.nx :].reshape(self.n_input_knots, self.nu)
+        us = np.repeat(knots, self.move_block, axis=0)[: self.N]
+        return xs, us
+
+    def join(self, xs: np.ndarray, us: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`split` (block representatives are the first
+        step of each block)."""
+        xs = np.asarray(xs, dtype=float).reshape(self.N + 1, self.nx)
+        us = np.asarray(us, dtype=float).reshape(self.N, self.nu)
+        knots = us[:: self.move_block]
+        return np.concatenate([xs.ravel(), knots.ravel()])
+
+    # -- symbolic construction ---------------------------------------------------
+    def _discrete_step_exprs(self) -> List[Expr]:
+        """Symbolic ``x_{k+1} = F(x_k, u_k)`` via the chosen integrator."""
+        f = list(self.model.dynamics_exprs)
+        h = Const(self.dt)
+        xs = self._state_vars
+
+        if self.integrator == "euler":
+            return [simplify(x + h * fx) for x, fx in zip(xs, f)]
+
+        # Classic RK4 expanded symbolically; shared subexpressions keep the
+        # DAG compact even for the 12-state UAV models.
+        def shifted(stage_exprs: List[Expr], scale: float) -> List[Expr]:
+            mapping = {
+                x: simplify(x + Const(scale * self.dt) * k)
+                for x, k in zip(xs, stage_exprs)
+            }
+            return [substitute(fx, mapping) for fx in f]
+
+        k1 = f
+        k2 = shifted(k1, 0.5)
+        k3 = shifted(k2, 0.5)
+        k4 = shifted(k3, 1.0)
+        sixth = Const(self.dt / 6.0)
+        return [
+            simplify(x + sixth * (a + Const(2.0) * b + Const(2.0) * c + d))
+            for x, a, b, c, d in zip(xs, k1, k2, k3, k4)
+        ]
+
+    def _build_dynamics(self) -> None:
+        step = self._discrete_step_exprs()
+        sv = self._state_vars
+        iv = self._input_vars
+        self._F = compile_function(step, sv + iv, "dyn_step")
+        jac_x = [diff(e, v) for e in step for v in sv]
+        jac_u = [diff(e, v) for e in step for v in iv]
+        self._A = compile_function(jac_x, sv + iv, "dyn_jac_x")
+        self._B = compile_function(jac_u, sv + iv, "dyn_jac_u")
+
+    def _build_costs(self) -> None:
+        def quad_sum(penalties) -> Expr:
+            total: Expr = Const(0.0)
+            for p in penalties:
+                total = total + Const(p.weight) * p.expr * p.expr
+            return simplify(total)
+
+        run = quad_sum(self.task.running_penalties)
+        term = quad_sum(self.task.terminal_penalties)
+
+        # Penalty residual vectors + Jacobians for the Gauss-Newton Hessian
+        # (the SQP driver builds H = 2 Jp^T W Jp per stage, which is PSD).
+        run_pens = list(self.task.running_penalties)
+        term_pens = list(self.task.terminal_penalties)
+        self.w_run = np.array([p.weight for p in run_pens])
+        self.w_term = np.array([p.weight for p in term_pens])
+        run_vars_gn = self._state_vars + self._input_vars
+        self._P_run = compile_function(
+            [p.expr for p in run_pens] or [Const(0.0)], self._stage_vars, "pen_run"
+        )
+        self._P_run_jac = compile_function(
+            [diff(p.expr, v) for p in run_pens for v in run_vars_gn] or [Const(0.0)],
+            self._stage_vars,
+            "pen_run_jac",
+        )
+        self._P_term = compile_function(
+            [p.expr for p in term_pens] or [Const(0.0)], self._term_vars, "pen_term"
+        )
+        self._P_term_jac = compile_function(
+            [diff(p.expr, v) for p in term_pens for v in self._state_vars]
+            or [Const(0.0)],
+            self._term_vars,
+            "pen_term_jac",
+        )
+
+        run_vars = self._state_vars + self._input_vars
+        self._L = compile_function([run], self._stage_vars, "cost_run")
+        grad_run = [diff(run, v) for v in run_vars]
+        self._L_grad = compile_function(grad_run, self._stage_vars, "cost_run_grad")
+        hess_run = [diff(g, v) for g in grad_run for v in run_vars]
+        self._L_hess = compile_function(hess_run, self._stage_vars, "cost_run_hess")
+
+        self._Phi = compile_function([term], self._term_vars, "cost_term")
+        grad_term = [diff(term, v) for v in self._state_vars]
+        self._Phi_grad = compile_function(
+            grad_term, self._term_vars, "cost_term_grad"
+        )
+        hess_term = [diff(g, v) for g in grad_term for v in self._state_vars]
+        self._Phi_hess = compile_function(
+            hess_term, self._term_vars, "cost_term_hess"
+        )
+
+    def _inequality_rows(self, constraints) -> List[Expr]:
+        """Rewrite two-sided constraints into stacked ``h(z) <= 0`` rows."""
+        rows: List[Expr] = []
+        for c in constraints:
+            if c.is_equality:
+                continue
+            if c.upper < _INF:
+                rows.append(simplify(c.expr - Const(c.upper)))
+            if c.lower > -_INF:
+                rows.append(simplify(Const(c.lower) - c.expr))
+        return rows
+
+    def _equality_rows(self, constraints) -> List[Expr]:
+        return [
+            simplify(c.expr - Const(c.lower))
+            for c in constraints
+            if c.is_equality
+        ]
+
+    def _bound_rows(self, specs, upto: Optional[int] = None) -> List[Expr]:
+        rows: List[Expr] = []
+        for spec in specs:
+            v = Var(spec.name)
+            if spec.upper < _INF:
+                rows.append(v - Const(spec.upper))
+            if spec.lower > -_INF:
+                rows.append(Const(spec.lower) - v)
+        return rows
+
+    def _build_constraints(self) -> None:
+        """Classify and compile the stage inequality / equality rows.
+
+        Rows that involve any *state* variable are enforced at knots
+        ``k = 1 .. N-1`` (running) and ``k = N`` (terminal): the measured
+        initial state is pinned by an equality, so imposing a state
+        constraint at ``k = 0`` would make the subproblem infeasible whenever
+        the robot is measured slightly outside the constraint set — the
+        standard MPC convention (and what ACADO generates) is to constrain
+        only the *future* states.  Input-only rows are enforced at every
+        ``k = 0 .. N-1`` where the input exists.
+        """
+        state_names = set(self.model.state_names)
+
+        def uses_state(expr: Expr) -> bool:
+            from repro.symbolic import variables_of
+
+            return any(v.name in state_names for v in variables_of([expr]))
+
+        run_rows = (
+            self._bound_rows(self.model.states)
+            + self._bound_rows(self.model.inputs)
+            + self._inequality_rows(self.task.running_constraints)
+        )
+        state_rows = [r for r in run_rows if uses_state(r)]
+        input_rows = [r for r in run_rows if not uses_state(r)]
+        term_rows = self._bound_rows(self.model.states) + self._inequality_rows(
+            self.task.terminal_constraints
+        )
+        run_eq = self._equality_rows(self.task.running_constraints)
+        state_eq = [r for r in run_eq if uses_state(r)]
+        input_eq = [r for r in run_eq if not uses_state(r)]
+        term_eq = self._equality_rows(self.task.terminal_constraints)
+
+        sv, iv = self._state_vars, self._input_vars
+        run_vars = sv + iv
+
+        self._h_state_rows = len(state_rows)
+        self._h_input_rows = len(input_rows)
+        self._h_term_rows = len(term_rows)
+        self._eq_state_rows = len(state_eq)
+        self._eq_input_rows = len(input_eq)
+        self._eq_term_rows = len(term_eq)
+
+        def compiled(rows, variables, name):
+            return compile_function(rows or [Const(0.0)], variables, name)
+
+        def compiled_jac(rows, wrt, variables, name):
+            return compile_function(
+                [diff(r, v) for r in rows for v in wrt] or [Const(0.0)],
+                variables,
+                name,
+            )
+
+        self._h_state = compiled(state_rows, self._stage_vars, "ineq_state")
+        self._h_state_jac = compiled_jac(
+            state_rows, run_vars, self._stage_vars, "ineq_state_jac"
+        )
+        self._h_input = compiled(input_rows, self._stage_vars, "ineq_input")
+        self._h_input_jac = compiled_jac(
+            input_rows, run_vars, self._stage_vars, "ineq_input_jac"
+        )
+        self._h_term = compiled(term_rows, self._term_vars, "ineq_term")
+        self._h_term_jac = compiled_jac(
+            term_rows, sv, self._term_vars, "ineq_term_jac"
+        )
+        self._g_state = compiled(state_eq, self._stage_vars, "eq_state")
+        self._g_state_jac = compiled_jac(
+            state_eq, run_vars, self._stage_vars, "eq_state_jac"
+        )
+        self._g_input = compiled(input_eq, self._stage_vars, "eq_input")
+        self._g_input_jac = compiled_jac(
+            input_eq, run_vars, self._stage_vars, "eq_input_jac"
+        )
+        self._g_term = compiled(term_eq, self._term_vars, "eq_term")
+        self._g_term_jac = compiled_jac(term_eq, sv, self._term_vars, "eq_term_jac")
+
+    def _compute_counts(self) -> None:
+        N, nx = self.N, self.nx
+        self.n_eq = (
+            nx  # initial condition
+            + N * nx  # dynamics defects
+            + max(N - 1, 0) * self._eq_state_rows
+            + N * self._eq_input_rows
+            + self._eq_term_rows
+        )
+        self.n_ineq = (
+            max(N - 1, 0) * self._h_state_rows
+            + N * self._h_input_rows
+            + self._h_term_rows
+        )
+
+    # -- reference handling --------------------------------------------------------
+    def _ref_row(self, ref_values: Optional[np.ndarray], k: int) -> List[float]:
+        if self.nref == 0:
+            return []
+        if ref_values is None:
+            raise TranscriptionError(
+                f"task {self.task.name!r} requires reference values "
+                f"{self.task.references}"
+            )
+        ref = np.asarray(ref_values, dtype=float)
+        if ref.shape == (self.nref,):
+            return ref.tolist()
+        if ref.shape == (self.N + 1, self.nref):
+            return ref[k].tolist()
+        raise TranscriptionError(
+            f"reference values must have shape ({self.nref},) or "
+            f"({self.N + 1}, {self.nref}), got {ref.shape}"
+        )
+
+    # -- numeric evaluation over the full z vector ----------------------------------
+    def objective(self, z: np.ndarray, ref: Optional[np.ndarray] = None) -> float:
+        xs, us = self.split(z)
+        total = 0.0
+        for k in range(self.N):
+            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+            total += float(self._L(args)[0])
+        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+        total += float(self._Phi(targs)[0])
+        return total
+
+    def objective_gradient(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        xs, us = self.split(z)
+        grad = np.zeros(self.nz)
+        for k in range(self.N):
+            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+            g = self._L_grad(args)
+            grad[self.state_slice(k)] += g[: self.nx]
+            grad[self.input_slice(k)] += g[self.nx :]
+        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+        grad[self.state_slice(self.N)] += self._Phi_grad(targs)
+        return grad
+
+    def objective_hessian(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Exact block-diagonal objective Hessian (dense assembly)."""
+        xs, us = self.split(z)
+        H = np.zeros((self.nz, self.nz))
+        nxu = self.nx + self.nu
+        for k in range(self.N):
+            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+            blk = self._L_hess(args).reshape(nxu, nxu)
+            sx, su = self.state_slice(k), self.input_slice(k)
+            H[sx, sx.start : sx.stop] += blk[: self.nx, : self.nx]
+            H[sx, su.start : su.stop] += blk[: self.nx, self.nx :]
+            H[su, sx.start : sx.stop] += blk[self.nx :, : self.nx]
+            H[su, su.start : su.stop] += blk[self.nx :, self.nx :]
+        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+        sN = self.state_slice(self.N)
+        H[sN, sN.start : sN.stop] += self._Phi_hess(targs).reshape(self.nx, self.nx)
+        return H
+
+    def objective_gauss_newton(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Gauss-Newton Hessian ``2 sum Jp^T W Jp`` (PSD by construction).
+
+        For the weighted-least-squares objective the GN Hessian drops only the
+        ``2 w p * grad^2 p`` curvature term; the gradient it implies,
+        ``2 Jp^T W p``, is *exact* and equals :meth:`objective_gradient`.
+        """
+        xs, us = self.split(z)
+        H = np.zeros((self.nz, self.nz))
+        nxu = self.nx + self.nu
+        n_run = len(self.w_run)
+        n_term = len(self.w_term)
+        for k in range(self.N):
+            if not n_run:
+                break
+            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+            Jp = self._P_run_jac(args).reshape(n_run, nxu)
+            blk = 2.0 * (Jp.T * self.w_run) @ Jp
+            sx, su = self.state_slice(k), self.input_slice(k)
+            H[sx, sx] += blk[: self.nx, : self.nx]
+            H[sx, su] += blk[: self.nx, self.nx :]
+            H[su, sx] += blk[self.nx :, : self.nx]
+            H[su, su] += blk[self.nx :, self.nx :]
+        if n_term:
+            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+            Jp = self._P_term_jac(targs).reshape(n_term, self.nx)
+            sN = self.state_slice(self.N)
+            H[sN, sN] += 2.0 * (Jp.T * self.w_term) @ Jp
+        return H
+
+    def equality_constraints(
+        self,
+        z: np.ndarray,
+        x_init: np.ndarray,
+        ref: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Stacked ``g(z) = 0``: initial condition, dynamics defects, task eq."""
+        xs, us = self.split(z)
+        x_init = np.asarray(x_init, dtype=float)
+        if x_init.shape != (self.nx,):
+            raise TranscriptionError(
+                f"x_init has shape {x_init.shape}, expected ({self.nx},)"
+            )
+        parts = [xs[0] - x_init]
+        for k in range(self.N):
+            nxt = self._F(np.concatenate([xs[k], us[k]]))
+            parts.append(xs[k + 1] - nxt)
+        if self._eq_state_rows:
+            for k in range(1, self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                parts.append(self._g_state(args))
+        if self._eq_input_rows:
+            for k in range(self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                parts.append(self._g_input(args))
+        if self._eq_term_rows:
+            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+            parts.append(self._g_term(targs))
+        return np.concatenate(parts)
+
+    def equality_jacobian(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        xs, us = self.split(z)
+        G = np.zeros((self.n_eq, self.nz))
+        G[: self.nx, : self.nx] = np.eye(self.nx)
+        row = self.nx
+        for k in range(self.N):
+            args = np.concatenate([xs[k], us[k]])
+            A = self._A(args).reshape(self.nx, self.nx)
+            B = self._B(args).reshape(self.nx, self.nu)
+            rows = slice(row, row + self.nx)
+            G[rows, self.state_slice(k + 1)] = np.eye(self.nx)
+            G[rows, self.state_slice(k)] = -A
+            G[rows, self.input_slice(k)] = -B
+            row += self.nx
+        nxu = self.nx + self.nu
+        if self._eq_state_rows:
+            for k in range(1, self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                J = self._g_state_jac(args).reshape(self._eq_state_rows, nxu)
+                rows = slice(row, row + self._eq_state_rows)
+                G[rows, self.state_slice(k)] = J[:, : self.nx]
+                G[rows, self.input_slice(k)] = J[:, self.nx :]
+                row += self._eq_state_rows
+        if self._eq_input_rows:
+            for k in range(self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                J = self._g_input_jac(args).reshape(self._eq_input_rows, nxu)
+                rows = slice(row, row + self._eq_input_rows)
+                G[rows, self.state_slice(k)] = J[:, : self.nx]
+                G[rows, self.input_slice(k)] = J[:, self.nx :]
+                row += self._eq_input_rows
+        if self._eq_term_rows:
+            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+            J = self._g_term_jac(targs).reshape(self._eq_term_rows, self.nx)
+            G[row : row + self._eq_term_rows, self.state_slice(self.N)] = J
+            row += self._eq_term_rows
+        return G
+
+    def inequality_constraints(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Stacked ``h(z) <= 0`` (bounds + task inequality constraints)."""
+        if self.n_ineq == 0:
+            return np.zeros(0)
+        xs, us = self.split(z)
+        parts = []
+        if self._h_state_rows:
+            for k in range(1, self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                parts.append(self._h_state(args))
+        if self._h_input_rows:
+            for k in range(self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                parts.append(self._h_input(args))
+        if self._h_term_rows:
+            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+            parts.append(self._h_term(targs))
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def inequality_jacobian(
+        self, z: np.ndarray, ref: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        J = np.zeros((self.n_ineq, self.nz))
+        if self.n_ineq == 0:
+            return J
+        xs, us = self.split(z)
+        nxu = self.nx + self.nu
+        row = 0
+        if self._h_state_rows:
+            for k in range(1, self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                blk = self._h_state_jac(args).reshape(self._h_state_rows, nxu)
+                rows = slice(row, row + self._h_state_rows)
+                J[rows, self.state_slice(k)] = blk[:, : self.nx]
+                J[rows, self.input_slice(k)] = blk[:, self.nx :]
+                row += self._h_state_rows
+        if self._h_input_rows:
+            for k in range(self.N):
+                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
+                blk = self._h_input_jac(args).reshape(self._h_input_rows, nxu)
+                rows = slice(row, row + self._h_input_rows)
+                J[rows, self.state_slice(k)] = blk[:, : self.nx]
+                J[rows, self.input_slice(k)] = blk[:, self.nx :]
+                row += self._h_input_rows
+        if self._h_term_rows:
+            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
+            blk = self._h_term_jac(targs).reshape(self._h_term_rows, self.nx)
+            J[row : row + self._h_term_rows, self.state_slice(self.N)] = blk
+        return J
+
+    def _dynamics_contraction_fn(self):
+        """Compiled Hessian of ``sigma^T F(x, u)`` over the stage variables.
+
+        Built lazily (symbolic second derivatives of the integrator are
+        expensive) and cached.  Used by the exact-Hessian SQP mode: the
+        dynamics equality rows ``x_{k+1} - F(x_k, u_k)`` contribute
+        ``-sum_i nu_i grad^2 F_i`` to the Lagrangian Hessian.
+        """
+        if getattr(self, "_contraction", None) is not None:
+            return self._contraction
+        sigma = [Var(f"_sigma[{i}]") for i in range(self.nx)]
+        stage = self._state_vars + self._input_vars
+        weighted: Expr = Const(0.0)
+        for s_var, f_expr in zip(sigma, self._discrete_step_exprs()):
+            weighted = weighted + s_var * f_expr
+        weighted = simplify(weighted)
+        grads = [diff(weighted, v) for v in stage]
+        hess = [diff(g, v) for g in grads for v in stage]
+        self._contraction = compile_function(
+            hess, stage + sigma, "dyn_contraction"
+        )
+        return self._contraction
+
+    def lagrangian_hessian(
+        self,
+        z: np.ndarray,
+        nu: np.ndarray,
+        ref: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Exact Hessian of the Lagrangian w.r.t. ``z`` (objective curvature
+        plus the dynamics-multiplier contraction).
+
+        Task-constraint curvature is omitted — the dominant neglected-by-GN
+        term for these benchmarks is the integrator curvature, and leaving
+        the inequality rows out keeps the matrix assembly cheap.  The result
+        is in general indefinite; the QP layer's regularization escalation
+        (inertia correction) convexifies it.
+        """
+        H = self.objective_hessian(z, ref)
+        xs, us = self.split(z)
+        fn = self._dynamics_contraction_fn()
+        nxu = self.nx + self.nu
+        for k in range(self.N):
+            # Multipliers of the defect rows x_{k+1} - F(x_k, u_k) = 0 sit
+            # after the nx initial-condition rows.
+            sigma = -nu[self.nx * (k + 1) : self.nx * (k + 2)]
+            args = np.concatenate([xs[k], us[k], sigma])
+            blk = fn(args).reshape(nxu, nxu)
+            sx, su = self.state_slice(k), self.input_slice(k)
+            H[sx, sx] += blk[: self.nx, : self.nx]
+            H[sx, su] += blk[: self.nx, self.nx :]
+            H[su, sx] += blk[self.nx :, : self.nx]
+            H[su, su] += blk[self.nx :, self.nx :]
+        return H
+
+    def variable_scales(self) -> np.ndarray:
+        """Characteristic magnitude of every entry of ``z`` (for solver
+        preconditioning).
+
+        Bounded variables use ``max(|lower|, |upper|)``; unbounded ones
+        default to 1.  The SQP driver solves its subproblems in the scaled
+        variables ``z / scale`` so that regularization and damping act
+        uniformly across states and inputs of very different units (e.g.
+        satellite torques of O(1e-2) next to quaternions of O(1)).
+        """
+
+        def scale_of(spec) -> float:
+            hi = max(abs(spec.lower), abs(spec.upper))
+            if not np.isfinite(hi) or hi == 0.0:
+                return 1.0
+            return hi
+
+        sx = np.array([scale_of(s) for s in self.model.states])
+        su = np.array([scale_of(u) for u in self.model.inputs])
+        return np.concatenate(
+            [np.tile(sx, self.N + 1), np.tile(su, self.n_input_knots)]
+        )
+
+    def soft_inequality_mask(self) -> np.ndarray:
+        """Boolean mask over the stacked inequality rows: True = softenable.
+
+        State-involving rows (future-state constraints) are soft: the SQP
+        driver gives them L1 slacks in each QP subproblem so linearization
+        infeasibility cannot occur.  Input-only rows (actuator boxes) are
+        hard — they are always feasible and must never be violated.
+        """
+        mask = np.concatenate(
+            [
+                np.ones(max(self.N - 1, 0) * self._h_state_rows, dtype=bool),
+                np.zeros(self.N * self._h_input_rows, dtype=bool),
+                np.ones(self._h_term_rows, dtype=bool),
+            ]
+        )
+        assert mask.shape == (self.n_ineq,)
+        return mask
+
+    # -- initialization helpers -------------------------------------------------------
+    def initial_guess(self, x_init: np.ndarray) -> np.ndarray:
+        """Cold-start trajectory guess.
+
+        For open-loop stable (or trim-balanced) plants the guess rolls the
+        dynamics out under the trim input — dynamically feasible, so the
+        first SQP linearization sees zero defect residuals.  For plants the
+        model declares open-loop unstable (``rollout_guess=False``, e.g. the
+        gravity-loaded Manipulator whose free rollout slams into the state
+        box), every knot holds the measured state instead.
+        """
+        x_init = np.asarray(x_init, dtype=float)
+        u0 = np.array(self.model.trim_inputs(), dtype=float)
+        us = np.tile(u0, (self.N, 1))
+        if not self.model.rollout_guess:
+            xs = np.tile(x_init, (self.N + 1, 1))
+            return self.join(xs, us)
+        lo, hi = self.model.state_bounds()
+        lo = np.maximum(np.asarray(lo), -1e6)
+        hi = np.minimum(np.asarray(hi), 1e6)
+        xs = np.empty((self.N + 1, self.nx))
+        xs[0] = x_init
+        for k in range(self.N):
+            xs[k + 1] = np.clip(self._F(np.concatenate([xs[k], u0])), lo, hi)
+        return self.join(xs, us)
+
+    # -- metadata for compiler / cost models --------------------------------------------
+    def stage_op_counts(self) -> Dict[str, Dict[str, int]]:
+        """Primitive-op histograms per compiled stage function."""
+        return {
+            "dynamics": dict(self._F.op_counts),
+            "dynamics_jac_x": dict(self._A.op_counts),
+            "dynamics_jac_u": dict(self._B.op_counts),
+            "cost_run": dict(self._L.op_counts),
+            "cost_run_grad": dict(self._L_grad.op_counts),
+            "cost_run_hess": dict(self._L_hess.op_counts),
+            "cost_term": dict(self._Phi.op_counts),
+            "cost_term_grad": dict(self._Phi_grad.op_counts),
+            "cost_term_hess": dict(self._Phi_hess.op_counts),
+            "penalty_run_jac": dict(self._P_run_jac.op_counts),
+            "penalty_term_jac": dict(self._P_term_jac.op_counts),
+            "ineq_state": dict(self._h_state.op_counts),
+            "ineq_state_jac": dict(self._h_state_jac.op_counts),
+            "ineq_input": dict(self._h_input.op_counts),
+            "ineq_input_jac": dict(self._h_input_jac.op_counts),
+            "ineq_term": dict(self._h_term.op_counts),
+            "ineq_term_jac": dict(self._h_term_jac.op_counts),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TranscribedProblem({self.model.name}/{self.task.name}, N={self.N}, "
+            f"nz={self.nz}, n_eq={self.n_eq}, n_ineq={self.n_ineq})"
+        )

@@ -1,0 +1,178 @@
+"""RoboX DSL source programs for benchmark robots.
+
+The six benchmarks are defined through the Python builder API (the IR both
+frontends share); this module provides DSL-language equivalents for the
+robots whose physics the language expresses naturally, demonstrating the
+paper's claim that the DSL stays "close to the concise mathematical
+expressions".  Equivalence tests verify the DSL-built dynamics match the
+builder-built dynamics numerically.
+
+The sources are parameterized the way a roboticist would write them: physics
+constants arrive through ``param`` header arguments at instantiation.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import AnalysisResult, compile_program
+
+__all__ = [
+    "MOBILE_ROBOT_DSL",
+    "QUADROTOR_DSL",
+    "PENDULUM_DSL",
+    "load_mobile_robot",
+    "load_quadrotor",
+]
+
+MOBILE_ROBOT_DSL = """
+// Two-wheel differential-drive robot, trajectory tracking (paper SIV).
+System MobileRobot( param vel_bound, param ang_bound,
+                    param track_w, param heading_w, param effort_w ) {
+  state pos[2], angle;
+  input vel, ang_vel;
+
+  pos[0].dt = vel * cos(angle);
+  pos[1].dt = vel * sin(angle);
+  angle.dt = ang_vel;
+
+  vel.lower_bound <= -vel_bound;
+  vel.upper_bound <= vel_bound;
+  ang_vel.lower_bound <= -ang_bound;
+  ang_vel.upper_bound <= ang_bound;
+
+  Task trajectoryTracking( reference ref_x, reference ref_y,
+                           reference ref_angle ) {
+    penalty track_x, track_y, track_angle, effort_vel, effort_ang;
+    track_x.running = pos[0] - ref_x;
+    track_y.running = pos[1] - ref_y;
+    track_angle.running = angle - ref_angle;
+    effort_vel.running = vel;
+    effort_ang.running = ang_vel;
+    track_x.weight <= track_w;
+    track_y.weight <= track_w;
+    track_angle.weight <= heading_w;
+    effort_vel.weight <= effort_w;
+    effort_ang.weight <= effort_w;
+  }
+}
+reference ref_x;
+reference ref_y;
+reference ref_angle;
+MobileRobot robot(1.0, 2.0, 10.0, 1.0, 0.05);
+robot.trajectoryTracking(ref_x, ref_y, ref_angle);
+"""
+
+QUADROTOR_DSL = """
+// 12-state Euler-angle quadrotor, waypoint planning with obstacle avoidance.
+System Quadrotor( param mass, param gravity, param arm, param kyaw,
+                  param jx, param jy, param jz,
+                  param f_max, param tilt ) {
+  state pos[3], vel[3], roll, pitch, yaw, w[3];
+  input f[4];
+
+  pos[0].dt = vel[0];
+  pos[1].dt = vel[1];
+  pos[2].dt = vel[2];
+
+  vel[0].dt = (cos(roll) * sin(pitch) * cos(yaw) + sin(roll) * sin(yaw))
+              * (f[0] + f[1] + f[2] + f[3]) / mass;
+  vel[1].dt = (cos(roll) * sin(pitch) * sin(yaw) - sin(roll) * cos(yaw))
+              * (f[0] + f[1] + f[2] + f[3]) / mass;
+  vel[2].dt = cos(roll) * cos(pitch) * (f[0] + f[1] + f[2] + f[3]) / mass
+              - gravity;
+
+  roll.dt = w[0] + sin(roll) * tan(pitch) * w[1] + cos(roll) * tan(pitch) * w[2];
+  pitch.dt = cos(roll) * w[1] - sin(roll) * w[2];
+  yaw.dt = (sin(roll) * w[1] + cos(roll) * w[2]) / cos(pitch);
+
+  w[0].dt = (arm * (f[1] - f[3]) + (jy - jz) * w[1] * w[2]) / jx;
+  w[1].dt = (arm * (f[2] - f[0]) + (jz - jx) * w[2] * w[0]) / jy;
+  w[2].dt = (kyaw * (f[0] - f[1] + f[2] - f[3]) + (jx - jy) * w[0] * w[1]) / jz;
+
+  roll.lower_bound <= -tilt;
+  roll.upper_bound <= tilt;
+  pitch.lower_bound <= -tilt;
+  pitch.upper_bound <= tilt;
+  f[0].lower_bound <= 0.0;  f[0].upper_bound <= f_max;
+  f[1].lower_bound <= 0.0;  f[1].upper_bound <= f_max;
+  f[2].lower_bound <= 0.0;  f[2].upper_bound <= f_max;
+  f[3].lower_bound <= 0.0;  f[3].upper_bound <= f_max;
+
+  Task motionPlanning( reference ref_pos0, reference ref_pos1,
+                       reference ref_pos2,
+                       param target_w, param vel_w, param effort_w,
+                       param obs_x, param obs_y, param obs_z,
+                       param obs_r2 ) {
+    penalty target0, target1, target2;
+    target0.terminal = pos[0] - ref_pos0;
+    target1.terminal = pos[1] - ref_pos1;
+    target2.terminal = pos[2] - ref_pos2;
+    target0.weight <= target_w;
+    target1.weight <= target_w;
+    target2.weight <= target_w;
+
+    penalty stop0, stop1, stop2;
+    stop0.terminal = vel[0];
+    stop1.terminal = vel[1];
+    stop2.terminal = vel[2];
+    stop0.weight <= vel_w;
+    stop1.weight <= vel_w;
+    stop2.weight <= vel_w;
+
+    penalty effort0, effort1, effort2, effort3;
+    effort0.running = f[0];
+    effort1.running = f[1];
+    effort2.running = f[2];
+    effort3.running = f[3];
+    effort0.weight <= effort_w;
+    effort1.weight <= effort_w;
+    effort2.weight <= effort_w;
+    effort3.weight <= effort_w;
+
+    constraint obstacle;
+    obstacle.running = (pos[0] - obs_x) * (pos[0] - obs_x)
+                     + (pos[1] - obs_y) * (pos[1] - obs_y)
+                     + (pos[2] - obs_z) * (pos[2] - obs_z);
+    obstacle.lower_bound <= obs_r2;
+  }
+}
+reference ref_pos0;
+reference ref_pos1;
+reference ref_pos2;
+Quadrotor quad(0.5, 9.81, 0.17, 0.016, 0.0045, 0.0045, 0.008, 3.0, 0.6);
+quad.motionPlanning(ref_pos0, ref_pos1, ref_pos2,
+                    15.0, 2.0, 0.02, 0.6, 0.6, 1.0, 0.09);
+"""
+
+PENDULUM_DSL = """
+// Torque-limited pendulum stabilization: the smallest useful DSL program.
+System Pendulum( param g_over_l, param k, param torque_max ) {
+  state theta, omega;
+  input torque;
+  theta.dt = omega;
+  omega.dt = g_over_l * sin(theta) + k * torque;
+  torque.lower_bound <= -torque_max;
+  torque.upper_bound <= torque_max;
+
+  Task stabilize( param w_angle, param w_rate, param w_effort ) {
+    penalty angle_err, rate_err, effort;
+    angle_err.running = theta;
+    rate_err.running = omega;
+    effort.running = torque;
+    angle_err.weight <= w_angle;
+    rate_err.weight <= w_rate;
+    effort.weight <= w_effort;
+  }
+}
+Pendulum pend(4.9, 2.0, 3.0);
+pend.stabilize(10.0, 1.0, 0.05);
+"""
+
+
+def load_mobile_robot() -> AnalysisResult:
+    """Compile the MobileRobot DSL program."""
+    return compile_program(MOBILE_ROBOT_DSL)
+
+
+def load_quadrotor() -> AnalysisResult:
+    """Compile the Quadrotor DSL program."""
+    return compile_program(QUADROTOR_DSL)

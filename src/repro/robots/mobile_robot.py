@@ -1,0 +1,99 @@
+"""MobileRobot benchmark: two-wheel differential-drive robot, trajectory tracking.
+
+Matches Table III: 3 states, 2 inputs, 5 penalties, 2 constraints.  The model
+is the unicycle used by Kuhne et al. (paper ref. [21]) and in the paper's own
+DSL walkthrough (§IV-A): planar position ``pos[0..1]``, heading ``angle``,
+with commanded forward velocity and angular velocity.
+
+Task: track a time-varying reference pose ``(ref_x, ref_y, ref_angle)``
+supplied externally (``reference`` datatype in the DSL) while penalizing
+control effort.  The two constraints are the physical bounds on the two
+control inputs (``vel`` and ``ang_vel``), exactly as in the paper's code
+snippet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import Penalty, Task
+from repro.robots.base import RobotBenchmark
+from repro.symbolic import Var, cos, sin
+
+__all__ = ["MobileRobotParams", "build_model", "build_task", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class MobileRobotParams:
+    """Physical and task parameters."""
+
+    vel_bound: float = 1.0  # m/s
+    ang_vel_bound: float = 2.0  # rad/s
+    track_weight: float = 10.0
+    heading_weight: float = 1.0
+    effort_weight: float = 0.05
+    dt: float = 0.1
+
+
+def build_model(params: MobileRobotParams = MobileRobotParams()) -> RobotModel:
+    """Unicycle kinematics: xdot = v cos(theta), ydot = v sin(theta)."""
+    vel, ang_vel = Var("vel"), Var("ang_vel")
+    angle = Var("angle")
+    return RobotModel(
+        name="MobileRobot",
+        states=[VarSpec("pos[0]"), VarSpec("pos[1]"), VarSpec("angle")],
+        inputs=[
+            VarSpec("vel", -params.vel_bound, params.vel_bound),
+            VarSpec("ang_vel", -params.ang_vel_bound, params.ang_vel_bound),
+        ],
+        dynamics={
+            "pos[0]": vel * cos(angle),
+            "pos[1]": vel * sin(angle),
+            "angle": ang_vel,
+        },
+        params={
+            "vel_bound": params.vel_bound,
+            "ang_vel_bound": params.ang_vel_bound,
+        },
+    )
+
+
+def build_task(
+    model: RobotModel, params: MobileRobotParams = MobileRobotParams()
+) -> Task:
+    """Trajectory tracking: follow a reference pose along the horizon."""
+    px, py, angle = Var("pos[0]"), Var("pos[1]"), Var("angle")
+    vel, ang_vel = Var("vel"), Var("ang_vel")
+    rx, ry, rth = Var("ref_x"), Var("ref_y"), Var("ref_angle")
+    w = params.track_weight
+    return Task(
+        name="trajectoryTracking",
+        model=model,
+        penalties=[
+            Penalty("track_x", px - rx, w, "running"),
+            Penalty("track_y", py - ry, w, "running"),
+            Penalty("track_angle", angle - rth, params.heading_weight, "running"),
+            Penalty("effort_vel", vel, params.effort_weight, "running"),
+            Penalty("effort_ang", ang_vel, params.effort_weight, "running"),
+        ],
+        constraints=[],
+        references=["ref_x", "ref_y", "ref_angle"],
+    )
+
+
+def build_benchmark(params: MobileRobotParams = MobileRobotParams()) -> RobotBenchmark:
+    model = build_model(params)
+    task = build_task(model, params)
+    return RobotBenchmark(
+        name="MobileRobot",
+        model=model,
+        task=task,
+        x0=np.zeros(3),
+        ref=np.array([1.0, 1.0, 0.0]),
+        dt=params.dt,
+        system_description="Two-Wheel Mobile Robot",
+        task_description="Trajectory Tracking",
+    )

@@ -1,0 +1,177 @@
+"""Quadrotor benchmark: four-rotor micro UAV, motion planning.
+
+Matches Table III: 12 states, 4 inputs, 10 penalties, 7 constraints.  The
+model is the full 12-state Euler-angle quadrotor of Bouabdallah & Siegwart
+(paper refs. [23, 27]) that also serves as the running example in §II of the
+paper: inertial position and velocity, roll/pitch/yaw attitude, and body
+rates, driven by the four rotor thrusts ``f[0..3]``.
+
+Task: motion planning to a referenced waypoint while avoiding a spherical
+obstacle (the balloon of Fig. 1b), with a minimum-altitude requirement.
+
+Penalty count (10) = terminal position error (3) + terminal velocity
+damping (3) + running control effort (4).
+Constraint count (7) = 6 bounded variables (4 thrusts, roll, pitch) + 1 task
+constraint (obstacle clearance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import Constraint, Penalty, Task
+from repro.robots.base import RobotBenchmark
+from repro.symbolic import Var, cos, sin, tan
+
+__all__ = ["QuadrotorParams", "build_model", "build_task", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class QuadrotorParams:
+    """Physical parameters of a ~0.5 kg micro quadrotor."""
+
+    mass: float = 0.5
+    gravity: float = 9.81
+    jx: float = 4.5e-3
+    jy: float = 4.5e-3
+    jz: float = 8.0e-3
+    arm: float = 0.17  # rotor arm length (m)
+    yaw_coeff: float = 0.016  # rotor drag-torque / thrust ratio
+    thrust_max: float = 3.0  # N per rotor
+    tilt_bound: float = 0.6  # rad, keeps the UAV away from flipping (§II-A)
+    target_weight: float = 15.0
+    vel_weight: float = 2.0
+    effort_weight: float = 0.02
+    obstacle_center: tuple = (0.6, 0.6, 1.0)
+    obstacle_radius: float = 0.3
+    dt: float = 0.05
+
+
+def build_model(params: QuadrotorParams = QuadrotorParams()) -> RobotModel:
+    """12-state Euler-angle quadrotor with per-rotor thrust inputs."""
+    p = params
+    roll, pitch, yaw = Var("roll"), Var("pitch"), Var("yaw")
+    wx, wy, wz = Var("w[0]"), Var("w[1]"), Var("w[2]")
+    vx, vy, vz = Var("vel[0]"), Var("vel[1]"), Var("vel[2]")
+    f = [Var(f"f[{i}]") for i in range(4)]
+
+    f_total = f[0] + f[1] + f[2] + f[3]
+    # Body torques from the X-configuration mixer.
+    tau_roll = p.arm * (f[1] - f[3])
+    tau_pitch = p.arm * (f[2] - f[0])
+    tau_yaw = p.yaw_coeff * (f[0] - f[1] + f[2] - f[3])
+
+    dynamics = {
+        "pos[0]": vx,
+        "pos[1]": vy,
+        "pos[2]": vz,
+        # Thrust direction from the ZYX Euler rotation (paper Eq. 2 pattern).
+        "vel[0]": (cos(roll) * sin(pitch) * cos(yaw) + sin(roll) * sin(yaw))
+        * f_total
+        / p.mass,
+        "vel[1]": (cos(roll) * sin(pitch) * sin(yaw) - sin(roll) * cos(yaw))
+        * f_total
+        / p.mass,
+        "vel[2]": cos(roll) * cos(pitch) * f_total / p.mass - p.gravity,
+        # Euler-angle kinematics.
+        "roll": wx + sin(roll) * tan(pitch) * wy + cos(roll) * tan(pitch) * wz,
+        "pitch": cos(roll) * wy - sin(roll) * wz,
+        "yaw": (sin(roll) * wy + cos(roll) * wz) / cos(pitch),
+        # Rigid-body rotation dynamics.
+        "w[0]": (tau_roll + (p.jy - p.jz) * wy * wz) / p.jx,
+        "w[1]": (tau_pitch + (p.jz - p.jx) * wz * wx) / p.jy,
+        "w[2]": (tau_yaw + (p.jx - p.jy) * wx * wy) / p.jz,
+    }
+
+    return RobotModel(
+        name="Quadrotor",
+        states=[
+            VarSpec("pos[0]"),
+            VarSpec("pos[1]"),
+            VarSpec("pos[2]"),
+            VarSpec("vel[0]"),
+            VarSpec("vel[1]"),
+            VarSpec("vel[2]"),
+            VarSpec("roll", -p.tilt_bound, p.tilt_bound),
+            VarSpec("pitch", -p.tilt_bound, p.tilt_bound),
+            VarSpec("yaw"),
+            VarSpec("w[0]"),
+            VarSpec("w[1]"),
+            VarSpec("w[2]"),
+        ],
+        inputs=[
+            VarSpec(f"f[{i}]", 0.0, p.thrust_max, trim=p.mass * p.gravity / 4.0)
+            for i in range(4)
+        ],
+        dynamics=dynamics,
+        params={
+            "mass": p.mass,
+            "gravity": p.gravity,
+            "arm": p.arm,
+            "jx": p.jx,
+            "jy": p.jy,
+            "jz": p.jz,
+        },
+    )
+
+
+def build_task(model: RobotModel, params: QuadrotorParams = QuadrotorParams()) -> Task:
+    """Waypoint motion planning with spherical obstacle avoidance (Fig. 1b)."""
+    p = params
+    pos = [Var(f"pos[{i}]") for i in range(3)]
+    vel = [Var(f"vel[{i}]") for i in range(3)]
+    f = [Var(f"f[{i}]") for i in range(4)]
+    target = [Var(f"ref_pos{i}") for i in range(3)]
+
+    ox, oy, oz = p.obstacle_center
+    clearance = (
+        (pos[0] - ox) * (pos[0] - ox)
+        + (pos[1] - oy) * (pos[1] - oy)
+        + (pos[2] - oz) * (pos[2] - oz)
+    )
+
+    penalties = [
+        Penalty(f"target{i}", pos[i] - target[i], p.target_weight, "terminal")
+        for i in range(3)
+    ]
+    penalties += [
+        Penalty(f"stop_vel{i}", vel[i], p.vel_weight, "terminal") for i in range(3)
+    ]
+    penalties += [
+        Penalty(f"effort{i}", f[i], p.effort_weight, "running") for i in range(4)
+    ]
+
+    return Task(
+        name="motionPlanning",
+        model=model,
+        penalties=penalties,
+        constraints=[
+            Constraint(
+                "obstacle",
+                clearance,
+                lower=p.obstacle_radius**2,
+                timing="running",
+            ),
+        ],
+        references=["ref_pos0", "ref_pos1", "ref_pos2"],
+    )
+
+
+def build_benchmark(params: QuadrotorParams = QuadrotorParams()) -> RobotBenchmark:
+    model = build_model(params)
+    task = build_task(model, params)
+    x0 = np.zeros(12)
+    x0[2] = 1.0  # hover at 1 m
+    return RobotBenchmark(
+        name="Quadrotor",
+        model=model,
+        task=task,
+        x0=x0,
+        ref=np.array([1.2, 1.2, 1.0]),
+        dt=params.dt,
+        system_description="Four-Rotor Micro UAV",
+        task_description="Motion Planning",
+    )

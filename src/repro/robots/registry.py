@@ -1,0 +1,53 @@
+"""Registry of the six Table III benchmark robots.
+
+The evaluation harness, tests and examples look benchmarks up by name here;
+the ordering matches the paper's figures (MobileRobot, AutoVehicle, MicroSat,
+Quadrotor, Manipulator, Hexacopter is the x-axis order of Figs. 5-12; Table
+III lists them by size — we keep Table III order as canonical and the
+harness reorders per figure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.robots import (
+    auto_vehicle,
+    hexacopter,
+    manipulator,
+    microsat,
+    mobile_robot,
+    quadrotor,
+)
+from repro.robots.base import RobotBenchmark
+
+__all__ = ["BENCHMARK_NAMES", "build_benchmark", "all_benchmarks"]
+
+_BUILDERS: Dict[str, Callable[[], RobotBenchmark]] = {
+    "MobileRobot": mobile_robot.build_benchmark,
+    "Manipulator": manipulator.build_benchmark,
+    "AutoVehicle": auto_vehicle.build_benchmark,
+    "MicroSat": microsat.build_benchmark,
+    "Quadrotor": quadrotor.build_benchmark,
+    "Hexacopter": hexacopter.build_benchmark,
+}
+
+#: Canonical Table III ordering.
+BENCHMARK_NAMES = tuple(_BUILDERS)
+
+
+def build_benchmark(name: str) -> RobotBenchmark:
+    """Build one benchmark by its Table III name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {list(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def all_benchmarks() -> List[RobotBenchmark]:
+    """Build all six benchmarks in Table III order."""
+    return [build_benchmark(name) for name in BENCHMARK_NAMES]

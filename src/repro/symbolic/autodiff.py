@@ -1,0 +1,144 @@
+"""Symbolic automatic differentiation.
+
+The RoboX Program Translator "uses automatic differentiation to compute all
+necessary gradients" (paper §VII): the objective gradient and Hessian, and
+the Jacobians of the dynamics (equality) and inequality constraints that
+populate the KKT system of Eq. 6.  This module implements exact symbolic
+differentiation over the expression DAG with memoization, plus the vector
+conveniences (gradient / jacobian / hessian) used by the transcription layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DifferentiationError
+from repro.symbolic.expr import (
+    Call,
+    Const,
+    Expr,
+    Var,
+    as_expr,
+    cos,
+    exp,
+    log,
+    sin,
+    sqrt,
+    tan,
+    topological_order,
+)
+from repro.symbolic.simplify import simplify
+
+__all__ = ["diff", "gradient", "jacobian", "hessian"]
+
+_ZERO = Const(0.0)
+_ONE = Const(1.0)
+
+
+def diff(expr: Expr, var: Var, _cache: Dict[Tuple[Expr, str], Expr] = None) -> Expr:
+    """Exact partial derivative of ``expr`` with respect to ``var``.
+
+    The result is simplified so that trivially-zero partials collapse to the
+    constant 0, which the transcription layer relies on to build sparse
+    Jacobians.
+    """
+    cache: Dict[Expr, Expr] = {}
+    for node in topological_order([expr]):
+        cache[node] = _diff_node(node, var, cache)
+    return simplify(cache[expr])
+
+
+def _diff_node(node: Expr, var: Var, cache: Dict[Expr, Expr]) -> Expr:
+    if isinstance(node, Const):
+        return _ZERO
+    if isinstance(node, Var):
+        return _ONE if node.name == var.name else _ZERO
+    if not isinstance(node, Call):
+        raise DifferentiationError(f"cannot differentiate node {node!r}")
+
+    op = node.op.name
+    args = node.args
+    d = [cache[a] for a in args]
+
+    if op == "add":
+        return d[0] + d[1]
+    if op == "sub":
+        return d[0] - d[1]
+    if op == "neg":
+        return -d[0]
+    if op == "mul":
+        return d[0] * args[1] + args[0] * d[1]
+    if op == "div":
+        # (u/v)' = (u'v - uv') / v^2
+        return (d[0] * args[1] - args[0] * d[1]) / (args[1] * args[1])
+    if op == "pow":
+        base, exponent = args
+        if isinstance(exponent, Const):
+            # d(u^c) = c * u^(c-1) * u'
+            return exponent * base ** Const(exponent.value - 1.0) * d[0]
+        if isinstance(base, Const):
+            # d(c^v) = c^v * ln(c) * v'
+            return node * Const(_ln_const(base)) * d[1]
+        # General u^v = exp(v ln u)
+        return node * (d[1] * log(base) + exponent * d[0] / base)
+    if op == "sin":
+        return cos(args[0]) * d[0]
+    if op == "cos":
+        return -sin(args[0]) * d[0]
+    if op == "tan":
+        sec2 = _ONE + tan(args[0]) * tan(args[0])
+        return sec2 * d[0]
+    if op == "asin":
+        return d[0] / sqrt(_ONE - args[0] * args[0])
+    if op == "acos":
+        return -(d[0] / sqrt(_ONE - args[0] * args[0]))
+    if op == "atan":
+        return d[0] / (_ONE + args[0] * args[0])
+    if op == "exp":
+        return node * d[0]
+    if op == "log":
+        return d[0] / args[0]
+    if op == "sqrt":
+        return d[0] / (Const(2.0) * node)
+    if op == "tanh":
+        return (_ONE - node * node) * d[0]
+    raise DifferentiationError(f"no derivative rule for operation {op!r}")
+
+
+def _ln_const(c: Const) -> float:
+    import math
+
+    if c.value <= 0.0:
+        raise DifferentiationError(
+            f"cannot differentiate {c.value}^x for non-positive base"
+        )
+    return math.log(c.value)
+
+
+def gradient(expr: Expr, variables: Sequence[Var]) -> Tuple[Expr, ...]:
+    """Tuple of partials of a scalar expression w.r.t. each variable."""
+    return tuple(diff(expr, v) for v in variables)
+
+
+def jacobian(
+    exprs: Sequence[Expr], variables: Sequence[Var]
+) -> Tuple[Tuple[Expr, ...], ...]:
+    """Row-major Jacobian: ``J[i][j] = d exprs[i] / d variables[j]``."""
+    return tuple(gradient(as_expr(e), variables) for e in exprs)
+
+
+def hessian(expr: Expr, variables: Sequence[Var]) -> Tuple[Tuple[Expr, ...], ...]:
+    """Symmetric Hessian matrix of a scalar expression.
+
+    Computed as the Jacobian of the gradient; only the upper triangle is
+    differentiated and mirrored, halving the symbolic work.
+    """
+    grad: List[Expr] = list(gradient(expr, variables))
+    n = len(variables)
+    rows: List[List[Expr]] = [[_ZERO] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i, n):
+            entry = diff(grad[i], variables[j])
+            rows[i][j] = entry
+            rows[j][i] = entry
+    return tuple(tuple(r) for r in rows)

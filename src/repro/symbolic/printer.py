@@ -1,0 +1,58 @@
+"""Human-readable infix printing for symbolic expressions.
+
+Used by DSL error messages, compiler debug dumps, and tests.  The printer
+emits minimal parentheses based on operator precedence so that re-parsing the
+output through the DSL expression grammar yields a structurally identical
+tree (a property the round-trip tests check).
+"""
+
+from __future__ import annotations
+
+from repro.symbolic.expr import Call, Const, Expr, Var
+
+__all__ = ["to_string"]
+
+# Higher binds tighter.  ``pow`` is right-associative; others left.
+_PRECEDENCE = {"add": 1, "sub": 1, "mul": 2, "div": 2, "neg": 3, "pow": 4}
+_SYMBOL = {"add": "+", "sub": "-", "mul": "*", "div": "/", "pow": "^"}
+
+
+def to_string(expr: Expr) -> str:
+    """Render ``expr`` as an infix string using DSL syntax (``^`` for power)."""
+    text, _ = _render(expr)
+    return text
+
+
+def _render(expr: Expr):
+    if isinstance(expr, Const):
+        value = expr.value
+        if value == int(value) and abs(value) < 1e15:
+            text = str(int(value))
+        else:
+            text = repr(value)
+        if value < 0:
+            return text, _PRECEDENCE["neg"]
+        return text, 100
+    if isinstance(expr, Var):
+        return expr.name, 100
+    if isinstance(expr, Call):
+        op = expr.op.name
+        if op == "neg":
+            inner, prec = _render(expr.args[0])
+            if prec < _PRECEDENCE["neg"]:
+                inner = f"({inner})"
+            return f"-{inner}", _PRECEDENCE["neg"]
+        if op in _SYMBOL:
+            my_prec = _PRECEDENCE[op]
+            left, lp = _render(expr.args[0])
+            right, rp = _render(expr.args[1])
+            # Left operand needs parens if looser; right operand also when the
+            # operator is non-associative (sub/div) or equal precedence.
+            if lp < my_prec or (op == "pow" and lp <= my_prec):
+                left = f"({left})"
+            if rp < my_prec or (op in ("sub", "div") and rp <= my_prec):
+                right = f"({right})"
+            return f"{left} {_SYMBOL[op]} {right}", my_prec
+        args = ", ".join(_render(a)[0] for a in expr.args)
+        return f"{op}({args})", 100
+    raise TypeError(f"not an expression: {expr!r}")

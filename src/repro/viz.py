@@ -1,0 +1,114 @@
+"""Dependency-free ASCII visualization helpers.
+
+The library has no plotting dependency, but closed-loop traces and solver
+convergence curves are much easier to read as pictures; these helpers render
+them as Unicode line/bar charts in the terminal.  Used by the examples and
+the CLI; small enough to test exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_plot", "ascii_bars", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (e.g. KKT residuals)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Multi-series ASCII line plot.
+
+    Args:
+        series: name -> y-values (x is the index; series may differ in
+            length and are stretched to the plot width).
+        width / height: plot canvas size in characters.
+        title: optional heading line.
+        logy: plot ``log10(y)`` (values must be positive).
+    """
+    if not series or all(len(v) == 0 for v in series.values()):
+        return title
+    marks = "*+o^#@%&"
+
+    def transform(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("logy requires positive values")
+            return math.log10(v)
+        return float(v)
+
+    all_vals = [transform(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        mark = marks[s_idx % len(marks)]
+        n = len(values)
+        if n == 0:
+            continue
+        for col in range(width):
+            # stretch/shrink the series onto the canvas width
+            pos = col / max(width - 1, 1) * (n - 1)
+            v = transform(values[int(round(pos))])
+            row = int(round((v - lo) / (hi - lo) * (height - 1)))
+            canvas[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}" + (" (log10)" if logy else "")
+    lines.append(f"{top_label:>10} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    bottom_label = f"{lo:.3g}"
+    lines.append(f"{bottom_label:>10} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (e.g. per-benchmark speedups)."""
+    if not values:
+        return title
+    lines: List[str] = [title] if title else []
+    label_w = max(len(k) for k in values)
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    for name, v in values.items():
+        bar = "█" * max(int(v / peak * width), 0)
+        lines.append(f"{name:<{label_w}} │{bar} {v:.3g}{unit}")
+    return "\n".join(lines)

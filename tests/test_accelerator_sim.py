@@ -1,0 +1,158 @@
+"""Tests for the micro-program assembler and cycle-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    BusTransfer,
+    CUOp,
+    MicroProgram,
+    TreeAggregate,
+    assemble,
+    simulate_phase,
+)
+from repro.compiler import map_mdfg, translate
+from repro.errors import AcceleratorError
+from repro.robots import BENCHMARK_NAMES, build_benchmark
+
+
+def tiny_program():
+    """One CU computing (a + b) * 2 via an immediate."""
+    prog = MicroProgram(n_cus=1, cus_per_cc=1, cu_ops=[[]])
+    prog.input_slots = {"a": (0, 0), "b": (0, 1)}
+    prog.cu_ops[0] = [
+        CUOp("add", 2, (0, 1)),
+        CUOp("mul", 3, (2,), imm=2.0),
+    ]
+    prog.output_slots = {"out": (0, 3)}
+    prog.slots_used = [4]
+    return prog
+
+
+class TestHandwrittenPrograms:
+    def test_single_cu_arithmetic(self):
+        sim = AcceleratorSimulator()
+        res = sim.run(tiny_program(), {"a": 1.5, "b": 2.0})
+        assert res.outputs["out"] == pytest.approx(7.0, abs=1e-4)
+        assert res.cycles > 0
+
+    def test_missing_input_raises(self):
+        sim = AcceleratorSimulator()
+        with pytest.raises(AcceleratorError, match="missing"):
+            sim.run(tiny_program(), {"a": 1.0})
+
+    def test_bus_transfer(self):
+        prog = MicroProgram(n_cus=2, cus_per_cc=2, cu_ops=[[], []])
+        prog.input_slots = {"a": (0, 0)}
+        prog.transfers = [BusTransfer(0, 0, 1, 0)]
+        prog.cu_ops[1] = [CUOp("mul", 1, (0,), imm=3.0)]
+        prog.output_slots = {"out": (1, 1)}
+        prog.slots_used = [1, 2]
+        res = AcceleratorSimulator().run(prog, {"a": 2.0})
+        assert res.outputs["out"] == pytest.approx(6.0, abs=1e-4)
+        assert res.bus_transfers == 1
+
+    def test_tree_aggregate(self):
+        prog = MicroProgram(n_cus=4, cus_per_cc=2, cu_ops=[[] for _ in range(4)])
+        prog.input_slots = {f"x{i}": (i, 0) for i in range(4)}
+        prog.aggregates = [
+            TreeAggregate("add", ((0, 0), (1, 0), (2, 0), (3, 0)), 0, 1)
+        ]
+        prog.output_slots = {"sum": (0, 1)}
+        prog.slots_used = [2, 1, 1, 1]
+        res = AcceleratorSimulator().run(
+            prog, {"x0": 1.0, "x1": 2.0, "x2": 3.0, "x3": 4.0}
+        )
+        assert res.outputs["sum"] == pytest.approx(10.0, abs=1e-4)
+        assert res.aggregation_waves == 1
+
+    @pytest.mark.parametrize(
+        "func, expected", [("min", -2.0), ("max", 3.0), ("mul", -6.0)]
+    )
+    def test_aggregate_functions(self, func, expected):
+        prog = MicroProgram(n_cus=2, cus_per_cc=2, cu_ops=[[], []])
+        prog.input_slots = {"a": (0, 0), "b": (1, 0)}
+        prog.aggregates = [TreeAggregate(func, ((0, 0), (1, 0)), 0, 1)]
+        prog.output_slots = {"out": (0, 1)}
+        prog.slots_used = [2, 1]
+        res = AcceleratorSimulator().run(prog, {"a": -2.0, "b": 3.0})
+        assert res.outputs["out"] == pytest.approx(expected, abs=1e-4)
+
+    def test_nonlinear_via_lut(self):
+        import math
+
+        prog = MicroProgram(n_cus=1, cus_per_cc=1, cu_ops=[[]])
+        prog.input_slots = {"x": (0, 0)}
+        prog.cu_ops[0] = [CUOp("sin", 1, (0,))]
+        prog.output_slots = {"out": (0, 1)}
+        prog.slots_used = [2]
+        res = AcceleratorSimulator().run(prog, {"x": 0.7})
+        assert res.outputs["out"] == pytest.approx(math.sin(0.7), abs=1e-4)
+
+    def test_pipeline_latency_visible(self):
+        # Two dependent ops cannot finish faster than 2x the CU latency.
+        prog = MicroProgram(n_cus=1, cus_per_cc=1, cu_ops=[[]])
+        prog.input_slots = {"x": (0, 0)}
+        prog.cu_ops[0] = [CUOp("add", 1, (0, 0)), CUOp("add", 2, (1, 1))]
+        prog.output_slots = {"out": (0, 2)}
+        prog.slots_used = [3]
+        res = AcceleratorSimulator().run(prog, {"x": 1.0})
+        assert res.cycles >= 6
+
+
+class TestAssembledPrograms:
+    def test_mobile_robot_dynamics_match_reference(self):
+        b = build_benchmark("MobileRobot")
+        p = b.transcribe(horizon=4)
+        inputs = {
+            "pos[0]": 0.3,
+            "pos[1]": -0.2,
+            "angle": 0.5,
+            "vel": 0.8,
+            "ang_vel": 0.4,
+        }
+        res, ref = simulate_phase(p, "dynamics", inputs)
+        assert ref
+        for key, exact in ref.items():
+            assert res.outputs[key] == pytest.approx(exact, abs=5e-4)
+
+    @pytest.mark.parametrize("name", ["Quadrotor", "MicroSat", "Manipulator"])
+    def test_fixed_point_error_small(self, name):
+        """§VIII-A: Q14.17 + 4096-entry LUTs keep errors negligible."""
+        b = build_benchmark(name)
+        p = b.transcribe(horizon=4)
+        res, ref = simulate_phase(p, "dynamics")
+        errors = [abs(res.outputs[k] - ref[k]) for k in ref]
+        assert max(errors) < 5e-3
+
+    def test_ablation_same_results_more_cycles(self):
+        b = build_benchmark("Quadrotor")
+        p = b.transcribe(horizon=4)
+        inputs = None
+        res_on, _ = simulate_phase(p, "dynamics")
+        res_off, _ = simulate_phase(
+            p, "dynamics", compute_enabled_interconnect=False
+        )
+        for k in res_on.outputs:
+            assert res_on.outputs[k] == pytest.approx(
+                res_off.outputs[k], abs=1e-3
+            )
+        assert res_off.cycles > res_on.cycles
+        assert res_off.aggregation_waves == 0
+        assert res_on.aggregation_waves > 0
+
+    def test_lut_resolution_degrades_results(self):
+        b = build_benchmark("Quadrotor")
+        p = b.transcribe(horizon=4)
+        res_hi, ref = simulate_phase(p, "dynamics", lut_entries=4096)
+        res_lo, _ = simulate_phase(p, "dynamics", lut_entries=32)
+        err_hi = max(abs(res_hi.outputs[k] - ref[k]) for k in ref)
+        err_lo = max(abs(res_lo.outputs[k] - ref[k]) for k in ref)
+        assert err_lo > err_hi
+
+    def test_utilization_spreads_over_cus(self):
+        b = build_benchmark("Hexacopter")
+        p = b.transcribe(horizon=4)
+        res, _ = simulate_phase(p, "dynamics", n_cus=16, cus_per_cc=4)
+        assert sum(1 for c in res.ops_per_cu if c > 0) >= 8

@@ -1,0 +1,138 @@
+"""Tests for the baseline platform models and reference solvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_PLATFORMS,
+    ARM_A57,
+    CPU_PLATFORMS,
+    GPU_PLATFORMS,
+    GTX_650_TI,
+    TEGRA_X2,
+    TESLA_K40,
+    XEON_E3,
+    estimate_iteration_time,
+    reference_kkt_step,
+    reference_solve_qp,
+    working_set_bytes,
+)
+from repro.compiler import translate
+from repro.errors import BaselineError
+from repro.robots import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def quad_graph():
+    return translate(build_benchmark("Quadrotor").transcribe(horizon=8))
+
+
+class TestPlatformSpecs:
+    def test_table_iv_inventory(self):
+        assert len(CPU_PLATFORMS) == 2
+        assert len(GPU_PLATFORMS) == 3
+        assert set(ALL_PLATFORMS) == {
+            "ARM Cortex A57",
+            "Intel Xeon E3",
+            "Tegra X2",
+            "GTX 650 Ti",
+            "Tesla K40",
+        }
+
+    def test_table_iv_clock_frequencies(self):
+        assert ARM_A57.frequency_ghz == 2.0
+        assert XEON_E3.frequency_ghz == 3.6
+        assert TEGRA_X2.frequency_ghz == 0.854
+        assert GTX_650_TI.frequency_ghz == 0.928
+        assert TESLA_K40.frequency_ghz == 0.875
+
+    def test_table_iv_core_counts(self):
+        assert TEGRA_X2.cores == 256
+        assert GTX_650_TI.cores == 768
+        assert TESLA_K40.cores == 2880
+
+    def test_table_iv_tdp(self):
+        assert XEON_E3.tdp_w == 84.0
+        assert GTX_650_TI.tdp_w == 110.0
+        assert TESLA_K40.tdp_w == 235.0
+
+    def test_derived_power_consistent_with_tdp(self):
+        # The derived active powers should sit at or below ~105% of TDP.
+        for spec in ALL_PLATFORMS.values():
+            assert spec.active_power_w <= 1.05 * max(spec.tdp_w, spec.active_power_w * 0)  # noqa: E501
+            assert spec.active_power_w > 0
+
+    def test_peak_flops_ordering(self):
+        assert TESLA_K40.peak_gflops > GTX_650_TI.peak_gflops > TEGRA_X2.peak_gflops
+        assert XEON_E3.peak_gflops > ARM_A57.peak_gflops
+
+
+class TestCostModel:
+    def test_costs_positive(self, quad_graph):
+        for spec in ALL_PLATFORMS.values():
+            cost = estimate_iteration_time(quad_graph, spec)
+            assert cost.seconds > 0
+            assert cost.flops > 0
+
+    def test_faster_platform_is_faster(self, quad_graph):
+        t_arm = estimate_iteration_time(quad_graph, ARM_A57).seconds
+        t_xeon = estimate_iteration_time(quad_graph, XEON_E3).seconds
+        assert t_xeon < t_arm
+
+    def test_calibration_scales_linearly(self, quad_graph):
+        base = estimate_iteration_time(quad_graph, ARM_A57, calibration=1.0)
+        double = estimate_iteration_time(quad_graph, ARM_A57, calibration=2.0)
+        assert double.seconds == pytest.approx(2 * base.seconds)
+
+    def test_bad_calibration(self, quad_graph):
+        with pytest.raises(BaselineError):
+            estimate_iteration_time(quad_graph, ARM_A57, calibration=0.0)
+
+    def test_gpu_overhead_dominates_small_problems(self):
+        g = translate(build_benchmark("MobileRobot").transcribe(horizon=8))
+        cost = estimate_iteration_time(g, TEGRA_X2)
+        assert cost.overhead_seconds > cost.compute_seconds
+
+    def test_working_set_grows_with_horizon(self):
+        b = build_benchmark("Hexacopter")
+        small = working_set_bytes(translate(b.transcribe(horizon=8)))
+        large = working_set_bytes(translate(b.transcribe(horizon=64)))
+        assert large > 4 * small
+
+    def test_cache_spill_detected_at_large_horizon(self):
+        b = build_benchmark("Hexacopter")
+        g = translate(b.transcribe(horizon=512))
+        cost = estimate_iteration_time(g, ARM_A57)
+        assert cost.cache_spilled
+
+
+class TestReferenceSolvers:
+    def test_kkt_step_solves_saddle(self):
+        rng = np.random.default_rng(0)
+        n, p = 6, 2
+        A = rng.normal(size=(n, n))
+        Phi = A @ A.T + n * np.eye(n)
+        G = rng.normal(size=(p, n))
+        r1 = rng.normal(size=n)
+        r2 = rng.normal(size=p)
+        dx, dnu = reference_kkt_step(Phi, G, r1, r2)
+        assert np.allclose(Phi @ dx + G.T @ dnu, r1, atol=1e-9)
+        assert np.allclose(G @ dx, r2, atol=1e-9)
+
+    def test_reference_qp_equality_only(self):
+        H = 2 * np.eye(2)
+        g = np.zeros(2)
+        G = np.array([[1.0, 1.0]])
+        b = np.array([2.0])
+        x, nu, lam = reference_solve_qp(H, g, G, b, None, None)
+        assert np.allclose(x, [1.0, 1.0], atol=1e-9)
+        assert lam.size == 0
+
+    def test_reference_qp_with_inequalities(self):
+        H = np.array([[2.0]])
+        g = np.array([-8.0])
+        J = np.array([[1.0]])
+        d = np.array([1.0])
+        x, _, lam = reference_solve_qp(H, g, None, None, J, d)
+        assert x[0] == pytest.approx(1.0, abs=1e-6)
+        assert lam[0] > 0

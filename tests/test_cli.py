@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "MobileRobot"])
+        assert args.horizon == 16
+        assert args.steps == 10
+
+    def test_compile_flags(self):
+        args = build_parser().parse_args(
+            ["compile", "Quadrotor", "--cus", "64", "--no-interconnect"]
+        )
+        assert args.cus == 64
+        assert args.no_interconnect
+
+    def test_table_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_figure_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MobileRobot" in out and "Hexacopter" in out
+
+    def test_table3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "penalties" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "RoboX" in out and "Tesla K40" in out
+
+    def test_solve_runs_closed_loop(self, capsys):
+        code = main(["solve", "MobileRobot", "--horizon", "8", "--steps", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final state" in out
+        assert out.count("step") >= 3
+
+    def test_solve_unknown_benchmark(self, capsys):
+        assert main(["solve", "WarpDrive"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_compile_prints_schedule(self, capsys):
+        code = main(
+            ["compile", "MobileRobot", "--horizon", "8", "--cus", "16",
+             "--cus-per-cc", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles / IPM iteration" in out
+        assert "M-DFG nodes" in out
+
+    def test_compile_ablation_flag(self, capsys):
+        main(
+            ["compile", "MobileRobot", "--horizon", "8", "--cus", "16",
+             "--cus-per-cc", "4"]
+        )
+        base = capsys.readouterr().out
+        main(
+            ["compile", "MobileRobot", "--horizon", "8", "--cus", "16",
+             "--cus-per-cc", "4", "--no-interconnect"]
+        )
+        ablated = capsys.readouterr().out
+
+        def cycles(text):
+            line = next(l for l in text.splitlines() if "cycles" in l)
+            return float(line.split(":")[1].strip().replace(",", ""))
+
+        assert cycles(ablated) > cycles(base)
+
+    def test_compile_unknown_benchmark(self, capsys):
+        assert main(["compile", "WarpDrive"]) == 2

@@ -1,0 +1,72 @@
+"""Property-based closed-loop tests: the controller makes progress from
+randomized initial conditions and targets (bounded, fast problems only)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import InteriorPointSolver, IPMOptions, MPCController
+from repro.mpc.controller import integrate_plant
+from repro.robots import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def mobile_problem():
+    bench = build_benchmark("MobileRobot")
+    return bench, bench.transcribe(horizon=10)
+
+
+@given(
+    tx=st.floats(-1.0, 1.0),
+    ty=st.floats(-1.0, 1.0),
+    theta0=st.floats(-1.5, 1.5),
+)
+@settings(max_examples=12, deadline=None)
+def test_mobile_robot_closes_distance(mobile_problem, tx, ty, theta0):
+    bench, problem = mobile_problem
+    d0 = float(np.hypot(tx, ty))
+    if d0 < 0.2:
+        return  # already at the target; nothing to prove
+    # Reference heading points at the target (as a planner would supply).
+    target = np.array([tx, ty, np.arctan2(ty, tx)])
+    ctrl = MPCController(
+        InteriorPointSolver(problem, IPMOptions(max_iterations=30))
+    )
+    x = np.array([0.0, 0.0, theta0])
+    for _ in range(8):
+        u = ctrl.step(x, ref=target)
+        # actuator bounds always hold
+        assert abs(u[0]) <= 1.0 + 1e-6
+        assert abs(u[1]) <= 2.0 + 1e-6
+        x = integrate_plant(problem, x, u)
+    d_end = float(np.hypot(x[0] - tx, x[1] - ty))
+    assert d_end < d0  # progress toward the target
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_mobile_robot_warm_start_never_worse_than_two_cold_iterations(
+    mobile_problem, seed
+):
+    """After one converged solve, re-solving a nearby state from the shifted
+    warm start converges within a handful of iterations."""
+    bench, problem = mobile_problem
+    rng = np.random.default_rng(seed)
+    target = rng.uniform(-0.8, 0.8, size=3)
+    target[2] = 0.0
+    ctrl = MPCController(
+        InteriorPointSolver(problem, IPMOptions(max_iterations=40))
+    )
+    x = np.zeros(3)
+    u = ctrl.step(x, ref=target)
+    x = integrate_plant(problem, x, u)
+    ctrl.step(x, ref=target)
+    warm_iters = ctrl.last_result.iterations
+    ctrl2 = MPCController(
+        InteriorPointSolver(problem, IPMOptions(max_iterations=40))
+    )
+    ctrl2.step(x, ref=target)
+    cold_iters = ctrl2.last_result.iterations
+    # The shifted warm start is never dramatically worse than a cold start.
+    assert warm_iters <= cold_iters + 5

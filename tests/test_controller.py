@@ -1,0 +1,131 @@
+"""Tests for the receding-horizon controller and plant integration."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import (
+    IPMOptions,
+    InteriorPointSolver,
+    MPCController,
+    Penalty,
+    RobotModel,
+    Task,
+    TranscribedProblem,
+    VarSpec,
+    integrate_plant,
+)
+from repro.symbolic import Var
+
+
+@pytest.fixture(scope="module")
+def cart():
+    x, v, u = Var("x"), Var("v"), Var("u")
+    model = RobotModel(
+        "Cart",
+        states=[VarSpec("x"), VarSpec("v", -2.0, 2.0)],
+        inputs=[VarSpec("u", -1.0, 1.0)],
+        dynamics={"x": v, "v": u},
+    )
+    task = Task(
+        "park",
+        model,
+        penalties=[
+            Penalty("pos", x - Var("target"), 5.0, "running"),
+            Penalty("vel", v, 1.0, "running"),
+            Penalty("effort", u, 0.1, "running"),
+        ],
+        references=["target"],
+    )
+    return TranscribedProblem(model, task, horizon=10, dt=0.1)
+
+
+REF = np.array([1.0])
+
+
+class TestStep:
+    def test_returns_first_input(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        u = ctrl.step(np.zeros(2), ref=REF)
+        assert u.shape == (1,)
+        # Target ahead: push forward, near the actuator limit.
+        assert u[0] > 0.5
+
+    def test_warm_start_retained(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        ctrl.step(np.zeros(2), ref=REF)
+        first = ctrl.last_result.iterations
+        ctrl.step(np.array([0.01, 0.05]), ref=REF)
+        assert ctrl.last_result.iterations <= first
+
+    def test_reset_clears_state(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        ctrl.step(np.zeros(2), ref=REF)
+        ctrl.reset()
+        assert ctrl.last_result is None
+        assert ctrl._warm is None
+
+    def test_cold_restart_mode(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart), warm_start=False)
+        ctrl.step(np.zeros(2), ref=REF)
+        its1 = ctrl.last_result.iterations
+        ctrl.step(np.zeros(2), ref=REF)
+        # Identical state + cold restart -> identical solve.
+        assert ctrl.last_result.iterations == its1
+
+
+class TestClosedLoop:
+    def test_reaches_target(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        log = ctrl.simulate(np.zeros(2), steps=25, ref=REF)
+        assert abs(log.states[-1, 0] - 1.0) < 0.1
+        assert abs(log.states[-1, 1]) < 0.3
+
+    def test_log_shapes(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        log = ctrl.simulate(np.zeros(2), steps=5, ref=REF)
+        assert log.states.shape == (6, 2)
+        assert log.inputs.shape == (5, 1)
+        assert log.steps == 5
+        assert len(log.objectives) == 5
+        assert len(log.solver_iterations) == 5
+
+    def test_input_bounds_respected_in_loop(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+        log = ctrl.simulate(np.zeros(2), steps=10, ref=REF)
+        assert np.all(log.inputs <= 1.0 + 1e-6)
+        assert np.all(log.inputs >= -1.0 - 1e-6)
+
+    def test_disturbance_rejection(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+
+        def kick(k, x):
+            return np.array([0.0, -0.2]) if k == 5 else np.zeros(2)
+
+        log = ctrl.simulate(np.zeros(2), steps=30, ref=REF, disturbance=kick)
+        assert abs(log.states[-1, 0] - 1.0) < 0.15
+
+    def test_time_varying_reference(self, cart):
+        ctrl = MPCController(InteriorPointSolver(cart))
+
+        def ref_fn(k):
+            return np.array([0.5 if k < 8 else 1.0])
+
+        log = ctrl.simulate(np.zeros(2), steps=24, ref_fn=ref_fn)
+        assert abs(log.states[-1, 0] - 1.0) < 0.2
+
+
+class TestPlantIntegration:
+    def test_linear_plant_exact(self, cart):
+        # Double integrator with constant input has closed form.
+        x = np.array([0.0, 0.0])
+        u = np.array([1.0])
+        out = integrate_plant(cart, x, u, dt=0.5, substeps=8)
+        assert out[1] == pytest.approx(0.5, abs=1e-9)  # v = u t
+        assert out[0] == pytest.approx(0.125, abs=1e-9)  # x = u t^2 / 2
+
+    def test_substep_refinement_converges(self, cart):
+        x = np.array([0.2, 0.4])
+        u = np.array([-0.3])
+        coarse = integrate_plant(cart, x, u, substeps=1)
+        fine = integrate_plant(cart, x, u, substeps=16)
+        assert np.allclose(coarse, fine, atol=1e-6)

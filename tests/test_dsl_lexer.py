@@ -1,0 +1,124 @@
+"""Tests for the RoboX DSL lexer."""
+
+import pytest
+
+from repro.dsl import tokenize
+from repro.dsl.tokens import TokenType
+from repro.errors import LexerError
+
+
+def types(src):
+    return [t.type for t in tokenize(src)][:-1]  # strip EOF
+
+
+def values(src):
+    return [t.value for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type == TokenType.EOF
+
+    def test_identifier(self):
+        assert types("vel_bound") == [TokenType.IDENT]
+
+    def test_keyword_is_ident_token(self):
+        # Keywords are distinguished by the parser, not the lexer.
+        assert types("state") == [TokenType.IDENT]
+
+    def test_number_integer(self):
+        toks = tokenize("42")
+        assert toks[0].type == TokenType.NUMBER
+        assert toks[0].value == "42"
+
+    def test_number_decimal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_number_scientific(self):
+        assert values("1e-3 2.5E+4") == ["1e-3", "2.5E+4"]
+
+    def test_punctuation(self):
+        assert types("( ) { } [ ] , ; : .") == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.COLON,
+            TokenType.DOT,
+        ]
+
+    def test_operators(self):
+        assert types("+ - * / ^ = <=") == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.CARET,
+            TokenType.ASSIGN,
+            TokenType.IMPERATIVE,
+        ]
+
+    def test_field_access_after_index(self):
+        # `pos[0].dt` must lex the dot separately from the number.
+        assert types("pos[0].dt") == [
+            TokenType.IDENT,
+            TokenType.LBRACKET,
+            TokenType.NUMBER,
+            TokenType.RBRACKET,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("state @x;")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("vel // speed limit\nang") == ["vel", "ang"]
+
+    def test_block_comment(self):
+        assert values("a /* b c */ d") == ["a", "d"]
+
+    def test_multiline_block_comment(self):
+        assert values("a /* x\ny\nz */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].column == 3
+
+    def test_column_tracking(self):
+        toks = tokenize("ab cd")
+        assert toks[0].column == 1
+        assert toks[1].column == 4
+
+
+class TestPaperSnippet:
+    def test_system_header(self):
+        src = "System MobileRobot( param vel_bound ) {"
+        vals = values(src)
+        assert vals == ["System", "MobileRobot", "(", "param", "vel_bound", ")", "{"]
+
+    def test_symbolic_assignment(self):
+        vals = values("pos[0].dt = vel * cos(angle);")
+        assert "=" in vals and "cos" in vals
+
+    def test_imperative_assignment(self):
+        vals = values("vel.lower_bound <= -vel_bound;")
+        assert "<=" in vals

@@ -1,0 +1,216 @@
+"""Tests for the RoboX DSL parser."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.dsl import ast_nodes as ast
+from repro.errors import ParseError
+
+MINIMAL = """
+System Bot( param k ) {
+  state x;
+  input u;
+  x.dt = u * k;
+}
+Bot bot(2.0);
+"""
+
+
+class TestTopLevel:
+    def test_minimal_program(self):
+        prog = parse(MINIMAL)
+        assert len(prog.items) == 2
+        assert isinstance(prog.items[0], ast.SystemDef)
+        assert isinstance(prog.items[1], ast.InstanceDecl)
+
+    def test_reference_decl(self):
+        prog = parse("reference tx, ty;")
+        decl = prog.items[0]
+        assert isinstance(decl, ast.ReferenceDecl)
+        assert [d.name for d in decl.names] == ["tx", "ty"]
+
+    def test_task_call(self):
+        prog = parse(MINIMAL + "bot.go(1.0);")
+        call = prog.items[-1]
+        assert isinstance(call, ast.TaskCall)
+        assert call.instance == "bot"
+        assert call.task == "go"
+
+    def test_garbage_top_level(self):
+        with pytest.raises(ParseError):
+            parse("42;")
+
+    def test_system_redefinition_is_parseable(self):
+        # Semantic analysis rejects it; parsing must accept.
+        parse(MINIMAL.replace("Bot bot(2.0);", "") * 2)
+
+
+class TestDeclarations:
+    def test_vector_state(self):
+        prog = parse("System S(){ state pos[2], angle; input u; pos[0].dt = u; pos[1].dt = u; angle.dt = u; }")
+        decl = prog.items[0].body[0]
+        assert decl.kind == "state"
+        assert decl.declarators[0].dims == (2,)
+        assert decl.declarators[1].dims == ()
+
+    def test_matrix_state(self):
+        prog = parse("System S(){ state R[2][2]; input u; }")
+        assert prog.items[0].body[0].declarators[0].dims == (2, 2)
+
+    def test_range_declaration(self):
+        prog = parse("System S(){ range i[0:3]; state x; input u; }")
+        d = prog.items[0].body[0].declarators[0]
+        assert d.interval == (0, 3)
+
+    def test_range_requires_interval(self):
+        with pytest.raises(ParseError, match="interval"):
+            parse("System S(){ range i; }")
+
+    def test_interval_only_for_range(self):
+        with pytest.raises(ParseError, match="only valid for range"):
+            parse("System S(){ state x[0:2]; }")
+
+    def test_reserved_word_as_name(self):
+        with pytest.raises(ParseError, match="reserved"):
+            parse("System S(){ state state; }")
+
+
+class TestAssignments:
+    def test_symbolic_field(self):
+        prog = parse("System S(){ state x; input u; x.dt = u; }")
+        assign = prog.items[0].body[2]
+        assert assign.symbolic
+        assert assign.target.field == "dt"
+
+    def test_imperative_field(self):
+        prog = parse("System S(){ input u; u.upper_bound <= 2.0; }")
+        assign = prog.items[0].body[1]
+        assert not assign.symbolic
+
+    def test_unknown_field(self):
+        with pytest.raises(ParseError, match="unknown field"):
+            parse("System S(){ state x; x.dx = 1; }")
+
+    def test_missing_operator(self):
+        with pytest.raises(ParseError, match="expected '=' or '<='"):
+            parse("System S(){ state x; x.dt 5; }")
+
+    def test_indexed_target(self):
+        prog = parse("System S(){ state p[2]; input u; p[0].dt = u; p[1].dt = u; }")
+        assign = prog.items[0].body[2]
+        assert len(assign.target.indices) == 1
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        prog = parse(f"System S(){{ state x; input u; x.dt = {text}; }}")
+        return prog.items[0].body[2].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinaryOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self.parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.BinaryOp) and e.left.op == "+"
+
+    def test_power_binds_tightest(self):
+        e = self.parse_expr("2 * x ^ 2")
+        assert e.op == "*"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.op == "^"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.UnaryOp)
+
+    def test_function_call(self):
+        e = self.parse_expr("cos(x) * u")
+        assert isinstance(e.left, ast.FuncCall)
+        assert e.left.func == "cos"
+
+    def test_group_op(self):
+        prog = parse(
+            "System S(){ range i[0:2]; state p[2]; input u; "
+            "p[0].dt = sum[i](p[i]); p[1].dt = u; }"
+        )
+        e = prog.items[0].body[3].expr
+        assert isinstance(e, ast.GroupOp)
+        assert e.func == "sum"
+        assert e.ranges == ("i",)
+
+    def test_norm_group_op(self):
+        prog = parse(
+            "System S(){ range i[0:2]; state p[2]; input u; "
+            "p[0].dt = norm[i](p[i]); p[1].dt = u; }"
+        )
+        assert prog.items[0].body[3].expr.func == "norm"
+
+    def test_multi_range_group(self):
+        prog = parse(
+            "System S(){ range i[0:2]; range j[0:2]; state R[2][2]; input u; "
+            "R[0][0].dt = sum[i][j](R[i][j]); }"
+        )
+        e = prog.items[0].body[4].expr
+        assert e.ranges == ("i", "j")
+
+    def test_chained_indexing(self):
+        e = self.parse_expr("x + u")
+        assert isinstance(e, ast.BinaryOp)
+
+    def test_field_in_expression(self):
+        # Parsing allows it; semantics reject reading fields.
+        prog = parse("System S(){ state x; input u; x.dt = u; }")
+        assert prog is not None
+
+
+class TestTasks:
+    def test_task_inside_system(self):
+        src = """
+        System S( param m ) {
+          state x; input u;
+          x.dt = u / m;
+          Task go( reference target, param w ) {
+            penalty p;
+            p.running = x - target;
+            p.weight <= w;
+          }
+        }
+        """
+        prog = parse(src)
+        task = prog.items[0].body[-1]
+        assert isinstance(task, ast.TaskDef)
+        assert task.name == "go"
+        assert [p.kind for p in task.params] == ["reference", "param"]
+
+    def test_task_header_rejects_state(self):
+        with pytest.raises(ParseError, match="param.*reference|reference"):
+            parse("System S(){ Task t( state x ) { } }")
+
+    def test_constraint_fields(self):
+        src = """
+        System S(){ state x; input u; x.dt = u;
+          Task t() {
+            constraint c;
+            c.running = x * x;
+            c.upper_bound <= 4.0;
+            c.lower_bound <= 0.5;
+          }
+        }
+        """
+        prog = parse(src)
+        body = prog.items[0].body[-1].body
+        assert body[1].target.field == "running"
+        assert body[2].target.field == "upper_bound"
+
+
+class TestErrorsCarryPositions:
+    def test_parse_error_has_line(self):
+        try:
+            parse("System S(){\n state x\n}")
+        except ParseError as exc:
+            assert exc.line >= 2
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Only the fast examples run under pytest; the longer flight/detumble
+scenarios are exercised manually (they assert their own success criteria).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return result.stdout
+
+
+def test_quickstart_reaches_target():
+    out = run_example("quickstart.py")
+    assert "reached the target" in out
+    assert "closed-loop position" in out  # the ASCII plot rendered
+
+
+def test_dsl_to_accelerator_pipeline():
+    out = run_example("dsl_to_accelerator.py")
+    assert "end-to-end pipeline complete" in out
+    assert "fixed-point simulation" in out
+    assert "without compute-enabled interconnect" in out
+
+
+def test_design_space_exploration_runs():
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES / "design_space_exploration.py"),
+            "MobileRobot",
+            "16",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "Compute-unit sweep" in result.stdout
+    assert "Bandwidth sweep" in result.stdout

@@ -1,0 +1,198 @@
+"""Tests for the evaluation harness: tables and figure shapes.
+
+Full-scale sweeps (N = 1024) run in the benchmark harness; these tests use
+the paper's N = 32 design point and smaller sweep subsets to check the
+*shape* properties the paper reports while staying fast.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    BENCHMARK_NAMES,
+    PAPER_GEOMEAN_SPEEDUPS,
+    PAPER_TABLE3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    platform_calibration,
+    render_figure,
+    render_table,
+    table3,
+    table4,
+)
+
+
+class TestTables:
+    def test_table3_matches_paper_exactly(self):
+        for row in table3():
+            expected = PAPER_TABLE3[row["name"]]
+            for key in ("states", "inputs", "penalties", "constraints"):
+                assert row[key] == expected[key], row["name"]
+
+    def test_table4_has_all_platforms_plus_robox(self):
+        rows = table4()
+        names = {r["platform"] for r in rows}
+        assert "RoboX" in names
+        assert len(rows) == 6
+
+    def test_table4_robox_specs(self):
+        robox = next(r for r in table4() if r["platform"] == "RoboX")
+        assert robox["cores"] == 256
+        assert robox["tdp_w"] == 3.4
+        assert robox["peak_bandwidth_gbs"] == pytest.approx(16.0)
+
+    def test_render_table_smoke(self):
+        text = render_table(table3(), "Table III")
+        assert "MobileRobot" in text and "Hexacopter" in text
+
+
+class TestCalibration:
+    def test_calibrations_positive(self):
+        for platform in PAPER_GEOMEAN_SPEEDUPS:
+            assert platform_calibration(platform) > 0
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure5()
+
+    def test_geomean_matches_paper(self, fig):
+        assert fig.geomean["RoboX"] == pytest.approx(29.4, rel=0.02)
+        assert fig.geomean["Xeon"] == pytest.approx(29.4 / 7.3, rel=0.05)
+
+    def test_all_benchmarks_present(self, fig):
+        assert set(fig.series["RoboX"]) == set(BENCHMARK_NAMES)
+
+    def test_mobile_robot_lowest_speedup(self, fig):
+        values = fig.series["RoboX"]
+        assert values["MobileRobot"] == min(values.values())
+
+    def test_robox_beats_xeon_everywhere(self, fig):
+        for b in BENCHMARK_NAMES:
+            assert fig.series["RoboX"][b] > fig.series["Xeon"][b]
+
+    def test_render_smoke(self, fig):
+        text = render_figure(fig)
+        assert "geomean" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure6()
+
+    def test_geomeans_match_paper(self, fig):
+        assert fig.geomean["RoboX"] == pytest.approx(2.0, rel=0.02)
+        # Tegra/GTX = (RoboX/GTX) / (RoboX/Tegra) = 2.0 / 3.5
+        assert fig.geomean["Tegra X2"] == pytest.approx(2.0 / 3.5, rel=0.05)
+        # K40/GTX = 2.0 / 0.769 = 2.6: the K40 outruns RoboX (paper: 1.3x)
+        assert fig.geomean["Tesla K40"] == pytest.approx(2.6, rel=0.05)
+
+    def test_k40_beats_robox(self, fig):
+        assert fig.geomean["Tesla K40"] > fig.geomean["RoboX"]
+
+
+class TestFigure7:
+    def test_ppw_matches_paper(self):
+        fig = figure7()
+        assert fig.geomean["RoboX"] == pytest.approx(22.1, rel=0.05)
+        # Paper: "the Xeon E3 has a 0.28x lower performance-per-watt"
+        assert fig.geomean["Xeon"] == pytest.approx(0.28, abs=0.02)
+
+
+class TestFigure8:
+    def test_ppw_matches_paper(self):
+        fig = figure8()
+        assert fig.geomean["RoboX"] == pytest.approx(65.5, rel=0.05)
+        assert fig.geomean["Tegra X2"] == pytest.approx(7.8, rel=0.15)
+        # RoboX wins on efficiency against every GPU.
+        for series in ("Tegra X2", "Tesla K40"):
+            assert fig.geomean["RoboX"] > fig.geomean[series]
+
+
+class TestFigure9:
+    def test_speedup_grows_with_horizon(self):
+        fig = figure9(horizons=(32, 128, 512))
+        g32 = fig.geomean["32 steps"]
+        g512 = fig.geomean["512 steps"]
+        assert g512 > g32  # paper: 29.4x -> 38.7x
+
+    def test_hexacopter_among_most_sensitive(self):
+        fig = figure9(horizons=(32, 512))
+        growth = {
+            b: fig.series["512 steps"][b] / fig.series["32 steps"][b]
+            for b in BENCHMARK_NAMES
+        }
+        ranked = sorted(growth, key=growth.get, reverse=True)
+        assert "Hexacopter" in ranked[:3]
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure10(horizon=256)
+
+    def test_interconnect_helps_every_benchmark(self, fig):
+        with_ic = fig.series["With Compute-Enabled Interconnect"]
+        without = fig.series["Without Compute-Enabled Interconnect"]
+        for b in BENCHMARK_NAMES:
+            assert with_ic[b] > without[b]
+
+    def test_average_gain_in_paper_range(self, fig):
+        gain = (
+            fig.geomean["With Compute-Enabled Interconnect"]
+            / fig.geomean["Without Compute-Enabled Interconnect"]
+        )
+        # Paper reports ~35% average improvement at N = 1024.
+        assert 1.1 < gain < 1.7
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure11(horizon=256, cu_counts=(16, 64, 256, 1024))
+
+    def test_monotone_in_cus(self, fig):
+        g = [fig.geomean[f"{n} CUs"] for n in (16, 64, 256, 1024)]
+        assert g[0] < g[1] < g[2] <= g[3] * 1.01
+
+    def test_plateau_after_256(self, fig):
+        g256 = fig.geomean["256 CUs"]
+        g1024 = fig.geomean["1024 CUs"]
+        g64 = fig.geomean["64 CUs"]
+        # Strong growth up to 256, weak beyond (paper: "plateau around 256").
+        assert g256 / g64 > 1.5
+        assert g1024 / g256 < 1.3
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure12(horizon=256, factors=(0.25, 1.0, 4.0))
+
+    def test_monotone_in_bandwidth(self, fig):
+        assert (
+            fig.geomean["0.25 x"]
+            < fig.geomean["1 x"]
+            <= fig.geomean["4 x"]
+        )
+
+    def test_diminishing_returns(self, fig):
+        lo = fig.geomean["1 x"] / fig.geomean["0.25 x"]
+        hi = fig.geomean["4 x"] / fig.geomean["1 x"]
+        assert hi < lo  # paper: "diminishing returns up to a certain point"
+
+    def test_small_robot_least_sensitive(self, fig):
+        sens = {
+            b: fig.series["4 x"][b] / fig.series["0.25 x"][b]
+            for b in BENCHMARK_NAMES
+        }
+        assert sens["MobileRobot"] == min(sens.values())

@@ -1,0 +1,82 @@
+"""Tests for the experiments-harness internals: workloads cache, report
+rendering, and the FigureResult container."""
+
+import pytest
+
+from repro.compiler import MachineConfig
+from repro.experiments import render_figure, render_table
+from repro.experiments.figures import FigureResult
+from repro.experiments.workloads import (
+    PAPER_HORIZON,
+    benchmark,
+    mdfg,
+    problem,
+    robox_iteration_seconds,
+    schedule,
+)
+
+
+class TestWorkloadCache:
+    def test_benchmark_memoized(self):
+        assert benchmark("Quadrotor") is benchmark("Quadrotor")
+
+    def test_problem_memoized_per_horizon(self):
+        assert problem("MobileRobot", 8) is problem("MobileRobot", 8)
+        assert problem("MobileRobot", 8) is not problem("MobileRobot", 16)
+
+    def test_mdfg_memoized(self):
+        assert mdfg("MobileRobot", 8) is mdfg("MobileRobot", 8)
+
+    def test_schedule_keyed_by_machine(self):
+        a = schedule("MobileRobot", 8, MachineConfig())
+        b = schedule("MobileRobot", 8, MachineConfig())
+        c = schedule("MobileRobot", 8, MachineConfig(n_cus=16))
+        assert a is b
+        assert a is not c
+
+    def test_iteration_seconds_positive(self):
+        assert robox_iteration_seconds("MobileRobot", 8) > 0
+
+    def test_paper_horizon(self):
+        assert PAPER_HORIZON == 32
+
+
+class TestFigureResult:
+    def test_add_series_computes_geomean(self):
+        fig = FigureResult("F", "desc")
+        fig.add_series("s", {"a": 2.0, "b": 8.0})
+        assert fig.geomean["s"] == pytest.approx(4.0)
+
+    def test_series_copied(self):
+        values = {"a": 1.0}
+        fig = FigureResult("F", "desc")
+        fig.add_series("s", values)
+        values["a"] = 99.0
+        assert fig.series["s"]["a"] == 1.0
+
+
+class TestRendering:
+    def test_render_figure_contains_all_series(self):
+        fig = FigureResult("Figure X", "test figure")
+        fig.add_series("alpha", {"m": 1.5, "n": 2.5})
+        fig.add_series("beta", {"m": 15.0, "n": 150.0})
+        text = render_figure(fig)
+        assert "Figure X" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.50x" in text  # two decimals under 10
+        assert "15.0x" in text  # one decimal in [10, 100)
+        assert "150x" in text  # integer at >= 100
+
+    def test_render_table_alignment(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "long-name", "value": 23},
+        ]
+        text = render_table(rows, "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # all data lines equal width
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_render_empty_table(self):
+        assert render_table([], "empty") == "empty"

@@ -1,0 +1,139 @@
+"""Tests for the Q14.17 fixed-point datapath."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator import (
+    FXP_MAX,
+    FXP_MIN,
+    SCALE,
+    from_fixed,
+    fxp_add,
+    fxp_div,
+    fxp_mul,
+    fxp_neg,
+    fxp_sub,
+    resolution,
+    to_fixed,
+)
+from repro.errors import FixedPointError
+
+#: safely representable magnitude for Q14.17 (|x| < 2^14)
+LIMIT = 2.0**14 - 1
+
+
+class TestConversion:
+    def test_roundtrip_small_values(self):
+        for v in (0.0, 1.0, -1.0, 0.5, math.pi, -123.456):
+            assert from_fixed(to_fixed(v)) == pytest.approx(v, abs=resolution())
+
+    def test_resolution(self):
+        assert resolution() == 2.0**-17
+
+    def test_saturation_positive(self):
+        assert to_fixed(1e9) == FXP_MAX
+
+    def test_saturation_negative(self):
+        assert to_fixed(-1e9) == FXP_MIN
+
+    def test_nan_rejected(self):
+        with pytest.raises(FixedPointError):
+            to_fixed(float("nan"))
+
+    def test_array_conversion(self):
+        arr = np.array([0.25, -0.75, 2.5])
+        raw = to_fixed(arr)
+        assert raw.dtype == np.int64
+        assert np.allclose(from_fixed(raw), arr, atol=resolution())
+
+    def test_array_nan_rejected(self):
+        with pytest.raises(FixedPointError):
+            to_fixed(np.array([1.0, float("inf")]))
+
+
+class TestArithmetic:
+    def check(self, op, fxp_op, a, b, tol_factor=2):
+        raw = fxp_op(to_fixed(a), to_fixed(b))
+        assert from_fixed(raw) == pytest.approx(
+            op(a, b), abs=tol_factor * resolution()
+        )
+
+    def test_add(self):
+        self.check(lambda a, b: a + b, fxp_add, 1.25, -0.75)
+
+    def test_sub(self):
+        self.check(lambda a, b: a - b, fxp_sub, 3.5, 1.2)
+
+    def test_mul(self):
+        self.check(lambda a, b: a * b, fxp_mul, 1.5, -2.25)
+
+    def test_div(self):
+        self.check(lambda a, b: a / b, fxp_div, 1.0, 3.0)
+
+    def test_neg(self):
+        assert from_fixed(fxp_neg(to_fixed(2.5))) == -2.5
+
+    def test_div_by_zero_saturates(self):
+        assert fxp_div(to_fixed(1.0), 0) == FXP_MAX
+        assert fxp_div(to_fixed(-1.0), 0) == FXP_MIN
+
+    def test_mul_saturates(self):
+        big = to_fixed(LIMIT)
+        assert fxp_mul(big, big) == FXP_MAX
+
+    def test_array_ops(self):
+        a = to_fixed(np.array([1.0, 2.0, -3.0]))
+        b = to_fixed(np.array([0.5, -0.25, 2.0]))
+        assert np.allclose(from_fixed(fxp_mul(a, b)), [0.5, -0.5, -6.0], atol=1e-4)
+        assert np.allclose(from_fixed(fxp_div(a, b)), [2.0, -8.0, -1.5], atol=1e-4)
+
+    def test_array_div_by_zero(self):
+        a = to_fixed(np.array([1.0, -1.0]))
+        b = np.array([0, 0], dtype=np.int64)
+        out = fxp_div(a, b)
+        assert out[0] == FXP_MAX and out[1] == FXP_MIN
+
+
+@given(
+    a=st.floats(-100, 100),
+    b=st.floats(-100, 100),
+)
+@settings(max_examples=300, deadline=None)
+def test_property_add_accuracy(a, b):
+    raw = fxp_add(to_fixed(a), to_fixed(b))
+    assert abs(from_fixed(raw) - (a + b)) <= 2 * resolution()
+
+
+@given(
+    a=st.floats(-50, 50),
+    b=st.floats(-50, 50),
+)
+@settings(max_examples=300, deadline=None)
+def test_property_mul_relative_accuracy(a, b):
+    raw = fxp_mul(to_fixed(a), to_fixed(b))
+    # Quantizing each operand contributes |a| eps + |b| eps; rounding adds eps.
+    bound = (abs(a) + abs(b) + 2) * resolution()
+    assert abs(from_fixed(raw) - a * b) <= bound
+
+
+@given(
+    a=st.floats(-100, 100),
+    b=st.one_of(st.floats(-100, -0.01), st.floats(0.01, 100)),
+)
+@settings(max_examples=300, deadline=None)
+def test_property_div_accuracy(a, b):
+    raw = fxp_div(to_fixed(a), to_fixed(b))
+    # First-order quantization error: d(a/b) = da/b - a db/b^2, plus one LSB
+    # of output truncation.
+    bound = (1 + abs(1 / b) + abs(a / (b * b))) * 2 * resolution()
+    assert abs(from_fixed(raw) - a / b) <= bound
+
+
+@given(v=st.floats(-LIMIT, LIMIT))
+@settings(max_examples=300, deadline=None)
+def test_property_roundtrip_within_half_lsb(v):
+    assert abs(from_fixed(to_fixed(v)) - v) <= 0.5 * resolution() + 1e-12

@@ -1,0 +1,146 @@
+"""End-to-end integration tests across the full toolchain.
+
+These exercise the complete paper pipeline in one pass per scenario:
+DSL / builder API -> transcription -> SQP+IPM solve -> Program Translator ->
+Algorithm-1 mapping -> static schedule -> fixed-point simulation, with
+cross-layer consistency checks at each hand-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorSimulator, assemble
+from repro.accelerator.memory import MemoryAccessEngine
+from repro.compiler import MachineConfig, compile_problem, map_mdfg, translate
+from repro.compiler.microcode import build_microcode
+from repro.dsl import compile_program
+from repro.mpc import InteriorPointSolver, MPCController, TranscribedProblem
+from repro.mpc.controller import integrate_plant
+from repro.robots import build_benchmark
+
+PENDULUM_DSL = """
+// Torque-limited pendulum swing-up-ish stabilization, written in the DSL.
+System Pendulum( param torque_max ) {
+  state theta, omega;
+  input torque;
+  theta.dt = omega;
+  omega.dt = 4.9 * sin(theta) + 2.0 * torque;
+  torque.lower_bound <= -torque_max;
+  torque.upper_bound <= torque_max;
+
+  Task stabilize( param w_angle, param w_rate ) {
+    penalty angle_err, rate_err, effort;
+    angle_err.running = theta;
+    rate_err.running = omega;
+    effort.running = torque;
+    angle_err.weight <= w_angle;
+    rate_err.weight <= w_rate;
+    effort.weight <= 0.05;
+  }
+}
+Pendulum pend(3.0);
+pend.stabilize(10.0, 1.0);
+"""
+
+
+class TestDSLPendulumPipeline:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        result = compile_program(PENDULUM_DSL)
+        return TranscribedProblem(result.model, result.task, horizon=12, dt=0.05)
+
+    def test_dsl_model_solves_and_stabilizes(self, problem):
+        controller = MPCController(InteriorPointSolver(problem))
+        x = np.array([0.6, 0.0])  # 34 degrees off upright
+        for _ in range(25):
+            u = controller.step(x)
+            x = integrate_plant(problem, x, u)
+        assert abs(x[0]) < 0.05
+        assert abs(x[1]) < 0.15
+
+    def test_dsl_model_compiles_to_schedule(self, problem):
+        graph, pm, sched = compile_problem(
+            problem, MachineConfig(n_cus=16, cus_per_cc=4)
+        )
+        assert sched.cycles_per_iteration > 0
+        assert pm.utilization() > 0
+        # Microcode expands without error and stays in lockstep.
+        mc = build_microcode(pm)
+        assert len(mc.waves) == len(pm.aggregation)
+
+    def test_dsl_dynamics_on_simulated_silicon(self, problem):
+        graph = translate(problem)
+        pm = map_mdfg(graph, 8, 4)
+        program = assemble(graph, pm, "dynamics")
+        inputs = {"theta": 0.4, "omega": -0.3, "torque": 1.0}
+        sim = AcceleratorSimulator()
+        res = sim.run(program, inputs)
+        # Compare against the compiled double-precision dynamics.
+        exact = problem._F(np.array([0.4, -0.3, 1.0]))
+        outs = [
+            res.outputs[k]
+            for k in sorted(res.outputs, key=lambda s: int(s[4:]))
+        ]
+        assert np.allclose(outs, exact, atol=5e-4)
+
+
+class TestBenchmarkPipelines:
+    @pytest.mark.parametrize("name", ["MobileRobot", "Quadrotor"])
+    def test_solve_then_compile_then_simulate(self, name):
+        bench = build_benchmark(name)
+        problem = bench.transcribe(horizon=6)
+
+        # 1. the solver produces a dynamically consistent trajectory
+        solver = bench.make_solver(problem, max_iterations=40)
+        res = solver.solve(bench.x0, ref=bench.ref)
+        defects = problem.equality_constraints(res.z, bench.x0, bench.ref)
+        assert np.abs(defects).max() < 1e-3
+
+        # 2. the compiler schedules the same problem
+        graph, pm, sched = compile_problem(problem)
+        assert sched.cycles_per_iteration > 0
+
+        # 3. the memory engine executes the compiled memory stream
+        engine = MemoryAccessEngine()
+        engine.queue_stores([0] * 64)
+        run = engine.run(sched.memory_stream)
+        assert run.ended and run.loads >= 1
+
+        # 4. the accelerator evaluates the dynamics at the solved state
+        xs, us = problem.split(res.z)
+        stage = np.concatenate([xs[0], us[0]])
+        inputs = dict(zip(problem._F.variables, stage.tolist()))
+        sim_res, _ = (
+            __import__("repro.accelerator", fromlist=["simulate_phase"])
+            .simulate_phase(problem, "dynamics", inputs)
+        )
+        exact = problem._F(stage)
+        outs = [
+            sim_res.outputs[k]
+            for k in sorted(sim_res.outputs, key=lambda s: int(s[4:]))
+        ]
+        assert np.allclose(outs, exact, atol=5e-3)
+
+
+class TestCrossLayerConsistency:
+    def test_mdfg_flops_match_cost_model_inputs(self):
+        """The baseline cost model and the scheduler consume the same graph."""
+        from repro.baselines import ARM_A57, estimate_iteration_time
+
+        p = build_benchmark("Manipulator").transcribe(horizon=8)
+        g = translate(p)
+        cost = estimate_iteration_time(g, ARM_A57)
+        raw_ops = sum(g.total_op_counts().values())
+        # Weighted flops >= raw op count (nonlinears weigh more).
+        assert cost.flops >= raw_ops
+
+    def test_schedule_streams_round_trip_isa(self):
+        from repro.compiler import decode
+
+        p = build_benchmark("MicroSat").transcribe(horizon=4)
+        _, _, sched = compile_problem(p, MachineConfig(n_cus=16, cus_per_cc=4))
+        for word in sched.compute_stream:
+            assert 0 <= word < 2**32
+            decode(word, "compute")
+        for word in sched.comm_stream:
+            decode(word, "comm")

@@ -1,0 +1,187 @@
+"""Round-trip and validation tests for the 32-bit RoboX ISA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    AggFunction,
+    AluFunction,
+    CommInstr,
+    ComputeInstr,
+    MemInstr,
+    Namespace,
+    decode,
+    encode,
+)
+from repro.errors import ISAError
+
+
+class TestComputeEncoding:
+    def test_scalar_queue_roundtrip(self):
+        instr = ComputeInstr(
+            function="mul",
+            dest_ns=Namespace.INTERM,
+            src1_ns=Namespace.STATE,
+            src1_index=3,
+            src1_pop=True,
+            src2_ns=Namespace.INPUT,
+            src2_index=5,
+            src2_pop=False,
+        )
+        assert decode(encode(instr), "compute") == instr
+
+    def test_scalar_immediate_roundtrip(self):
+        instr = ComputeInstr(
+            function="add",
+            dest_ns=Namespace.GRADIENT,
+            src1_ns=Namespace.INTERM,
+            src1_index=1,
+            immediate=200,
+        )
+        assert decode(encode(instr), "compute") == instr
+
+    def test_vector_queue_roundtrip(self):
+        instr = ComputeInstr(
+            function="mul",
+            dest_ns=Namespace.HESSIAN,
+            src1_ns=Namespace.STATE,
+            src1_index=0,
+            src2_ns=Namespace.STATE,
+            src2_index=1,
+            vector=True,
+            repeat=37,
+        )
+        assert decode(encode(instr), "compute") == instr
+
+    def test_vector_immediate_roundtrip(self):
+        instr = ComputeInstr(
+            function="div",
+            dest_ns=Namespace.INTERM,
+            src1_ns=Namespace.INTERM,
+            src1_index=2,
+            vector=True,
+            immediate=9,
+            repeat=15,
+        )
+        assert decode(encode(instr), "compute") == instr
+
+    def test_nonlinear_functions_encode(self):
+        for fn in ("sin", "cos", "sqrt", "exp", "tanh"):
+            instr = ComputeInstr(
+                function=fn, dest_ns=0, src1_ns=Namespace.STATE, src1_index=0
+            )
+            assert decode(encode(instr), "compute").function == fn
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ISAError):
+            ComputeInstr(function="fma", dest_ns=0, src1_ns=0).encode()
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ISAError, match="does not fit"):
+            ComputeInstr(
+                function="add", dest_ns=0, src1_ns=0, src1_index=99
+            ).encode()
+
+    def test_word_is_32bit(self):
+        instr = ComputeInstr(function="add", dest_ns=7, src1_ns=7, src1_index=7)
+        assert 0 <= encode(instr) < 2**32
+
+
+class TestCommEncoding:
+    @pytest.mark.parametrize(
+        "kind",
+        ["unicast", "cu_multicast", "cc_multicast", "broadcast", "cu_agg", "cc_agg"],
+    )
+    def test_roundtrip_all_kinds(self, kind):
+        instr = CommInstr(
+            kind=kind,
+            src_cu=3,
+            src_cc=17,
+            dest_cu=5,
+            dest_cc=9,
+            mask=0xA5,
+            agg="max",
+        )
+        assert decode(encode(instr), "comm") == instr
+
+    def test_aggregation_functions(self):
+        for func in ("add", "mul", "min", "max"):
+            instr = CommInstr(kind="cc_agg", agg=func)
+            assert decode(encode(instr), "comm").agg == func
+
+    def test_unknown_kind(self):
+        with pytest.raises(ISAError):
+            CommInstr(kind="teleport").encode()
+
+
+class TestMemEncoding:
+    def test_load_roundtrip(self):
+        instr = MemInstr(
+            kind="load", namespace=Namespace.STATE, offset=12345, shift=7, burst=16
+        )
+        assert decode(encode(instr), "memory") == instr
+
+    def test_store_roundtrip(self):
+        instr = MemInstr(kind="store", namespace=Namespace.GRADIENT, offset=77, burst=4)
+        assert decode(encode(instr), "memory") == instr
+
+    def test_set_block_roundtrip(self):
+        instr = MemInstr(kind="set_block", namespace=Namespace.REFERENCE, block=13)
+        assert decode(encode(instr), "memory") == instr
+
+    def test_end_marker(self):
+        instr = MemInstr(kind="end")
+        assert decode(encode(instr), "memory").kind == "end"
+
+    def test_offset_overflow(self):
+        with pytest.raises(ISAError):
+            MemInstr(kind="load", offset=1 << 17).encode()
+
+
+class TestDecodeValidation:
+    def test_oversized_word(self):
+        with pytest.raises(ISAError):
+            decode(2**32, "compute")
+
+    def test_unknown_category(self):
+        with pytest.raises(ISAError):
+            decode(0, "quantum")
+
+
+@given(
+    function=st.sampled_from(sorted(set(AluFunction.NAMES.values()))),
+    dest=st.integers(0, 6),
+    s1=st.integers(0, 6),
+    i1=st.integers(0, 7),
+    pop1=st.booleans(),
+    s2=st.integers(0, 6),
+    i2=st.integers(0, 7),
+    pop2=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_compute_roundtrip(function, dest, s1, i1, pop1, s2, i2, pop2):
+    instr = ComputeInstr(
+        function=function,
+        dest_ns=dest,
+        src1_ns=s1,
+        src1_index=i1,
+        src1_pop=pop1,
+        src2_ns=s2,
+        src2_index=i2,
+        src2_pop=pop2,
+    )
+    assert decode(encode(instr), "compute") == instr
+
+
+@given(
+    kind=st.sampled_from(["load", "store"]),
+    ns=st.integers(0, 7),
+    offset=st.integers(0, 2**16 - 1),
+    shift=st.integers(0, 31),
+    burst=st.integers(1, 32),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_memory_roundtrip(kind, ns, offset, shift, burst):
+    instr = MemInstr(kind=kind, namespace=ns, offset=offset, shift=shift, burst=burst)
+    assert decode(encode(instr), "memory") == instr

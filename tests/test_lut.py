@@ -1,0 +1,122 @@
+"""Tests for the LUT-based nonlinear function evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DEFAULT_LUT_ENTRIES, LookupTable, LUTBank
+from repro.accelerator.fixedpoint import from_fixed, to_fixed
+from repro.errors import AcceleratorError
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return LUTBank()
+
+
+class TestLookupTable:
+    def test_interpolation_exact_at_samples(self):
+        t = LookupTable("sq", lambda x: x * x, (0.0, 1.0), entries=11)
+        assert t.evaluate(0.5) == pytest.approx(0.25)
+
+    def test_interpolation_between_samples(self):
+        t = LookupTable("lin", lambda x: 3 * x, (0.0, 1.0), entries=5)
+        # Linear functions are interpolated exactly.
+        assert t.evaluate(0.333) == pytest.approx(0.999)
+
+    def test_clamping(self):
+        t = LookupTable("sq", lambda x: x * x, (0.0, 1.0), entries=11)
+        assert t.evaluate(2.0) == pytest.approx(1.0)
+        assert t.evaluate(-5.0) == pytest.approx(0.0)
+
+    def test_needs_two_entries(self):
+        with pytest.raises(AcceleratorError):
+            LookupTable("bad", math.sin, (0, 1), entries=1)
+
+    def test_invalid_domain(self):
+        with pytest.raises(AcceleratorError):
+            LookupTable("bad", math.sin, (1.0, 1.0))
+
+    def test_max_abs_error_reported(self):
+        t = LookupTable("sin", math.sin, (0.0, math.pi), entries=64)
+        err = t.max_abs_error(2001, reference=math.sin)
+        assert 0 < err < 1e-2
+
+
+class TestBankAccuracy:
+    """The paper's 4096-entry tables should be accurate to ~1e-5 on the
+    functions' core ranges."""
+
+    @pytest.mark.parametrize(
+        "func, ref, points",
+        [
+            ("sin", math.sin, np.linspace(-7, 7, 101)),
+            ("cos", math.cos, np.linspace(-7, 7, 101)),
+            ("tan", math.tan, np.linspace(-1.2, 1.2, 101)),
+            ("atan", math.atan, np.linspace(-20, 20, 101)),
+            ("exp", math.exp, np.linspace(-4, 4, 101)),
+            ("tanh", math.tanh, np.linspace(-8, 8, 101)),
+        ],
+    )
+    def test_function_accuracy(self, bank, func, ref, points):
+        for x in points:
+            assert bank.evaluate(func, float(x)) == pytest.approx(
+                ref(x), abs=5e-4, rel=1e-3
+            )
+
+    def test_sqrt_range_reduction(self, bank):
+        for x in (1e-4, 0.5, 2.0, 100.0, 12345.0):
+            assert bank.evaluate("sqrt", x) == pytest.approx(
+                math.sqrt(x), rel=1e-5
+            )
+
+    def test_sqrt_of_zero(self, bank):
+        assert bank.evaluate("sqrt", 0.0) == 0.0
+
+    def test_log_range_reduction(self, bank):
+        for x in (0.01, 0.5, 1.0, 7.0, 1000.0):
+            assert bank.evaluate("log", x) == pytest.approx(math.log(x), abs=1e-5)
+
+    def test_log_nonpositive_raises(self, bank):
+        with pytest.raises(AcceleratorError):
+            bank.evaluate("log", 0.0)
+
+    def test_sin_periodicity(self, bank):
+        x = 1.234
+        assert bank.evaluate("sin", x + 4 * math.pi) == pytest.approx(
+            bank.evaluate("sin", x), abs=1e-9
+        )
+
+    def test_tanh_saturation(self, bank):
+        assert bank.evaluate("tanh", 50.0) == 1.0
+        assert bank.evaluate("tanh", -50.0) == -1.0
+
+    def test_unknown_function(self, bank):
+        with pytest.raises(AcceleratorError):
+            bank.evaluate("bessel", 1.0)
+
+    def test_fixed_point_interface(self, bank):
+        raw = bank.evaluate_fixed("sin", to_fixed(0.5))
+        assert from_fixed(raw) == pytest.approx(math.sin(0.5), abs=1e-4)
+
+
+class TestEntryCountTradeoff:
+    """Fewer entries -> worse accuracy (the precision ablation axis)."""
+
+    def test_error_shrinks_with_entries(self):
+        errors = []
+        for entries in (64, 512, 4096):
+            b = LUTBank(entries)
+            xs = np.linspace(0.1, 6.0, 301)
+            err = max(abs(b.evaluate("sin", float(x)) - math.sin(x)) for x in xs)
+            errors.append(err)
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_4096_entries_meet_paper_precision(self):
+        # "sufficient to make the effects on convergence negligible":
+        # interpolation error well under the Q17 resolution x 16.
+        b = LUTBank(4096)
+        xs = np.linspace(0, 2 * math.pi, 1001)
+        err = max(abs(b.evaluate("sin", float(x)) - math.sin(x)) for x in xs)
+        assert err < 16 * 2.0**-17

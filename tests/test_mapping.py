@@ -1,0 +1,127 @@
+"""Tests for the Algorithm-1 interconnect-aware mapping."""
+
+import pytest
+
+from repro.compiler import MDFG, NodeType, map_mdfg
+from repro.errors import MappingError
+from repro.robots import build_benchmark
+from repro.compiler import translate
+
+
+def chain_graph():
+    """x -> neg -> sin -> result (pure chain)."""
+    g = MDFG()
+    x = g.add_input("x", phase="p")
+    n1 = g.add_scalar("neg", [x], phase="p")
+    n2 = g.add_scalar("sin", [n1], phase="p")
+    return g, (x, n1, n2)
+
+
+def reduction_graph(width):
+    g = MDFG()
+    inputs = [g.add_input(f"x{i}", phase="p") for i in range(width)]
+    squares = [g.add_scalar("mul", [i, i], phase="p") for i in inputs]
+    gid = g.add_group("add", squares, phase="p")
+    return g, inputs, squares, gid
+
+
+class TestValidation:
+    def test_zero_cus_rejected(self):
+        g, _ = chain_graph()
+        with pytest.raises(MappingError):
+            map_mdfg(g, 0, 1)
+
+    def test_bad_cluster_size(self):
+        g, _ = chain_graph()
+        with pytest.raises(MappingError):
+            map_mdfg(g, 4, 8)
+
+
+class TestPlacement:
+    def test_chain_stays_on_one_cu(self):
+        g, (x, n1, n2) = chain_graph()
+        pm = map_mdfg(g, 8, 4)
+        assert pm.placement[n1] == pm.placement[x]
+        assert pm.placement[n2] == pm.placement[n1]
+        # A resident chain needs no communication.
+        assert pm.communication_volume() == 0
+
+    def test_independent_work_spreads(self):
+        g, inputs, squares, _ = reduction_graph(8)
+        pm = map_mdfg(g, 8, 4)
+        used = {pm.placement[s] for s in squares}
+        assert len(used) > 1  # parallelism exploited
+
+    def test_initial_data_map_respected(self):
+        g, (x, n1, _) = chain_graph()
+        pm = map_mdfg(g, 8, 4, initial_data={"x": 5})
+        assert pm.placement[x] == 5
+        assert pm.placement[n1] == 5
+
+    def test_every_op_placed(self):
+        p = build_benchmark("MobileRobot").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        for n in g.nodes:
+            if n.type in (NodeType.SCALAR, NodeType.VECTOR, NodeType.GROUP):
+                assert n.id in pm.placement
+
+    def test_operations_partition(self):
+        p = build_benchmark("MobileRobot").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        all_ops = [op for ops in pm.operations for op in ops]
+        assert len(all_ops) == len(set(all_ops))  # each op on exactly one CU
+
+
+class TestAggregationMap:
+    def test_group_recorded(self):
+        g, _, squares, gid = reduction_graph(8)
+        pm = map_mdfg(g, 8, 4)
+        assert gid in pm.aggregation
+        plan = pm.aggregation[gid]
+        assert plan.width == 8
+        assert plan.func == "add"
+
+    def test_intra_cc_detection(self):
+        g, _, squares, gid = reduction_graph(4)
+        # All inputs round-robin over 4 CUs of a single cluster.
+        pm = map_mdfg(g, 4, 4)
+        assert pm.aggregation[gid].level == "intra_cc"
+
+    def test_tree_bus_detection(self):
+        g, _, squares, gid = reduction_graph(8)
+        pm = map_mdfg(g, 8, 2)  # 4 clusters -> reduction spans clusters
+        assert pm.aggregation[gid].level == "tree_bus"
+
+    def test_group_result_placed_on_first_contributor(self):
+        g, _, squares, gid = reduction_graph(6)
+        pm = map_mdfg(g, 8, 4)
+        assert pm.placement[gid] == pm.aggregation[gid].cus[0]
+
+
+class TestCommunicationMap:
+    def test_cross_cu_edge_recorded(self):
+        g = MDFG()
+        a = g.add_input("a", phase="p")
+        b = g.add_input("b", phase="p")
+        s1 = g.add_scalar("sin", [a], phase="p")  # lives with a
+        s2 = g.add_scalar("sin", [b], phase="p")  # lives with b
+        m = g.add_scalar("mul", [s1, s2], phase="p")  # forces a transfer
+        pm = map_mdfg(g, 8, 4, initial_data={"a": 0, "b": 1})
+        assert pm.placement[m] in (0, 1)
+        other = s2 if pm.placement[m] == 0 else s1
+        assert (other, m) in pm.communication
+
+    def test_utilization_metric(self):
+        p = build_benchmark("Quadrotor").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        assert 0.5 < pm.utilization() <= 1.0
+
+    def test_cc_of(self):
+        g, _ = chain_graph()
+        pm = map_mdfg(g, 16, 4)
+        assert pm.cc_of(0) == 0
+        assert pm.cc_of(5) == 1
+        assert pm.n_ccs == 4

@@ -1,0 +1,126 @@
+"""Tests for the macro dataflow graph and kernel op accounting."""
+
+import pytest
+
+from repro.compiler import MDFG, NodeType, kernel_op_counts
+from repro.errors import CompilerError
+
+
+class TestConstruction:
+    def test_input_dedup(self):
+        g = MDFG()
+        a = g.add_input("x")
+        b = g.add_input("x")
+        assert a == b
+        assert len(g) == 1
+
+    def test_scalar_node(self):
+        g = MDFG()
+        x = g.add_input("x")
+        y = g.add_input("y")
+        s = g.add_scalar("mul", [x, y], phase="dyn")
+        assert g.nodes[s].op == "mul"
+        assert g.nodes[s].parents == (x, y)
+
+    def test_bad_parent_rejected(self):
+        g = MDFG()
+        with pytest.raises(CompilerError):
+            g.add_scalar("add", [42])
+
+    def test_group_requires_known_aggregation(self):
+        g = MDFG()
+        x = g.add_input("x")
+        with pytest.raises(CompilerError, match="add/mul/min/max"):
+            g.add_group("sub", [x])
+
+    def test_group_width(self):
+        g = MDFG()
+        parents = [g.add_input(f"x{i}") for i in range(5)]
+        gid = g.add_group("add", parents)
+        assert g.nodes[gid].width == 5
+
+    def test_vector_width_validated(self):
+        g = MDFG()
+        with pytest.raises(CompilerError):
+            g.add_vector("add", 0, [])
+
+    def test_kernel_parameter_check(self):
+        g = MDFG()
+        with pytest.raises(CompilerError, match="missing parameters"):
+            g.add_kernel("cholesky", {})
+
+    def test_unknown_kernel(self):
+        g = MDFG()
+        with pytest.raises(CompilerError, match="unknown kernel"):
+            g.add_kernel("fft", {"n": 8})
+
+    def test_validate_passes_for_well_formed(self):
+        g = MDFG()
+        x = g.add_input("x")
+        g.add_scalar("neg", [x])
+        g.validate()
+
+
+class TestOpCounts:
+    def test_scalar_counts(self):
+        g = MDFG()
+        x = g.add_input("x")
+        g.add_scalar("mul", [x, x], repeat=3)
+        assert g.total_op_counts() == {"mul": 3}
+
+    def test_vector_counts(self):
+        g = MDFG()
+        x = g.add_input("x")
+        g.add_vector("add", 8, [x], repeat=2)
+        assert g.total_op_counts() == {"add": 16}
+
+    def test_group_counts(self):
+        g = MDFG()
+        parents = [g.add_input(f"x{i}") for i in range(6)]
+        g.add_group("add", parents)
+        # width-6 reduction = 5 combines
+        assert g.total_op_counts() == {"add": 5}
+
+    def test_phase_filtering(self):
+        g = MDFG()
+        x = g.add_input("x")
+        g.add_scalar("mul", [x, x], phase="a")
+        g.add_scalar("add", [x, x], phase="b")
+        assert g.total_op_counts("a") == {"mul": 1}
+        assert g.total_op_counts("b") == {"add": 1}
+        assert g.phases() == ("a", "b")
+
+
+class TestKernelCounts:
+    def test_cholesky_cubic(self):
+        c = kernel_op_counts("cholesky", {"n": 32})
+        assert c["sqrt"] == 32
+        assert c["mul"] > 32**3 / 6
+
+    def test_banded_cholesky_linear_in_n(self):
+        narrow = kernel_op_counts("cholesky_banded", {"n": 100, "band": 5})
+        wide = kernel_op_counts("cholesky_banded", {"n": 200, "band": 5})
+        assert wide["mul"] == 2 * narrow["mul"]
+
+    def test_banded_band_capped_at_n(self):
+        a = kernel_op_counts("cholesky_banded", {"n": 4, "band": 100})
+        b = kernel_op_counts("cholesky_banded", {"n": 4, "band": 4})
+        assert a == b
+
+    def test_trsolve_scales_with_rhs(self):
+        one = kernel_op_counts("trsolve_banded", {"n": 50, "band": 6, "nrhs": 1})
+        ten = kernel_op_counts("trsolve_banded", {"n": 50, "band": 6, "nrhs": 10})
+        assert ten["mul"] == 10 * one["mul"]
+
+    def test_matmul(self):
+        c = kernel_op_counts("matmul", {"m": 2, "n": 3, "k": 4})
+        assert c["mul"] == 24
+
+    def test_matvec_dot_axpy(self):
+        assert kernel_op_counts("matvec", {"m": 3, "n": 5})["mul"] == 15
+        assert kernel_op_counts("dot", {"n": 7})["mul"] == 7
+        assert kernel_op_counts("axpy", {"n": 9}) == {"mul": 9, "add": 9}
+
+    def test_block_outer(self):
+        c = kernel_op_counts("block_outer", {"blocks": 4, "rows": 2, "dim": 3})
+        assert c["mul"] == 4 * 2 * 9

@@ -1,0 +1,190 @@
+"""Tests for the programmable memory access engine."""
+
+import pytest
+
+from repro.accelerator.memory import (
+    BLOCK_WORDS,
+    EngineRun,
+    MemoryAccessEngine,
+    MemoryImage,
+)
+from repro.compiler.isa import MemInstr, Namespace, encode
+from repro.errors import AcceleratorError
+
+
+def stream(*instrs):
+    return [encode(i) for i in instrs] + [encode(MemInstr(kind="end"))]
+
+
+class TestMemoryImage:
+    def test_read_write_roundtrip(self):
+        mem = MemoryImage()
+        mem.write(Namespace.STATE, 0, 10, [1, 2, 3])
+        assert mem.read(Namespace.STATE, 0, 10, 3) == [1, 2, 3]
+
+    def test_blocks_are_independent(self):
+        mem = MemoryImage()
+        mem.write(Namespace.STATE, 0, 0, [7])
+        mem.write(Namespace.STATE, 1, 0, [9])
+        assert mem.read(Namespace.STATE, 0, 0, 1) == [7]
+        assert mem.read(Namespace.STATE, 1, 0, 1) == [9]
+
+    def test_namespaces_are_independent(self):
+        mem = MemoryImage()
+        mem.write(Namespace.STATE, 0, 0, [1])
+        mem.write(Namespace.GRADIENT, 0, 0, [2])
+        assert mem.read(Namespace.STATE, 0, 0, 1) == [1]
+        assert mem.read(Namespace.GRADIENT, 0, 0, 1) == [2]
+
+    def test_invalid_namespace(self):
+        mem = MemoryImage()
+        with pytest.raises(AcceleratorError, match="invalid"):
+            mem.read(99, 0, 0, 1)
+
+    def test_block_bounds_enforced(self):
+        mem = MemoryImage()
+        with pytest.raises(AcceleratorError):
+            mem.read(Namespace.STATE, 0, BLOCK_WORDS - 1, 2)
+        with pytest.raises(AcceleratorError):
+            mem.write(Namespace.STATE, 0, BLOCK_WORDS, [1])
+
+    def test_uninitialized_reads_zero(self):
+        assert MemoryImage().read(Namespace.INPUT, 3, 100, 2) == [0, 0]
+
+
+class TestEngineExecution:
+    def test_load_burst(self):
+        engine = MemoryAccessEngine()
+        engine.memory.write(Namespace.STATE, 0, 0, list(range(8)))
+        run = engine.run(
+            stream(MemInstr(kind="load", namespace=Namespace.STATE, burst=8))
+        )
+        assert run.loaded == list(range(8))
+        assert run.loads == 1
+        assert run.ended
+
+    def test_load_with_offset(self):
+        engine = MemoryAccessEngine()
+        engine.memory.write(Namespace.STATE, 0, 4, [42, 43])
+        run = engine.run(
+            stream(
+                MemInstr(kind="load", namespace=Namespace.STATE, offset=4, burst=2)
+            )
+        )
+        assert run.loaded == [42, 43]
+
+    def test_shifter_realigns(self):
+        engine = MemoryAccessEngine()
+        engine.memory.write(Namespace.STATE, 0, 0, [10, 11, 12, 13])
+        run = engine.run(
+            stream(
+                MemInstr(kind="load", namespace=Namespace.STATE, burst=4, shift=1)
+            )
+        )
+        assert run.loaded == [11, 12, 13, 10]
+        assert run.shifter_engagements == 1
+
+    def test_store_consumes_queue(self):
+        engine = MemoryAccessEngine()
+        engine.queue_stores([5, 6, 7])
+        run = engine.run(
+            stream(
+                MemInstr(
+                    kind="store", namespace=Namespace.GRADIENT, offset=2, burst=3
+                )
+            )
+        )
+        assert run.stores == 1
+        assert engine.memory.read(Namespace.GRADIENT, 0, 2, 3) == [5, 6, 7]
+        assert engine.store_queue == []
+
+    def test_store_underflow_detected(self):
+        engine = MemoryAccessEngine()
+        engine.queue_stores([1])
+        with pytest.raises(AcceleratorError, match="staged"):
+            engine.run(
+                stream(
+                    MemInstr(kind="store", namespace=Namespace.GRADIENT, burst=4)
+                )
+            )
+
+    def test_set_block_changes_pointer(self):
+        engine = MemoryAccessEngine()
+        engine.memory.write(Namespace.STATE, 2, 0, [99])
+        run = engine.run(
+            stream(
+                MemInstr(kind="set_block", namespace=Namespace.STATE, block=2),
+                MemInstr(kind="load", namespace=Namespace.STATE, burst=1),
+            )
+        )
+        assert run.loaded == [99]
+        assert engine.block_pointer[Namespace.STATE] == 2
+
+    def test_missing_end_of_code(self):
+        engine = MemoryAccessEngine()
+        with pytest.raises(AcceleratorError, match="End-of-Code"):
+            engine.run(
+                [encode(MemInstr(kind="load", namespace=Namespace.STATE, burst=1))]
+            )
+
+    def test_instructions_after_end_ignored(self):
+        engine = MemoryAccessEngine()
+        run = engine.run(
+            [
+                encode(MemInstr(kind="end")),
+                encode(MemInstr(kind="load", namespace=Namespace.STATE, burst=4)),
+            ]
+        )
+        assert run.loads == 0
+
+
+class TestTiming:
+    def test_cycles_scale_with_burst(self):
+        engine = MemoryAccessEngine(bandwidth_bytes_per_cycle=16.0)
+        short = engine.run(
+            stream(MemInstr(kind="load", namespace=Namespace.STATE, burst=4))
+        )
+        long = engine.run(
+            stream(MemInstr(kind="load", namespace=Namespace.STATE, burst=32))
+        )
+        assert long.cycles > short.cycles
+        # 32 words x 4 B at 16 B/cycle = 8 cycles
+        assert long.cycles == 8
+
+    def test_lower_bandwidth_costs_more(self):
+        fast = MemoryAccessEngine(bandwidth_bytes_per_cycle=16.0)
+        slow = MemoryAccessEngine(bandwidth_bytes_per_cycle=4.0)
+        instr = stream(MemInstr(kind="load", namespace=Namespace.STATE, burst=16))
+        assert slow.run(instr).cycles == 4 * fast.run(instr).cycles
+
+    def test_shifter_costs_one_cycle(self):
+        engine = MemoryAccessEngine()
+        plain = engine.run(
+            stream(MemInstr(kind="load", namespace=Namespace.STATE, burst=8))
+        )
+        shifted = engine.run(
+            stream(
+                MemInstr(kind="load", namespace=Namespace.STATE, burst=8, shift=2)
+            )
+        )
+        assert shifted.cycles == plain.cycles + 1
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(AcceleratorError):
+            MemoryAccessEngine(bandwidth_bytes_per_cycle=0.0)
+
+
+class TestScheduleIntegration:
+    def test_scheduler_stream_executes(self):
+        """The memory stream the Controller Compiler emits must run."""
+        from repro.compiler import compile_problem
+        from repro.robots import build_benchmark
+
+        p = build_benchmark("MobileRobot").transcribe(horizon=4)
+        _, _, sched = compile_problem(p)
+        engine = MemoryAccessEngine()
+        engine.queue_stores([0] * 4096)  # plenty for the final store burst
+        run = engine.run(sched.memory_stream)
+        assert run.ended
+        assert run.loads >= 1
+        assert run.stores >= 1

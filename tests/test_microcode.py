@@ -1,0 +1,98 @@
+"""Tests for the interconnect hop microcode (shift-register bypass bits)."""
+
+import pytest
+
+from repro.compiler import MDFG, map_mdfg, translate
+from repro.compiler.microcode import build_microcode
+from repro.robots import build_benchmark
+
+
+def reduction_map(width, n_cus, cus_per_cc, spread=None):
+    """A graph with one `width`-wide aggregation, with controlled placement."""
+    g = MDFG()
+    inputs = [g.add_input(f"x{i}", phase="p") for i in range(width)]
+    squares = [g.add_scalar("mul", [i, i], phase="p") for i in inputs]
+    g.add_group("add", squares, phase="p")
+    initial = (
+        {f"x{i}": spread[i] for i in range(width)} if spread is not None else None
+    )
+    return g, map_mdfg(g, n_cus, cus_per_cc, initial_data=initial)
+
+
+class TestNeighborHops:
+    def test_intra_cc_chain_engages_between_participants(self):
+        # 4 CUs in one cluster, all participating -> hops 0, 1, 2 engage.
+        _, pm = reduction_map(4, 4, 4, spread=[0, 1, 2, 3])
+        mc = build_microcode(pm)
+        assert len(mc.waves) == 1
+        for hop in range(3):
+            assert mc.neighbor_hops[(0, hop)].bits == [1]
+
+    def test_gap_in_participants_still_engages_span(self):
+        # Participants on local CUs 0 and 3: hops 0..2 all carry the value.
+        _, pm = reduction_map(2, 4, 4, spread=[0, 3])
+        mc = build_microcode(pm)
+        assert [mc.neighbor_hops[(0, h)].bits[0] for h in range(3)] == [1, 1, 1]
+
+    def test_single_participant_bypasses(self):
+        _, pm = reduction_map(2, 8, 4, spread=[0, 4])  # one per cluster
+        mc = build_microcode(pm)
+        for sched in mc.neighbor_hops.values():
+            assert sched.bits == [0]
+
+    def test_uninvolved_cluster_bypasses(self):
+        _, pm = reduction_map(4, 8, 4, spread=[0, 1, 2, 3])  # cluster 0 only
+        mc = build_microcode(pm)
+        for hop in range(3):
+            assert mc.neighbor_hops[(1, hop)].bits == [0]
+
+
+class TestTreeHops:
+    def test_two_cluster_reduction_engages_root(self):
+        _, pm = reduction_map(2, 8, 4, spread=[0, 4])
+        mc = build_microcode(pm)
+        assert pm.aggregation and all(
+            p.level == "tree_bus" for p in pm.aggregation.values()
+        )
+        assert sum(s.engagements for s in mc.tree_hops.values()) >= 1
+
+    def test_intra_cc_wave_leaves_tree_idle(self):
+        _, pm = reduction_map(4, 8, 4, spread=[0, 1, 2, 3])
+        mc = build_microcode(pm)
+        assert all(s.engagements == 0 for s in mc.tree_hops.values())
+
+    def test_four_cluster_reduction_engages_multiple_nodes(self):
+        _, pm = reduction_map(4, 16, 4, spread=[0, 4, 8, 12])
+        mc = build_microcode(pm)
+        assert sum(s.engagements for s in mc.tree_hops.values()) >= 3
+
+
+class TestLockstep:
+    def test_all_registers_same_length(self):
+        p = build_benchmark("Quadrotor").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        mc = build_microcode(pm)
+        lengths = {
+            len(s.bits)
+            for s in list(mc.neighbor_hops.values()) + list(mc.tree_hops.values())
+        }
+        assert len(lengths) == 1
+        assert lengths.pop() == len(mc.waves)
+
+    def test_waves_match_aggregation_map(self):
+        p = build_benchmark("Quadrotor").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        mc = build_microcode(pm)
+        assert len(mc.waves) == len(pm.aggregation)
+        assert {v for v, _ in mc.waves} == set(pm.aggregation)
+
+    def test_utilization_bounded(self):
+        p = build_benchmark("Hexacopter").transcribe(horizon=4)
+        g = translate(p)
+        pm = map_mdfg(g, 16, 4)
+        mc = build_microcode(pm)
+        assert 0.0 <= mc.hop_utilization() <= 1.0
+        if mc.waves:
+            assert mc.total_engagements > 0

@@ -1,0 +1,207 @@
+"""Tests for the RobotModel / Task intermediate representation."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError, TaskError
+from repro.mpc import Constraint, Penalty, RobotModel, Task, VarSpec
+from repro.symbolic import Var, sin
+
+
+def simple_model(**kwargs):
+    x, v, u = Var("x"), Var("v"), Var("u")
+    return RobotModel(
+        "Cart",
+        states=[VarSpec("x"), VarSpec("v", -2.0, 2.0)],
+        inputs=[VarSpec("u", -1.0, 1.0, trim=0.5)],
+        dynamics={"x": v, "v": u},
+        **kwargs,
+    )
+
+
+class TestVarSpec:
+    def test_bounds_validated(self):
+        with pytest.raises(ModelError):
+            VarSpec("x", lower=1.0, upper=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            VarSpec("")
+
+    def test_is_bounded(self):
+        assert not VarSpec("a").is_bounded
+        assert VarSpec("a", upper=1.0).is_bounded
+        assert VarSpec("a", lower=0.0).is_bounded
+
+    def test_clipped_trim(self):
+        assert VarSpec("u", 0.0, 1.0, trim=5.0).clipped_trim == 1.0
+        assert VarSpec("u", -1.0, 1.0, trim=-9.0).clipped_trim == -1.0
+        assert VarSpec("u", -1.0, 1.0, trim=0.3).clipped_trim == 0.3
+
+
+class TestRobotModel:
+    def test_layout(self):
+        m = simple_model()
+        assert m.n_states == 2
+        assert m.n_inputs == 1
+        assert m.state_names == ("x", "v")
+        assert m.state_index("v") == 1
+        assert m.input_index("u") == 0
+
+    def test_unknown_state_index(self):
+        with pytest.raises(ModelError):
+            simple_model().state_index("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            RobotModel(
+                "Bad",
+                states=[VarSpec("x"), VarSpec("x")],
+                inputs=[VarSpec("u")],
+                dynamics={"x": Var("u")},
+            )
+
+    def test_missing_dynamics_rejected(self):
+        with pytest.raises(ModelError, match="without dynamics"):
+            RobotModel(
+                "Bad",
+                states=[VarSpec("x"), VarSpec("v")],
+                inputs=[VarSpec("u")],
+                dynamics={"x": Var("v")},
+            )
+
+    def test_extra_dynamics_rejected(self):
+        with pytest.raises(ModelError, match="unknown states"):
+            RobotModel(
+                "Bad",
+                states=[VarSpec("x")],
+                inputs=[VarSpec("u")],
+                dynamics={"x": Var("u"), "ghost": Var("u")},
+            )
+
+    def test_undeclared_variable_in_dynamics(self):
+        with pytest.raises(ModelError, match="undeclared"):
+            RobotModel(
+                "Bad",
+                states=[VarSpec("x")],
+                inputs=[VarSpec("u")],
+                dynamics={"x": Var("mystery")},
+            )
+
+    def test_needs_states_and_inputs(self):
+        with pytest.raises(ModelError):
+            RobotModel("Bad", states=[], inputs=[VarSpec("u")], dynamics={})
+        with pytest.raises(ModelError):
+            RobotModel(
+                "Bad", states=[VarSpec("x")], inputs=[], dynamics={"x": Var("x")}
+            )
+
+    def test_bounds_and_trim(self):
+        m = simple_model()
+        lo, hi = m.input_bounds()
+        assert lo == (-1.0,) and hi == (1.0,)
+        assert m.trim_inputs() == (0.5,)
+        assert m.n_bound_constraints() == 4  # v two-sided + u two-sided
+
+    def test_dynamics_exprs_ordered(self):
+        m = simple_model()
+        exprs = m.dynamics_exprs
+        assert exprs[0] == Var("v")
+        assert exprs[1] == Var("u")
+
+
+class TestPenaltyConstraint:
+    def test_penalty_timing_validated(self):
+        with pytest.raises(TaskError):
+            Penalty("p", Var("x"), timing="sometimes")
+
+    def test_penalty_negative_weight(self):
+        with pytest.raises(TaskError):
+            Penalty("p", Var("x"), weight=-1.0)
+
+    def test_constraint_needs_a_bound(self):
+        with pytest.raises(TaskError, match="no finite bound"):
+            Constraint("c", Var("x"))
+
+    def test_constraint_bound_order(self):
+        with pytest.raises(TaskError):
+            Constraint("c", Var("x"), lower=2.0, upper=1.0)
+
+    def test_equality_constraint(self):
+        c = Constraint("c", Var("x"), lower=1.0, upper=1.0)
+        assert c.is_equality
+        assert c.n_inequality_rows() == 0
+
+    def test_two_sided_rows(self):
+        c = Constraint("c", Var("x"), lower=-1.0, upper=1.0)
+        assert c.n_inequality_rows() == 2
+
+    def test_one_sided_rows(self):
+        assert Constraint("c", Var("x"), upper=1.0).n_inequality_rows() == 1
+
+
+class TestTask:
+    def test_grouping(self):
+        m = simple_model()
+        t = Task(
+            "t",
+            m,
+            penalties=[
+                Penalty("run", Var("u"), timing="running"),
+                Penalty("term", Var("x"), timing="terminal"),
+            ],
+            constraints=[Constraint("c", Var("x"), upper=5.0, timing="terminal")],
+        )
+        assert len(t.running_penalties) == 1
+        assert len(t.terminal_penalties) == 1
+        assert len(t.terminal_constraints) == 1
+        assert t.n_penalties == 2
+        assert t.n_constraints == 1
+
+    def test_requires_penalties(self):
+        with pytest.raises(TaskError, match="no penalty"):
+            Task("t", simple_model(), penalties=[])
+
+    def test_duplicate_names(self):
+        m = simple_model()
+        with pytest.raises(TaskError, match="duplicate"):
+            Task(
+                "t",
+                m,
+                penalties=[Penalty("p", Var("x")), Penalty("p", Var("v"))],
+            )
+
+    def test_undeclared_variable(self):
+        m = simple_model()
+        with pytest.raises(TaskError, match="undeclared"):
+            Task("t", m, penalties=[Penalty("p", Var("nope"))])
+
+    def test_reference_allowed_when_declared(self):
+        m = simple_model()
+        t = Task(
+            "t",
+            m,
+            penalties=[Penalty("p", Var("x") - Var("target"))],
+            references=["target"],
+        )
+        assert t.references == ("target",)
+
+    def test_pure_reference_penalty_rejected(self):
+        m = simple_model()
+        with pytest.raises(TaskError, match="at least one state or input"):
+            Task(
+                "t",
+                m,
+                penalties=[Penalty("p", Var("target") * 2.0)],
+                references=["target"],
+            )
+
+    def test_terminal_input_rejected(self):
+        m = simple_model()
+        with pytest.raises(TaskError, match="terminal"):
+            Task(
+                "t",
+                m,
+                penalties=[Penalty("p", Var("u"), timing="terminal")],
+            )

@@ -1,0 +1,125 @@
+"""Tests for move-blocking MPC (the §IX ref. [77] approximation technique)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TranscriptionError
+from repro.mpc import InteriorPointSolver, TranscribedProblem
+from repro.robots import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return build_benchmark("MobileRobot")
+
+
+def make(bench, B, N=16):
+    return TranscribedProblem(
+        bench.model, bench.task, horizon=N, dt=bench.dt, move_block=B
+    )
+
+
+class TestLayout:
+    def test_knot_count(self, bench):
+        assert make(bench, 1).n_input_knots == 16
+        assert make(bench, 2).n_input_knots == 8
+        assert make(bench, 3).n_input_knots == 6  # ceil(16 / 3)
+
+    def test_nz_shrinks(self, bench):
+        full = make(bench, 1)
+        blocked = make(bench, 4)
+        assert blocked.nz == full.nz - 12 * bench.model.n_inputs
+
+    def test_invalid_factor(self, bench):
+        with pytest.raises(TranscriptionError):
+            make(bench, 0)
+
+    def test_input_slice_shared_within_block(self, bench):
+        p = make(bench, 4)
+        assert p.input_slice(0) == p.input_slice(3)
+        assert p.input_slice(4) != p.input_slice(3)
+
+    def test_split_expands_blocks(self, bench):
+        p = make(bench, 4)
+        z = np.arange(p.nz, dtype=float)
+        xs, us = p.split(z)
+        assert us.shape == (16, 2)
+        assert np.array_equal(us[0], us[3])
+        assert not np.array_equal(us[3], us[4])
+
+    def test_join_split_roundtrip(self, bench):
+        p = make(bench, 2)
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=p.nz)
+        xs, us = p.split(z)
+        assert np.allclose(p.join(xs, us), z)
+
+    def test_variable_scales_length(self, bench):
+        p = make(bench, 4)
+        assert p.variable_scales().shape == (p.nz,)
+
+
+class TestDerivativesStayConsistent:
+    def test_gradient_matches_fd_with_blocking(self, bench):
+        p = make(bench, 4, N=8)
+        rng = np.random.default_rng(1)
+        z = rng.normal(scale=0.3, size=p.nz)
+        grad = p.objective_gradient(z, bench.ref)
+        eps = 1e-6
+        for i in range(0, p.nz, 3):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            fd = (p.objective(zp, bench.ref) - p.objective(zm, bench.ref)) / (
+                2 * eps
+            )
+            assert grad[i] == pytest.approx(fd, abs=1e-5)
+
+    def test_equality_jacobian_matches_fd_with_blocking(self, bench):
+        p = make(bench, 2, N=6)
+        rng = np.random.default_rng(2)
+        z = rng.normal(scale=0.3, size=p.nz)
+        x0 = np.zeros(3)
+        G = p.equality_jacobian(z, bench.ref)
+        eps = 1e-6
+        for i in range(p.nz):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            col = (
+                p.equality_constraints(zp, x0, bench.ref)
+                - p.equality_constraints(zm, x0, bench.ref)
+            ) / (2 * eps)
+            assert np.allclose(G[:, i], col, atol=1e-5)
+
+
+class TestSolutionQuality:
+    def test_solves_and_inputs_blocked(self, bench):
+        p = make(bench, 4)
+        res = InteriorPointSolver(p).solve(bench.x0, ref=bench.ref)
+        assert res.converged
+        _, us = p.split(res.z)
+        for blk in range(4):
+            base = us[4 * blk]
+            for j in range(1, 4):
+                assert np.allclose(us[4 * blk + j], base)
+
+    def test_accuracy_degrades_gracefully(self, bench):
+        """Blocking trades optimality for size: the objective worsens
+        monotonically but only slightly (the paper's 'cost of control
+        accuracy' framing)."""
+        objectives = {}
+        for B in (1, 2, 4):
+            p = make(bench, B)
+            res = InteriorPointSolver(p).solve(bench.x0, ref=bench.ref)
+            assert res.converged
+            objectives[B] = res.objective
+        assert objectives[1] <= objectives[2] <= objectives[4]
+        assert objectives[4] < objectives[1] * 1.05  # within 5%
+
+    def test_blocked_problem_compiles_smaller_solver(self, bench):
+        from repro.compiler import compile_problem
+
+        full = compile_problem(make(bench, 1))[2]
+        blocked = compile_problem(make(bench, 4))[2]
+        assert blocked.cycles_per_iteration < full.cycles_per_iteration

@@ -1,0 +1,120 @@
+"""Tests for the infix expression printer, including the DSL round trip:
+parsing a printed expression through the DSL grammar yields the same tree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import parse
+from repro.dsl.semantics import _Analyzer  # round-trip helper below
+from repro.symbolic import Const, Var, cos, simplify, sin, sqrt, to_string
+
+
+class TestRendering:
+    def test_constants(self):
+        assert to_string(Const(3.0)) == "3"
+        assert to_string(Const(2.5)) == "2.5"
+        assert to_string(Const(-4.0)) == "-4"
+
+    def test_variables(self):
+        assert to_string(Var("pos[0]")) == "pos[0]"
+
+    def test_precedence_no_redundant_parens(self):
+        x, y = Var("x"), Var("y")
+        assert to_string(x + y * 2) == "x + y * 2"
+        assert to_string((x + y) * 2) == "(x + y) * 2"
+
+    def test_subtraction_right_assoc_parens(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        assert to_string(x - (y - z)) == "x - (y - z)"
+        assert to_string((x - y) - z) == "x - y - z"
+
+    def test_division_parens(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        assert to_string(x / (y * z)) == "x / (y * z)"
+
+    def test_power_uses_caret(self):
+        x = Var("x")
+        assert to_string(x**2) == "x ^ 2"
+
+    def test_nested_power_parens(self):
+        x = Var("x")
+        assert to_string((x**2) ** 3) == "(x ^ 2) ^ 3"
+
+    def test_negation(self):
+        x = Var("x")
+        assert to_string(-x) == "-x"
+        assert to_string(-(x + 1)) == "-(x + 1)"
+
+    def test_function_calls(self):
+        x = Var("x")
+        assert to_string(sin(x) * cos(x)) == "sin(x) * cos(x)"
+        assert to_string(sqrt(x + 1)) == "sqrt(x + 1)"
+
+
+def roundtrip(expr_text: str):
+    """Parse an expression string via the DSL grammar and lower it."""
+    src = f"System S(){{ state x, y, z; input u; x.dt = {expr_text}; y.dt = u; z.dt = u; }} S s();"
+    result = _analyze(src)
+    return result.models["s"].dynamics["x"]
+
+
+def _analyze(src):
+    from repro.dsl import compile_program
+
+    return compile_program(src)
+
+
+class TestDSLRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda x, y: x + y * 2,
+            lambda x, y: (x - y) / (x + 3),
+            lambda x, y: sin(x) * cos(y) + 1,
+            lambda x, y: -x + sqrt(y * y + 1),
+            lambda x, y: x * y - y * 2 + 0.5,
+        ],
+    )
+    def test_print_parse_same_value(self, builder):
+        x, y = Var("x"), Var("y")
+        expr = simplify(builder(x, y))
+        reparsed = roundtrip(to_string(expr))
+        env = {"x": 0.7, "y": -0.4, "z": 0.0, "u": 0.0}
+        assert reparsed.evaluate(env) == pytest.approx(expr.evaluate(env), rel=1e-12)
+
+
+_leaf = st.one_of(
+    st.floats(min_value=0.1, max_value=5, allow_nan=False).map(
+        lambda v: Const(round(v, 3))
+    ),
+    st.sampled_from([Var("x"), Var("y")]),
+)
+
+
+def _combine(children):
+    a, b = children
+    builders = [
+        lambda: a + b,
+        lambda: a - b,
+        lambda: a * b,
+        lambda: a / (b + 6),  # keep denominators away from zero
+        lambda: sin(a),
+        lambda: cos(b),
+    ]
+    return st.sampled_from(range(len(builders))).map(lambda i: builders[i]())
+
+
+_expr = st.recursive(_leaf, lambda inner: st.tuples(inner, inner).flatmap(_combine), max_leaves=12)
+
+
+@given(e=_expr, x=st.floats(0.1, 2.0), y=st.floats(0.1, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_property_dsl_roundtrip_preserves_value(e, x, y):
+    text = to_string(simplify(e))
+    reparsed = roundtrip(text)
+    env = {"x": x, "y": y, "z": 0.0, "u": 0.0}
+    assert reparsed.evaluate(env) == pytest.approx(
+        simplify(e).evaluate(env), rel=1e-9, abs=1e-9
+    )

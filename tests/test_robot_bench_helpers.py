@@ -1,0 +1,48 @@
+"""Tests for RobotBenchmark's solver/controller factory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import InteriorPointSolver, MPCController
+from repro.robots import build_benchmark
+
+
+class TestMakeSolver:
+    def test_applies_recommended_overrides(self):
+        b = build_benchmark("AutoVehicle")
+        p = b.transcribe(horizon=4)
+        solver = b.make_solver(p)
+        assert isinstance(solver, InteriorPointSolver)
+        assert solver.options.hessian == "hybrid"
+        assert solver.options.watchdog == 1
+
+    def test_extra_kwargs_win(self):
+        b = build_benchmark("AutoVehicle")
+        p = b.transcribe(horizon=4)
+        solver = b.make_solver(p, max_iterations=7, hessian="gauss_newton")
+        assert solver.options.max_iterations == 7
+        assert solver.options.hessian == "gauss_newton"
+
+    def test_defaults_for_plain_benchmark(self):
+        b = build_benchmark("MobileRobot")
+        p = b.transcribe(horizon=4)
+        solver = b.make_solver(p)
+        assert solver.options.hessian == "gauss_newton"
+
+
+class TestMakeController:
+    def test_warm_start_policy_wired(self):
+        vehicle = build_benchmark("AutoVehicle")
+        ctrl = vehicle.make_controller(vehicle.transcribe(horizon=4))
+        assert isinstance(ctrl, MPCController)
+        assert ctrl.warm_start is False
+
+        quad = build_benchmark("Quadrotor")
+        ctrl2 = quad.make_controller(quad.transcribe(horizon=4))
+        assert ctrl2.warm_start is True
+
+    def test_controller_uses_given_problem(self):
+        b = build_benchmark("MobileRobot")
+        p = b.transcribe(horizon=4)
+        ctrl = b.make_controller(p)
+        assert ctrl.problem is p

@@ -1,0 +1,125 @@
+"""Tests for static scheduling and the cycle model."""
+
+import pytest
+
+from repro.compiler import (
+    MachineConfig,
+    Scheduler,
+    compile_problem,
+    translate,
+)
+from repro.errors import ScheduleError
+from repro.robots import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def quad_problem():
+    return build_benchmark("Quadrotor").transcribe(horizon=8)
+
+
+@pytest.fixture(scope="module")
+def default_schedule(quad_problem):
+    _, _, sched = compile_problem(quad_problem)
+    return sched
+
+
+class TestMachineConfig:
+    def test_defaults_match_table4(self):
+        m = MachineConfig()
+        assert m.n_cus == 256
+        assert m.frequency_ghz == 1.0
+        assert m.onchip_sram_bytes == 512 * 1024
+        assert m.total_power_watts == 3.4
+        # 128 Gb/s at 1 GHz
+        assert m.bandwidth_bytes_per_cycle == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            MachineConfig(n_cus=0)
+        with pytest.raises(ScheduleError):
+            MachineConfig(cus_per_cc=0)
+
+    def test_cluster_count(self):
+        assert MachineConfig(n_cus=256, cus_per_cc=8).n_ccs == 32
+        assert MachineConfig(n_cus=10, cus_per_cc=4).n_ccs == 3
+
+
+class TestScheduleArtifacts:
+    def test_phase_costs_cover_graph(self, quad_problem, default_schedule):
+        phases = {pc.phase.split(":")[0] for pc in default_schedule.phase_costs}
+        assert "dynamics" in phases
+        assert "solver" in phases
+
+    def test_cycles_positive(self, default_schedule):
+        assert default_schedule.cycles_per_iteration > 0
+        assert default_schedule.seconds_per_iteration() > 0
+
+    def test_instruction_streams_emitted(self, default_schedule):
+        assert len(default_schedule.compute_stream) > 100
+        assert len(default_schedule.comm_stream) > 0
+        assert len(default_schedule.memory_stream) >= 2
+
+    def test_streams_decode(self, default_schedule):
+        from repro.compiler import decode
+
+        for word in default_schedule.compute_stream[:50]:
+            decode(word, "compute")
+        for word in default_schedule.comm_stream[:50]:
+            decode(word, "comm")
+        for word in default_schedule.memory_stream:
+            decode(word, "memory")
+
+    def test_phase_lookup(self, default_schedule):
+        pc = default_schedule.phase("dynamics")
+        assert pc.cycles > 0
+        with pytest.raises(ScheduleError):
+            default_schedule.phase("nonexistent")
+
+
+class TestScalingTrends:
+    """The design-space trends behind Figures 10-12."""
+
+    def cycles(self, problem, **kwargs):
+        _, _, sched = compile_problem(problem, MachineConfig(**kwargs))
+        return sched.cycles_per_iteration
+
+    def test_more_cus_never_slower(self, quad_problem):
+        prev = None
+        for n in (16, 64, 256):
+            c = self.cycles(quad_problem, n_cus=n)
+            if prev is not None:
+                assert c <= prev * 1.01
+            prev = c
+
+    def test_cu_scaling_saturates(self, quad_problem):
+        c16 = self.cycles(quad_problem, n_cus=16)
+        c256 = self.cycles(quad_problem, n_cus=256)
+        c1024 = self.cycles(quad_problem, n_cus=1024)
+        # Strong gains early, diminishing at the top end (Fig. 11 plateau).
+        assert c16 / c256 > 3.0
+        assert c256 / c1024 < 2.5
+
+    def test_interconnect_ablation_slows(self, quad_problem):
+        on = self.cycles(quad_problem)
+        off = self.cycles(quad_problem, compute_enabled_interconnect=False)
+        assert off > on  # Fig. 10 direction
+
+    def test_bandwidth_monotone(self, quad_problem):
+        slow = self.cycles(quad_problem, bandwidth_bytes_per_cycle=4.0)
+        base = self.cycles(quad_problem)
+        fast = self.cycles(quad_problem, bandwidth_bytes_per_cycle=64.0)
+        assert slow >= base >= fast
+
+    def test_horizon_scales_cycles(self):
+        b = build_benchmark("MobileRobot")
+        c8 = compile_problem(b.transcribe(horizon=8))[2].cycles_per_iteration
+        c64 = compile_problem(b.transcribe(horizon=64))[2].cycles_per_iteration
+        assert 4.0 < c64 / c8 < 16.0  # roughly linear in N
+
+    def test_frequency_scales_time_not_cycles(self, quad_problem):
+        _, _, s1 = compile_problem(quad_problem, MachineConfig(frequency_ghz=1.0))
+        _, _, s2 = compile_problem(quad_problem, MachineConfig(frequency_ghz=2.0))
+        assert s1.cycles_per_iteration == pytest.approx(s2.cycles_per_iteration)
+        assert s1.seconds_per_iteration() == pytest.approx(
+            2.0 * s2.seconds_per_iteration()
+        )

@@ -1,0 +1,142 @@
+"""Tests for algebraic simplification, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Call,
+    Const,
+    OPS,
+    Var,
+    cos,
+    count_nodes,
+    is_one,
+    is_zero,
+    simplify,
+    sin,
+    sqrt,
+)
+
+X = Var("x")
+Y = Var("y")
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert simplify(X + 0) == X
+        assert simplify(0 + X) == X
+
+    def test_sub_zero(self):
+        assert simplify(X - 0) == X
+
+    def test_sub_self(self):
+        assert simplify(X - X) == Const(0.0)
+
+    def test_zero_minus(self):
+        s = simplify(0 - X)
+        assert s == Call(OPS["neg"], (X,))
+
+    def test_mul_zero_annihilates(self):
+        assert simplify(X * 0) == Const(0.0)
+        assert simplify(0 * sin(X)) == Const(0.0)
+
+    def test_mul_one(self):
+        assert simplify(X * 1) == X
+        assert simplify(1 * X) == X
+
+    def test_mul_minus_one(self):
+        assert simplify(X * -1) == Call(OPS["neg"], (X,))
+
+    def test_div_one(self):
+        assert simplify(X / 1) == X
+
+    def test_div_self(self):
+        assert simplify(X / X) == Const(1.0)
+
+    def test_zero_div(self):
+        assert simplify(0 / X) == Const(0.0)
+
+    def test_double_negation(self):
+        assert simplify(-(-X)) == X
+
+    def test_pow_zero(self):
+        assert simplify(X**0) == Const(1.0)
+
+    def test_pow_one(self):
+        assert simplify(X**1) == X
+
+    def test_one_pow(self):
+        assert simplify(Const(1.0) ** X) == Const(1.0)
+
+    def test_add_self_becomes_double(self):
+        s = simplify(X + X)
+        assert s.evaluate({"x": 3.0}) == 6.0
+
+    def test_constant_folding(self):
+        assert simplify(Const(2.0) + Const(3.0)) == Const(5.0)
+        assert simplify(cos(Const(0.0))) == Const(1.0)
+
+    def test_folding_does_not_divide_by_zero(self):
+        e = Const(1.0) / Const(0.0)
+        s = simplify(e)  # stays symbolic rather than raising
+        assert isinstance(s, Call)
+
+    def test_nested_cleanup(self):
+        # (x*0) + (y*1) -> y
+        assert simplify(X * 0 + Y * 1) == Y
+
+    def test_is_zero_is_one(self):
+        assert is_zero(Const(0.0))
+        assert not is_zero(Const(1e-300))
+        assert is_one(Const(1.0))
+
+
+# -- hypothesis: random expression trees evaluate identically after simplify ----
+
+_leaf = st.one_of(
+    st.floats(min_value=-4, max_value=4, allow_nan=False).map(Const),
+    st.sampled_from([X, Y]),
+)
+
+
+def _combine(children):
+    a, b = children
+    ops = [lambda: a + b, lambda: a - b, lambda: a * b, lambda: sin(a), lambda: cos(b)]
+    return st.sampled_from(range(len(ops))).map(lambda i: ops[i]())
+
+
+_expr = st.recursive(
+    _leaf,
+    lambda inner: st.tuples(inner, inner).flatmap(_combine),
+    max_leaves=24,
+)
+
+
+@given(e=_expr, x=st.floats(-3, 3, allow_nan=False), y=st.floats(-3, 3, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(e, x, y):
+    env = {"x": x, "y": y}
+    expected = e.evaluate(env)
+    got = simplify(e).evaluate(env)
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(e=_expr)
+@settings(max_examples=200, deadline=None)
+def test_simplify_bounded_growth(e):
+    # The x + x -> 2 * x rewrite can add one node per tree level, so
+    # simplification is not strictly non-growing — but it must stay within
+    # a small factor of the input size (no rewriting explosions).
+    before = count_nodes([e])
+    after = count_nodes([simplify(e)])
+    assert after <= 2 * before + 1
+
+
+@given(e=_expr)
+@settings(max_examples=100, deadline=None)
+def test_simplify_idempotent(e):
+    once = simplify(e)
+    assert simplify(once) == once

@@ -1,0 +1,280 @@
+"""Tests for direct transcription: layout, derivatives vs finite differences,
+constraint staging, and the Gauss-Newton Hessian."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TranscriptionError
+from repro.mpc import (
+    Constraint,
+    Penalty,
+    RobotModel,
+    Task,
+    TranscribedProblem,
+    VarSpec,
+)
+from repro.symbolic import Var, cos, sin
+
+
+@pytest.fixture(scope="module")
+def setup():
+    x, v, u = Var("x"), Var("v"), Var("u")
+    model = RobotModel(
+        "Cart",
+        states=[VarSpec("x", -10.0, 10.0), VarSpec("v", -3.0, 3.0)],
+        inputs=[VarSpec("u", -1.0, 1.0)],
+        dynamics={"x": v, "v": u - 0.1 * v},
+    )
+    task = Task(
+        "park",
+        model,
+        penalties=[
+            Penalty("pos", x - Var("target"), 5.0, "running"),
+            Penalty("vel", v, 1.0, "running"),
+            Penalty("effort", u, 0.1, "running"),
+            Penalty("final", x - Var("target"), 10.0, "terminal"),
+        ],
+        constraints=[
+            Constraint("speed_envelope", v * v, upper=4.0, timing="running"),
+        ],
+        references=["target"],
+    )
+    problem = TranscribedProblem(model, task, horizon=5, dt=0.1)
+    return model, task, problem
+
+
+REF = np.array([1.0])
+
+
+class TestLayout:
+    def test_dimensions(self, setup):
+        _, _, p = setup
+        assert p.nz == 6 * 2 + 5 * 1
+        assert p.n_eq == 2 + 5 * 2  # x0 + dynamics defects
+        # state rows (x, v bounds two-sided each = 4; speed row = 1) at k=1..4,
+        # input rows (u two-sided = 2) at k=0..4, terminal bounds (4) at k=5
+        assert p.n_ineq == 4 * 5 + 5 * 2 + 4
+
+    def test_slices_partition_z(self, setup):
+        _, _, p = setup
+        covered = set()
+        for k in range(p.N + 1):
+            covered.update(range(p.state_slice(k).start, p.state_slice(k).stop))
+        for k in range(p.N):
+            covered.update(range(p.input_slice(k).start, p.input_slice(k).stop))
+        assert covered == set(range(p.nz))
+
+    def test_slice_bounds_checked(self, setup):
+        _, _, p = setup
+        with pytest.raises(TranscriptionError):
+            p.state_slice(p.N + 1)
+        with pytest.raises(TranscriptionError):
+            p.input_slice(p.N)
+
+    def test_split_join_roundtrip(self, setup):
+        _, _, p = setup
+        z = np.arange(p.nz, dtype=float)
+        xs, us = p.split(z)
+        assert xs.shape == (p.N + 1, p.nx)
+        assert us.shape == (p.N, p.nu)
+        assert np.array_equal(p.join(xs, us), z)
+
+    def test_split_shape_check(self, setup):
+        _, _, p = setup
+        with pytest.raises(TranscriptionError):
+            p.split(np.zeros(p.nz + 1))
+
+
+class TestConstruction:
+    def test_horizon_validation(self, setup):
+        model, task, _ = setup
+        with pytest.raises(TranscriptionError):
+            TranscribedProblem(model, task, horizon=0, dt=0.1)
+
+    def test_dt_validation(self, setup):
+        model, task, _ = setup
+        with pytest.raises(TranscriptionError):
+            TranscribedProblem(model, task, horizon=4, dt=-0.1)
+
+    def test_integrator_validation(self, setup):
+        model, task, _ = setup
+        with pytest.raises(TranscriptionError):
+            TranscribedProblem(model, task, horizon=4, dt=0.1, integrator="verlet")
+
+    def test_wrong_model_task_pair(self, setup):
+        model, task, _ = setup
+        other = RobotModel(
+            "Other",
+            states=[VarSpec("a")],
+            inputs=[VarSpec("b")],
+            dynamics={"a": Var("b")},
+        )
+        with pytest.raises(TranscriptionError):
+            TranscribedProblem(other, task, horizon=4, dt=0.1)
+
+
+class TestDerivatives:
+    def fd_grad(self, f, z, eps=1e-6):
+        g = np.zeros_like(z)
+        for i in range(len(z)):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            g[i] = (f(zp) - f(zm)) / (2 * eps)
+        return g
+
+    def test_objective_gradient_matches_fd(self, setup):
+        _, _, p = setup
+        rng = np.random.default_rng(0)
+        z = rng.normal(scale=0.3, size=p.nz)
+        grad = p.objective_gradient(z, REF)
+        fd = self.fd_grad(lambda zz: p.objective(zz, REF), z)
+        assert np.allclose(grad, fd, atol=1e-5)
+
+    def test_equality_jacobian_matches_fd(self, setup):
+        _, _, p = setup
+        rng = np.random.default_rng(1)
+        z = rng.normal(scale=0.3, size=p.nz)
+        x0 = np.array([0.2, -0.1])
+        G = p.equality_jacobian(z, REF)
+        eps = 1e-6
+        for i in range(0, p.nz, 3):  # probe a subset of columns
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            col = (
+                p.equality_constraints(zp, x0, REF)
+                - p.equality_constraints(zm, x0, REF)
+            ) / (2 * eps)
+            assert np.allclose(G[:, i], col, atol=1e-5)
+
+    def test_inequality_jacobian_matches_fd(self, setup):
+        _, _, p = setup
+        rng = np.random.default_rng(2)
+        z = rng.normal(scale=0.3, size=p.nz)
+        J = p.inequality_jacobian(z, REF)
+        eps = 1e-6
+        for i in range(0, p.nz, 4):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            col = (
+                p.inequality_constraints(zp, REF)
+                - p.inequality_constraints(zm, REF)
+            ) / (2 * eps)
+            assert np.allclose(J[:, i], col, atol=1e-5)
+
+    def test_hessian_symmetric(self, setup):
+        _, _, p = setup
+        z = np.full(p.nz, 0.1)
+        H = p.objective_hessian(z, REF)
+        assert np.allclose(H, H.T)
+
+    def test_gauss_newton_psd(self, setup):
+        _, _, p = setup
+        rng = np.random.default_rng(3)
+        z = rng.normal(size=p.nz)
+        H = p.objective_gauss_newton(z, REF)
+        eigs = np.linalg.eigvalsh(H)
+        assert eigs.min() >= -1e-9
+
+    def test_gauss_newton_equals_exact_for_linear_penalties(self, setup):
+        # All penalties in this problem are linear in z, so the exact
+        # objective Hessian and the Gauss-Newton one must coincide.
+        _, _, p = setup
+        z = np.random.default_rng(4).normal(size=p.nz)
+        assert np.allclose(
+            p.objective_hessian(z, REF), p.objective_gauss_newton(z, REF), atol=1e-9
+        )
+
+    def test_lagrangian_hessian_adds_dynamics_curvature(self, setup):
+        _, _, p = setup
+        rng = np.random.default_rng(5)
+        z = rng.normal(scale=0.2, size=p.nz)
+        nu = rng.normal(size=p.n_eq)
+        H_exact = p.lagrangian_hessian(z, nu, REF)
+        assert np.allclose(H_exact, H_exact.T, atol=1e-9)
+        # Cart dynamics are linear -> contraction contributes nothing.
+        assert np.allclose(H_exact, p.objective_hessian(z, REF), atol=1e-9)
+
+
+class TestDynamicsDefects:
+    def test_rollout_has_zero_defects(self, setup):
+        _, _, p = setup
+        x0 = np.array([0.5, 0.0])
+        z = p.initial_guess(x0)
+        g = p.equality_constraints(z, x0, REF)
+        # Cart is open-loop stable within the box: rollout is feasible.
+        assert np.abs(g).max() < 1e-9
+
+    def test_euler_vs_rk4_differ(self, setup):
+        model, task, _ = setup
+        pe = TranscribedProblem(model, task, horizon=3, dt=0.2, integrator="euler")
+        pr = TranscribedProblem(model, task, horizon=3, dt=0.2, integrator="rk4")
+        x = np.array([0.0, 1.0])
+        u = np.array([0.5])
+        fe = pe._F(np.concatenate([x, u]))
+        fr = pr._F(np.concatenate([x, u]))
+        # v dynamics include damping -> the integrators disagree at O(dt^2).
+        assert not np.allclose(fe, fr)
+        assert np.allclose(fe, fr, atol=1e-2)
+
+    def test_rk4_matches_closed_form(self):
+        # xdot = -x has exact solution x * exp(-dt); RK4 is O(dt^5) accurate.
+        x = Var("x")
+        model = RobotModel(
+            "Decay",
+            states=[VarSpec("x")],
+            inputs=[VarSpec("u")],
+            dynamics={"x": -x + 0.0 * Var("u")},
+        )
+        task = Task("hold", model, penalties=[Penalty("p", x)])
+        p = TranscribedProblem(model, task, horizon=1, dt=0.1, integrator="rk4")
+        out = p._F(np.array([1.0, 0.0]))
+        assert out[0] == pytest.approx(math.exp(-0.1), abs=1e-7)
+
+
+class TestReferences:
+    def test_missing_reference_raises(self, setup):
+        _, _, p = setup
+        z = np.zeros(p.nz)
+        with pytest.raises(TranscriptionError, match="reference"):
+            p.objective(z, None)
+
+    def test_bad_reference_shape(self, setup):
+        _, _, p = setup
+        z = np.zeros(p.nz)
+        with pytest.raises(TranscriptionError, match="shape"):
+            p.objective(z, np.zeros(3))
+
+    def test_per_knot_references(self, setup):
+        _, _, p = setup
+        z = np.zeros(p.nz)
+        traj = np.linspace(0, 1, p.N + 1)[:, None]
+        # Varies along the horizon; cost differs from the constant case.
+        assert p.objective(z, traj) != pytest.approx(p.objective(z, REF))
+
+
+class TestMetadata:
+    def test_stage_op_counts_keys(self, setup):
+        _, _, p = setup
+        counts = p.stage_op_counts()
+        assert "dynamics" in counts and "cost_run_grad" in counts
+        assert all(isinstance(v, dict) for v in counts.values())
+
+    def test_variable_scales(self, setup):
+        _, _, p = setup
+        s = p.variable_scales()
+        assert s.shape == (p.nz,)
+        # x scale 10, v scale 3, u scale 1
+        assert s[p.state_slice(0)][0] == 10.0
+        assert s[p.input_slice(0)][0] == 1.0
+
+    def test_soft_mask_dimensions(self, setup):
+        _, _, p = setup
+        mask = p.soft_inequality_mask()
+        assert mask.shape == (p.n_ineq,)
+        # input-only rows (u bounds) are hard
+        assert (~mask).sum() == p.N * 2

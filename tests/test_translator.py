@@ -1,0 +1,130 @@
+"""Tests for the Program Translator (problem -> M-DFG)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import NodeType, Translator, translate
+from repro.mpc import Penalty, RobotModel, Task, TranscribedProblem, VarSpec
+from repro.robots import build_benchmark
+from repro.symbolic import Var, sin
+
+
+@pytest.fixture(scope="module")
+def quad_graph():
+    p = build_benchmark("Quadrotor").transcribe(horizon=8)
+    return p, translate(p)
+
+
+class TestStructure:
+    def test_phases_present(self, quad_graph):
+        _, g = quad_graph
+        for phase in ("dynamics", "dynamics_jacobian", "cost", "solver"):
+            assert phase in g.phases()
+
+    def test_dag_validates(self, quad_graph):
+        _, g = quad_graph
+        g.validate()
+
+    def test_dynamics_repeat_matches_horizon(self, quad_graph):
+        p, g = quad_graph
+        scalars = [
+            n
+            for n in g.by_phase("dynamics")
+            if n.type in (NodeType.SCALAR, NodeType.GROUP)
+        ]
+        assert scalars
+        assert all(n.repeat == p.N for n in scalars)
+
+    def test_terminal_phase_repeat_one(self, quad_graph):
+        _, g = quad_graph
+        nodes = [n for n in g.by_phase("cost_terminal") if n.type == NodeType.SCALAR]
+        assert nodes and all(n.repeat == 1 for n in nodes)
+
+    def test_solver_kernels_banded(self, quad_graph):
+        _, g = quad_graph
+        kernels = [n for n in g.by_phase("solver") if n.type == NodeType.KERNEL]
+        kinds = {n.op for n in kernels}
+        assert "cholesky_banded" in kinds
+        assert "trsolve_banded" in kinds
+
+
+class TestOpAccounting:
+    def test_dynamics_ops_match_compiled_function(self, quad_graph):
+        """Group detection must not change the total op count."""
+        p, g = quad_graph
+        mdfg_ops = sum(g.total_op_counts("dynamics").values())
+        compiled_ops = sum(p._F.op_counts.values()) * p.N
+        assert mdfg_ops == compiled_ops
+
+    def test_jacobian_ops_match(self, quad_graph):
+        from repro.symbolic import count_ops
+
+        p, g = quad_graph
+        mdfg_ops = sum(g.total_op_counts("dynamics_jacobian").values())
+        # The M-DFG deduplicates subexpressions shared BETWEEN the A and B
+        # Jacobians (lower bound), while group aggregation may re-reduce an
+        # add-subtree shared by two GROUP roots (small upper overhead) — but
+        # never more work than compiling the two functions separately.
+        combined = sum(count_ops(list(p._A.exprs + p._B.exprs)).values()) * p.N
+        separate = (
+            sum(p._A.op_counts.values()) + sum(p._B.op_counts.values())
+        ) * p.N
+        assert combined <= mdfg_ops <= separate
+        assert mdfg_ops <= combined * 1.05  # duplication stays marginal
+
+    def test_info_summary(self, quad_graph):
+        p, _ = quad_graph
+        info = Translator(p).info()
+        assert info.n_nodes > 100
+        assert info.kernel_nodes >= 10
+        assert info.total_ops > 0
+
+
+class TestGroupDetection:
+    def build(self, width, threshold=3):
+        """A model whose dynamics sum `width` inputs."""
+        terms = [Var(f"u[{i}]") for i in range(width)]
+        total = terms[0]
+        for t in terms[1:]:
+            total = total + t
+        model = RobotModel(
+            "Sum",
+            states=[VarSpec("x")],
+            inputs=[VarSpec(f"u[{i}]") for i in range(width)],
+            dynamics={"x": total},
+        )
+        task = Task("hold", model, penalties=[Penalty("p", Var("x"))])
+        p = TranscribedProblem(model, task, horizon=2, dt=0.1, integrator="euler")
+        return translate(p, group_threshold=threshold)
+
+    def test_wide_sum_becomes_group(self):
+        g = self.build(6)
+        groups = [n for n in g.nodes if n.type == NodeType.GROUP]
+        assert groups
+        assert max(n.width for n in groups) >= 6
+
+    def test_narrow_sum_stays_scalar(self):
+        g = self.build(2, threshold=3)
+        dyn_groups = [
+            n for n in g.by_phase("dynamics") if n.type == NodeType.GROUP
+        ]
+        assert not dyn_groups
+
+    def test_threshold_respected(self):
+        g = self.build(4, threshold=5)
+        dyn_groups = [
+            n for n in g.by_phase("dynamics") if n.type == NodeType.GROUP
+        ]
+        assert not dyn_groups
+
+    def test_horizon_scales_solver_not_graph_size(self):
+        b = build_benchmark("MobileRobot")
+        g8 = translate(b.transcribe(horizon=8))
+        g64 = translate(b.transcribe(horizon=64))
+        # Stage templates: same node count, different repeat factors.
+        expr8 = sum(1 for n in g8.nodes if n.type == NodeType.SCALAR)
+        expr64 = sum(1 for n in g64.nodes if n.type == NodeType.SCALAR)
+        assert expr8 == expr64
+        assert sum(g64.total_op_counts("dynamics").values()) == 8 * sum(
+            g8.total_op_counts("dynamics").values()
+        )

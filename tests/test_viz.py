@@ -1,0 +1,66 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.viz import ascii_bars, ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(37))) == 37
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}, title="t") == "t"
+
+    def test_contains_title_and_legend(self):
+        out = ascii_plot({"kkt": [10, 1, 0.1]}, title="convergence")
+        assert out.splitlines()[0] == "convergence"
+        assert "* kkt" in out
+
+    def test_multi_series_distinct_marks(self):
+        out = ascii_plot({"a": [1, 2], "b": [2, 1]})
+        assert "* a" in out and "+ b" in out
+        assert "*" in out and "+" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot({"s": [0.0, 4.0]})
+        assert "4" in out and "0" in out
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [1.0, 0.0]}, logy=True)
+
+    def test_logy_renders(self):
+        out = ascii_plot({"s": [1e-6, 1e0]}, logy=True)
+        assert "(log10)" in out
+
+    def test_plot_width_respected(self):
+        out = ascii_plot({"s": [1, 2, 3]}, width=30, height=5)
+        body = [l for l in out.splitlines() if "│" in l or "┤" in l]
+        assert all(len(l) <= 12 + 30 + 2 for l in body)
+
+
+class TestAsciiBars:
+    def test_empty(self):
+        assert ascii_bars({}, title="t") == "t"
+
+    def test_relative_lengths(self):
+        out = ascii_bars({"small": 1.0, "big": 10.0}, width=20)
+        lines = {l.split("│")[0].strip(): l for l in out.splitlines()}
+        assert lines["big"].count("█") > lines["small"].count("█")
+
+    def test_values_printed(self):
+        out = ascii_bars({"x": 29.4}, unit="x")
+        assert "29.4x" in out

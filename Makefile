@@ -1,0 +1,19 @@
+PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
+
+.PHONY: test-fast test-slow test-all bench
+
+# Quick unit/property lane — skips the long closed-loop / experiment suites.
+test-fast:
+	$(PYTEST) -q -m "not slow"
+
+# Only the long suites (closed-loop rollouts, paper experiment tables).
+test-slow:
+	$(PYTEST) -q -m slow
+
+# Everything: the tier-1 verification lane (see ROADMAP.md).
+test-all:
+	$(PYTEST) -q
+
+# Solver micro-benchmarks and the banded-vs-dense acceptance bench.
+bench:
+	$(PYTEST) -q benchmarks/bench_solver_kernels.py benchmarks/bench_banded_vs_dense.py

@@ -7,18 +7,27 @@ Public surface:
 * :class:`TranscribedProblem` — horizon discretization (Eq. 5).
 * :class:`InteriorPointSolver` / :class:`IPMOptions` / :class:`IPMResult` —
   the Eq. 6 solver built on from-scratch Cholesky + substitution kernels.
+* :func:`solve_qp` / :class:`QPOptions` / :class:`QPResult` /
+  :class:`QPStats` — the inner Mehrotra IPM with per-phase observability.
+* :class:`BandedCholeskyFactor` and the banded kernels — the stage-ordered
+  ``O(n b^2)`` factorization path of the QP hot loop.
 * :class:`MPCController` — the receding-horizon loop.
 """
 
 from repro.mpc.banded import (
+    BandedCholeskyFactor,
     banded_cholesky,
+    banded_cholesky_solve,
     banded_solve,
     bandwidth_of,
+    flop_counts_banded_cholesky,
+    flop_counts_banded_substitution,
     from_banded,
     to_banded,
 )
 from repro.mpc.controller import ClosedLoopLog, MPCController, integrate_plant
 from repro.mpc.ipm import InteriorPointSolver, IPMOptions, IPMResult
+from repro.mpc.qp import QPOptions, QPResult, QPStats, solve_qp
 from repro.mpc.linalg import (
     backward_substitution,
     cholesky,
@@ -52,8 +61,16 @@ __all__ = [
     "backward_substitution",
     "solve_symmetric",
     "banded_cholesky",
+    "banded_cholesky_solve",
     "banded_solve",
     "bandwidth_of",
     "to_banded",
     "from_banded",
+    "BandedCholeskyFactor",
+    "flop_counts_banded_cholesky",
+    "flop_counts_banded_substitution",
+    "QPOptions",
+    "QPResult",
+    "QPStats",
+    "solve_qp",
 ]

@@ -22,6 +22,7 @@ experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
@@ -73,6 +74,10 @@ class IPMOptions:
     soft_penalty: float = 1e4
     #: small quadratic slack regularization keeping the extended QP strictly convex
     soft_quadratic: float = 1e-2
+    #: route QP factorizations through the stage-permuted banded kernels
+    #: whenever the transcription provides the structure (``move_block == 1``);
+    #: set ``False`` to force the dense path (reference / benchmarks)
+    banded: bool = True
 
     def __post_init__(self):
         if self.max_iterations < 1:
@@ -114,8 +119,180 @@ class InteriorPointSolver:
     ):
         self.problem = problem
         self.options = options or IPMOptions()
-        #: cumulative statistics across solves (used by the benchmark harness)
-        self.stats = {"solves": 0, "sqp_iterations": 0, "qp_iterations": 0}
+        #: cumulative statistics across solves (used by the benchmark harness):
+        #: iteration counts plus per-phase observability — linearize /
+        #: factorize / substitute wall time and exact kernel flop totals
+        self.stats = {
+            "solves": 0,
+            "sqp_iterations": 0,
+            "qp_iterations": 0,
+            "linearize_time": 0.0,
+            "factorize_time": 0.0,
+            "substitute_time": 0.0,
+            "factor_flops": 0,
+            "substitute_flops": 0,
+            "factorizations": 0,
+            "banded_factorizations": 0,
+        }
+        self._setup_banded_path()
+
+    def _setup_banded_path(self) -> None:
+        """Precompute the stage-interleaved QP permutations and band hints.
+
+        The plain QP permutes the decision vector into stage order
+        ``[x_0, u_0, x_1, u_1, ..]``; the extended (Sl1QP) subproblem also
+        has one L1 slack per softened row, and each slack is placed right
+        after its stage group so the extended condensed matrix stays
+        banded.  ``None`` disables the banded path (``banded=False`` option
+        or ``move_block > 1`` — see
+        :meth:`TranscribedProblem.stage_permutation`).
+        """
+        p = self.problem
+        self._qp_perm = None
+        self._qp_bandwidth = None
+        self._qp_perm_ext = None
+        self._qp_bandwidth_ext = None
+        perm = p.stage_permutation() if self.options.banded else None
+        if perm is None:
+            return
+        hint = p.kkt_half_bandwidth()
+        self._qp_perm = perm
+        self._qp_bandwidth = hint
+
+        soft = p.soft_inequality_mask() if p.n_ineq else np.zeros(0, dtype=bool)
+        n_soft = int(soft.sum())
+        if not n_soft:
+            return
+        # Stage of each slack, in slack (= soft-row) order.
+        slack_stages = p.inequality_row_stages()[soft]
+        nx, nu, N, nz = p.nx, p.nu, p.N, p.nz
+        base = (N + 1) * nx
+        order: List[int] = []
+        max_group = 0
+        for k in range(N + 1):
+            start = len(order)
+            order.extend(range(k * nx, (k + 1) * nx))
+            if k < N:
+                order.extend(range(base + k * nu, base + (k + 1) * nu))
+            order.extend(nz + i for i in np.flatnonzero(slack_stages == k))
+            max_group = max(max_group, len(order) - start)
+        self._qp_perm_ext = np.array(order, dtype=np.intp)
+        assert self._qp_perm_ext.shape == (nz + n_soft,)
+        self._qp_bandwidth_ext = max(hint, max_group - 1)
+
+    def _subproblem_data(
+        self, Hs, grad_s, Gs, Js, g_eq, h, soft, hard, n_soft
+    ):
+        """Assemble one SQP subproblem's QP data.
+
+        Builds the extended (Sl1QP) subproblem when soft rows exist:
+
+            min 1/2 d'Hd + grad'd + rho_s 1't + kappa/2 t't
+            s.t. G d = -g_eq; J_hard d <= -h_hard;
+                 J_soft d - t <= -h_soft; t >= 0
+
+        and applies the stage-interleaved variable permutation when the
+        banded path is active.  Returns ``(qp_args, qperm)``: ``qp_args``
+        is the ``(H, g, G, b, J, d, bandwidth)`` tuple for
+        :func:`repro.mpc.qp.solve_qp`; ``qperm`` is the permutation applied
+        (``None`` on the dense fallback) — scatter the solution back with
+        ``x[qperm] = x_solved``.
+        """
+        p = self.problem
+        opt = self.options
+        nz = p.nz
+        m = p.n_ineq
+        if not n_soft:
+            qperm = self._qp_perm
+            if qperm is None:
+                return (
+                    Hs,
+                    grad_s,
+                    Gs,
+                    -g_eq,
+                    Js if m else None,
+                    -h if m else None,
+                    None,
+                ), None
+            return (
+                Hs[np.ix_(qperm, qperm)],
+                grad_s[qperm],
+                Gs[:, qperm],
+                -g_eq,
+                Js[:, qperm] if m else None,
+                -h if m else None,
+                self._qp_bandwidth,
+            ), qperm
+
+        n_ext = nz + n_soft
+        n_hard = m - n_soft
+        H_ext = np.zeros((n_ext, n_ext))
+        H_ext[:nz, :nz] = Hs
+        H_ext[nz:, nz:] = opt.soft_quadratic * np.eye(n_soft)
+        g_ext = np.concatenate([grad_s, np.full(n_soft, opt.soft_penalty)])
+        G_ext = np.hstack([Gs, np.zeros((Gs.shape[0], n_soft))])
+        J_ext = np.zeros((m + n_soft, n_ext))
+        d_ext = np.zeros(m + n_soft)
+        J_ext[:n_hard, :nz] = Js[hard]
+        d_ext[:n_hard] = -h[hard]
+        J_ext[n_hard : n_hard + n_soft, :nz] = Js[soft]
+        J_ext[n_hard : n_hard + n_soft, nz:] = -np.eye(n_soft)
+        d_ext[n_hard : n_hard + n_soft] = -h[soft]
+        J_ext[n_hard + n_soft :, nz:] = -np.eye(n_soft)
+        qperm = self._qp_perm_ext
+        if qperm is None:
+            return (H_ext, g_ext, G_ext, -g_eq, J_ext, d_ext, None), None
+        # Stage-interleave the extended variables (slacks next to their
+        # stage group) so the condensed system is banded.
+        return (
+            H_ext[np.ix_(qperm, qperm)],
+            g_ext[qperm],
+            G_ext[:, qperm],
+            -g_eq,
+            J_ext[:, qperm],
+            d_ext,
+            self._qp_bandwidth_ext,
+        ), qperm
+
+    def first_qp_subproblem(self, x_init, ref=None):
+        """QP data of the cold-start (first) SQP subproblem.
+
+        Linearizes exactly like the first iteration of :meth:`solve`
+        (Gauss-Newton Hessian unless ``hessian == "exact"``, Levenberg
+        damping at its initial value) and returns ``(qp_args, qperm)`` as
+        produced by the internal assembly — the banded-vs-dense benchmark
+        and the equivalence tests feed ``qp_args`` to
+        :func:`repro.mpc.qp.solve_qp` directly.
+        """
+        p = self.problem
+        opt = self.options
+        x_init = np.asarray(x_init, dtype=float)
+        z = p.initial_guess(x_init)
+        z[p.state_slice(0)] = x_init
+        m = p.n_ineq
+        soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)
+        hard = ~soft
+        n_soft = int(soft.sum())
+        scale = p.variable_scales()
+        grad = p.objective_gradient(z, ref)
+        if opt.hessian == "exact":
+            H = p.lagrangian_hessian(z, np.zeros(p.n_eq), ref)
+        else:
+            H = p.objective_gauss_newton(z, ref)
+        g_eq = p.equality_constraints(z, x_init, ref)
+        G = p.equality_jacobian(z, ref)
+        h = p.inequality_constraints(z, ref)
+        J = p.inequality_jacobian(z, ref)
+        Hs = (H * scale).T * scale
+        Hs[np.diag_indices_from(Hs)] += opt.regularization
+        if opt.hessian == "exact":
+            Hs = _convexify(Hs)
+        grad_s = grad * scale
+        Gs = G * scale[None, :]
+        Js = J * scale[None, :] if m else J
+        return self._subproblem_data(
+            Hs, grad_s, Gs, Js, g_eq, h, soft, hard, n_soft
+        )
 
     # -------------------------------------------------------------------------
     def solve(
@@ -188,6 +365,7 @@ class InteriorPointSolver:
         nu_cert = lam_cert = None
 
         for it in range(1, opt.max_iterations + 1):
+            t_lin = perf_counter()
             grad = p.objective_gradient(z, ref)
             use_exact = opt.hessian == "exact" or (
                 opt.hessian == "hybrid"
@@ -202,6 +380,7 @@ class InteriorPointSolver:
             G = p.equality_jacobian(z, ref)
             h = p.inequality_constraints(z, ref)
             J = p.inequality_jacobian(z, ref)
+            self.stats["linearize_time"] += perf_counter() - t_lin
 
             # Scaled-variable QP data (multipliers are scaling-invariant).
             Hs = (H * scale).T * scale
@@ -235,45 +414,36 @@ class InteriorPointSolver:
                 else:
                     lm = max(lm / 3.0, opt.regularization)
 
-            # -- extended QP subproblem with slack variables t on soft rows:
-            # --   min 1/2 d'Hd + grad'd + rho_s 1't + kappa/2 t't
-            # --   s.t. G d = -g_eq; J_hard d <= -h_hard;
-            # --        J_soft d - t <= -h_soft; t >= 0
+            qp_args, qperm = self._subproblem_data(
+                Hs, grad_s, Gs, Js, g_eq, h, soft, hard, n_soft
+            )
+            qp_res = solve_qp(*qp_args[:6], opt.qp, bandwidth=qp_args[6])
+            if qperm is not None:
+                # Scatter the stage-interleaved solution back to the
+                # original variable ordering (multipliers are unaffected
+                # by a variable permutation).
+                x_qp = np.empty(qperm.shape[0])
+                x_qp[qperm] = qp_res.x
+            else:
+                x_qp = qp_res.x
             if n_soft:
-                n_ext = nz + n_soft
-                H_ext = np.zeros((n_ext, n_ext))
-                H_ext[:nz, :nz] = Hs
-                H_ext[nz:, nz:] = opt.soft_quadratic * np.eye(n_soft)
-                g_ext = np.concatenate([grad_s, np.full(n_soft, opt.soft_penalty)])
-                G_ext = np.hstack([Gs, np.zeros((Gs.shape[0], n_soft))])
+                d = x_qp[:nz] * scale
                 n_hard = m - n_soft
-                J_ext = np.zeros((m + n_soft, n_ext))
-                d_ext = np.zeros(m + n_soft)
-                J_ext[:n_hard, :nz] = Js[hard]
-                d_ext[:n_hard] = -h[hard]
-                J_ext[n_hard : n_hard + n_soft, :nz] = Js[soft]
-                J_ext[n_hard : n_hard + n_soft, nz:] = -np.eye(n_soft)
-                d_ext[n_hard : n_hard + n_soft] = -h[soft]
-                J_ext[n_hard + n_soft :, nz:] = -np.eye(n_soft)
-                qp_res = solve_qp(H_ext, g_ext, G_ext, -g_eq, J_ext, d_ext, opt.qp)
-                d = qp_res.x[:nz] * scale
                 nu_qp = qp_res.nu
                 lam_qp = np.zeros(m)
                 lam_qp[hard] = qp_res.lam[:n_hard]
                 lam_qp[soft] = qp_res.lam[n_hard : n_hard + n_soft]
             else:
-                qp_res = solve_qp(
-                    Hs,
-                    grad_s,
-                    Gs,
-                    -g_eq,
-                    Js if m else None,
-                    -h if m else None,
-                    opt.qp,
-                )
-                d = qp_res.x * scale
+                d = x_qp * scale
                 nu_qp, lam_qp = qp_res.nu, qp_res.lam
             qp_total += qp_res.iterations
+            qs = qp_res.stats
+            self.stats["factorize_time"] += qs.factorize_time
+            self.stats["substitute_time"] += qs.substitute_time
+            self.stats["factor_flops"] += qs.factor_flops
+            self.stats["substitute_flops"] += qs.substitute_flops
+            self.stats["factorizations"] += qs.factorizations
+            self.stats["banded_factorizations"] += qs.banded_factorizations
 
             # -- L1 exact-penalty merit line search ----------------------------------
             mult_inf = max(

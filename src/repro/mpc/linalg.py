@@ -118,9 +118,10 @@ def flop_counts_cholesky(n: int) -> Dict[str, int]:
     Multiply-adds dominate (``~n^3/3``); division and square root appear once
     per column — the operation mix the RoboX architecture is sized around.
     """
-    mul = sum(j * (n - j) + j for j in range(n))  # column updates + diagonal dots
+    # Column j: a j-term diagonal dot plus (n-1-j) update rows of j muls each.
+    mul = sum(j * (n - j) for j in range(n))
     add = mul
-    return {"mul": mul, "add": add, "div": n * (n - 1) // 2 + 0, "sqrt": n}
+    return {"mul": mul, "add": add, "div": n * (n - 1) // 2, "sqrt": n}
 
 
 def flop_counts_substitution(n: int, nrhs: int = 1) -> Dict[str, int]:

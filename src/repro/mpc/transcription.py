@@ -133,6 +133,69 @@ class TranscribedProblem:
         knot = k // self.move_block
         return slice(base + knot * self.nu, base + (knot + 1) * self.nu)
 
+    def stage_permutation(self) -> Optional[np.ndarray]:
+        """Permutation ``perm`` interleaving the decision vector by stage.
+
+        ``z[perm]`` reorders Eq. 5's ``[x_0 .. x_N, u_0 .. u_{N-1}]`` into the
+        stage-local ``[x_0, u_0, x_1, u_1, .., x_N]`` used by
+        structure-exploiting solvers (HPMPC, the paper's CPU baseline): every
+        KKT coupling then acts between adjacent index groups, so the condensed
+        matrix ``H + J^T W J`` is banded and the banded kernels apply.
+
+        Returns ``None`` when ``move_block > 1``: a shared input knot is
+        referenced by every step of its block, which couples index groups up
+        to ``move_block`` stages apart and breaks the locality the banded
+        path relies on — those problems fall back to the dense path.
+        """
+        if self.move_block > 1:
+            return None
+        nx, nu, N = self.nx, self.nu, self.N
+        base = (N + 1) * nx
+        perm = np.empty(self.nz, dtype=np.intp)
+        pos = 0
+        for k in range(N):
+            perm[pos : pos + nx] = np.arange(k * nx, (k + 1) * nx)
+            pos += nx
+            perm[pos : pos + nu] = np.arange(base + k * nu, base + (k + 1) * nu)
+            pos += nu
+        perm[pos:] = np.arange(N * nx, (N + 1) * nx)
+        return perm
+
+    def kkt_half_bandwidth(self) -> Optional[int]:
+        """Half-bandwidth ceiling of the stage-permuted KKT system.
+
+        In the :meth:`stage_permutation` ordering every Hessian/Jacobian
+        coupling spans at most one stage group ``[x_k, u_k]`` plus the next
+        state, so the half-bandwidth is bounded by ``2 nx + nu - 1`` — the
+        paper's ``b ≈ 2 nx + nu`` (§VIII-A) that the accelerator cost model
+        assumes.  The condensed ``Phi = H + J^T W J`` is narrower still
+        (block-diagonal per stage, band ``nx + nu - 1``); the ceiling also
+        covers the block-tridiagonal Schur complement of the dynamics rows
+        (band ``2 nx - 1``).  Returns ``None`` when ``move_block > 1``
+        (no banded structure — see :meth:`stage_permutation`).
+        """
+        if self.move_block > 1:
+            return None
+        return 2 * self.nx + self.nu - 1
+
+    def inequality_row_stages(self) -> np.ndarray:
+        """Stage index ``k`` of every stacked inequality row.
+
+        Mirrors the stacking order of :meth:`inequality_constraints`
+        (state rows for ``k = 1 .. N-1``, then input rows for
+        ``k = 0 .. N-1``, then terminal rows at ``k = N``).  The SQP layer
+        uses this to place each soft-constraint slack next to its stage
+        group so the extended QP stays banded.
+        """
+        parts = [
+            np.repeat(np.arange(1, self.N), self._h_state_rows),
+            np.repeat(np.arange(self.N), self._h_input_rows),
+            np.full(self._h_term_rows, self.N, dtype=np.intp),
+        ]
+        stages = np.concatenate(parts).astype(np.intp)
+        assert stages.shape == (self.n_ineq,)
+        return stages
+
     def split(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Split ``z`` into the state matrix ``(N+1, nx)`` and the *per-step*
         input matrix ``(N, nu)`` (blocked knots are expanded)."""
@@ -384,28 +447,40 @@ class TranscribedProblem:
         )
 
     # -- numeric evaluation over the full z vector ----------------------------------
+    # The inner loops below call the compiled stage functions through the
+    # unchecked ``call_positional`` fast path with plain python floats
+    # (``.tolist()`` rows): per-call input validation on these hot paths
+    # costs more than the generated function bodies themselves.
     def objective(self, z: np.ndarray, ref: Optional[np.ndarray] = None) -> float:
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         total = 0.0
         for k in range(self.N):
-            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-            total += float(self._L(args)[0])
-        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-        total += float(self._Phi(targs)[0])
-        return total
+            total += self._L.call_positional(
+                *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+            )[0]
+        total += self._Phi.call_positional(
+            *xs_l[self.N], *self._ref_row(ref, self.N)
+        )[0]
+        return float(total)
 
     def objective_gradient(
         self, z: np.ndarray, ref: Optional[np.ndarray] = None
     ) -> np.ndarray:
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         grad = np.zeros(self.nz)
         for k in range(self.N):
-            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-            g = self._L_grad(args)
+            g = np.array(
+                self._L_grad.call_positional(
+                    *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                )
+            )
             grad[self.state_slice(k)] += g[: self.nx]
             grad[self.input_slice(k)] += g[self.nx :]
-        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-        grad[self.state_slice(self.N)] += self._Phi_grad(targs)
+        grad[self.state_slice(self.N)] += self._Phi_grad.call_positional(
+            *xs_l[self.N], *self._ref_row(ref, self.N)
+        )
         return grad
 
     def objective_hessian(
@@ -413,19 +488,26 @@ class TranscribedProblem:
     ) -> np.ndarray:
         """Exact block-diagonal objective Hessian (dense assembly)."""
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         H = np.zeros((self.nz, self.nz))
         nxu = self.nx + self.nu
         for k in range(self.N):
-            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-            blk = self._L_hess(args).reshape(nxu, nxu)
+            blk = np.array(
+                self._L_hess.call_positional(
+                    *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                )
+            ).reshape(nxu, nxu)
             sx, su = self.state_slice(k), self.input_slice(k)
             H[sx, sx.start : sx.stop] += blk[: self.nx, : self.nx]
             H[sx, su.start : su.stop] += blk[: self.nx, self.nx :]
             H[su, sx.start : sx.stop] += blk[self.nx :, : self.nx]
             H[su, su.start : su.stop] += blk[self.nx :, self.nx :]
-        targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
         sN = self.state_slice(self.N)
-        H[sN, sN.start : sN.stop] += self._Phi_hess(targs).reshape(self.nx, self.nx)
+        H[sN, sN.start : sN.stop] += np.array(
+            self._Phi_hess.call_positional(
+                *xs_l[self.N], *self._ref_row(ref, self.N)
+            )
+        ).reshape(self.nx, self.nx)
         return H
 
     def objective_gauss_newton(
@@ -438,6 +520,7 @@ class TranscribedProblem:
         ``2 Jp^T W p``, is *exact* and equals :meth:`objective_gradient`.
         """
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         H = np.zeros((self.nz, self.nz))
         nxu = self.nx + self.nu
         n_run = len(self.w_run)
@@ -445,8 +528,11 @@ class TranscribedProblem:
         for k in range(self.N):
             if not n_run:
                 break
-            args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-            Jp = self._P_run_jac(args).reshape(n_run, nxu)
+            Jp = np.array(
+                self._P_run_jac.call_positional(
+                    *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                )
+            ).reshape(n_run, nxu)
             blk = 2.0 * (Jp.T * self.w_run) @ Jp
             sx, su = self.state_slice(k), self.input_slice(k)
             H[sx, sx] += blk[: self.nx, : self.nx]
@@ -454,8 +540,11 @@ class TranscribedProblem:
             H[su, sx] += blk[self.nx :, : self.nx]
             H[su, su] += blk[self.nx :, self.nx :]
         if n_term:
-            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-            Jp = self._P_term_jac(targs).reshape(n_term, self.nx)
+            Jp = np.array(
+                self._P_term_jac.call_positional(
+                    *xs_l[self.N], *self._ref_row(ref, self.N)
+                )
+            ).reshape(n_term, self.nx)
             sN = self.state_slice(self.N)
             H[sN, sN] += 2.0 * (Jp.T * self.w_term) @ Jp
         return H
@@ -473,34 +562,54 @@ class TranscribedProblem:
             raise TranscriptionError(
                 f"x_init has shape {x_init.shape}, expected ({self.nx},)"
             )
+        xs_l, us_l = xs.tolist(), us.tolist()
         parts = [xs[0] - x_init]
         for k in range(self.N):
-            nxt = self._F(np.concatenate([xs[k], us[k]]))
+            nxt = self._F.call_positional(*xs_l[k], *us_l[k])
             parts.append(xs[k + 1] - nxt)
         if self._eq_state_rows:
             for k in range(1, self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                parts.append(self._g_state(args))
+                parts.append(
+                    np.array(
+                        self._g_state.call_positional(
+                            *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                        )
+                    )
+                )
         if self._eq_input_rows:
             for k in range(self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                parts.append(self._g_input(args))
+                parts.append(
+                    np.array(
+                        self._g_input.call_positional(
+                            *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                        )
+                    )
+                )
         if self._eq_term_rows:
-            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-            parts.append(self._g_term(targs))
+            parts.append(
+                np.array(
+                    self._g_term.call_positional(
+                        *xs_l[self.N], *self._ref_row(ref, self.N)
+                    )
+                )
+            )
         return np.concatenate(parts)
 
     def equality_jacobian(
         self, z: np.ndarray, ref: Optional[np.ndarray] = None
     ) -> np.ndarray:
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         G = np.zeros((self.n_eq, self.nz))
         G[: self.nx, : self.nx] = np.eye(self.nx)
         row = self.nx
         for k in range(self.N):
-            args = np.concatenate([xs[k], us[k]])
-            A = self._A(args).reshape(self.nx, self.nx)
-            B = self._B(args).reshape(self.nx, self.nu)
+            A = np.array(self._A.call_positional(*xs_l[k], *us_l[k])).reshape(
+                self.nx, self.nx
+            )
+            B = np.array(self._B.call_positional(*xs_l[k], *us_l[k])).reshape(
+                self.nx, self.nu
+            )
             rows = slice(row, row + self.nx)
             G[rows, self.state_slice(k + 1)] = np.eye(self.nx)
             G[rows, self.state_slice(k)] = -A
@@ -509,23 +618,32 @@ class TranscribedProblem:
         nxu = self.nx + self.nu
         if self._eq_state_rows:
             for k in range(1, self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                J = self._g_state_jac(args).reshape(self._eq_state_rows, nxu)
+                J = np.array(
+                    self._g_state_jac.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                ).reshape(self._eq_state_rows, nxu)
                 rows = slice(row, row + self._eq_state_rows)
                 G[rows, self.state_slice(k)] = J[:, : self.nx]
                 G[rows, self.input_slice(k)] = J[:, self.nx :]
                 row += self._eq_state_rows
         if self._eq_input_rows:
             for k in range(self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                J = self._g_input_jac(args).reshape(self._eq_input_rows, nxu)
+                J = np.array(
+                    self._g_input_jac.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                ).reshape(self._eq_input_rows, nxu)
                 rows = slice(row, row + self._eq_input_rows)
                 G[rows, self.state_slice(k)] = J[:, : self.nx]
                 G[rows, self.input_slice(k)] = J[:, self.nx :]
                 row += self._eq_input_rows
         if self._eq_term_rows:
-            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-            J = self._g_term_jac(targs).reshape(self._eq_term_rows, self.nx)
+            J = np.array(
+                self._g_term_jac.call_positional(
+                    *xs_l[self.N], *self._ref_row(ref, self.N)
+                )
+            ).reshape(self._eq_term_rows, self.nx)
             G[row : row + self._eq_term_rows, self.state_slice(self.N)] = J
             row += self._eq_term_rows
         return G
@@ -537,19 +655,33 @@ class TranscribedProblem:
         if self.n_ineq == 0:
             return np.zeros(0)
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         parts = []
         if self._h_state_rows:
             for k in range(1, self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                parts.append(self._h_state(args))
+                parts.append(
+                    self._h_state.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                )
         if self._h_input_rows:
             for k in range(self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                parts.append(self._h_input(args))
+                parts.append(
+                    self._h_input.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                )
         if self._h_term_rows:
-            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-            parts.append(self._h_term(targs))
-        return np.concatenate(parts) if parts else np.zeros(0)
+            parts.append(
+                self._h_term.call_positional(
+                    *xs_l[self.N], *self._ref_row(ref, self.N)
+                )
+            )
+        return (
+            np.array([v for part in parts for v in part])
+            if parts
+            else np.zeros(0)
+        )
 
     def inequality_jacobian(
         self, z: np.ndarray, ref: Optional[np.ndarray] = None
@@ -558,27 +690,37 @@ class TranscribedProblem:
         if self.n_ineq == 0:
             return J
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         nxu = self.nx + self.nu
         row = 0
         if self._h_state_rows:
             for k in range(1, self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                blk = self._h_state_jac(args).reshape(self._h_state_rows, nxu)
+                blk = np.array(
+                    self._h_state_jac.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                ).reshape(self._h_state_rows, nxu)
                 rows = slice(row, row + self._h_state_rows)
                 J[rows, self.state_slice(k)] = blk[:, : self.nx]
                 J[rows, self.input_slice(k)] = blk[:, self.nx :]
                 row += self._h_state_rows
         if self._h_input_rows:
             for k in range(self.N):
-                args = np.concatenate([xs[k], us[k], self._ref_row(ref, k)])
-                blk = self._h_input_jac(args).reshape(self._h_input_rows, nxu)
+                blk = np.array(
+                    self._h_input_jac.call_positional(
+                        *xs_l[k], *us_l[k], *self._ref_row(ref, k)
+                    )
+                ).reshape(self._h_input_rows, nxu)
                 rows = slice(row, row + self._h_input_rows)
                 J[rows, self.state_slice(k)] = blk[:, : self.nx]
                 J[rows, self.input_slice(k)] = blk[:, self.nx :]
                 row += self._h_input_rows
         if self._h_term_rows:
-            targs = np.concatenate([xs[self.N], self._ref_row(ref, self.N)])
-            blk = self._h_term_jac(targs).reshape(self._h_term_rows, self.nx)
+            blk = np.array(
+                self._h_term_jac.call_positional(
+                    *xs_l[self.N], *self._ref_row(ref, self.N)
+                )
+            ).reshape(self._h_term_rows, self.nx)
             J[row : row + self._h_term_rows, self.state_slice(self.N)] = blk
         return J
 
@@ -622,14 +764,16 @@ class TranscribedProblem:
         """
         H = self.objective_hessian(z, ref)
         xs, us = self.split(z)
+        xs_l, us_l = xs.tolist(), us.tolist()
         fn = self._dynamics_contraction_fn()
         nxu = self.nx + self.nu
         for k in range(self.N):
             # Multipliers of the defect rows x_{k+1} - F(x_k, u_k) = 0 sit
             # after the nx initial-condition rows.
-            sigma = -nu[self.nx * (k + 1) : self.nx * (k + 2)]
-            args = np.concatenate([xs[k], us[k], sigma])
-            blk = fn(args).reshape(nxu, nxu)
+            sigma = (-nu[self.nx * (k + 1) : self.nx * (k + 2)]).tolist()
+            blk = np.array(
+                fn.call_positional(*xs_l[k], *us_l[k], *sigma)
+            ).reshape(nxu, nxu)
             sx, su = self.state_slice(k), self.input_slice(k)
             H[sx, sx] += blk[: self.nx, : self.nx]
             H[sx, su] += blk[: self.nx, self.nx :]
@@ -700,8 +844,11 @@ class TranscribedProblem:
         hi = np.minimum(np.asarray(hi), 1e6)
         xs = np.empty((self.N + 1, self.nx))
         xs[0] = x_init
+        u0_l = u0.tolist()
         for k in range(self.N):
-            xs[k + 1] = np.clip(self._F(np.concatenate([xs[k], u0])), lo, hi)
+            xs[k + 1] = np.clip(
+                self._F.call_positional(*xs[k].tolist(), *u0_l), lo, hi
+            )
         return self.join(xs, us)
 
     # -- metadata for compiler / cost models --------------------------------------------

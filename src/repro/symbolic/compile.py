@@ -58,6 +58,11 @@ class CompiledFunction:
         exprs: Tuple[Expr, ...] = (),
     ):
         self._func = func
+        #: unchecked fast path: positional floats in, raw tuple out.  The
+        #: transcription inner loops call this thousands of times per control
+        #: step, so it skips the asarray/shape-check/np.array round trip of
+        #: :meth:`__call__` (callers pass python floats, e.g. ``*xs.tolist()``).
+        self.call_positional = func
         self.variables = variables
         self.n_inputs = len(variables)
         self.n_outputs = n_outputs

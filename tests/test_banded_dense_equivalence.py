@@ -1,0 +1,227 @@
+"""Banded vs. dense QP solve-path equivalence on the robot benchmarks.
+
+The stage-interleaved permutation makes the condensed KKT system banded;
+these tests pin down that (a) the bandwidth hints the transcription layer
+advertises actually bound the permuted problem data, and (b) routing the
+factorizations through the banded kernels yields the same solution as the
+dense path on every robot's first SQP subproblem (to 1e-8 relative, with
+the active-set polish recovering both solutions past the barrier's
+roundoff drift).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.mpc.banded import bandwidth_of
+from repro.mpc.qp import QPOptions, solve_qp
+from repro.robots.registry import BENCHMARK_NAMES, build_benchmark
+
+HORIZON = 16
+
+
+@pytest.fixture(scope="module")
+def subproblems():
+    """First-SQP-subproblem QP data for every robot (built once)."""
+    out = {}
+    for name in BENCHMARK_NAMES:
+        bench = build_benchmark(name)
+        problem = bench.transcribe(horizon=HORIZON)
+        solver = bench.make_solver(problem)
+        qp_args, qperm = solver.first_qp_subproblem(bench.x0, bench.ref)
+        out[name] = (bench, problem, solver, qp_args, qperm)
+    return out
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_first_subproblem_banded_matches_dense(subproblems, name):
+    _, problem, solver, qp_args, qperm = subproblems[name]
+    H, g, G, b, J, d, bw = qp_args
+    assert bw is not None, "stage permutation should be available"
+    # The cold-start subproblems are hard QPs (pinned initial state far
+    # outside the soft bounds); give the IPM headroom beyond the default.
+    opt = replace(solver.options.qp, polish=True, max_iterations=200)
+
+    banded = solve_qp(H, g, G, b, J, d, opt, bandwidth=bw)
+    dense = solve_qp(H, g, G, b, J, d, opt)
+
+    assert banded.converged and dense.converged
+    assert banded.stats.mode in ("banded", "mixed")
+    assert banded.stats.banded_factorizations > 0
+    assert dense.stats.mode == "dense"
+    assert dense.stats.banded_factorizations == 0
+
+    scale = 1.0 + np.max(np.abs(dense.x))
+    assert np.max(np.abs(banded.x - dense.x)) <= 1e-8 * scale
+    assert np.max(np.abs(banded.nu - dense.nu)) <= 1e-6 * (
+        1.0 + np.max(np.abs(dense.nu))
+    )
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_stage_permuted_kkt_bandwidth_within_hint(subproblems, name):
+    """The advertised half-bandwidth ceiling bounds the permuted KKT data.
+
+    The condensed matrix is Phi = H + J^T W J for a positive diagonal W, so
+    its nonzero pattern is contained in the envelope |H| + |J|^T |J|; the
+    hint must cover the envelope's measured bandwidth for every W.
+    """
+    bench, problem, solver, qp_args, qperm = subproblems[name]
+    H, g, G, b, J, d, bw = qp_args
+    envelope = np.abs(H)
+    if J is not None:
+        envelope = envelope + np.abs(J).T @ np.abs(J)
+    assert bandwidth_of(envelope) <= bw
+
+    # The same check on the plain (non-extended) problem, against the
+    # primal KKT envelope |H| + |G|^T |G|: banded after the stage
+    # interleave, nowhere near banded in the states-then-inputs ordering
+    # (x_{k+1} and u_k sit ~N*nx apart there).
+    perm = problem.stage_permutation()
+    hint = problem.kkt_half_bandwidth()
+    # bw is the extended-problem ceiling: at least the plain hint, wider
+    # when a stage's group (states + inputs + L1 slacks) outgrows it.
+    assert perm is not None and bw >= hint
+    z0 = problem.initial_guess(np.asarray(bench.x0, dtype=float))
+    Hu = problem.objective_gauss_newton(z0, bench.ref)
+    Gu = problem.equality_jacobian(z0, bench.ref)
+    env_u = np.abs(Hu) + np.abs(Gu).T @ np.abs(Gu)
+    assert bandwidth_of(env_u[np.ix_(perm, perm)]) <= hint
+    assert bandwidth_of(env_u) > hint
+
+
+def test_first_subproblem_banded_solve_is_observable(subproblems):
+    """QPStats reports per-phase wall time and flops on the banded path."""
+    _, _, solver, qp_args, _ = subproblems["Quadrotor"]
+    H, g, G, b, J, d, bw = qp_args
+    res = solve_qp(H, g, G, b, J, d, solver.options.qp, bandwidth=bw)
+    st = res.stats
+    assert st.phi_bandwidth is not None and st.phi_bandwidth <= bw
+    assert st.schur_bandwidth is not None and st.schur_bandwidth <= bw
+    assert st.factorizations >= 2 * res.iterations
+    assert st.factor_flops > 0 and st.substitute_flops > 0
+    assert st.factorize_time > 0.0 and st.substitute_time > 0.0
+
+
+def test_move_blocking_falls_back_to_dense():
+    """move_block > 1 breaks the stage interleave; the solver must not
+    advertise (or use) a bandwidth hint."""
+    bench = build_benchmark("MobileRobot")
+    problem = bench.transcribe(horizon=HORIZON)
+    problem_mb = type(problem)(
+        bench.model, bench.task, horizon=HORIZON, dt=bench.dt, move_block=2
+    )
+    assert problem_mb.stage_permutation() is None
+    assert problem_mb.kkt_half_bandwidth() is None
+    solver = bench.make_solver(problem_mb)
+    qp_args, qperm = solver.first_qp_subproblem(bench.x0, bench.ref)
+    assert qperm is None and qp_args[6] is None
+    res = solver.solve(bench.x0, bench.ref)
+    assert np.all(np.isfinite(res.z))
+    assert solver.stats["banded_factorizations"] == 0
+
+
+def test_banded_option_false_forces_dense_path():
+    bench = build_benchmark("MobileRobot")
+    problem = bench.transcribe(horizon=HORIZON)
+    solver = bench.make_solver(problem, banded=False)
+    qp_args, qperm = solver.first_qp_subproblem(bench.x0, bench.ref)
+    assert qperm is None and qp_args[6] is None
+    solver.solve(bench.x0, bench.ref)
+    assert solver.stats["factorizations"] > 0
+    assert solver.stats["banded_factorizations"] == 0
+
+
+def test_solver_routes_through_banded_kernels():
+    bench = build_benchmark("MobileRobot")
+    problem = bench.transcribe(horizon=HORIZON)
+    solver = bench.make_solver(problem)
+    res = solver.solve(bench.x0, bench.ref)
+    assert np.all(np.isfinite(res.z))
+    assert solver.stats["banded_factorizations"] > 0
+    assert solver.stats["factorize_time"] > 0.0
+    assert solver.stats["substitute_time"] > 0.0
+    assert solver.stats["linearize_time"] > 0.0
+    assert solver.stats["factor_flops"] > 0
+
+
+def test_banded_and_dense_solvers_agree_end_to_end():
+    """Full SQP solves with and without the banded path reach the same
+    trajectory (control-grade tolerance; the QP sequences are identical up
+    to factorization roundoff)."""
+    bench = build_benchmark("MobileRobot")
+    problem = bench.transcribe(horizon=HORIZON)
+    res_b = bench.make_solver(problem).solve(bench.x0, bench.ref)
+    res_d = bench.make_solver(problem, banded=False).solve(bench.x0, bench.ref)
+    assert res_b.converged and res_d.converged
+    scale = 1.0 + np.max(np.abs(res_d.z))
+    assert np.max(np.abs(res_b.z - res_d.z)) <= 1e-4 * scale
+
+
+class TestDivergenceGuard:
+    def infeasible_qp(self, **overrides):
+        # x >= 2 and x <= -1 cannot both hold: the IPM drives the
+        # inequality multipliers to infinity.
+        H = np.eye(1)
+        g = np.zeros(1)
+        J = np.array([[1.0], [-1.0]])
+        d = np.array([-1.0, -2.0])
+        opt = QPOptions(**overrides)
+        return solve_qp(H, g, None, None, J, d, opt)
+
+    def test_returns_consistent_residual_iterate_pair(self):
+        res = self.infeasible_qp(max_iterations=200)
+        assert not res.converged
+        # The reported residual must be the residual *of the returned
+        # iterate* — recompute it from scratch.
+        H = np.eye(1)
+        J = np.array([[1.0], [-1.0]])
+        d = np.array([-1.0, -2.0])
+        r_dual = H @ res.x + J.T @ res.lam
+        r_in = J @ res.x + res.slacks - d
+        mu = float(res.slacks @ res.lam) / 2
+        recomputed = max(
+            float(np.max(np.abs(r_dual))), float(np.max(np.abs(r_in))), mu
+        )
+        assert np.isclose(res.residual, recomputed, rtol=1e-12, atol=0.0)
+
+    def test_iterate_stays_finite(self):
+        res = self.infeasible_qp(max_iterations=200)
+        for v in (res.x, res.nu, res.lam, res.slacks):
+            assert np.all(np.isfinite(v))
+        assert np.isfinite(res.residual)
+
+
+class TestPolish:
+    def test_polish_improves_residual(self):
+        rng = np.random.default_rng(3)
+        n, m = 12, 8
+        A = rng.normal(size=(n, n))
+        H = A @ A.T + n * np.eye(n)
+        g = rng.normal(size=n)
+        J = rng.normal(size=(m, n))
+        d = rng.normal(size=m)
+        raw = solve_qp(H, g, None, None, J, d, QPOptions())
+        pol = solve_qp(H, g, None, None, J, d, QPOptions(polish=True))
+        assert raw.converged and pol.converged
+        assert pol.residual <= raw.residual
+        assert np.max(np.abs(pol.x - raw.x)) <= 1e-6 * (
+            1.0 + np.max(np.abs(raw.x))
+        )
+
+    def test_polish_never_worsens_on_equality_constrained_qp(self):
+        rng = np.random.default_rng(5)
+        n, p, m = 10, 3, 6
+        A = rng.normal(size=(n, n))
+        H = A @ A.T + n * np.eye(n)
+        g = rng.normal(size=n)
+        G = rng.normal(size=(p, n))
+        b = rng.normal(size=p)
+        J = rng.normal(size=(m, n))
+        d = rng.normal(size=m) + 1.0
+        raw = solve_qp(H, g, G, b, J, d, QPOptions())
+        pol = solve_qp(H, g, G, b, J, d, QPOptions(polish=True))
+        assert pol.converged
+        assert pol.residual <= raw.residual
+        assert np.max(np.abs(G @ pol.x - b)) <= 1e-9

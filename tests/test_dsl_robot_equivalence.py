@@ -17,6 +17,9 @@ from repro.robots.dsl_sources import (
 from repro.dsl import compile_program
 from repro.symbolic import compile_function
 
+# full DSL-vs-python solver runs — keep out of the fast lane (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 
 def dynamics_fn(model):
     return compile_function(

@@ -10,6 +10,9 @@ from pathlib import Path
 
 import pytest
 
+# runs the example scripts end to end — keep out of the fast lane (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 

@@ -28,6 +28,9 @@ from repro.experiments import (
     table4,
 )
 
+# regenerates the paper's experiment tables — keep out of the fast lane (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 
 class TestTables:
     def test_table3_matches_paper_exactly(self):

@@ -18,6 +18,9 @@ from repro.mpc import InteriorPointSolver, MPCController, TranscribedProblem
 from repro.mpc.controller import integrate_plant
 from repro.robots import build_benchmark
 
+# end-to-end solve + compile + simulate pipelines — keep out of the fast lane (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 PENDULUM_DSL = """
 // Torque-limited pendulum swing-up-ish stabilization, written in the DSL.
 System Pendulum( param torque_max ) {

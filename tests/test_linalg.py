@@ -136,3 +136,28 @@ class TestFlopCounts:
         c = flop_counts_substitution(10, nrhs=3)
         assert c["div"] == 30
         assert c["mul"] == 3 * 45
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 8])
+    def test_cholesky_counts_match_instrumented_factorization(self, n):
+        """The closed-form counts must equal an op-counting factorization."""
+        A = random_spd(n, seed=n)
+        counts = {"mul": 0, "add": 0, "div": 0, "sqrt": 0}
+        L = np.zeros_like(A)
+        for j in range(n):
+            acc = A[j, j]
+            for k in range(j):
+                acc -= L[j, k] * L[j, k]
+                counts["mul"] += 1
+                counts["add"] += 1
+            L[j, j] = np.sqrt(acc)
+            counts["sqrt"] += 1
+            for i in range(j + 1, n):
+                acc = A[i, j]
+                for k in range(j):
+                    acc -= L[i, k] * L[j, k]
+                    counts["mul"] += 1
+                    counts["add"] += 1
+                L[i, j] = acc / L[j, j]
+                counts["div"] += 1
+        assert np.allclose(L, cholesky(A), atol=1e-12)
+        assert counts == flop_counts_cholesky(n)

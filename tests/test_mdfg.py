@@ -95,7 +95,8 @@ class TestKernelCounts:
     def test_cholesky_cubic(self):
         c = kernel_op_counts("cholesky", {"n": 32})
         assert c["sqrt"] == 32
-        assert c["mul"] > 32**3 / 6
+        # Exact count: sum_j j*(n-j) = n^3/6 - n/6.
+        assert c["mul"] == (32**3 - 32) // 6
 
     def test_banded_cholesky_linear_in_n(self):
         narrow = kernel_op_counts("cholesky_banded", {"n": 100, "band": 5})

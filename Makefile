@@ -1,6 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
+REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all bench
+.PHONY: test-fast test-slow test-all bench serve-smoke
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -17,3 +18,8 @@ test-all:
 # Solver micro-benchmarks and the banded-vs-dense acceptance bench.
 bench:
 	$(PYTEST) -q benchmarks/bench_solver_kernels.py benchmarks/bench_banded_vs_dense.py
+
+# Serving-runtime smoke: a small deadline-budgeted fleet must complete with
+# zero crashed sessions (non-zero exit otherwise).
+serve-smoke:
+	$(REPRO) serve-sim --sessions 10 --ticks 20 --seed 0

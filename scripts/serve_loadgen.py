@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Ad-hoc load generator for the serving runtime.
+
+Drives a large mixed-robot fleet through :func:`repro.serve.run_load` — the
+same entry point behind ``repro serve-sim`` — with presets sized for load
+experiments rather than smoke tests.  The default scenario is the ISSUE
+acceptance workload: 100+ sessions of mixed robots against the plant
+integrator with per-step deadlines.
+
+Examples::
+
+    PYTHONPATH=src python scripts/serve_loadgen.py
+    PYTHONPATH=src python scripts/serve_loadgen.py --sessions 200 --ticks 50 \
+        --workers 4 --trace /tmp/fleet.jsonl
+    PYTHONPATH=src python scripts/serve_loadgen.py --preset smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.robots import BENCHMARK_NAMES
+from repro.serve import DEFAULT_ROBOTS, LoadConfig, run_load
+
+#: named scenarios: (sessions, ticks, deadline_s)
+PRESETS = {
+    "smoke": (10, 20, 0.05),
+    "acceptance": (100, 50, 0.05),
+    "stress": (250, 50, 0.02),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="acceptance",
+        help="scenario sizing (overridden by explicit flags)",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--ticks", type=int, default=None)
+    parser.add_argument(
+        "--robots",
+        default=",".join(DEFAULT_ROBOTS),
+        help="comma-separated benchmark names cycled across sessions",
+    )
+    parser.add_argument("--horizon", type=int, default=8)
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-step solve deadline (default: the preset's)",
+    )
+    parser.add_argument("--degrade-after", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--backend", choices=("thread", "process"), default="thread")
+    parser.add_argument("--tick-budget-ms", type=float, default=None)
+    parser.add_argument("--trace", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    sessions, ticks, deadline_s = PRESETS[args.preset]
+    if args.sessions is not None:
+        sessions = args.sessions
+    if args.ticks is not None:
+        ticks = args.ticks
+    if args.deadline_ms is not None:
+        deadline_s = args.deadline_ms / 1e3 if args.deadline_ms > 0 else None
+
+    robots = tuple(r.strip() for r in args.robots.split(",") if r.strip())
+    unknown = [r for r in robots if r not in BENCHMARK_NAMES]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)}; choose from "
+            f"{', '.join(BENCHMARK_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = LoadConfig(
+        sessions=sessions,
+        ticks=ticks,
+        robots=robots,
+        horizon=args.horizon,
+        deadline_s=deadline_s,
+        degrade_after=args.degrade_after,
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        tick_budget_s=args.tick_budget_ms / 1e3 if args.tick_budget_ms else None,
+        trace_path=args.trace,
+    )
+    print(
+        f"load: {sessions} sessions x {ticks} ticks, robots={','.join(robots)}, "
+        f"deadline={deadline_s if deadline_s is None else f'{deadline_s * 1e3:g}ms'}, "
+        f"workers={args.workers} ({args.backend})",
+        file=sys.stderr,
+    )
+    report = run_load(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(
+            f"wall time:       {report.wall_time_s:.1f}s "
+            f"({report.metrics.fleet.steps / max(report.wall_time_s, 1e-9):.1f} "
+            "solves/s)"
+        )
+        if report.plant_resets:
+            print(f"plant resets:    {report.plant_resets}")
+    if report.crashed:
+        print(f"CRASHED sessions: {', '.join(report.crashed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,12 +12,18 @@ Commands
     Print a reproduced paper table.
 ``figure {5,...,12}``
     Print a reproduced paper figure (9-12 sweep to N = 1024; takes longer).
+``serve-sim``
+    Run the multi-session serving runtime against simulated plants:
+    deadline-budgeted solves, graceful degradation, fleet telemetry.
+    Exits non-zero when any session crashed (the serve-smoke gate).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
@@ -38,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("benchmark", help="benchmark name (see `repro list`)")
     p_solve.add_argument("--horizon", type=int, default=16, help="MPC horizon N")
     p_solve.add_argument("--steps", type=int, default=10, help="closed-loop steps")
+    p_solve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
 
     p_compile = sub.add_parser(
         "compile", help="compile a benchmark to the accelerator"
@@ -66,6 +77,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="print a reproduced paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(5, 13)))
 
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="simulate the multi-session MPC serving runtime",
+    )
+    p_serve.add_argument(
+        "--sessions", type=int, default=20, help="fleet size (default 20)"
+    )
+    p_serve.add_argument(
+        "--ticks", type=int, default=20, help="control periods to simulate"
+    )
+    p_serve.add_argument(
+        "--robots",
+        default=None,
+        help="comma-separated benchmark names cycled across sessions "
+        "(default: MobileRobot,MicroSat,Quadrotor)",
+    )
+    p_serve.add_argument("--horizon", type=int, default=8, help="MPC horizon N")
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        help="per-step solve deadline in milliseconds; 0 disables budgeting",
+    )
+    p_serve.add_argument(
+        "--degrade-after",
+        type=int,
+        default=3,
+        help="consecutive fallbacks before a session is marked degraded",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker pool size (0 = inline execution)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind when --workers > 0",
+    )
+    p_serve.add_argument(
+        "--tick-budget-ms",
+        type=float,
+        default=None,
+        help="soft per-tick wall budget driving backpressure (default: off)",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, help="write a JSONL trace to this path"
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="fleet RNG seed")
+    p_serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the text summary",
+    )
+
     return parser
 
 
@@ -77,7 +145,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_solve(args) -> int:
-    from repro.mpc.controller import integrate_plant
+    from repro.mpc.controller import PlantIntegrator
     from repro.robots import BENCHMARK_NAMES, build_benchmark
 
     if args.benchmark not in BENCHMARK_NAMES:
@@ -88,22 +156,122 @@ def _cmd_solve(args) -> int:
         )
         return 2
 
+    as_json = getattr(args, "json", False)
     bench = build_benchmark(args.benchmark)
     problem = bench.transcribe(horizon=args.horizon)
     controller = bench.make_controller(problem)
+    plant = PlantIntegrator(problem)
     x = bench.x0.copy()
-    print(f"{bench.name}: {bench.system_description} / {bench.task_description}")
-    print(f"horizon N={args.horizon}, dt={problem.dt}s, nz={problem.nz}")
-    for step in range(args.steps):
-        u = controller.step(x, ref=bench.ref)
-        x = integrate_plant(problem, x, u)
-        res = controller.last_result
+    if not as_json:
         print(
-            f"  step {step:3d}: iters={res.iterations:3d} "
-            f"kkt={res.kkt_residual:8.2e} obj={res.objective:10.4f} "
-            f"|u|max={np.abs(u).max():8.4f}"
+            f"{bench.name}: {bench.system_description} / {bench.task_description}"
         )
-    print(f"final state: {np.array2string(x, precision=4)}")
+        print(f"horizon N={args.horizon}, dt={problem.dt}s, nz={problem.nz}")
+    steps = []
+    for step in range(args.steps):
+        t0 = perf_counter()
+        u = controller.step(x, ref=bench.ref)
+        solve_time = perf_counter() - t0
+        x = plant.advance(x, u, problem.dt, 4)
+        res = controller.last_result
+        if as_json:
+            steps.append(
+                {
+                    "step": step,
+                    "objective": res.objective,
+                    "iterations": res.iterations,
+                    "qp_iterations": res.qp_iterations,
+                    "converged": res.converged,
+                    "status": res.status,
+                    "kkt_residual": res.kkt_residual,
+                    "solve_time_s": solve_time,
+                    "input": u.tolist(),
+                }
+            )
+        else:
+            print(
+                f"  step {step:3d}: iters={res.iterations:3d} "
+                f"kkt={res.kkt_residual:8.2e} obj={res.objective:10.4f} "
+                f"|u|max={np.abs(u).max():8.4f}"
+            )
+    if as_json:
+        stats = controller.solver.stats
+        doc = {
+            "benchmark": bench.name,
+            "horizon": args.horizon,
+            "dt": problem.dt,
+            "nz": problem.nz,
+            "steps": steps,
+            "final_state": x.tolist(),
+            "totals": {
+                "solves": stats["solves"],
+                "sqp_iterations": stats["sqp_iterations"],
+                "qp_iterations": stats["qp_iterations"],
+                "solve_time_s": sum(s["solve_time_s"] for s in steps),
+                "linearize_time_s": stats["linearize_time"],
+                "factorize_time_s": stats["factorize_time"],
+                "substitute_time_s": stats["substitute_time"],
+                "converged_steps": sum(1 for s in steps if s["converged"]),
+            },
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"final state: {np.array2string(x, precision=4)}")
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    from repro.robots import BENCHMARK_NAMES
+    from repro.serve import DEFAULT_ROBOTS, LoadConfig, run_load
+
+    robots = (
+        tuple(r.strip() for r in args.robots.split(",") if r.strip())
+        if args.robots
+        else DEFAULT_ROBOTS
+    )
+    unknown = [r for r in robots if r not in BENCHMARK_NAMES]
+    if unknown:
+        print(
+            f"unknown benchmark(s) {', '.join(unknown)}; choose from "
+            f"{', '.join(BENCHMARK_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = LoadConfig(
+        sessions=args.sessions,
+        ticks=args.ticks,
+        robots=robots,
+        horizon=args.horizon,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
+        degrade_after=args.degrade_after,
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        tick_budget_s=(
+            args.tick_budget_ms / 1e3 if args.tick_budget_ms else None
+        ),
+        trace_path=args.trace,
+    )
+    report = run_load(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(
+            f"wall time:       {report.wall_time_s:.1f}s "
+            f"({report.metrics.fleet.steps / max(report.wall_time_s, 1e-9):.1f} "
+            "solves/s)"
+        )
+        if report.plant_resets:
+            print(f"plant resets:    {report.plant_resets}")
+        if report.trace_path:
+            print(f"trace:           {report.trace_path}")
+    if report.crashed:
+        print(
+            f"CRASHED sessions: {', '.join(report.crashed)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -192,6 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -85,3 +85,15 @@ class FixedPointError(AcceleratorError):
 
 class BaselineError(ReproError):
     """Baseline platform model failure."""
+
+
+class ServeError(ReproError):
+    """Serving-runtime failure (session lifecycle, engine configuration)."""
+
+
+class AdmissionError(ServeError):
+    """The serving engine rejected a new session (capacity exhausted)."""
+
+
+class SessionStateError(ServeError):
+    """Operation invalid for the session's current lifecycle state."""

@@ -12,6 +12,8 @@ Public surface:
 * :class:`BandedCholeskyFactor` and the banded kernels — the stage-ordered
   ``O(n b^2)`` factorization path of the QP hot loop.
 * :class:`MPCController` — the receding-horizon loop.
+* :class:`SolveBudget` — per-solve deadline / iteration allowances for the
+  online serving path (:mod:`repro.serve`).
 """
 
 from repro.mpc.banded import (
@@ -25,7 +27,13 @@ from repro.mpc.banded import (
     from_banded,
     to_banded,
 )
-from repro.mpc.controller import ClosedLoopLog, MPCController, integrate_plant
+from repro.mpc.budget import BudgetClock, SolveBudget
+from repro.mpc.controller import (
+    ClosedLoopLog,
+    MPCController,
+    PlantIntegrator,
+    integrate_plant,
+)
 from repro.mpc.ipm import InteriorPointSolver, IPMOptions, IPMResult
 from repro.mpc.qp import QPOptions, QPResult, QPStats, solve_qp
 from repro.mpc.linalg import (
@@ -54,7 +62,10 @@ __all__ = [
     "IPMResult",
     "MPCController",
     "ClosedLoopLog",
+    "PlantIntegrator",
     "integrate_plant",
+    "SolveBudget",
+    "BudgetClock",
     "cholesky",
     "cholesky_solve",
     "forward_substitution",

@@ -1,0 +1,100 @@
+"""Compute budgets for deadline-bounded MPC solves.
+
+An online controller must return *some* input every control period — RoboX
+deploys the solver under a hard per-step compute budget (§III), the way
+TinyMPC-style embedded solvers cap iterations on constrained hardware.  A
+:class:`SolveBudget` expresses that contract for one solve: an optional
+wall-clock allowance plus optional outer (SQP) and inner (QP interior-point)
+iteration caps.  :meth:`SolveBudget.start` stamps the wall clock and returns
+a :class:`BudgetClock`, which the solver polls at its natural checkpoints
+(SQP iteration tops, QP iteration tops, post-QP before the line search).
+
+Semantics are *best effort with bounded overrun*: the solve stops at the
+first checkpoint after the budget is exhausted, so the overrun is at most
+one linearization plus one QP iteration — it never aborts mid-factorization
+and always returns a consistent (iterate, residual) pair.  A solve stopped
+by its budget reports ``status == "budget_exhausted"`` on the
+:class:`~repro.mpc.ipm.IPMResult`; deciding what to *do* with the partial
+iterate (serve it, fall back to the shifted previous plan, hover) is the
+caller's policy — see :mod:`repro.serve.policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional
+
+from repro.errors import SolverError
+
+__all__ = ["SolveBudget", "BudgetClock"]
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Per-solve compute allowance (all limits optional, combined with AND).
+
+    Attributes:
+        wall_clock: wall-clock seconds for the whole solve; ``0.0`` is legal
+            and means "already exhausted" (the solve returns the warm start
+            immediately — useful for tests and for shedding load).
+        sqp_iterations: cap on outer SQP iterations this solve.
+        qp_iterations: cap on *total* inner interior-point iterations
+            accumulated across all QP subproblems of this solve.
+    """
+
+    wall_clock: Optional[float] = None
+    sqp_iterations: Optional[int] = None
+    qp_iterations: Optional[int] = None
+
+    def __post_init__(self):
+        if self.wall_clock is not None and self.wall_clock < 0:
+            raise SolverError("wall_clock budget must be >= 0")
+        if self.sqp_iterations is not None and self.sqp_iterations < 0:
+            raise SolverError("sqp_iterations budget must be >= 0")
+        if self.qp_iterations is not None and self.qp_iterations < 0:
+            raise SolverError("qp_iterations budget must be >= 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.wall_clock is None
+            and self.sqp_iterations is None
+            and self.qp_iterations is None
+        )
+
+    def start(self) -> "BudgetClock":
+        """Stamp the wall clock now and return the running clock."""
+        return BudgetClock(self, perf_counter())
+
+
+class BudgetClock:
+    """A started :class:`SolveBudget`: absolute deadline + iteration caps."""
+
+    __slots__ = ("budget", "t0", "deadline")
+
+    def __init__(self, budget: SolveBudget, t0: float):
+        self.budget = budget
+        self.t0 = t0
+        #: absolute ``perf_counter`` deadline, or ``None`` when untimed
+        self.deadline: Optional[float] = (
+            t0 + budget.wall_clock if budget.wall_clock is not None else None
+        )
+
+    def expired(self) -> bool:
+        """True once the wall-clock allowance has run out."""
+        return self.deadline is not None and perf_counter() >= self.deadline
+
+    def qp_exhausted(self, qp_iterations_done: int) -> bool:
+        """True once the cumulative inner-iteration cap is reached."""
+        cap = self.budget.qp_iterations
+        return cap is not None and qp_iterations_done >= cap
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the wall clock (clamped at 0), or ``None``."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - perf_counter())
+
+    def elapsed(self) -> float:
+        return perf_counter() - self.t0

@@ -9,22 +9,32 @@ next warm start — the standard receding-horizon loop.
 
 ``simulate`` provides the ground-truth plant: the continuous dynamics
 integrated with RK4 at a finer step than the controller, so closed-loop tests
-exercise model mismatch between transcription and plant.
+exercise model mismatch between transcription and plant.  Offline runs carry
+the same observability the serving layer (:mod:`repro.serve`) exposes: the
+log records per-step solve wall time and whether the step was served by a
+fallback instead of a fresh solve.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.errors import SolverError
+from repro.mpc.budget import SolveBudget
 from repro.mpc.ipm import InteriorPointSolver, IPMResult
 from repro.mpc.transcription import TranscribedProblem
 from repro.symbolic import compile_function
 
-__all__ = ["MPCController", "ClosedLoopLog", "integrate_plant"]
+__all__ = [
+    "MPCController",
+    "ClosedLoopLog",
+    "PlantIntegrator",
+    "integrate_plant",
+]
 
 
 @dataclass
@@ -36,10 +46,21 @@ class ClosedLoopLog:
     objectives: List[float] = field(default_factory=list)
     solver_iterations: List[int] = field(default_factory=list)
     converged: List[bool] = field(default_factory=list)
+    #: per-step solve wall time in seconds (measured around the full
+    #: controller step, matching the serving layer's latency metric)
+    solve_times: List[float] = field(default_factory=list)
+    #: per-step fallback flag: True when the applied input came from the
+    #: degradation ladder (shifted previous plan / hold) rather than a
+    #: fresh solve — always False unless ``simulate(..., fallback=True)``
+    fallbacks: List[bool] = field(default_factory=list)
 
     @property
     def steps(self) -> int:
         return self.inputs.shape[0]
+
+    @property
+    def fallback_count(self) -> int:
+        return sum(self.fallbacks)
 
 
 class MPCController:
@@ -56,18 +77,36 @@ class MPCController:
         self._nu_warm: Optional[np.ndarray] = None
         self._lam_warm: Optional[np.ndarray] = None
         self.last_result: Optional[IPMResult] = None
+        #: wall time of the most recent solve (seconds; None before any step)
+        self.last_solve_time: Optional[float] = None
 
     def reset(self) -> None:
-        """Drop the warm start (e.g. after a large disturbance)."""
+        """Drop *all* warm-start and last-solve state.
+
+        Every per-solve attribute is cleared (warm trajectory, both
+        multiplier vectors, the cached result and its timing) so a reset
+        controller is indistinguishable from a freshly constructed one —
+        the serving layer relies on this after divergence/solver errors.
+        """
         self._warm = None
         self._nu_warm = None
         self._lam_warm = None
         self.last_result = None
+        self.last_solve_time = None
 
     def step(
-        self, x_measured: np.ndarray, ref: Optional[np.ndarray] = None
+        self,
+        x_measured: np.ndarray,
+        ref: Optional[np.ndarray] = None,
+        budget: Optional[SolveBudget] = None,
     ) -> np.ndarray:
-        """Solve for the current state and return the first control input."""
+        """Solve for the current state and return the first control input.
+
+        ``budget`` bounds the solve (see :class:`SolveBudget`); a budgeted
+        step never raises on deadline exhaustion — inspect
+        ``last_result.status`` to distinguish a converged solve from a
+        partial (``"budget_exhausted"``) one.
+        """
         if not self.warm_start:
             self._warm = self._nu_warm = self._lam_warm = None
         result = self.solver.solve(
@@ -76,8 +115,20 @@ class MPCController:
             z_warm=self._warm,
             nu_warm=self._nu_warm,
             lam_warm=self._lam_warm,
+            budget=budget,
         )
+        return self.adopt(result)
+
+    def adopt(self, result: IPMResult) -> np.ndarray:
+        """Install a solve result as this controller's latest step.
+
+        Updates the warm-start state exactly like :meth:`step` and returns
+        the first control input.  Used directly by the serving engine's
+        worker-pool path, where the solve itself ran in another process and
+        only the (picklable) result comes back.
+        """
         self.last_result = result
+        self.last_solve_time = result.solve_time
         xs, us = self.problem.split(result.z)
         self._warm = self._shift(xs, us)
         self._nu_warm = result.nu
@@ -98,6 +149,8 @@ class MPCController:
         ref_fn: Optional[Callable[[int], np.ndarray]] = None,
         disturbance: Optional[Callable[[int, np.ndarray], np.ndarray]] = None,
         substeps: int = 4,
+        budget: Optional[SolveBudget] = None,
+        fallback: bool = False,
     ) -> ClosedLoopLog:
         """Run the controller against the continuous plant for ``steps`` steps.
 
@@ -110,6 +163,13 @@ class MPCController:
             disturbance: optional additive state disturbance applied after
                 each plant step: ``x <- x + disturbance(k, x)``.
             substeps: RK4 sub-steps per control interval for the plant.
+            budget: optional per-step :class:`SolveBudget` (deadline and/or
+                iteration caps) applied to every solve.
+            fallback: when True, a failed step (solver error, deadline miss
+                without convergence, non-finite result) is served from the
+                same degradation ladder the serving layer uses — shifted
+                previous plan, then hold — instead of raising; the log's
+                ``fallbacks`` flags mark those steps.
         """
         p = self.problem
         x = np.asarray(x0, dtype=float).copy()
@@ -117,14 +177,47 @@ class MPCController:
         inputs = []
         log = ClosedLoopLog(states=np.zeros(0), inputs=np.zeros(0))
 
-        plant = _PlantIntegrator(p)
+        ladder = None
+        if fallback:
+            # Imported lazily: repro.serve depends on repro.mpc, so the
+            # shared ladder implementation cannot be a module-level import.
+            from repro.serve.policy import FallbackLadder
+
+            ladder = FallbackLadder(p.nu)
+
+        plant = PlantIntegrator(p)
         for k in range(steps):
             step_ref = ref_fn(k) if ref_fn is not None else ref
-            u = self.step(x, ref=step_ref)
-            result = self.last_result
-            log.objectives.append(result.objective)
-            log.solver_iterations.append(result.iterations)
-            log.converged.append(result.converged)
+            t0 = perf_counter()
+            used_fallback = False
+            try:
+                u = self.step(x, ref=step_ref, budget=budget)
+                result = self.last_result
+                failed = (
+                    result.status == "budget_exhausted"
+                    and not result.converged
+                ) or not np.all(np.isfinite(u))
+                if ladder is not None and failed:
+                    u = ladder.fallback().input
+                    used_fallback = True
+                    if not np.all(np.isfinite(u)):  # poisoned plan
+                        u = ladder.hover.copy()
+                elif ladder is not None:
+                    ladder.record_success(p.split(result.z)[1])
+                log.objectives.append(result.objective)
+                log.solver_iterations.append(result.iterations)
+                log.converged.append(result.converged)
+            except SolverError:
+                if ladder is None:
+                    raise
+                u = ladder.fallback().input
+                used_fallback = True
+                self.reset()  # the warm start is implicated in the failure
+                log.objectives.append(float("nan"))
+                log.solver_iterations.append(0)
+                log.converged.append(False)
+            log.solve_times.append(perf_counter() - t0)
+            log.fallbacks.append(used_fallback)
             x = plant.advance(x, u, p.dt, substeps)
             if disturbance is not None:
                 x = x + np.asarray(disturbance(k, x), dtype=float)
@@ -136,8 +229,14 @@ class MPCController:
         return log
 
 
-class _PlantIntegrator:
-    """Ground-truth RK4 integrator of the *continuous* robot dynamics."""
+class PlantIntegrator:
+    """Ground-truth RK4 integrator of the *continuous* robot dynamics.
+
+    Compiling the dynamics is the expensive part — build one integrator per
+    problem and reuse it across steps (the serving layer keeps one per
+    robot/horizon binding); :func:`integrate_plant` is the one-shot
+    convenience wrapper.
+    """
 
     def __init__(self, problem: TranscribedProblem):
         model = problem.model
@@ -162,6 +261,10 @@ class _PlantIntegrator:
         return state
 
 
+# Backwards-compatible private alias (pre-serving-runtime name).
+_PlantIntegrator = PlantIntegrator
+
+
 def integrate_plant(
     problem: TranscribedProblem,
     x: np.ndarray,
@@ -170,5 +273,5 @@ def integrate_plant(
     substeps: int = 4,
 ) -> np.ndarray:
     """One plant step with the continuous dynamics (public convenience)."""
-    integ = _PlantIntegrator(problem)
+    integ = PlantIntegrator(problem)
     return integ.advance(x, u, dt if dt is not None else problem.dt, substeps)

@@ -21,13 +21,14 @@ experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import SolverError
+from repro.mpc.budget import SolveBudget
 from repro.mpc.qp import QPOptions, QPResult, solve_qp
 from repro.mpc.transcription import TranscribedProblem
 
@@ -105,6 +106,13 @@ class IPMResult:
     nu: Optional[np.ndarray] = None
     #: inequality multipliers at exit
     lam: Optional[np.ndarray] = None
+    #: how the solve ended: ``"converged"``, ``"max_iterations"``, or
+    #: ``"budget_exhausted"`` (a :class:`~repro.mpc.budget.SolveBudget`
+    #: limit fired before convergence — the iterate is the best partial
+    #: result, usable for real-time-iteration warm starting)
+    status: str = "max_iterations"
+    #: total wall-clock seconds spent inside :meth:`InteriorPointSolver.solve`
+    solve_time: float = 0.0
 
     def trajectories(self, problem: TranscribedProblem):
         """Split the solution into state and input trajectories."""
@@ -302,6 +310,7 @@ class InteriorPointSolver:
         z_warm: Optional[np.ndarray] = None,
         nu_warm: Optional[np.ndarray] = None,
         lam_warm: Optional[np.ndarray] = None,
+        budget: Optional[SolveBudget] = None,
     ) -> IPMResult:
         """Solve the MPC problem from the measured state ``x_init``.
 
@@ -314,7 +323,15 @@ class InteriorPointSolver:
             nu_warm / lam_warm: optional multiplier warm starts from the
                 previous control step — without them every solve re-learns
                 the (often large) dynamics multipliers from zero.
+            budget: optional per-solve compute allowance (wall clock and/or
+                iteration caps).  A budgeted solve stops at the first
+                checkpoint past the limit — overrun bounded by one
+                linearization plus one QP iteration — and reports
+                ``status == "budget_exhausted"`` with the best partial
+                iterate instead of raising.
         """
+        t_solve = perf_counter()
+        clock = budget.start() if budget is not None else None
         p = self.problem
         opt = self.options
         x_init = np.asarray(x_init, dtype=float)
@@ -355,8 +372,12 @@ class InteriorPointSolver:
         history: List[float] = []
         merit_window: List[float] = []
         converged = False
+        budget_hit = False
         qp_total = 0
         it = 0
+        max_outer = opt.max_iterations
+        if budget is not None and budget.sqp_iterations is not None:
+            max_outer = min(max_outer, budget.sqp_iterations)
         # Levenberg-Marquardt damping adapted on KKT progress: oscillation
         # (KKT increase) shrinks the step by inflating the Hessian diagonal.
         lm = opt.regularization
@@ -364,7 +385,13 @@ class InteriorPointSolver:
         best = (z.copy(), nu.copy(), lam.copy())
         nu_cert = lam_cert = None
 
-        for it in range(1, opt.max_iterations + 1):
+        for it in range(1, max_outer + 1):
+            if clock is not None and (
+                clock.expired() or clock.qp_exhausted(qp_total)
+            ):
+                budget_hit = True
+                it -= 1
+                break
             t_lin = perf_counter()
             grad = p.objective_gradient(z, ref)
             use_exact = opt.hessian == "exact" or (
@@ -417,7 +444,19 @@ class InteriorPointSolver:
             qp_args, qperm = self._subproblem_data(
                 Hs, grad_s, Gs, Js, g_eq, h, soft, hard, n_soft
             )
-            qp_res = solve_qp(*qp_args[:6], opt.qp, bandwidth=qp_args[6])
+            qp_opt = opt.qp
+            if budget is not None and budget.qp_iterations is not None:
+                # Hand the QP only the unspent share of the inner-iteration
+                # budget (the loop-top check guarantees it is >= 1 here).
+                remaining = budget.qp_iterations - qp_total
+                if remaining < qp_opt.max_iterations:
+                    qp_opt = replace(qp_opt, max_iterations=remaining)
+            qp_res = solve_qp(
+                *qp_args[:6],
+                qp_opt,
+                bandwidth=qp_args[6],
+                deadline=clock.deadline if clock is not None else None,
+            )
             if qperm is not None:
                 # Scatter the stage-interleaved solution back to the
                 # original variable ordering (multipliers are unaffected
@@ -444,6 +483,14 @@ class InteriorPointSolver:
             self.stats["substitute_flops"] += qs.substitute_flops
             self.stats["factorizations"] += qs.factorizations
             self.stats["banded_factorizations"] += qs.banded_factorizations
+
+            # Deadline passed mid-QP: the direction is a partial (possibly
+            # zero) interior-point iterate — discard it rather than spend
+            # further wall time line-searching a truncated step, keeping the
+            # returned iterate at the last globalized point.
+            if clock is not None and (qp_res.budget_exhausted or clock.expired()):
+                budget_hit = True
+                break
 
             # -- L1 exact-penalty merit line search ----------------------------------
             mult_inf = max(
@@ -480,6 +527,11 @@ class InteriorPointSolver:
         self.stats["sqp_iterations"] += it
         self.stats["qp_iterations"] += qp_total
 
+        # A budget-shortened iteration cap is a budget stop, not the
+        # solver's own ``max_iterations`` verdict.
+        if not converged and not budget_hit and it >= max_outer:
+            budget_hit = max_outer < opt.max_iterations
+
         # If the loop exits on the iteration cap, restore an earlier iterate
         # only when it was *decisively* better — otherwise keep the last one
         # so warm-started receding-horizon use accumulates progress across
@@ -489,6 +541,12 @@ class InteriorPointSolver:
             z, nu, lam = best
             history[-1] = best_kkt
 
+        if converged:
+            status = "converged"
+        elif budget_hit:
+            status = "budget_exhausted"
+        else:
+            status = "max_iterations"
         return IPMResult(
             z=z,
             converged=converged,
@@ -499,6 +557,8 @@ class InteriorPointSolver:
             residual_history=history,
             nu=nu,
             lam=lam if m else None,
+            status=status,
+            solve_time=perf_counter() - t_solve,
         )
 
     # -------------------------------------------------------------------------

@@ -124,6 +124,9 @@ class QPResult:
     residual: float
     gap_history: List[float] = field(default_factory=list)
     stats: QPStats = field(default_factory=QPStats)
+    #: the solve stopped on the caller's wall-clock ``deadline`` before
+    #: converging (the returned iterate/residual pair is still consistent)
+    budget_exhausted: bool = False
 
 
 class _DenseFactor:
@@ -213,6 +216,7 @@ def solve_qp(
     d: Optional[np.ndarray],
     options: Optional[QPOptions] = None,
     bandwidth: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> QPResult:
     """Solve a convex QP with a Mehrotra predictor-corrector IPM.
 
@@ -227,6 +231,11 @@ def solve_qp(
             the equality Schur complement) and routes each factorization
             through the banded kernels whenever the measurement is within
             the ceiling — ``None`` (the default) keeps the dense path.
+        deadline: absolute ``time.perf_counter`` wall-clock deadline.  The
+            iteration loop stops at the first iteration top past the
+            deadline (``budget_exhausted=True`` on the result), so the
+            overrun is bounded by one factorize/substitute round; the
+            returned iterate and residual stay consistent.
     """
     opt = options or QPOptions()
     n = g.shape[0]
@@ -303,6 +312,7 @@ def solve_qp(
             stats.phi_bandwidth = struct_band
 
     residual = float("inf")
+    budget_exhausted = False
     for it in range(1, opt.max_iterations + 1):
         r_dual, r_eq, r_in, mu, residual = eval_residual(x, nu, lam, s)
         gap_history.append(mu)
@@ -315,6 +325,13 @@ def solve_qp(
         # reported residual was evaluated at exactly this (x, nu, lam, s),
         # so the outer solver's merit line search sees a consistent pair.
         if m and (not np.isfinite(residual) or float(np.max(lam)) > 1e14 * scale):
+            break
+        # Deadline guard: stop before starting another factorization round.
+        # The residual above was evaluated at exactly this iterate, so the
+        # returned pair is consistent; ``it - 1`` iterations did real work.
+        if deadline is not None and perf_counter() >= deadline:
+            budget_exhausted = True
+            it -= 1
             break
 
         # -- factorize the condensed system once per iteration -------------------
@@ -433,6 +450,7 @@ def solve_qp(
         residual=residual,
         gap_history=gap_history,
         stats=stats,
+        budget_exhausted=budget_exhausted,
     )
 
 

@@ -1,0 +1,443 @@
+"""Multi-session batch engine: tick loop, worker pool, backpressure.
+
+The engine multiplexes many :class:`~repro.serve.session.ControlSession`
+objects through a shared tick loop, the way a batched MPC server amortizes
+solver cost over a fleet:
+
+* **Admission control** — a hard ``max_sessions`` cap; ``create_session``
+  raises :class:`~repro.errors.AdmissionError` once full, so overload is
+  rejected at the front door instead of degrading every tenant.
+* **Dispatch** — each tick steps the ready sessions through one of three
+  backends: ``inline`` (serial, deterministic), ``thread``
+  (``concurrent.futures.ThreadPoolExecutor`` — solves overlap wherever
+  numpy drops the GIL), or ``process``
+  (``ProcessPoolExecutor`` over *picklable solve payloads*: the session's
+  warm state travels by value, workers keep a per-process solver cache
+  keyed by (robot, horizon), and only the result arrays come back).
+* **Backpressure** — when a tick's wall time overruns ``tick_budget_s``,
+  the per-tick batch limit shrinks proportionally (and re-grows on
+  headroom); sessions beyond the limit are *deferred*, not dropped, and a
+  round-robin queue guarantees every session is served within a bounded
+  number of ticks.
+* **Telemetry** — every step feeds :class:`~repro.serve.telemetry.FleetMetrics`
+  and (optionally) a JSONL :class:`~repro.serve.telemetry.TraceWriter`.
+
+Shared transcriptions: sessions binding the same (robot, horizon) share one
+:class:`TranscribedProblem` — the compiled derivative functions are pure, so
+this is safe across threads and is what makes 100-session fleets cheap to
+build.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AdmissionError, ReproError, ServeError
+from repro.mpc.budget import SolveBudget
+from repro.serve.session import ControlSession, SessionConfig, StepOutcome
+from repro.serve.telemetry import FleetMetrics, TraceWriter
+
+__all__ = [
+    "EngineConfig",
+    "TickReport",
+    "ServeEngine",
+    "remote_solve",
+    "prime_worker_cache",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-wide policy knobs."""
+
+    #: admission-control cap on concurrently open sessions
+    max_sessions: int = 256
+    #: 0 = inline execution; > 0 = pool of this many workers
+    workers: int = 0
+    #: "thread" or "process" (only consulted when ``workers > 0``)
+    backend: str = "thread"
+    #: soft per-tick wall budget driving backpressure (None = no limit)
+    tick_budget_s: Optional[float] = None
+    #: backpressure never shrinks the batch below this many sessions/tick
+    min_batch: int = 1
+
+    def __post_init__(self):
+        if self.max_sessions < 1:
+            raise ServeError("max_sessions must be >= 1")
+        if self.workers < 0:
+            raise ServeError("workers must be >= 0")
+        if self.workers and self.backend not in ("thread", "process"):
+            raise ServeError(f"unknown backend {self.backend!r}")
+        if self.min_batch < 1:
+            raise ServeError("min_batch must be >= 1")
+
+
+@dataclass
+class TickReport:
+    """What one engine tick did."""
+
+    index: int
+    outcomes: Dict[str, StepOutcome] = field(default_factory=dict)
+    #: sessions with inputs this tick that backpressure pushed to the next
+    deferred: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+    batch_limit: int = 0
+
+    @property
+    def stepped(self) -> int:
+        return len(self.outcomes)
+
+
+class ServeEngine:
+    """Owns the session table, the worker pool, and the tick loop."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        trace: Optional[TraceWriter] = None,
+    ):
+        self.config = config or EngineConfig()
+        self.sessions: Dict[str, ControlSession] = {}
+        self.metrics = FleetMetrics()
+        self.trace = trace
+        self._tick_index = 0
+        self._next_id = 0
+        #: round-robin service order (fairness under backpressure)
+        self._rr: Deque[str] = deque()
+        self._batch_limit: Optional[int] = None  # None = unlimited
+        self._pool = None
+        #: shared transcriptions: (robot, horizon) -> (benchmark, problem)
+        self._problem_cache: Dict[Tuple[str, int], Tuple[object, object]] = {}
+
+    # -- session lifecycle ------------------------------------------------------
+    def create_session(
+        self, config: SessionConfig, session_id: Optional[str] = None
+    ) -> str:
+        """Admit and build a new session; raises :class:`AdmissionError`
+        when the fleet is at ``max_sessions``."""
+        self._admit()
+        if session_id is None:
+            session_id = f"s{self._next_id:04d}"
+            self._next_id += 1
+        if session_id in self.sessions:
+            raise ServeError(f"session id {session_id!r} already exists")
+        key = (config.robot, config.horizon)
+        if key not in self._problem_cache:
+            from repro.robots import build_benchmark
+
+            bench = build_benchmark(config.robot)
+            self._problem_cache[key] = (
+                bench,
+                bench.transcribe(horizon=config.horizon),
+            )
+        bench, problem = self._problem_cache[key]
+        session = ControlSession.from_benchmark(
+            session_id, config, bench=bench, problem=problem
+        )
+        self._register(session)
+        return session_id
+
+    def add_session(self, session: ControlSession) -> str:
+        """Admit a pre-built session (tests inject stub-solver sessions here)."""
+        self._admit()
+        if session.session_id in self.sessions:
+            raise ServeError(f"session id {session.session_id!r} already exists")
+        self._register(session)
+        return session.session_id
+
+    def _admit(self) -> None:
+        open_count = sum(1 for s in self.sessions.values() if s.serving)
+        if open_count >= self.config.max_sessions:
+            raise AdmissionError(
+                f"engine at capacity ({self.config.max_sessions} sessions)"
+            )
+
+    def _register(self, session: ControlSession) -> None:
+        self.sessions[session.session_id] = session
+        self._rr.append(session.session_id)
+        if self.trace is not None:
+            self.trace.emit(
+                "session",
+                session=session.session_id,
+                robot=session.config.robot,
+                horizon=session.config.horizon,
+                deadline_s=session.config.deadline_s,
+            )
+
+    def binding(self, robot: str, horizon: int) -> Tuple[object, object]:
+        """The shared ``(benchmark, problem)`` pair for a robot/horizon
+        binding (built on first use by :meth:`create_session`)."""
+        try:
+            return self._problem_cache[(robot, horizon)]
+        except KeyError:
+            raise ServeError(
+                f"no sessions bound to ({robot!r}, horizon={horizon})"
+            ) from None
+
+    def get_session(self, session_id: str) -> ControlSession:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise ServeError(f"unknown session {session_id!r}") from None
+
+    def reset_session(self, session_id: str) -> None:
+        self.get_session(session_id).reset()
+
+    def close_session(self, session_id: str) -> None:
+        self.get_session(session_id).close()
+
+    def session_states(self) -> Dict[str, str]:
+        return {sid: s.state for sid, s in self.sessions.items()}
+
+    def crashed_sessions(self) -> List[str]:
+        return [sid for sid, s in self.sessions.items() if s.state == "crashed"]
+
+    # -- tick loop ----------------------------------------------------------------
+    def tick(
+        self,
+        inputs: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]],
+    ) -> TickReport:
+        """Step every ready session that has an input this tick.
+
+        Args:
+            inputs: session_id -> ``(x_measured, ref-or-None)``.
+
+        Sessions beyond the current backpressure batch limit are deferred
+        (reported, served first next tick); closed/crashed sessions are
+        silently skipped.
+        """
+        t0 = perf_counter()
+        self._tick_index += 1
+        report = TickReport(index=self._tick_index)
+
+        ready = self._schedule(inputs, report)
+        if ready:
+            self._dispatch(ready, inputs, report)
+
+        report.duration_s = perf_counter() - t0
+        report.batch_limit = (
+            self._batch_limit
+            if self._batch_limit is not None
+            else len(self.sessions) or 1
+        )
+        self._apply_backpressure(report)
+        self.metrics.observe_tick(len(report.deferred))
+        if self.trace is not None:
+            self.trace.emit(
+                "tick",
+                tick=report.index,
+                duration_s=report.duration_s,
+                stepped=report.stepped,
+                deferred=len(report.deferred),
+                batch_limit=report.batch_limit,
+            )
+        return report
+
+    def _schedule(self, inputs, report: TickReport) -> List[str]:
+        """Pick this tick's batch in round-robin order, defer the overflow."""
+        limit = (
+            self._batch_limit if self._batch_limit is not None else len(inputs)
+        )
+        ready: List[str] = []
+        scanned = 0
+        n = len(self._rr)
+        while scanned < n:
+            sid = self._rr[0]
+            self._rr.rotate(-1)
+            scanned += 1
+            session = self.sessions.get(sid)
+            if session is None or not session.serving or sid not in inputs:
+                continue
+            if len(ready) < limit:
+                ready.append(sid)
+            else:
+                report.deferred.append(sid)
+        # A full scan leaves the deque in its original order; demote the
+        # sessions served this tick so deferred ones are at the front next
+        # tick — this is what bounds any session's wait under backpressure.
+        for sid in ready:
+            self._rr.remove(sid)
+            self._rr.append(sid)
+        return ready
+
+    def _dispatch(self, ready: List[str], inputs, report: TickReport) -> None:
+        cfg = self.config
+        if cfg.workers and cfg.backend == "process":
+            self._dispatch_process(ready, inputs, report)
+        elif cfg.workers:
+            self._dispatch_threads(ready, inputs, report)
+        else:
+            for sid in ready:
+                x, ref = inputs[sid]
+                self._record(sid, self._step_guarded(sid, x, ref), report)
+
+    def _step_guarded(self, sid: str, x, ref) -> StepOutcome:
+        """One session step; anything escaping the session's own handling
+        (i.e. a bug, not a solver failure) crashes only that session."""
+        session = self.sessions[sid]
+        try:
+            return session.step(x, ref=ref)
+        except ReproError:
+            raise  # lifecycle misuse is the caller's bug — do not mask it
+        except Exception:
+            return session.mark_crashed()
+
+    def _dispatch_threads(self, ready, inputs, report) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="serve-worker",
+            )
+        futures = {
+            sid: self._pool.submit(
+                self._step_guarded, sid, inputs[sid][0], inputs[sid][1]
+            )
+            for sid in ready
+        }
+        for sid, fut in futures.items():
+            self._record(sid, fut.result(), report)
+
+    def _dispatch_process(self, ready, inputs, report) -> None:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        if self._pool is None:
+            # Pre-populate the worker cache in this process first: with the
+            # fork start method the children inherit the compiled problems
+            # for free instead of re-transcribing per worker.
+            for (robot, horizon), (bench, problem) in self._problem_cache.items():
+                prime_worker_cache(robot, horizon, bench, problem)
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        futures = {}
+        for sid in ready:
+            x, ref = inputs[sid]
+            payload = self.sessions[sid].solve_payload(x, ref=ref)
+            futures[sid] = self._pool.submit(remote_solve, payload)
+        for sid, fut in futures.items():
+            session = self.sessions[sid]
+            try:
+                outcome = session.absorb(fut.result())
+            except ReproError:
+                raise
+            except BrokenExecutor:
+                self._pool = None
+                outcome = session.mark_crashed()
+            except Exception:
+                outcome = session.mark_crashed()
+            self._record(sid, outcome, report)
+
+    def _record(self, sid: str, outcome: StepOutcome, report: TickReport) -> None:
+        report.outcomes[sid] = outcome
+        self.metrics.observe_step(sid, outcome)
+        if self.trace is not None:
+            self.trace.emit("step", tick=report.index, **outcome.to_record())
+
+    def _apply_backpressure(self, report: TickReport) -> None:
+        budget = self.config.tick_budget_s
+        if budget is None or not report.stepped:
+            return
+        if report.duration_s > budget:
+            # Overrun: shrink the next batch proportionally to the overshoot.
+            scaled = int(report.stepped * budget / report.duration_s)
+            self._batch_limit = max(self.config.min_batch, scaled)
+        elif report.duration_s < 0.5 * budget and self._batch_limit is not None:
+            # Headroom: re-grow geometrically until the limit disappears.
+            grown = self._batch_limit * 2
+            if grown >= len(self.sessions):
+                self._batch_limit = None
+            else:
+                self._batch_limit = grown
+
+    # -- teardown -------------------------------------------------------------
+    def collect_solver_stats(self) -> None:
+        """Fold every session's cumulative solver phase stats into the
+        fleet metrics (call once, at end of run)."""
+        for session in self.sessions.values():
+            self.metrics.absorb_solver_stats(session.solver_stats())
+
+    def shutdown(self) -> None:
+        """Close all serving sessions and stop the worker pool."""
+        for session in self.sessions.values():
+            if session.serving:
+                session.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- worker-side solve (process backend) ----------------------------------------
+
+#: per-process cache: (robot, horizon) -> (benchmark, problem, solver)
+_WORKER_CACHE: Dict[Tuple[str, int], Tuple[object, object, object]] = {}
+
+
+def prime_worker_cache(robot: str, horizon: int, bench=None, problem=None) -> None:
+    """Populate this process's solver cache (parent-side, pre-fork)."""
+    key = (robot, horizon)
+    if key in _WORKER_CACHE:
+        return
+    if bench is None:
+        from repro.robots import build_benchmark
+
+        bench = build_benchmark(robot)
+    if problem is None:
+        problem = bench.transcribe(horizon=horizon)
+    solver = bench.make_solver(problem)
+    _WORKER_CACHE[key] = (bench, problem, solver)
+
+
+def remote_solve(payload: Dict[str, object]) -> Dict[str, object]:
+    """Execute one picklable solve payload (runs inside a pool worker).
+
+    The payload carries the full per-step state (measurement, references,
+    warm start, budget); the worker is stateless apart from its solver
+    cache, so any worker can serve any session.  The reply is a plain dict
+    of arrays/scalars — also picklable — that
+    :meth:`ControlSession.absorb` folds back into the session.
+    """
+    try:
+        robot = str(payload["robot"])
+        horizon = int(payload["horizon"])
+        prime_worker_cache(robot, horizon)
+        _, _, solver = _WORKER_CACHE[(robot, horizon)]
+        budget = None
+        if (
+            payload.get("deadline_s") is not None
+            or payload.get("max_sqp_iterations") is not None
+            or payload.get("max_qp_iterations") is not None
+        ):
+            budget = SolveBudget(
+                wall_clock=payload.get("deadline_s"),
+                sqp_iterations=payload.get("max_sqp_iterations"),
+                qp_iterations=payload.get("max_qp_iterations"),
+            )
+        result = solver.solve(
+            payload["x"],
+            ref=payload.get("ref"),
+            z_warm=payload.get("z_warm"),
+            nu_warm=payload.get("nu_warm"),
+            lam_warm=payload.get("lam_warm"),
+            budget=budget,
+        )
+        return {
+            "ok": True,
+            "error": None,
+            "z": result.z,
+            "nu": result.nu,
+            "lam": result.lam,
+            "converged": result.converged,
+            "iterations": result.iterations,
+            "qp_iterations": result.qp_iterations,
+            "objective": result.objective,
+            "kkt_residual": result.kkt_residual,
+            "status": result.status,
+            "solve_time": result.solve_time,
+        }
+    except ReproError as exc:
+        return {"ok": False, "error": str(exc), "solve_time": None}

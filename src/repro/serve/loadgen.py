@@ -1,0 +1,196 @@
+"""Load generator: drive a mixed-robot session fleet against the plant.
+
+This is the serving analogue of :meth:`MPCController.simulate`: each session
+gets its own ground-truth plant (the RK4 :class:`PlantIntegrator` over the
+continuous dynamics), its initial state perturbed around the benchmark's
+``x0``, and the engine ticks the whole fleet — deadline-budgeted solves,
+fallbacks, backpressure and all.  ``repro serve-sim`` is a thin CLI wrapper
+around :func:`run_load`; the standalone script ``scripts/serve_loadgen.py``
+drives the same entry point for ad-hoc load experiments.
+
+Plant states that leave the finite range (a fleet member hovering through a
+long degraded stretch can drift arbitrarily) are re-seeded at the
+benchmark's ``x0`` and counted, so one runaway plant cannot poison a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.mpc.controller import PlantIntegrator
+from repro.serve.engine import EngineConfig, ServeEngine
+from repro.serve.session import SessionConfig
+from repro.serve.telemetry import FleetMetrics, TraceWriter, render_summary
+
+__all__ = ["LoadConfig", "LoadReport", "run_load"]
+
+#: default mixed-robot rotation: one cheap, one mid, one heavy solver, so a
+#: budgeted run exercises healthy sessions, warm-up misses, and sustained
+#: degradation in a single fleet
+DEFAULT_ROBOTS = ("MobileRobot", "MicroSat", "Quadrotor")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation scenario."""
+
+    sessions: int = 20
+    ticks: int = 20
+    robots: Sequence[str] = DEFAULT_ROBOTS
+    horizon: int = 8
+    #: per-step solve deadline in seconds (None disables budgeting)
+    deadline_s: Optional[float] = 0.05
+    degrade_after: int = 3
+    #: scale of the N(0,1) perturbation added to each benchmark x0
+    x0_noise: float = 0.02
+    seed: int = 0
+    workers: int = 0
+    backend: str = "thread"
+    tick_budget_s: Optional[float] = None
+    #: plant RK4 sub-steps per control interval
+    substeps: int = 2
+    trace_path: Optional[str] = None
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ServeError("sessions must be >= 1")
+        if self.ticks < 1:
+            raise ServeError("ticks must be >= 1")
+        if not self.robots:
+            raise ServeError("robots must be non-empty")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    config: LoadConfig
+    metrics: FleetMetrics
+    session_states: Dict[str, str]
+    crashed: List[str]
+    plant_resets: int
+    wall_time_s: float
+    trace_path: Optional[str] = None
+    #: per-tick (duration_s, stepped, deferred) triples
+    tick_log: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no session crashed (the serve-smoke gate)."""
+        return not self.crashed
+
+    def summary(self) -> str:
+        return render_summary(self.metrics, self.session_states)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sessions": self.config.sessions,
+            "ticks": self.config.ticks,
+            "robots": list(self.config.robots),
+            "horizon": self.config.horizon,
+            "deadline_s": self.config.deadline_s,
+            "crashed": list(self.crashed),
+            "plant_resets": self.plant_resets,
+            "wall_time_s": self.wall_time_s,
+            "session_states": dict(self.session_states),
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Build the fleet, tick it ``config.ticks`` times, return the report."""
+    rng = np.random.default_rng(config.seed)
+    trace = (
+        TraceWriter(config.trace_path) if config.trace_path is not None else None
+    )
+    engine = ServeEngine(
+        EngineConfig(
+            max_sessions=config.sessions,
+            workers=config.workers,
+            backend=config.backend,
+            tick_budget_s=config.tick_budget_s,
+        ),
+        trace=trace,
+    )
+
+    t0 = perf_counter()
+    plants: Dict[Tuple[str, int], PlantIntegrator] = {}
+    x: Dict[str, np.ndarray] = {}
+    x0_of: Dict[str, np.ndarray] = {}
+    dt_of: Dict[str, float] = {}
+    plant_of: Dict[str, PlantIntegrator] = {}
+    plant_resets = 0
+
+    for i in range(config.sessions):
+        robot = config.robots[i % len(config.robots)]
+        sid = engine.create_session(
+            SessionConfig(
+                robot=robot,
+                horizon=config.horizon,
+                deadline_s=config.deadline_s,
+                degrade_after=config.degrade_after,
+            )
+        )
+        bench, problem = engine.binding(robot, config.horizon)
+        key = (robot, config.horizon)
+        if key not in plants:
+            plants[key] = PlantIntegrator(problem)
+        plant_of[sid] = plants[key]
+        x0 = np.asarray(bench.x0, dtype=float)
+        x0_of[sid] = x0
+        x[sid] = x0 + config.x0_noise * rng.standard_normal(x0.shape)
+        dt_of[sid] = problem.dt
+
+    tick_log: List[Tuple[float, int, int]] = []
+    for _ in range(config.ticks):
+        inputs = {
+            sid: (x[sid], None)
+            for sid, session in engine.sessions.items()
+            if session.serving
+        }
+        if not inputs:
+            break
+        report = engine.tick(inputs)
+        tick_log.append(
+            (report.duration_s, report.stepped, len(report.deferred))
+        )
+        for sid, outcome in report.outcomes.items():
+            x_next = plant_of[sid].advance(
+                x[sid], outcome.u, dt_of[sid], config.substeps
+            )
+            if not np.all(np.isfinite(x_next)):
+                x_next = x0_of[sid].copy()
+                plant_resets += 1
+            x[sid] = x_next
+
+    engine.collect_solver_stats()
+    states = engine.session_states()
+    crashed = engine.crashed_sessions()
+    wall = perf_counter() - t0
+
+    result = LoadReport(
+        config=config,
+        metrics=engine.metrics,
+        session_states=states,
+        crashed=crashed,
+        plant_resets=plant_resets,
+        wall_time_s=wall,
+        trace_path=config.trace_path,
+        tick_log=tick_log,
+    )
+    if trace is not None:
+        trace.emit(
+            "summary",
+            wall_time_s=wall,
+            crashed=crashed,
+            plant_resets=plant_resets,
+            **{"fleet": engine.metrics.fleet.to_dict()},
+        )
+        trace.close()
+    engine.shutdown()
+    return result

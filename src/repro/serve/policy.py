@@ -1,0 +1,108 @@
+"""Graceful-degradation policy: the fallback ladder.
+
+An online MPC session must emit *an* input every control period even when
+the solver cannot: the deadline fires mid-solve, the QP diverges, or the
+linearization throws.  The ladder encodes the standard receding-horizon
+recovery sequence:
+
+1. **Shifted previous plan** — the last successful solve produced an input
+   trajectory ``u_0..u_{N-1}``; ``u_0`` was applied when it was computed, so
+   a miss one period later applies ``u_1``, a second consecutive miss
+   ``u_2``, and so on.  The open-loop tail of a recent plan is the best
+   model-consistent guess available without solving.
+2. **Hold input** — once the stored plan is exhausted (or none exists yet),
+   emit the configured hover/neutral input (zeros by default: every Table
+   III benchmark expresses inputs as deviations where zero is the safe
+   neutral action).
+
+The ladder also tracks *consecutive* fallbacks — the session layer marks a
+session degraded once the count crosses its threshold, and one successful
+solve fully re-arms the ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = ["FallbackAction", "FallbackLadder", "SHIFTED_PLAN", "HOLD"]
+
+#: fallback rung names (also the ``StepOutcome.status`` values)
+SHIFTED_PLAN = "fallback_shifted"
+HOLD = "fallback_hold"
+
+
+@dataclass(frozen=True)
+class FallbackAction:
+    """One rung of the ladder: the input to apply and which rung it came from."""
+
+    input: np.ndarray
+    rung: str  # SHIFTED_PLAN or HOLD
+
+
+class FallbackLadder:
+    """Tracks the last good plan and serves degraded inputs from it."""
+
+    def __init__(self, n_inputs: int, hover: Optional[np.ndarray] = None):
+        if n_inputs < 1:
+            raise ServeError("FallbackLadder needs n_inputs >= 1")
+        self.n_inputs = int(n_inputs)
+        #: neutral input served when no plan tail is left
+        self.hover = (
+            np.zeros(self.n_inputs)
+            if hover is None
+            else np.asarray(hover, dtype=float).copy()
+        )
+        if self.hover.shape != (self.n_inputs,):
+            raise ServeError(
+                f"hover input has shape {self.hover.shape}, "
+                f"expected ({self.n_inputs},)"
+            )
+        self._plan: Optional[np.ndarray] = None  # (N, nu) from the last solve
+        self._shift = 0
+        #: consecutive fallbacks since the last successful solve
+        self.consecutive = 0
+        #: lifetime fallback count
+        self.total = 0
+
+    def record_success(self, input_plan: np.ndarray) -> None:
+        """Arm the ladder with a fresh solved input trajectory ``(N, nu)``.
+
+        Call with the plan whose first input is being applied *now*; a
+        fallback next period starts from index 1.
+        """
+        plan = np.asarray(input_plan, dtype=float)
+        if plan.ndim != 2 or plan.shape[1] != self.n_inputs:
+            raise ServeError(
+                f"input plan has shape {plan.shape}, expected (N, {self.n_inputs})"
+            )
+        self._plan = plan.copy()
+        self._shift = 0
+        self.consecutive = 0
+
+    def fallback(self) -> FallbackAction:
+        """Serve the next rung: shifted plan while it lasts, then hold."""
+        self.consecutive += 1
+        self.total += 1
+        if self._plan is not None:
+            self._shift += 1
+            if self._shift < self._plan.shape[0]:
+                return FallbackAction(self._plan[self._shift].copy(), SHIFTED_PLAN)
+        return FallbackAction(self.hover.copy(), HOLD)
+
+    @property
+    def plan_remaining(self) -> int:
+        """Unused tail length of the stored plan (0 when exhausted/absent)."""
+        if self._plan is None:
+            return 0
+        return max(0, self._plan.shape[0] - 1 - self._shift)
+
+    def reset(self) -> None:
+        """Forget the stored plan and all counters except the lifetime total."""
+        self._plan = None
+        self._shift = 0
+        self.consecutive = 0

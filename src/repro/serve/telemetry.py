@@ -1,0 +1,334 @@
+"""Serving-runtime telemetry: counters, latency histograms, JSONL traces.
+
+Observability mirrors what the solver already exposes offline
+(:class:`~repro.mpc.qp.QPStats` phase times, iteration counts) and lifts it
+to the fleet level: per-session and aggregate counters for solve outcomes
+and the degradation ladder, log-spaced latency histograms with approximate
+percentiles, and a line-per-event JSONL trace writer the load generator and
+``repro serve-sim`` use to persist runs for offline analysis.
+
+Everything here is dependency-free (numpy + stdlib) and mergeable:
+histograms and metric blocks support ``merge`` so sharded engines can be
+aggregated later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "Histogram",
+    "SessionMetrics",
+    "FleetMetrics",
+    "TraceWriter",
+    "render_summary",
+]
+
+
+class Histogram:
+    """Fixed log-spaced histogram (seconds by default: 10 us .. 100 s).
+
+    Values below the first edge land in bin 0, values above the last edge
+    in the overflow bin.  Percentiles are approximate (upper edge of the
+    bin containing the requested rank) — standard serving-metrics behavior.
+    """
+
+    def __init__(
+        self,
+        lo: float = 1e-5,
+        hi: float = 100.0,
+        bins_per_decade: int = 5,
+    ):
+        decades = np.log10(hi) - np.log10(lo)
+        n_edges = int(round(decades * bins_per_decade)) + 1
+        self.edges = np.logspace(np.log10(lo), np.log10(hi), n_edges)
+        self.counts = np.zeros(n_edges + 1, dtype=np.int64)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        v = float(value)
+        idx = int(np.searchsorted(self.edges, v, side="right"))
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum += v
+        if v > self.max:
+            self.max = v
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100])."""
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, rank, side="left"))
+        if idx >= len(self.edges):
+            return self.max
+        # Upper bin edge, clamped so a percentile never exceeds the true max.
+        return float(min(self.edges[idx], self.max))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.counts.shape != self.counts.shape:
+            raise ValueError("cannot merge histograms with different binning")
+        self.counts += other.counts
+        self.count += other.count
+        self.sum += other.sum
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+@dataclass
+class SessionMetrics:
+    """Counters and latency for one control session."""
+
+    steps: int = 0
+    ok: int = 0
+    #: "ok" steps served from a budget-exhausted but control-grade iterate
+    partial_accepts: int = 0
+    fallbacks_shifted: int = 0
+    fallbacks_hold: int = 0
+    deadline_misses: int = 0
+    solver_errors: int = 0
+    divergences: int = 0
+    crashes: int = 0
+    degraded_transitions: int = 0
+    sqp_iterations: int = 0
+    qp_iterations: int = 0
+    solve_latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def fallbacks(self) -> int:
+        return self.fallbacks_shifted + self.fallbacks_hold
+
+    def merge(self, other: "SessionMetrics") -> None:
+        self.steps += other.steps
+        self.ok += other.ok
+        self.partial_accepts += other.partial_accepts
+        self.fallbacks_shifted += other.fallbacks_shifted
+        self.fallbacks_hold += other.fallbacks_hold
+        self.deadline_misses += other.deadline_misses
+        self.solver_errors += other.solver_errors
+        self.divergences += other.divergences
+        self.crashes += other.crashes
+        self.degraded_transitions += other.degraded_transitions
+        self.sqp_iterations += other.sqp_iterations
+        self.qp_iterations += other.qp_iterations
+        self.solve_latency.merge(other.solve_latency)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "steps": self.steps,
+            "ok": self.ok,
+            "partial_accepts": self.partial_accepts,
+            "fallbacks": self.fallbacks,
+            "fallbacks_shifted": self.fallbacks_shifted,
+            "fallbacks_hold": self.fallbacks_hold,
+            "deadline_misses": self.deadline_misses,
+            "solver_errors": self.solver_errors,
+            "divergences": self.divergences,
+            "crashes": self.crashes,
+            "degraded_transitions": self.degraded_transitions,
+            "sqp_iterations": self.sqp_iterations,
+            "qp_iterations": self.qp_iterations,
+            "solve_latency": self.solve_latency.to_dict(),
+        }
+
+
+#: solver.stats keys aggregated into the fleet phase-time block
+_PHASE_KEYS = (
+    "linearize_time",
+    "factorize_time",
+    "substitute_time",
+    "factor_flops",
+    "substitute_flops",
+    "factorizations",
+    "banded_factorizations",
+)
+
+
+class FleetMetrics:
+    """Per-session metrics plus the fleet aggregate."""
+
+    def __init__(self):
+        self.sessions: Dict[str, SessionMetrics] = {}
+        self.fleet = SessionMetrics()
+        #: aggregated :class:`QPStats`-style phase observability across the
+        #: fleet's solvers (wall seconds / exact kernel flops)
+        self.phase_totals: Dict[str, float] = {k: 0 for k in _PHASE_KEYS}
+        self.ticks = 0
+        self.deferred_steps = 0
+
+    def session(self, session_id: str) -> SessionMetrics:
+        if session_id not in self.sessions:
+            self.sessions[session_id] = SessionMetrics()
+        return self.sessions[session_id]
+
+    def observe_step(self, session_id: str, outcome) -> None:
+        """Fold one :class:`~repro.serve.session.StepOutcome` in."""
+        for target in (self.session(session_id), self.fleet):
+            target.steps += 1
+            if outcome.fallback:
+                if outcome.status == "fallback_hold":
+                    target.fallbacks_hold += 1
+                else:
+                    target.fallbacks_shifted += 1
+            elif outcome.status == "crashed":
+                target.crashes += 1
+            else:
+                target.ok += 1
+                if outcome.partial:
+                    target.partial_accepts += 1
+            if outcome.reason == "deadline":
+                target.deadline_misses += 1
+            elif outcome.reason == "solver_error":
+                target.solver_errors += 1
+            elif outcome.reason == "diverged":
+                target.divergences += 1
+            if outcome.degraded_transition:
+                target.degraded_transitions += 1
+            target.sqp_iterations += outcome.sqp_iterations
+            target.qp_iterations += outcome.qp_iterations
+            if outcome.solve_time is not None:
+                target.solve_latency.record(outcome.solve_time)
+
+    def observe_tick(self, deferred: int) -> None:
+        self.ticks += 1
+        self.deferred_steps += deferred
+
+    def absorb_solver_stats(self, stats: Dict[str, float]) -> None:
+        """Accumulate one solver's cumulative per-phase stats."""
+        for key in _PHASE_KEYS:
+            self.phase_totals[key] += stats.get(key, 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fleet": self.fleet.to_dict(),
+            "ticks": self.ticks,
+            "deferred_steps": self.deferred_steps,
+            "phase_totals": dict(self.phase_totals),
+            "sessions": {
+                sid: m.to_dict() for sid, m in sorted(self.sessions.items())
+            },
+        }
+
+
+class TraceWriter:
+    """Line-per-event JSONL trace of a serving run.
+
+    Accepts a path or an open text stream.  Each record is one flat JSON
+    object with a ``type`` discriminator (``session``, ``step``, ``tick``,
+    ``summary``).  Non-JSON-native values (numpy scalars/arrays) are
+    converted on the way out.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]]):
+        if isinstance(sink, str):
+            self._fh: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns = True
+            self.path: Optional[str] = sink
+        else:
+            self._fh = sink
+            self._owns = False
+            self.path = getattr(sink, "name", None)
+        self.records = 0
+
+    def emit(self, record_type: str, **fields) -> None:
+        record = {"type": record_type}
+        record.update(fields)
+        self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+        self.records += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(f"not JSON serializable: {type(value)!r}")
+
+
+def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
+    """Human-readable end-of-run summary (the `serve-sim` footer).
+
+    Args:
+        metrics: the fleet metrics to render.
+        states: session_id -> lifecycle state (for the census line).
+    """
+    f = metrics.fleet
+    lat = f.solve_latency
+    census: Dict[str, int] = {}
+    for state in states.values():
+        census[state] = census.get(state, 0) + 1
+    census_line = ", ".join(f"{n} {s}" for s, n in sorted(census.items()))
+    lines: List[str] = []
+    lines.append("serve summary")
+    lines.append("=" * 13)
+    lines.append(f"sessions:        {len(states)} ({census_line})")
+    lines.append(
+        f"ticks:           {metrics.ticks} "
+        f"(deferred steps: {metrics.deferred_steps})"
+    )
+    lines.append(
+        f"steps:           {f.steps}  ok={f.ok} "
+        f"(partial={f.partial_accepts})  fallbacks={f.fallbacks} "
+        f"(shifted={f.fallbacks_shifted}, hold={f.fallbacks_hold})"
+    )
+    lines.append(
+        f"failure causes:  deadline_misses={f.deadline_misses}  "
+        f"solver_errors={f.solver_errors}  divergences={f.divergences}  "
+        f"crashes={f.crashes}"
+    )
+    lines.append(f"degraded events: {f.degraded_transitions}")
+    lines.append(
+        "solve latency:   "
+        f"p50={lat.percentile(50) * 1e3:.1f}ms  "
+        f"p90={lat.percentile(90) * 1e3:.1f}ms  "
+        f"p99={lat.percentile(99) * 1e3:.1f}ms  "
+        f"max={lat.max * 1e3:.1f}ms  mean={lat.mean * 1e3:.1f}ms"
+    )
+    lines.append(
+        f"iterations:      sqp={f.sqp_iterations}  qp={f.qp_iterations}"
+    )
+    pt = metrics.phase_totals
+    lines.append(
+        "solver phases:   "
+        f"linearize={pt['linearize_time']:.2f}s  "
+        f"factorize={pt['factorize_time']:.2f}s  "
+        f"substitute={pt['substitute_time']:.2f}s  "
+        f"banded_factorizations={int(pt['banded_factorizations'])}"
+        f"/{int(pt['factorizations'])}"
+    )
+    return "\n".join(lines)

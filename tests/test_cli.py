@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -30,6 +32,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "3"])
 
+    def test_serve_sim_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.sessions == 20
+        assert args.ticks == 20
+        assert args.deadline_ms == 50.0
+        assert args.workers == 0
+        assert args.backend == "thread"
+        assert args.robots is None
+        assert not args.json
+
+    def test_serve_sim_backend_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--backend", "mpi"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -56,6 +72,36 @@ class TestCommands:
     def test_solve_unknown_benchmark(self, capsys):
         assert main(["solve", "WarpDrive"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_solve_json_output_parses(self, capsys):
+        code = main(
+            ["solve", "MobileRobot", "--horizon", "8", "--steps", "3", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "MobileRobot"
+        assert doc["horizon"] == 8
+        assert len(doc["steps"]) == 3
+        step = doc["steps"][0]
+        assert {
+            "step",
+            "objective",
+            "iterations",
+            "qp_iterations",
+            "converged",
+            "status",
+            "kkt_residual",
+            "solve_time_s",
+            "input",
+        } <= set(step)
+        assert step["solve_time_s"] > 0
+        totals = doc["totals"]
+        assert totals["solves"] == 3
+        assert totals["sqp_iterations"] >= 3
+        assert totals["converged_steps"] == sum(
+            1 for s in doc["steps"] if s["converged"]
+        )
+        assert len(doc["final_state"]) > 0
 
     def test_compile_prints_schedule(self, capsys):
         code = main(
@@ -87,3 +133,65 @@ class TestCommands:
 
     def test_compile_unknown_benchmark(self, capsys):
         assert main(["compile", "WarpDrive"]) == 2
+
+
+class TestServeSim:
+    def test_unknown_robot_rejected(self, capsys):
+        assert main(["serve-sim", "--robots", "WarpDrive,MobileRobot"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_small_fleet_completes(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            [
+                "serve-sim",
+                "--sessions",
+                "2",
+                "--ticks",
+                "2",
+                "--robots",
+                "MobileRobot",
+                "--horizon",
+                "6",
+                "--deadline-ms",
+                "200",
+                "--trace",
+                trace,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve summary" in out
+        assert "sessions:        2" in out
+        assert "solve latency" in out
+        # JSONL trace: 2 session records + 4 steps + 2 ticks + 1 summary.
+        with open(trace) as fh:
+            records = [json.loads(line) for line in fh]
+        types = [r["type"] for r in records]
+        assert types.count("session") == 2
+        assert types.count("step") == 4
+        assert types.count("tick") == 2
+        assert types.count("summary") == 1
+
+    def test_json_report(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--sessions",
+                "1",
+                "--ticks",
+                "1",
+                "--robots",
+                "MobileRobot",
+                "--horizon",
+                "6",
+                "--deadline-ms",
+                "200",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sessions"] == 1
+        assert doc["crashed"] == []
+        assert doc["metrics"]["fleet"]["steps"] == 1

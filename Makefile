@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all bench serve-smoke
+.PHONY: test-fast test-slow test-all bench serve-smoke chaos-smoke
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -23,3 +23,8 @@ bench:
 # zero crashed sessions (non-zero exit otherwise).
 serve-smoke:
 	$(REPRO) serve-sim --sessions 10 --ticks 20 --seed 0
+
+# Chaos smoke: a short cartpole fault campaign (sensor + solver faults)
+# must pass every recovery invariant (non-zero exit otherwise).
+chaos-smoke:
+	$(REPRO) chaos --robot cartpole --schedule smoke --sessions 3 --ticks 30 --seed 0

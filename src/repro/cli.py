@@ -16,6 +16,11 @@ Commands
     Run the multi-session serving runtime against simulated plants:
     deadline-budgeted solves, graceful degradation, fleet telemetry.
     Exits non-zero when any session crashed (the serve-smoke gate).
+``chaos``
+    Run a fault-injection campaign (see :mod:`repro.faults`): a scripted
+    schedule of sensor/solver/serve faults against a live fleet, followed
+    by recovery-invariant checks.  Exits non-zero when any invariant
+    fails (the chaos-smoke gate).
 """
 
 from __future__ import annotations
@@ -129,6 +134,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0, help="fleet RNG seed")
     p_serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the text summary",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection campaign with recovery invariants",
+    )
+    p_chaos.add_argument(
+        "--robot",
+        default="cartpole",
+        help="benchmark name, case-insensitive; Table III robots plus the "
+        "CartPole extra (default: cartpole)",
+    )
+    p_chaos.add_argument(
+        "--schedule",
+        default="smoke",
+        help="builtin fault schedule: smoke, sensor, solver, serve, mixed "
+        "(default: smoke)",
+    )
+    p_chaos.add_argument(
+        "--sessions", type=int, default=3, help="fleet size (default 3)"
+    )
+    p_chaos.add_argument(
+        "--ticks", type=int, default=40, help="campaign length in ticks"
+    )
+    p_chaos.add_argument("--horizon", type=int, default=8, help="MPC horizon N")
+    p_chaos.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        help="per-step solve deadline in milliseconds; 0 disables budgeting",
+    )
+    p_chaos.add_argument(
+        "--degrade-after",
+        type=int,
+        default=3,
+        help="consecutive fallbacks before a session is marked degraded",
+    )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker pool size (0 = inline; the serve schedule needs a "
+        "process pool to kill real workers)",
+    )
+    p_chaos.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind when --workers > 0",
+    )
+    p_chaos.add_argument(
+        "--trace", default=None, help="write a JSONL trace to this path"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="fault schedule / fleet RNG seed"
+    )
+    p_chaos.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of the text summary",
@@ -275,6 +340,55 @@ def _cmd_serve_sim(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.errors import ReproError
+    from repro.faults import BUILTIN_SCHEDULES, CampaignConfig, run_campaign
+    from repro.robots import resolve
+
+    try:
+        robot = resolve(args.robot)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.schedule not in BUILTIN_SCHEDULES:
+        print(
+            f"unknown schedule {args.schedule!r}; choose from "
+            f"{', '.join(BUILTIN_SCHEDULES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = CampaignConfig(
+        robot=robot,
+        schedule=args.schedule,
+        sessions=args.sessions,
+        ticks=args.ticks,
+        horizon=args.horizon,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
+        degrade_after=args.degrade_after,
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        trace_path=args.trace,
+    )
+    report = run_campaign(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(f"wall time:       {report.wall_time_s:.1f}s")
+        if report.trace_path:
+            print(f"trace:           {report.trace_path}")
+    if not report.ok:
+        print(
+            "FAILED invariants: "
+            + ", ".join(k for k, v in report.invariants.items() if not v),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_compile(args) -> int:
     from repro.compiler import MachineConfig, compile_problem
     from repro.robots import BENCHMARK_NAMES, build_benchmark
@@ -362,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -36,6 +36,20 @@ class SolverError(ReproError):
     """The interior-point solver failed (singular KKT, divergence, ...)."""
 
 
+class StateValidationError(SolverError):
+    """A solve was rejected before it started: the measured state (or other
+    caller-supplied data) contained non-finite entries.
+
+    Carries the structured :class:`~repro.mpc.health.SolverHealth` report on
+    ``health`` so callers (the serving session, telemetry) can distinguish
+    numerical poison at the *input* from a failure inside the solver.
+    """
+
+    def __init__(self, message: str, health=None):
+        super().__init__(message)
+        self.health = health
+
+
 class DSLError(ReproError):
     """Base class for DSL frontend failures."""
 

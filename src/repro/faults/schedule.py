@@ -1,0 +1,245 @@
+"""Deterministic fault schedules: what breaks, when, and for whom.
+
+A :class:`FaultSchedule` is a declarative list of :class:`FaultSpec` windows
+over campaign ticks.  Whether a given spec *fires* for a given (tick,
+session) is a pure function of ``(schedule.seed, tick, session_index,
+spec_index)`` — re-running a campaign with the same seed replays the exact
+same fault pattern, on any backend, which is what makes chaos-test failures
+reproducible.
+
+Fault kinds by layer:
+
+===============  =======  ====================================================
+kind             layer    effect
+===============  =======  ====================================================
+``nan_state``    sensor   one measurement entry becomes NaN
+``inf_state``    sensor   one measurement entry becomes +Inf
+``dropout``      sensor   the previous measurement is served again (stale)
+``spike``        sensor   additive N(0, magnitude^2) noise on the measurement
+``saturate``     sensor   the applied input is clipped to [-magnitude, +magnitude]
+``chol_fail``    solver   the next ``magnitude`` factorization attempts fail
+``illcond``      solver   one KKT row/col is scaled by ``magnitude`` (cond blowup)
+``budget_starve``  solver  the per-step budget is replaced by ``magnitude`` seconds
+``worker_crash`` serve    the dispatched solve's worker dies mid-solve
+``slow_worker``  serve    the dispatched solve is delayed by ``magnitude`` seconds
+===============  =======  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SENSOR_KINDS",
+    "SOLVER_KINDS",
+    "SERVE_KINDS",
+    "LAYER_OF",
+    "FaultSpec",
+    "FaultSchedule",
+    "BUILTIN_SCHEDULES",
+    "builtin_schedule",
+]
+
+SENSOR_KINDS = ("nan_state", "inf_state", "dropout", "spike", "saturate")
+SOLVER_KINDS = ("chol_fail", "illcond", "budget_starve")
+SERVE_KINDS = ("worker_crash", "slow_worker")
+
+#: fault kind -> injection layer ("sensor" | "solver" | "serve")
+LAYER_OF: Dict[str, str] = {
+    **{k: "sensor" for k in SENSOR_KINDS},
+    **{k: "solver" for k in SOLVER_KINDS},
+    **{k: "serve" for k in SERVE_KINDS},
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window: ``kind`` may fire on ticks ``start <= t < stop``."""
+
+    kind: str
+    #: first tick (inclusive) the fault may fire
+    start: int = 0
+    #: first tick (exclusive) after which the fault is cleared
+    stop: int = 1
+    #: per-tick fire probability (1.0 = every tick in the window)
+    probability: float = 1.0
+    #: session indices the fault targets (None = every session)
+    sessions: Optional[Tuple[int, ...]] = None
+    #: kind-specific intensity, see the module table (defaulted per kind)
+    magnitude: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in LAYER_OF:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(LAYER_OF)}"
+            )
+        if self.stop <= self.start:
+            raise ReproError(
+                f"fault window [{self.start}, {self.stop}) is empty"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError("probability must be in [0, 1]")
+
+    @property
+    def layer(self) -> str:
+        return LAYER_OF[self.kind]
+
+    def intensity(self) -> float:
+        """The magnitude with the kind's default filled in."""
+        if self.magnitude is not None:
+            return float(self.magnitude)
+        return _DEFAULT_MAGNITUDE[self.kind]
+
+    def targets(self, session_index: int) -> bool:
+        return self.sessions is None or session_index in self.sessions
+
+    def in_window(self, tick: int) -> bool:
+        return self.start <= tick < self.stop
+
+
+_DEFAULT_MAGNITUDE: Dict[str, float] = {
+    "nan_state": 1.0,  # entries corrupted
+    "inf_state": 1.0,
+    "dropout": 1.0,
+    "spike": 0.5,  # noise sigma
+    "saturate": 0.1,  # input clip bound
+    "chol_fail": 2.0,  # failed attempts per factorization
+    "illcond": 1e-7,  # row/col scale factor
+    "budget_starve": 1e-4,  # replacement wall budget, seconds
+    "worker_crash": 1.0,
+    "slow_worker": 0.05,  # injected delay, seconds
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, seedable set of fault windows."""
+
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+    name: str = "custom"
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def clear_tick(self) -> int:
+        """First tick at which every fault window has closed."""
+        return max((s.stop for s in self.specs), default=0)
+
+    def layers(self) -> Tuple[str, ...]:
+        return tuple(sorted({s.layer for s in self.specs}))
+
+    def fires(self, tick: int, session_index: int) -> List[Tuple[int, FaultSpec]]:
+        """The ``(spec_index, spec)`` pairs firing for this (tick, session).
+
+        Deterministic: the decision RNG is keyed on
+        ``(seed, tick, session_index, spec_index)`` only.
+        """
+        out: List[Tuple[int, FaultSpec]] = []
+        for idx, spec in enumerate(self.specs):
+            if not (spec.in_window(tick) and spec.targets(session_index)):
+                continue
+            if spec.probability >= 1.0:
+                out.append((idx, spec))
+                continue
+            rng = np.random.default_rng(
+                (self.seed, tick, session_index, idx)
+            )
+            if rng.random() < spec.probability:
+                out.append((idx, spec))
+        return out
+
+    def rng_for(self, tick: int, session_index: int, spec_index: int):
+        """Per-(tick, session, spec) RNG for fault *payloads* (which entry
+        goes NaN, the spike noise draw, ...) — disjoint from the fire
+        decision stream."""
+        return np.random.default_rng(
+            (self.seed, tick, session_index, spec_index, 0xFA17)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "clear_tick": self.clear_tick,
+            "specs": [
+                {
+                    "kind": s.kind,
+                    "start": s.start,
+                    "stop": s.stop,
+                    "probability": s.probability,
+                    "sessions": None if s.sessions is None else list(s.sessions),
+                    "magnitude": s.intensity(),
+                }
+                for s in self.specs
+            ],
+        }
+
+
+def _window(ticks: int, lo: float, hi: float) -> Tuple[int, int]:
+    """A [start, stop) window at fractional positions of the horizon,
+    clamped so even tiny campaigns get a non-empty window that clears
+    before the end."""
+    clear = max(2, int(round(0.6 * ticks)))
+    start = min(int(round(lo * ticks)), clear - 1)
+    stop = max(start + 1, min(int(round(hi * ticks)), clear))
+    return start, stop
+
+
+def builtin_schedule(name: str, ticks: int = 40, seed: int = 0) -> FaultSchedule:
+    """One of the named schedules, scaled to a campaign of ``ticks`` ticks.
+
+    Every builtin clears by ~60% of the horizon, leaving the back 40% for
+    the recovery invariants to be checked against.
+    """
+    w = lambda lo, hi: _window(ticks, lo, hi)  # noqa: E731
+    if name == "smoke":
+        specs = [
+            FaultSpec("spike", *w(0.10, 0.30), probability=0.8),
+            FaultSpec("nan_state", *w(0.20, 0.35), probability=0.5),
+            FaultSpec("chol_fail", *w(0.30, 0.45), probability=0.5),
+        ]
+    elif name == "sensor":
+        specs = [
+            FaultSpec("nan_state", *w(0.05, 0.20), probability=0.6),
+            FaultSpec("inf_state", *w(0.15, 0.30), probability=0.4),
+            FaultSpec("dropout", *w(0.25, 0.40), probability=0.6),
+            FaultSpec("spike", *w(0.30, 0.50), probability=0.8),
+            FaultSpec("saturate", *w(0.40, 0.55), probability=1.0),
+        ]
+    elif name == "solver":
+        specs = [
+            FaultSpec("chol_fail", *w(0.05, 0.25), probability=0.7),
+            FaultSpec("illcond", *w(0.20, 0.40), probability=0.6),
+            FaultSpec("budget_starve", *w(0.35, 0.55), probability=0.8),
+        ]
+    elif name == "serve":
+        specs = [
+            FaultSpec("slow_worker", *w(0.05, 0.30), probability=0.5),
+            FaultSpec("worker_crash", *w(0.30, 0.40), probability=0.3),
+        ]
+    elif name == "mixed":
+        specs = [
+            FaultSpec("spike", *w(0.05, 0.25), probability=0.6),
+            FaultSpec("nan_state", *w(0.10, 0.25), probability=0.4),
+            FaultSpec("dropout", *w(0.15, 0.30), probability=0.4),
+            FaultSpec("chol_fail", *w(0.25, 0.40), probability=0.5),
+            FaultSpec("budget_starve", *w(0.30, 0.45), probability=0.6),
+            FaultSpec("worker_crash", *w(0.40, 0.50), probability=0.25),
+        ]
+    else:
+        raise ReproError(
+            f"unknown builtin schedule {name!r}; "
+            f"available: {sorted(BUILTIN_SCHEDULES)}"
+        )
+    return FaultSchedule(specs=tuple(specs), seed=seed, name=name)
+
+
+#: names accepted by :func:`builtin_schedule` (and `repro chaos --schedule`)
+BUILTIN_SCHEDULES = ("smoke", "sensor", "solver", "serve", "mixed")

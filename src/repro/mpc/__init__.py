@@ -28,6 +28,7 @@ from repro.mpc.banded import (
     to_banded,
 )
 from repro.mpc.budget import BudgetClock, SolveBudget
+from repro.mpc.health import SolverHealth
 from repro.mpc.controller import (
     ClosedLoopLog,
     MPCController,
@@ -66,6 +67,7 @@ __all__ = [
     "integrate_plant",
     "SolveBudget",
     "BudgetClock",
+    "SolverHealth",
     "cholesky",
     "cholesky_solve",
     "forward_substitution",

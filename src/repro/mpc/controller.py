@@ -23,7 +23,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import SolverError, StateValidationError
 from repro.mpc.budget import SolveBudget
 from repro.mpc.ipm import InteriorPointSolver, IPMResult
 from repro.mpc.transcription import TranscribedProblem
@@ -53,6 +53,11 @@ class ClosedLoopLog:
     #: degradation ladder (shifted previous plan / hold) rather than a
     #: fresh solve — always False unless ``simulate(..., fallback=True)``
     fallbacks: List[bool] = field(default_factory=list)
+    #: per-step fallback cause (None on non-fallback steps): "solver_error",
+    #: "bad_state", "deadline", or "non_finite" — so downstream telemetry
+    #: can distinguish "no objective recorded" from numerical poison when a
+    #: fallback step carries a NaN objective
+    fallback_reasons: List[Optional[str]] = field(default_factory=list)
 
     @property
     def steps(self) -> int:
@@ -79,6 +84,16 @@ class MPCController:
         self.last_result: Optional[IPMResult] = None
         #: wall time of the most recent solve (seconds; None before any step)
         self.last_solve_time: Optional[float] = None
+        #: :mod:`repro.faults` injection hooks (all ``None`` in production).
+        #: ``state_fault_hook(x) -> x`` corrupts the measurement before the
+        #: solve (sensor faults); ``input_fault_hook(u) -> u`` corrupts the
+        #: applied input after it (actuator faults); ``budget_fault_hook(b)
+        #: -> b`` replaces the per-step budget (compute starvation).
+        self.state_fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self.input_fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self.budget_fault_hook: Optional[
+            Callable[[Optional[SolveBudget]], Optional[SolveBudget]]
+        ] = None
 
     def reset(self) -> None:
         """Drop *all* warm-start and last-solve state.
@@ -105,8 +120,16 @@ class MPCController:
         ``budget`` bounds the solve (see :class:`SolveBudget`); a budgeted
         step never raises on deadline exhaustion — inspect
         ``last_result.status`` to distinguish a converged solve from a
-        partial (``"budget_exhausted"``) one.
+        partial (``"budget_exhausted"``) one.  A non-finite measurement is
+        rejected with a :class:`~repro.errors.StateValidationError` before
+        the solve starts; the warm-start state is left untouched (the
+        measurement, not the warm start, is implicated).
         """
+        x_measured = np.asarray(x_measured, dtype=float)
+        if self.state_fault_hook is not None:
+            x_measured = np.asarray(self.state_fault_hook(x_measured), dtype=float)
+        if self.budget_fault_hook is not None:
+            budget = self.budget_fault_hook(budget)
         if not self.warm_start:
             self._warm = self._nu_warm = self._lam_warm = None
         result = self.solver.solve(
@@ -117,7 +140,10 @@ class MPCController:
             lam_warm=self._lam_warm,
             budget=budget,
         )
-        return self.adopt(result)
+        u = self.adopt(result)
+        if self.input_fault_hook is not None:
+            u = np.asarray(self.input_fault_hook(u), dtype=float)
+        return u
 
     def adopt(self, result: IPMResult) -> np.ndarray:
         """Install a solve result as this controller's latest step.
@@ -130,9 +156,14 @@ class MPCController:
         self.last_result = result
         self.last_solve_time = result.solve_time
         xs, us = self.problem.split(result.z)
-        self._warm = self._shift(xs, us)
-        self._nu_warm = result.nu
-        self._lam_warm = result.lam
+        if np.all(np.isfinite(result.z)):
+            self._warm = self._shift(xs, us)
+            self._nu_warm = result.nu
+            self._lam_warm = result.lam
+        else:
+            # A contaminated iterate must not become the next RTI warm
+            # start — drop the warm state so the next step re-seeds cold.
+            self._warm = self._nu_warm = self._lam_warm = None
         return us[0].copy()
 
     def _shift(self, xs: np.ndarray, us: np.ndarray) -> np.ndarray:
@@ -190,34 +221,51 @@ class MPCController:
             step_ref = ref_fn(k) if ref_fn is not None else ref
             t0 = perf_counter()
             used_fallback = False
+            reason: Optional[str] = None
             try:
                 u = self.step(x, ref=step_ref, budget=budget)
                 result = self.last_result
-                failed = (
-                    result.status == "budget_exhausted"
-                    and not result.converged
-                ) or not np.all(np.isfinite(u))
-                if ladder is not None and failed:
+                if not np.all(np.isfinite(u)) or result.status == "diverged":
+                    reason = "non_finite"
+                elif result.status == "budget_exhausted" and not result.converged:
+                    reason = "deadline"
+                if ladder is not None and reason is not None:
                     u = ladder.fallback().input
                     used_fallback = True
                     if not np.all(np.isfinite(u)):  # poisoned plan
                         u = ladder.hover.copy()
                 elif ladder is not None:
+                    reason = None
                     ladder.record_success(p.split(result.z)[1])
+                else:
+                    reason = None
                 log.objectives.append(result.objective)
                 log.solver_iterations.append(result.iterations)
                 log.converged.append(result.converged)
+            except StateValidationError:
+                # The measurement (e.g. an injected sensor fault), not the
+                # warm start, is implicated — keep the warm state.
+                if ladder is None:
+                    raise
+                u = ladder.fallback().input
+                used_fallback = True
+                reason = "bad_state"
+                log.objectives.append(float("nan"))
+                log.solver_iterations.append(0)
+                log.converged.append(False)
             except SolverError:
                 if ladder is None:
                     raise
                 u = ladder.fallback().input
                 used_fallback = True
+                reason = "solver_error"
                 self.reset()  # the warm start is implicated in the failure
                 log.objectives.append(float("nan"))
                 log.solver_iterations.append(0)
                 log.converged.append(False)
             log.solve_times.append(perf_counter() - t0)
             log.fallbacks.append(used_fallback)
+            log.fallback_reasons.append(reason if used_fallback else None)
             x = plant.advance(x, u, p.dt, substeps)
             if disturbance is not None:
                 x = x + np.asarray(disturbance(k, x), dtype=float)

@@ -1,0 +1,92 @@
+"""Structured numerical-health reporting for the MPC solver stack.
+
+A production MPC fleet sees NaN sensor states, poisoned warm starts, and
+ill-conditioned KKT systems long before it sees a clean benchmark.  The
+guards added across :mod:`repro.mpc.ipm` / :mod:`repro.mpc.qp` convert that
+silent poison into a :class:`SolverHealth` report: every solve describes
+what it validated, what it rejected, and how hard the factorization retry
+ladder had to work.  The report travels on
+:attr:`repro.mpc.ipm.IPMResult.health` (and, serialized, through the
+serving layer's picklable worker replies) so telemetry can separate
+"the solver struggled" from "the solver was handed garbage".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SolverHealth", "nonfinite_indices"]
+
+
+def nonfinite_indices(v: np.ndarray, limit: int = 8) -> List[int]:
+    """Indices of non-finite entries in ``v`` (capped at ``limit`` for
+    readable error messages)."""
+    bad = np.flatnonzero(~np.isfinite(np.asarray(v, dtype=float)))
+    return [int(i) for i in bad[:limit]]
+
+
+@dataclass
+class SolverHealth:
+    """Numerical-health record of one MPC solve attempt.
+
+    ``ok`` means the solve ran on clean inputs and kept finite iterates
+    throughout — a rejected state or a re-seeded warm start flips it off
+    even when the solve itself went on to succeed, so fleet telemetry can
+    count contaminated control periods.
+    """
+
+    #: the measured state passed validation (False => the solve was rejected
+    #: with a :class:`~repro.errors.StateValidationError` before starting)
+    state_finite: bool = True
+    #: a caller-supplied warm start was contaminated (non-finite) and was
+    #: discarded in favor of a fresh cold-start seed
+    warm_start_reseeded: bool = False
+    #: an SQP step direction came back non-finite and was rejected (the
+    #: iterate was kept and the Levenberg damping escalated instead)
+    steps_rejected: int = 0
+    #: failed factorization attempts absorbed by the escalating-
+    #: regularization retry ladder across all QP subproblems of this solve
+    factorization_retries: int = 0
+    #: largest diagonal regularization the retry ladder had to reach
+    regularization_max: float = 0.0
+    #: free-form annotations ("nonfinite_state[3]", "warm_start_reseeded", …)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.state_finite
+            and not self.warm_start_reseeded
+            and self.steps_rejected == 0
+        )
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat, picklable/JSON-able representation (worker replies, traces)."""
+        return {
+            "ok": self.ok,
+            "state_finite": self.state_finite,
+            "warm_start_reseeded": self.warm_start_reseeded,
+            "steps_rejected": self.steps_rejected,
+            "factorization_retries": self.factorization_retries,
+            "regularization_max": self.regularization_max,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]) -> Optional["SolverHealth"]:
+        if data is None:
+            return None
+        return cls(
+            state_finite=bool(data.get("state_finite", True)),
+            warm_start_reseeded=bool(data.get("warm_start_reseeded", False)),
+            steps_rejected=int(data.get("steps_rejected", 0)),
+            factorization_retries=int(data.get("factorization_retries", 0)),
+            regularization_max=float(data.get("regularization_max", 0.0)),
+            notes=list(data.get("notes", [])),
+        )

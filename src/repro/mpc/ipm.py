@@ -27,8 +27,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import SolverError, StateValidationError
 from repro.mpc.budget import SolveBudget
+from repro.mpc.health import SolverHealth, nonfinite_indices
 from repro.mpc.qp import QPOptions, QPResult, solve_qp
 from repro.mpc.transcription import TranscribedProblem
 
@@ -106,13 +107,19 @@ class IPMResult:
     nu: Optional[np.ndarray] = None
     #: inequality multipliers at exit
     lam: Optional[np.ndarray] = None
-    #: how the solve ended: ``"converged"``, ``"max_iterations"``, or
+    #: how the solve ended: ``"converged"``, ``"max_iterations"``,
     #: ``"budget_exhausted"`` (a :class:`~repro.mpc.budget.SolveBudget`
     #: limit fired before convergence — the iterate is the best partial
-    #: result, usable for real-time-iteration warm starting)
+    #: result, usable for real-time-iteration warm starting), or
+    #: ``"diverged"`` (the iteration produced numerical poison and stopped
+    #: on the last finite iterate — do not trust the solution)
     status: str = "max_iterations"
     #: total wall-clock seconds spent inside :meth:`InteriorPointSolver.solve`
     solve_time: float = 0.0
+    #: numerical-health record of this solve (validation outcomes, rejected
+    #: steps, factorization-retry pressure); ``None`` only for results built
+    #: by stubs/legacy callers
+    health: Optional[SolverHealth] = None
 
     def trajectories(self, problem: TranscribedProblem):
         """Split the solution into state and input trajectories."""
@@ -142,6 +149,9 @@ class InteriorPointSolver:
             "factorizations": 0,
             "banded_factorizations": 0,
         }
+        #: optional :mod:`repro.faults` solver-layer injector, threaded into
+        #: every QP factorization (``None`` in production)
+        self.fault_hook: Optional[object] = None
         self._setup_banded_path()
 
     def _setup_banded_path(self) -> None:
@@ -335,27 +345,60 @@ class InteriorPointSolver:
         p = self.problem
         opt = self.options
         x_init = np.asarray(x_init, dtype=float)
+        health = SolverHealth()
 
-        z = (
-            np.array(z_warm, dtype=float)
-            if z_warm is not None
-            else p.initial_guess(x_init)
-        )
-        if z.shape != (p.nz,):
-            raise SolverError(f"warm start has shape {z.shape}, expected ({p.nz},)")
+        if not np.all(np.isfinite(x_init)):
+            # Structured rejection: a NaN/Inf measurement must never reach
+            # the linearization — report exactly what was poisoned and let
+            # the caller's degradation policy decide what to serve.
+            bad = nonfinite_indices(x_init)
+            health.state_finite = False
+            health.note(f"nonfinite_state{bad}")
+            raise StateValidationError(
+                f"measured state contains non-finite entries at indices {bad}",
+                health=health,
+            )
+        if ref is not None and not np.all(np.isfinite(np.asarray(ref, dtype=float))):
+            health.state_finite = False
+            health.note("nonfinite_reference")
+            raise StateValidationError(
+                "reference contains non-finite entries", health=health
+            )
+
+        z = None
+        if z_warm is not None:
+            z = np.array(z_warm, dtype=float)
+            if z.shape != (p.nz,):
+                raise SolverError(
+                    f"warm start has shape {z.shape}, expected ({p.nz},)"
+                )
+            if not np.all(np.isfinite(z)):
+                # A contaminated RTI warm start is rejected and re-seeded,
+                # never propagated into the linearization.
+                health.warm_start_reseeded = True
+                health.note("warm_start_reseeded")
+                z = None
+        if z is None:
+            z = p.initial_guess(x_init)
         z[p.state_slice(0)] = x_init
 
         m = p.n_ineq
-        nu = (
-            np.array(nu_warm, dtype=float)
-            if nu_warm is not None and np.shape(nu_warm) == (p.n_eq,)
-            else np.zeros(p.n_eq)
-        )
-        lam = (
-            np.maximum(np.array(lam_warm, dtype=float), 0.0)
-            if lam_warm is not None and np.shape(lam_warm) == (m,)
-            else np.zeros(m)
-        )
+        nu = np.zeros(p.n_eq)
+        if nu_warm is not None and np.shape(nu_warm) == (p.n_eq,):
+            nu_arr = np.array(nu_warm, dtype=float)
+            if np.all(np.isfinite(nu_arr)):
+                nu = nu_arr
+            else:
+                health.warm_start_reseeded = True
+                health.note("nu_warm_reseeded")
+        lam = np.zeros(m)
+        if lam_warm is not None and np.shape(lam_warm) == (m,):
+            lam_arr = np.maximum(np.array(lam_warm, dtype=float), 0.0)
+            if np.all(np.isfinite(lam_arr)):
+                lam = lam_arr
+            else:
+                health.warm_start_reseeded = True
+                health.note("lam_warm_reseeded")
         rho = opt.penalty_init
 
         # Soft/hard split of the inequality rows (Fletcher Sl1QP): softened
@@ -373,6 +416,7 @@ class InteriorPointSolver:
         merit_window: List[float] = []
         converged = False
         budget_hit = False
+        diverged = False
         qp_total = 0
         it = 0
         max_outer = opt.max_iterations
@@ -451,12 +495,22 @@ class InteriorPointSolver:
                 remaining = budget.qp_iterations - qp_total
                 if remaining < qp_opt.max_iterations:
                     qp_opt = replace(qp_opt, max_iterations=remaining)
-            qp_res = solve_qp(
-                *qp_args[:6],
-                qp_opt,
-                bandwidth=qp_args[6],
-                deadline=clock.deadline if clock is not None else None,
-            )
+            try:
+                qp_res = solve_qp(
+                    *qp_args[:6],
+                    qp_opt,
+                    bandwidth=qp_args[6],
+                    deadline=clock.deadline if clock is not None else None,
+                    fault_hook=self.fault_hook,
+                )
+            except SolverError:
+                # A QP subproblem that cannot even be factorized (poisoned
+                # linearization, or the retry ladder exhausted) ends the
+                # solve with a structured "diverged" verdict on the last
+                # globalized iterate instead of an exception mid-fleet.
+                health.note(f"qp_failed_it{it}")
+                diverged = True
+                break
             if qperm is not None:
                 # Scatter the stage-interleaved solution back to the
                 # original variable ordering (multipliers are unaffected
@@ -483,6 +537,10 @@ class InteriorPointSolver:
             self.stats["substitute_flops"] += qs.substitute_flops
             self.stats["factorizations"] += qs.factorizations
             self.stats["banded_factorizations"] += qs.banded_factorizations
+            health.factorization_retries += qs.retries
+            health.regularization_max = max(
+                health.regularization_max, qs.regularization_max
+            )
 
             # Deadline passed mid-QP: the direction is a partial (possibly
             # zero) interior-point iterate — discard it rather than spend
@@ -491,6 +549,25 @@ class InteriorPointSolver:
             if clock is not None and (qp_res.budget_exhausted or clock.expired()):
                 budget_hit = True
                 break
+
+            # Poisoned-direction guard: a non-finite QP step or multiplier
+            # estimate must never reach the line search (NaN merit values
+            # would silently accept the step).  Reject it, escalate the
+            # Levenberg damping, and re-linearize from the same iterate;
+            # at maximum damping the solve is declared diverged and returns
+            # the last finite globalized iterate.
+            if not (
+                np.all(np.isfinite(d))
+                and np.all(np.isfinite(nu_qp))
+                and (not m or np.all(np.isfinite(lam_qp)))
+            ):
+                health.steps_rejected += 1
+                health.note(f"nonfinite_step_it{it}")
+                if lm >= 1e2:
+                    diverged = True
+                    break
+                lm = min(lm * 100.0, 1e2)
+                continue
 
             # -- L1 exact-penalty merit line search ----------------------------------
             mult_inf = max(
@@ -543,6 +620,8 @@ class InteriorPointSolver:
 
         if converged:
             status = "converged"
+        elif diverged:
+            status = "diverged"
         elif budget_hit:
             status = "budget_exhausted"
         else:
@@ -559,6 +638,7 @@ class InteriorPointSolver:
             lam=lam if m else None,
             status=status,
             solve_time=perf_counter() - t_solve,
+            health=health,
         )
 
     # -------------------------------------------------------------------------

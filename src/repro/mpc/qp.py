@@ -105,6 +105,9 @@ class QPStats:
     banded_factorizations: int = 0
     #: failed factorization attempts that escalated the regularization
     retries: int = 0
+    #: largest diagonal regularization any factorization of this solve
+    #: actually used (== the options' base value when no retry fired)
+    regularization_max: float = 0.0
     factorize_time: float = 0.0
     substitute_time: float = 0.0
     factor_flops: int = 0
@@ -173,6 +176,7 @@ def _robust_factor(
     reg: float,
     band: Optional[int],
     stats: QPStats,
+    fault_hook: Optional[object] = None,
 ) -> Tuple[object, float]:
     """Factorize ``A`` with geometric regularization escalation on failure.
 
@@ -181,7 +185,22 @@ def _robust_factor(
     uses the dense ones.  The escalation schedule is identical in both
     paths, so they produce the same factor up to roundoff for the same
     input.
+
+    ``fault_hook`` is the solver-layer injection point of
+    :mod:`repro.faults`: ``transform_matrix(A)`` may perturb the input
+    (ill-conditioning campaigns) and ``force_failure()`` makes the next
+    attempt fail as if the pivot had gone non-positive, exercising the
+    retry ladder on demand.  Both are no-ops when the hook is ``None``.
     """
+    if A.shape[0] and not np.all(np.isfinite(A)):
+        # Regularization cannot fix NaN/Inf — fail fast with a clear cause
+        # instead of burning all 16 retries on a poisoned matrix.
+        raise SolverError(
+            "factorization input contains non-finite entries "
+            "(upstream iterate or constraint data is poisoned)"
+        )
+    if fault_hook is not None:
+        A = fault_hook.transform_matrix(A)
     t0 = perf_counter()
     if band is not None and A.shape[0]:
         B = to_banded(A, band)
@@ -191,6 +210,8 @@ def _robust_factor(
     current = reg
     for _ in range(16):
         try:
+            if fault_hook is not None and fault_hook.force_failure():
+                raise SolverError("injected factorization failure")
             factor = make(current)
         except SolverError:
             stats.retries += 1
@@ -201,6 +222,7 @@ def _robust_factor(
             stats.banded_factorizations += 1
         stats.factor_flops += factor.factor_flops
         stats.factorize_time += perf_counter() - t0
+        stats.regularization_max = max(stats.regularization_max, current)
         return factor, current
     raise SolverError(
         f"matrix could not be factorized even with regularization {current:.1e}"
@@ -217,6 +239,7 @@ def solve_qp(
     options: Optional[QPOptions] = None,
     bandwidth: Optional[int] = None,
     deadline: Optional[float] = None,
+    fault_hook: Optional[object] = None,
 ) -> QPResult:
     """Solve a convex QP with a Mehrotra predictor-corrector IPM.
 
@@ -236,11 +259,19 @@ def solve_qp(
             deadline (``budget_exhausted=True`` on the result), so the
             overrun is bounded by one factorize/substitute round; the
             returned iterate and residual stay consistent.
+        fault_hook: optional :mod:`repro.faults` solver-layer injector; every
+            main-loop factorization consults it (see :func:`_robust_factor`).
     """
     opt = options or QPOptions()
     n = g.shape[0]
     if H.shape != (n, n):
         raise SolverError(f"H shape {H.shape} does not match g length {n}")
+    for name, arr in (("H", H), ("g", g), ("G", G), ("b", b), ("J", J), ("d", d)):
+        if arr is not None and arr.size and not np.all(np.isfinite(arr)):
+            raise SolverError(
+                f"QP data {name} contains non-finite entries; "
+                "refusing to start the interior-point iteration"
+            )
 
     has_eq = G is not None and G.shape[0] > 0
     has_in = J is not None and J.shape[0] > 0
@@ -324,7 +355,11 @@ def solve_qp(
         # multipliers to infinity; bail out with the current iterate — the
         # reported residual was evaluated at exactly this (x, nu, lam, s),
         # so the outer solver's merit line search sees a consistent pair.
-        if m and (not np.isfinite(residual) or float(np.max(lam)) > 1e14 * scale):
+        # A non-finite residual (poisoned iterate) bails out regardless of
+        # whether inequality rows exist.
+        if not np.isfinite(residual) or (
+            m and float(np.max(lam)) > 1e14 * scale
+        ):
             break
         # Deadline guard: stop before starting another factorization round.
         # The residual above was evaluated at exactly this iterate, so the
@@ -342,8 +377,8 @@ def solve_qp(
             Phi = H + (J.T * w) @ J
         else:
             Phi = H
-        phi_factor, reg_used = _robust_factor(
-            Phi, opt.regularization, phi_band, stats
+        phi_factor, _ = _robust_factor(
+            Phi, opt.regularization, phi_band, stats, fault_hook
         )
         if has_eq:
             PhiInv_Gt = timed_solve(phi_factor, G.T)
@@ -360,7 +395,9 @@ def solve_qp(
                     stats.schur_bandwidth = max(
                         stats.schur_bandwidth or 0, measured
                     )
-            s_factor, _ = _robust_factor(S, opt.regularization, s_band, stats)
+            s_factor, _ = _robust_factor(
+                S, opt.regularization, s_band, stats, fault_hook
+            )
         else:
             PhiInv_Gt = None
             s_factor = None

@@ -1,12 +1,20 @@
 """The six benchmark robot systems and tasks of Table III."""
 
 from repro.robots.base import RobotBenchmark, table_iii_row
-from repro.robots.registry import BENCHMARK_NAMES, all_benchmarks, build_benchmark
+from repro.robots.registry import (
+    BENCHMARK_NAMES,
+    EXTRA_NAMES,
+    all_benchmarks,
+    build_benchmark,
+    resolve,
+)
 
 __all__ = [
     "RobotBenchmark",
     "table_iii_row",
     "BENCHMARK_NAMES",
+    "EXTRA_NAMES",
     "build_benchmark",
     "all_benchmarks",
+    "resolve",
 ]

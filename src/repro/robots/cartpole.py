@@ -1,0 +1,120 @@
+"""CartPole extra benchmark: cart-mounted inverted pendulum, stabilization.
+
+Not part of Table III — this is the chaos harness's default robot: small
+(4 states, 1 input), stiff enough that injected sensor/solver faults
+visibly perturb the closed loop, and cheap enough that fault campaigns run
+hundreds of ticks in CI.  It registers as an *extra* benchmark (resolved by
+name via :func:`repro.robots.registry.resolve`) so the paper-pinned
+``BENCHMARK_NAMES`` tuple stays exactly the six Table III robots.
+
+Model: cart of mass ``M`` on a friction-less track, pole of mass ``m`` and
+length ``l`` hinged on the cart, ``angle`` measured from upright.  With
+``den = M + m sin^2(angle)``:
+
+    acc       = (force + m sin(angle) (l ang_vel^2 - g cos(angle))) / den
+    ang_acc   = (g sin(angle) - acc cos(angle)) / l
+
+Task: drive the pole upright and the cart to a reference position while
+penalizing force; the single physical constraint is the force bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import Penalty, Task
+from repro.robots.base import RobotBenchmark
+from repro.symbolic import Var, cos, sin
+
+__all__ = ["CartPoleParams", "build_model", "build_task", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class CartPoleParams:
+    """Physical and task parameters."""
+
+    cart_mass: float = 1.0  # kg
+    pole_mass: float = 0.2  # kg
+    pole_length: float = 0.5  # m (pivot to center of mass)
+    gravity: float = 9.81  # m/s^2
+    force_bound: float = 12.0  # N
+    pos_weight: float = 2.0
+    angle_weight: float = 12.0
+    vel_weight: float = 0.5
+    ang_vel_weight: float = 0.5
+    effort_weight: float = 0.02
+    dt: float = 0.05
+
+
+def build_model(params: CartPoleParams = CartPoleParams()) -> RobotModel:
+    """Cart-pole dynamics with the pole angle measured from upright."""
+    p = params
+    angle, vel, ang_vel = Var("angle"), Var("vel"), Var("ang_vel")
+    force = Var("force")
+    den = p.cart_mass + p.pole_mass * sin(angle) * sin(angle)
+    acc = (
+        force
+        + p.pole_mass
+        * sin(angle)
+        * (p.pole_length * ang_vel * ang_vel - p.gravity * cos(angle))
+    ) / den
+    ang_acc = (p.gravity * sin(angle) - acc * cos(angle)) / p.pole_length
+    return RobotModel(
+        name="CartPole",
+        states=[
+            VarSpec("pos"),
+            VarSpec("angle"),
+            VarSpec("vel"),
+            VarSpec("ang_vel"),
+        ],
+        inputs=[VarSpec("force", -p.force_bound, p.force_bound)],
+        dynamics={
+            "pos": vel,
+            "angle": ang_vel,
+            "vel": acc,
+            "ang_vel": ang_acc,
+        },
+        params={"force_bound": p.force_bound},
+    )
+
+
+def build_task(
+    model: RobotModel, params: CartPoleParams = CartPoleParams()
+) -> Task:
+    """Upright stabilization with a cart position reference."""
+    p = params
+    pos, angle = Var("pos"), Var("angle")
+    vel, ang_vel = Var("vel"), Var("ang_vel")
+    force = Var("force")
+    ref_pos = Var("ref_pos")
+    return Task(
+        name="stabilization",
+        model=model,
+        penalties=[
+            Penalty("track_pos", pos - ref_pos, p.pos_weight, "running"),
+            Penalty("upright", angle, p.angle_weight, "running"),
+            Penalty("damp_vel", vel, p.vel_weight, "running"),
+            Penalty("damp_ang_vel", ang_vel, p.ang_vel_weight, "running"),
+            Penalty("effort", force, p.effort_weight, "running"),
+        ],
+        constraints=[],
+        references=["ref_pos"],
+    )
+
+
+def build_benchmark(params: CartPoleParams = CartPoleParams()) -> RobotBenchmark:
+    model = build_model(params)
+    task = build_task(model, params)
+    return RobotBenchmark(
+        name="CartPole",
+        model=model,
+        task=task,
+        x0=np.array([0.0, 0.15, 0.0, 0.0]),
+        ref=np.array([0.0]),
+        dt=params.dt,
+        system_description="Cart-Mounted Inverted Pendulum",
+        task_description="Upright Stabilization",
+    )

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List
 from repro.errors import ReproError
 from repro.robots import (
     auto_vehicle,
+    cartpole,
     hexacopter,
     manipulator,
     microsat,
@@ -22,7 +23,13 @@ from repro.robots import (
 )
 from repro.robots.base import RobotBenchmark
 
-__all__ = ["BENCHMARK_NAMES", "build_benchmark", "all_benchmarks"]
+__all__ = [
+    "BENCHMARK_NAMES",
+    "EXTRA_NAMES",
+    "build_benchmark",
+    "all_benchmarks",
+    "resolve",
+]
 
 _BUILDERS: Dict[str, Callable[[], RobotBenchmark]] = {
     "MobileRobot": mobile_robot.build_benchmark,
@@ -36,15 +43,32 @@ _BUILDERS: Dict[str, Callable[[], RobotBenchmark]] = {
 #: Canonical Table III ordering.
 BENCHMARK_NAMES = tuple(_BUILDERS)
 
+#: Extra (non-Table-III) benchmarks: resolvable by name, excluded from the
+#: paper tables/figures and from ``BENCHMARK_NAMES``.
+_EXTRA_BUILDERS: Dict[str, Callable[[], RobotBenchmark]] = {
+    "CartPole": cartpole.build_benchmark,
+}
+EXTRA_NAMES = tuple(_EXTRA_BUILDERS)
 
-def build_benchmark(name: str) -> RobotBenchmark:
-    """Build one benchmark by its Table III name."""
+
+def resolve(name: str) -> str:
+    """Canonical benchmark name for ``name`` (case-insensitive, covering
+    the Table III set plus the extras); raises :class:`ReproError` when
+    unknown."""
+    by_fold = {n.lower(): n for n in (*_BUILDERS, *_EXTRA_BUILDERS)}
     try:
-        builder = _BUILDERS[name]
+        return by_fold[name.lower()]
     except KeyError:
         raise ReproError(
-            f"unknown benchmark {name!r}; available: {list(_BUILDERS)}"
+            f"unknown benchmark {name!r}; available: "
+            f"{[*_BUILDERS, *_EXTRA_BUILDERS]}"
         ) from None
+
+
+def build_benchmark(name: str) -> RobotBenchmark:
+    """Build one benchmark by name (Table III or extra; case-insensitive)."""
+    canonical = resolve(name)
+    builder = _BUILDERS.get(canonical) or _EXTRA_BUILDERS[canonical]
     return builder()
 
 

@@ -30,14 +30,20 @@ build.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import AdmissionError, ReproError, ServeError
+from repro.errors import (
+    AdmissionError,
+    ReproError,
+    ServeError,
+    StateValidationError,
+)
 from repro.mpc.budget import SolveBudget
 from repro.serve.session import ControlSession, SessionConfig, StepOutcome
 from repro.serve.telemetry import FleetMetrics, TraceWriter
@@ -111,6 +117,12 @@ class ServeEngine:
         self._rr: Deque[str] = deque()
         self._batch_limit: Optional[int] = None  # None = unlimited
         self._pool = None
+        #: worker pools discarded and rebuilt after a worker death
+        self.worker_respawns = 0
+        #: optional :class:`repro.faults.EngineFaultInjector`-style hook:
+        #: ``on_dispatch(tick, session_id)`` -> None or a directive dict
+        #: ({"kind": "worker_crash"} / {"kind": "slow", "delay_s": ...})
+        self.fault_hook = None
         #: shared transcriptions: (robot, horizon) -> (benchmark, problem)
         self._problem_cache: Dict[Tuple[str, int], Tuple[object, object]] = {}
 
@@ -187,6 +199,12 @@ class ServeEngine:
 
     def reset_session(self, session_id: str) -> None:
         self.get_session(session_id).reset()
+
+    def restart_session(self, session_id: str) -> None:
+        """Recover a crashed session back to ``active`` (see
+        :meth:`ControlSession.restart`); it rejoins the tick loop on the
+        next input."""
+        self.get_session(session_id).restart()
 
     def close_session(self, session_id: str) -> None:
         self.get_session(session_id).close()
@@ -274,7 +292,29 @@ class ServeEngine:
         else:
             for sid in ready:
                 x, ref = inputs[sid]
-                self._record(sid, self._step_guarded(sid, x, ref), report)
+                self._record(
+                    sid,
+                    self._step_with_fault(sid, x, ref, self._fault_directive(sid)),
+                    report,
+                )
+
+    def _fault_directive(self, sid: str) -> Optional[Dict[str, object]]:
+        if self.fault_hook is None:
+            return None
+        return self.fault_hook.on_dispatch(self._tick_index, sid)
+
+    def _step_with_fault(self, sid: str, x, ref, directive) -> StepOutcome:
+        """Inline/thread step with the serve-layer fault semantics: a
+        ``worker_crash`` directive is one lost solve (the session pays a
+        ladder step, exactly like a dead process worker), ``slow`` delays
+        the solve by the injected latency."""
+        if directive is not None:
+            kind = directive.get("kind")
+            if kind == "worker_crash":
+                return self.sessions[sid].fail_step("worker_died")
+            if kind == "slow":
+                sleep(float(directive.get("delay_s", 0.0)))
+        return self._step_guarded(sid, x, ref)
 
     def _step_guarded(self, sid: str, x, ref) -> StepOutcome:
         """One session step; anything escaping the session's own handling
@@ -295,9 +335,15 @@ class ServeEngine:
                 max_workers=self.config.workers,
                 thread_name_prefix="serve-worker",
             )
+        # Fault directives are drawn on the dispatcher thread (the hook is
+        # not required to be thread-safe); only the step itself overlaps.
         futures = {
             sid: self._pool.submit(
-                self._step_guarded, sid, inputs[sid][0], inputs[sid][1]
+                self._step_with_fault,
+                sid,
+                inputs[sid][0],
+                inputs[sid][1],
+                self._fault_directive(sid),
             )
             for sid in ready
         }
@@ -315,10 +361,24 @@ class ServeEngine:
                 prime_worker_cache(robot, horizon, bench, problem)
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         futures = {}
+        broken = False
         for sid in ready:
             x, ref = inputs[sid]
             payload = self.sessions[sid].solve_payload(x, ref=ref)
-            futures[sid] = self._pool.submit(remote_solve, payload)
+            directive = self._fault_directive(sid)
+            if directive is not None:
+                payload["fault"] = directive
+            if not broken:
+                try:
+                    futures[sid] = self._pool.submit(remote_solve, payload)
+                    continue
+                except BrokenExecutor:
+                    broken = True
+            # Pool already known-broken: this solve is lost, the session
+            # pays one ladder step and the pool is rebuilt after the tick.
+            self._record(
+                sid, self.sessions[sid].fail_step("worker_died"), report
+            )
         for sid, fut in futures.items():
             session = self.sessions[sid]
             try:
@@ -326,11 +386,32 @@ class ServeEngine:
             except ReproError:
                 raise
             except BrokenExecutor:
-                self._pool = None
-                outcome = session.mark_crashed()
+                # A worker died mid-solve.  That is a *solve* failure, not a
+                # session failure: the session keeps its warm start (the
+                # worker never mutated it), serves the degradation ladder,
+                # and the pool is discarded and lazily respawned.
+                broken = True
+                outcome = session.fail_step("worker_died")
             except Exception:
                 outcome = session.mark_crashed()
             self._record(sid, outcome, report)
+        if broken:
+            self._discard_pool()
+
+    def _discard_pool(self) -> None:
+        """Throw away a broken worker pool; the next process dispatch
+        rebuilds (and re-primes) it lazily."""
+        pool, self._pool = self._pool, None
+        self.worker_respawns += 1
+        if pool is not None:
+            try:
+                # No wait (the pool is broken) and no cancel_futures (all
+                # futures were already consumed above).
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+        if self.trace is not None:
+            self.trace.emit("worker_pool", respawns=self.worker_respawns)
 
     def _record(self, sid: str, outcome: StepOutcome, report: TickReport) -> None:
         report.outcomes[sid] = outcome
@@ -400,8 +481,20 @@ def remote_solve(payload: Dict[str, object]) -> Dict[str, object]:
     cache, so any worker can serve any session.  The reply is a plain dict
     of arrays/scalars — also picklable — that
     :meth:`ControlSession.absorb` folds back into the session.
+
+    An optional ``payload["fault"]`` directive (from the chaos harness)
+    is honored before the solve: ``worker_crash`` hard-kills this worker
+    process — exactly the failure mode the engine must survive — and
+    ``slow`` sleeps for the injected latency.
     """
     try:
+        fault = payload.get("fault")
+        if fault:
+            kind = fault.get("kind")
+            if kind == "worker_crash":
+                os._exit(3)  # no cleanup: simulate an OOM-kill / segfault
+            elif kind == "slow":
+                sleep(float(fault.get("delay_s", 0.0)))
         robot = str(payload["robot"])
         horizon = int(payload["horizon"])
         prime_worker_cache(robot, horizon)
@@ -438,6 +531,24 @@ def remote_solve(payload: Dict[str, object]) -> Dict[str, object]:
             "kkt_residual": result.kkt_residual,
             "status": result.status,
             "solve_time": result.solve_time,
+            "health": (
+                result.health.to_dict() if result.health is not None else None
+            ),
+        }
+    except StateValidationError as exc:
+        # Rejected input, not a solver failure: the session must NOT drop
+        # its warm start over this.
+        return {
+            "ok": False,
+            "kind": "bad_state",
+            "error": str(exc),
+            "solve_time": None,
+            "health": exc.health.to_dict() if exc.health is not None else None,
         }
     except ReproError as exc:
-        return {"ok": False, "error": str(exc), "solve_time": None}
+        return {
+            "ok": False,
+            "kind": "solver_error",
+            "error": str(exc),
+            "solve_time": None,
+        }

@@ -30,9 +30,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ReproError, SessionStateError
+from repro.errors import ReproError, SessionStateError, StateValidationError
 from repro.mpc.budget import SolveBudget
 from repro.mpc.controller import MPCController
+from repro.mpc.health import SolverHealth
 from repro.mpc.ipm import IPMResult
 from repro.serve.policy import FallbackLadder
 
@@ -50,6 +51,11 @@ ACTIVE = "active"
 DEGRADED = "degraded"
 CLOSED = "closed"
 CRASHED = "crashed"
+
+
+def _health_dict(result: Optional[IPMResult]) -> Optional[Dict[str, object]]:
+    health = getattr(result, "health", None)
+    return health.to_dict() if isinstance(health, SolverHealth) else None
 
 
 @dataclass(frozen=True)
@@ -99,12 +105,12 @@ class StepOutcome:
     session_id: str
     #: the input to apply this period (always finite)
     u: np.ndarray
-    #: "ok" | "fallback_shifted" | "fallback_hold" | "crashed"
+    #: "ok" | "fallback_shifted" | "fallback_hold" | "crashed" | "restarted"
     status: str
     #: True when ``u`` came from the degradation ladder
     fallback: bool = False
     #: failure cause when not "ok": "deadline" | "solver_error" |
-    #: "diverged" | "crashed" (None on success)
+    #: "diverged" | "bad_state" | "worker_died" | "crashed" (None on success)
     reason: Optional[str] = None
     #: wall time of the solve attempt (None when no solve ran, e.g. crash)
     solve_time: Optional[float] = None
@@ -122,6 +128,10 @@ class StepOutcome:
     #: served via rung 0: budget exhausted but the iterate was already
     #: control-grade (KKT below the session's ``accept_kkt``)
     partial: bool = False
+    #: :meth:`~repro.mpc.health.SolverHealth.to_dict` of the solve's
+    #: numerical-health report (None when no solve ran or the solver does
+    #: not report health, e.g. injected stubs)
+    health: Optional[Dict[str, object]] = None
 
     def to_record(self) -> Dict[str, object]:
         """Flat JSONL-trace representation (drops the input vector)."""
@@ -137,6 +147,7 @@ class StepOutcome:
             "partial": self.partial,
             "session_state": self.session_state,
             "consecutive_fallbacks": self.consecutive_fallbacks,
+            "health": self.health,
         }
 
 
@@ -210,6 +221,46 @@ class ControlSession:
         self.controller.reset()
         self.state = CLOSED
 
+    def restart(self) -> StepOutcome:
+        """Recover a crashed (or degraded) session: drop all warm state,
+        reset the degradation ladder, and return to ``active``.
+
+        This is the operator-facing escape hatch paired with
+        :meth:`mark_crashed` — a crash is terminal for the *step loop*, not
+        for the session slot.  Only ``closed`` is unrecoverable.
+        """
+        if self.state == CLOSED:
+            raise SessionStateError(
+                f"cannot restart closed session {self.session_id!r}"
+            )
+        self.controller.reset()
+        self.ladder.reset()
+        self.state = ACTIVE
+        return StepOutcome(
+            session_id=self.session_id,
+            u=self.ladder.hover.copy(),
+            status="restarted",
+            session_state=ACTIVE,
+        )
+
+    def fail_step(
+        self,
+        reason: str,
+        solve_time: Optional[float] = None,
+        reset_warm: bool = False,
+    ) -> StepOutcome:
+        """Record an externally-detected failure as one fallback period.
+
+        The engine calls this when the failure happened *outside* the
+        session — e.g. a pool worker died mid-solve (``worker_died``).  The
+        session pays one rung of the degradation ladder but keeps its warm
+        start unless ``reset_warm`` says the iterate is implicated.
+        """
+        self._require_serving("step")
+        if reset_warm:
+            self.controller.reset()
+        return self._fallback_outcome(reason, solve_time, None)
+
     def mark_crashed(self) -> StepOutcome:
         """Record an unhandled failure (called by the engine) and emit the
         terminal outcome: hover input, ``crashed`` state."""
@@ -241,6 +292,16 @@ class ControlSession:
         try:
             u = self.controller.step(
                 x_measured, ref=use_ref, budget=self.config.budget()
+            )
+        except StateValidationError as exc:
+            # The *input* was garbage (NaN/Inf measurement or reference);
+            # the solve never started, so the warm start is untouched and
+            # stays valid for the next clean measurement.
+            return self._fallback_outcome(
+                "bad_state",
+                perf_counter() - t0,
+                None,
+                health=exc.health.to_dict() if exc.health is not None else None,
             )
         except ReproError:
             # Solver-side failure: the warm start is implicated — drop it so
@@ -282,8 +343,14 @@ class ControlSession:
         self._require_serving("step")
         solve_time = float(remote.get("solve_time") or 0.0)
         if not remote.get("ok"):
-            self.controller.reset()
-            return self._fallback_outcome("solver_error", solve_time, None)
+            reason = str(remote.get("kind") or "solver_error")
+            if reason != "bad_state":
+                # Solver-side failure implicates the warm start; a rejected
+                # input does not (the solve never started).
+                self.controller.reset()
+            return self._fallback_outcome(
+                reason, solve_time, None, health=remote.get("health")
+            )
         result = IPMResult(
             z=np.asarray(remote["z"], dtype=float),
             converged=bool(remote["converged"]),
@@ -295,6 +362,7 @@ class ControlSession:
             lam=None if remote["lam"] is None else np.asarray(remote["lam"]),
             status=str(remote["status"]),
             solve_time=solve_time,
+            health=SolverHealth.from_dict(remote.get("health")),
         )
         u = self.controller.adopt(result)
         return self._classify(u, result, solve_time)
@@ -303,8 +371,15 @@ class ControlSession:
     def _classify(
         self, u: np.ndarray, result: IPMResult, elapsed: float
     ) -> StepOutcome:
-        if not np.all(np.isfinite(u)) or not np.isfinite(result.objective):
+        if (
+            not np.all(np.isfinite(u))
+            or not np.isfinite(result.objective)
+            or result.status == "diverged"
+        ):
             # A divergent iterate poisons the warm start — drop it too.
+            # (A "diverged" status means the solver itself bailed on a
+            # poisoned/unfactorizable subproblem even if the returned
+            # iterate still prints as finite.)
             self.controller.reset()
             return self._fallback_outcome("diverged", elapsed, result)
         if result.status == "budget_exhausted" and not result.converged:
@@ -337,10 +412,15 @@ class ControlSession:
             kkt_residual=result.kkt_residual,
             session_state=self.state,
             partial=result.status == "budget_exhausted" and not result.converged,
+            health=_health_dict(result),
         )
 
     def _fallback_outcome(
-        self, reason: str, elapsed: float, result: Optional[IPMResult]
+        self,
+        reason: str,
+        elapsed: Optional[float],
+        result: Optional[IPMResult],
+        health: Optional[Dict[str, object]] = None,
     ) -> StepOutcome:
         action = self.ladder.fallback()
         self.steps += 1
@@ -366,6 +446,7 @@ class ControlSession:
             session_state=self.state,
             degraded_transition=transition,
             consecutive_fallbacks=self.ladder.consecutive,
+            health=health if health is not None else _health_dict(result),
         )
 
     def solver_stats(self) -> Dict[str, float]:

@@ -108,6 +108,10 @@ class SessionMetrics:
     deadline_misses: int = 0
     solver_errors: int = 0
     divergences: int = 0
+    #: steps rejected up front for non-finite measurements/references
+    bad_states: int = 0
+    #: solves lost to a dying pool worker (session survived on the ladder)
+    worker_deaths: int = 0
     crashes: int = 0
     degraded_transitions: int = 0
     sqp_iterations: int = 0
@@ -127,6 +131,8 @@ class SessionMetrics:
         self.deadline_misses += other.deadline_misses
         self.solver_errors += other.solver_errors
         self.divergences += other.divergences
+        self.bad_states += other.bad_states
+        self.worker_deaths += other.worker_deaths
         self.crashes += other.crashes
         self.degraded_transitions += other.degraded_transitions
         self.sqp_iterations += other.sqp_iterations
@@ -144,6 +150,8 @@ class SessionMetrics:
             "deadline_misses": self.deadline_misses,
             "solver_errors": self.solver_errors,
             "divergences": self.divergences,
+            "bad_states": self.bad_states,
+            "worker_deaths": self.worker_deaths,
             "crashes": self.crashes,
             "degraded_transitions": self.degraded_transitions,
             "sqp_iterations": self.sqp_iterations,
@@ -202,6 +210,10 @@ class FleetMetrics:
                 target.solver_errors += 1
             elif outcome.reason == "diverged":
                 target.divergences += 1
+            elif outcome.reason == "bad_state":
+                target.bad_states += 1
+            elif outcome.reason == "worker_died":
+                target.worker_deaths += 1
             if outcome.degraded_transition:
                 target.degraded_transitions += 1
             target.sqp_iterations += outcome.sqp_iterations
@@ -309,6 +321,7 @@ def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
     lines.append(
         f"failure causes:  deadline_misses={f.deadline_misses}  "
         f"solver_errors={f.solver_errors}  divergences={f.divergences}  "
+        f"bad_states={f.bad_states}  worker_deaths={f.worker_deaths}  "
         f"crashes={f.crashes}"
     )
     lines.append(f"degraded events: {f.degraded_transitions}")

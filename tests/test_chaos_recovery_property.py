@@ -1,0 +1,112 @@
+"""Property: every fault schedule that clears leads back to ``active``.
+
+Hypothesis drives a :class:`ControlSession` through arbitrary sequences of
+solver-contract failures (deadline misses, solver errors, NaN objectives,
+divergent residuals) followed by clean solves, and asserts the recovery
+contract of the degradation ladder:
+
+* no step ever raises or serves a non-finite input,
+* the session is back to ``active`` within ``degrade_after + k`` clean
+  ticks of the schedule clearing (with the scripted solver, k = 1:
+  the first clean solve recovers it),
+* the failure streak is reset by recovery.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpc import MPCController
+from repro.serve import ACTIVE, DEGRADED, ControlSession, SessionConfig
+from tests.test_serve_session import ScriptedSolver, cart  # noqa: F401
+
+#: Failure modes the solver contract allows; "boom" (a non-solver bug) is
+#: excluded on purpose — that is the engine's crash path, not the ladder's.
+FAULT_MODES = ("deadline", "error", "nan", "highkkt")
+
+X = np.zeros(2)
+
+fault_runs = st.lists(
+    st.sampled_from(FAULT_MODES), min_size=1, max_size=12
+)
+
+
+def build_session(cart, script, degrade_after):
+    cfg = SessionConfig(
+        robot="Cart", deadline_s=0.05, degrade_after=degrade_after
+    )
+    return ControlSession(
+        "prop", cfg, MPCController(ScriptedSolver(cart, script))
+    )
+
+
+class TestRecoveryProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(faults=fault_runs, degrade_after=st.integers(1, 5))
+    def test_session_reenters_active_after_schedule_clears(
+        self, cart, faults, degrade_after
+    ):
+        slack = 1  # clean ticks the ladder needs after the faults clear
+        clean = degrade_after + slack
+        session = build_session(
+            cart, ["ok"] + faults + ["ok"] * clean, degrade_after
+        )
+
+        outcomes = [session.step(X)]  # prime the plan so holds have data
+        for _ in faults:
+            outcomes.append(session.step(X))
+        assert all(np.all(np.isfinite(out.u)) for out in outcomes)
+        # Mid-schedule the session is active or degraded, never worse.
+        assert session.state in (ACTIVE, DEGRADED)
+        if len(faults) >= degrade_after:
+            assert session.state == DEGRADED
+
+        recovered_after = None
+        for k in range(1, clean + 1):
+            out = session.step(X)
+            assert np.all(np.isfinite(out.u))
+            if session.state == ACTIVE and recovered_after is None:
+                recovered_after = k
+        assert recovered_after is not None
+        assert recovered_after <= clean
+        assert session.state == ACTIVE
+        assert session.ladder.consecutive == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(faults=fault_runs)
+    def test_failure_streak_never_exceeds_fault_count(self, cart, faults):
+        session = build_session(cart, ["ok"] + faults + ["ok"], 3)
+        session.step(X)
+        streaks = [session.step(X).consecutive_fallbacks for _ in faults]
+        # The streak counts *consecutive* fallbacks: bounded by the run
+        # length and strictly increasing along a pure-fault run.
+        assert streaks == list(range(1, len(faults) + 1))
+        assert session.step(X).consecutive_fallbacks == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        faults=fault_runs,
+        interleave=st.lists(st.booleans(), min_size=4, max_size=12),
+    )
+    def test_interleaved_faults_never_crash_or_emit_nonfinite(
+        self, cart, faults, interleave
+    ):
+        # Alternate fault/clean steps in an arbitrary pattern: the session
+        # must absorb every combination without crashing, and every served
+        # input must be finite.
+        script = ["ok"]
+        n_faults = 0
+        for is_fault in interleave:
+            if is_fault:
+                script.append(faults[n_faults % len(faults)])
+                n_faults += 1
+            else:
+                script.append("ok")
+        session = build_session(cart, script + ["ok"] * 4, 3)
+        for _ in range(len(script) + 4):
+            out = session.step(X)
+            assert np.all(np.isfinite(out.u))
+            assert out.session_state in (ACTIVE, DEGRADED)
+        for _ in range(4):
+            session.step(X)
+        assert session.state == ACTIVE

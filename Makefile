@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all bench serve-smoke chaos-smoke
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -28,3 +28,17 @@ serve-smoke:
 # must pass every recovery invariant (non-zero exit otherwise).
 chaos-smoke:
 	$(REPRO) chaos --robot cartpole --schedule smoke --sessions 3 --ticks 30 --seed 0
+
+# Differential conformance smoke: a small seeded budget covering every robot
+# and every registered numeric path must sit within the golden tolerance
+# ledger (conform/tolerances.json); failures shrink to replayable files
+# under conform/failures/ and exit non-zero.
+conform-smoke:
+	$(REPRO) conform run --cases 12 --seed 0 --out-dir conform/failures
+
+# Fast lane under coverage with the CI floor (requires pytest-cov, which the
+# CI workflow installs; not part of the core dev dependencies).  The floor
+# sits just below the measured fast-lane statement coverage (~91%) so any
+# sizeable untested addition fails CI without flaking on small diffs.
+test-cov:
+	$(PYTEST) -q -m "not slow" --cov=repro --cov-fail-under=$(or $(COV_FLOOR),85)

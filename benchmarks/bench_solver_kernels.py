@@ -7,6 +7,7 @@ the triangular substitutions, and one full QP interior-point solve.
 
 import numpy as np
 import pytest
+from conftest import make_rng
 
 from repro.mpc import cholesky, cholesky_solve, forward_substitution
 from repro.mpc.qp import solve_qp
@@ -14,7 +15,7 @@ from repro.robots import build_benchmark
 
 
 def spd(n, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     A = rng.normal(size=(n, n))
     return A @ A.T + n * np.eye(n)
 
@@ -55,7 +56,7 @@ def test_banded_cholesky_asymptotics(benchmark):
     from repro.mpc.banded import banded_cholesky, to_banded
 
     n, band = 256, 8
-    rng = np.random.default_rng(9)
+    rng = make_rng(9)
     A = np.zeros((n, n))
     for d in range(1, band + 1):
         vals = rng.uniform(-1.0, 1.0, size=n - d)
@@ -94,7 +95,7 @@ def test_full_mpc_iteration(benchmark):
 
 
 def banded_spd(n, band, seed=9):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     A = np.zeros((n, n))
     for off in range(1, band + 1):
         vals = rng.uniform(-1.0, 1.0, size=n - off)

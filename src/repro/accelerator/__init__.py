@@ -20,6 +20,8 @@ from repro.accelerator.fixedpoint import (
     FXP_MIN,
     SCALE,
     WORD_BITS,
+    FixedPointFormat,
+    Q14_17,
     from_fixed,
     fxp_add,
     fxp_div,
@@ -53,6 +55,8 @@ __all__ = [
     "SCALE",
     "FXP_MAX",
     "FXP_MIN",
+    "FixedPointFormat",
+    "Q14_17",
     "LookupTable",
     "LUTBank",
     "DEFAULT_LUT_ENTRIES",
@@ -75,12 +79,14 @@ def simulate_phase(
     cus_per_cc: int = 4,
     compute_enabled_interconnect: bool = True,
     lut_entries: int = DEFAULT_LUT_ENTRIES,
+    fmt: FixedPointFormat = Q14_17,
 ) -> Tuple[SimulationResult, Dict[str, float]]:
     """Run one expression phase of a transcribed problem on the simulator.
 
     Returns ``(simulation_result, float_reference)`` where the reference is
     the double-precision evaluation of the same expressions, keyed by the
     same output labels, so callers can quantify the fixed-point error.
+    ``fmt`` selects the datapath word/fraction widths (default Q14.17).
 
     Only ``"dynamics"`` is wired for reference comparison (its outputs map
     one-to-one onto the model's state derivatives); other phases still run
@@ -100,7 +106,7 @@ def simulate_phase(
 
     if inputs is None:
         inputs = {name: 0.1 for name in program.input_slots}
-    sim = AcceleratorSimulator(lut_entries=lut_entries)
+    sim = AcceleratorSimulator(lut_entries=lut_entries, fmt=fmt)
     result = sim.run(program, inputs)
 
     reference: Dict[str, float] = {}

@@ -1,15 +1,24 @@
-"""32-bit fixed-point arithmetic with 17 fractional bits.
+"""Parameterizable fixed-point arithmetic (default: 32 bits, 17 fractional).
 
 §VIII-A: "From our empirical study, we found 32-bit fixed-point with 17
 fractional bits and 4096-entry LUTs were sufficient to make the effects on
-convergence negligible."  This module implements that datapath: Q14.17
-(1 sign + 14 integer + 17 fractional bits), with saturating add/sub/mul/div
-as a hardware ALU would behave.  All operations work on Python ints or NumPy
-int64 arrays holding the raw fixed-point words.
+convergence negligible."  This module implements that datapath as the
+default :data:`Q14_17` instance of :class:`FixedPointFormat` (1 sign + 14
+integer + 17 fractional bits), with saturating add/sub/mul/div as a hardware
+ALU would behave.  All operations work on Python ints or NumPy int64 arrays
+holding the raw fixed-point words.
+
+Other word/fraction widths — the design-space axis the paper sweeps for its
+precision study — are expressed as further ``FixedPointFormat`` instances;
+the LUT bank, the accelerator simulator, and the conformance harness accept
+a format so the same program can be replayed at any width.  The module-level
+functions (``to_fixed``, ``fxp_add``, ...) remain the Q14.17 fast path that
+existing callers use.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Union
 
 import numpy as np
@@ -17,6 +26,8 @@ import numpy as np
 from repro.errors import FixedPointError
 
 __all__ = [
+    "FixedPointFormat",
+    "Q14_17",
     "FRACTION_BITS",
     "WORD_BITS",
     "SCALE",
@@ -41,6 +52,144 @@ FXP_MIN = -(1 << (WORD_BITS - 1))
 _Number = Union[int, np.ndarray]
 
 
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format: Q(w-f-1).f.
+
+    ``word_bits`` is the total word width (including the sign bit) and
+    ``fraction_bits`` the number of fractional bits.  All arithmetic
+    saturates at the word boundaries, matching the modeled ALU.  The
+    evaluated RoboX design point is :data:`Q14_17`; other widths support
+    the precision design-space sweep and the conformance harness's
+    configurable-width accelerator path.
+    """
+
+    word_bits: int = WORD_BITS
+    fraction_bits: int = FRACTION_BITS
+
+    def __post_init__(self):
+        if not 2 <= self.word_bits <= 62:
+            # 62, not 64: products are formed in int64, so the raw word must
+            # leave headroom for the sign during widening multiplies.
+            raise FixedPointError(
+                f"word_bits must lie in [2, 62], got {self.word_bits}"
+            )
+        if not 1 <= self.fraction_bits <= self.word_bits - 1:
+            raise FixedPointError(
+                f"fraction_bits must lie in [1, word_bits - 1], got "
+                f"{self.fraction_bits} for a {self.word_bits}-bit word"
+            )
+
+    # -- derived constants -------------------------------------------------
+    @property
+    def scale(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        return (1 << (self.word_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        return -(1 << (self.word_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable float value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable float value."""
+        return self.min_raw / self.scale
+
+    def resolution(self) -> float:
+        """Smallest representable increment (2^-fraction_bits)."""
+        return 1.0 / self.scale
+
+    def __str__(self) -> str:
+        return f"Q{self.word_bits - self.fraction_bits - 1}.{self.fraction_bits}"
+
+    # -- conversions -------------------------------------------------------
+    def saturate(self, raw: _Number) -> _Number:
+        if isinstance(raw, np.ndarray):
+            return np.clip(raw, self.min_raw, self.max_raw)
+        return max(self.min_raw, min(self.max_raw, raw))
+
+    def to_fixed(self, value) -> _Number:
+        """Quantize a float (or array) to the raw representation.
+
+        Values outside the representable range saturate, as the hardware
+        would; non-finite values are rejected.
+        """
+        if isinstance(value, np.ndarray):
+            if not np.all(np.isfinite(value)):
+                raise FixedPointError("cannot quantize non-finite values")
+            raw = np.round(value * self.scale).astype(np.int64)
+            return self.saturate(raw)
+        if not np.isfinite(value):
+            raise FixedPointError(f"cannot quantize non-finite value {value!r}")
+        return int(self.saturate(int(round(float(value) * self.scale))))
+
+    def from_fixed(self, raw: _Number) -> Union[float, np.ndarray]:
+        """Convert raw word(s) back to float."""
+        if isinstance(raw, np.ndarray):
+            return raw.astype(np.float64) / self.scale
+        return float(raw) / self.scale
+
+    # -- saturating ALU ops -------------------------------------------------
+    def add(self, a: _Number, b: _Number) -> _Number:
+        return self.saturate(a + b)
+
+    def sub(self, a: _Number, b: _Number) -> _Number:
+        return self.saturate(a - b)
+
+    def neg(self, a: _Number) -> _Number:
+        return self.saturate(-a)
+
+    def mul(self, a: _Number, b: _Number) -> _Number:
+        """Fixed-point multiply: (a * b) >> fraction_bits with rounding."""
+        f = self.fraction_bits
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+            rounded = (wide + (1 << (f - 1))) >> f
+            return self.saturate(rounded)
+        wide = int(a) * int(b)
+        rounded = (wide + (1 << (f - 1))) >> f
+        return int(self.saturate(rounded))
+
+    def div(self, a: _Number, b: _Number) -> _Number:
+        """Fixed-point divide: (a << fraction_bits) / b, truncating toward zero.
+
+        Division by zero saturates to the sign-appropriate extreme (hardware
+        behavior), rather than raising.
+        """
+        f = self.fraction_bits
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            a_b, b_b = np.broadcast_arrays(
+                np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+            )
+            zero = b_b == 0
+            safe_b = np.where(zero, 1, b_b)
+            # Truncating division on the widened numerator (Python-style floor
+            # division would skew negative quotients).
+            numer = a_b << f
+            quotient = np.sign(numer) * np.sign(safe_b) * (
+                np.abs(numer) // np.abs(safe_b)
+            )
+            quotient[zero & (a_b >= 0)] = self.max_raw
+            quotient[zero & (a_b < 0)] = self.min_raw
+            return self.saturate(quotient)
+        if b == 0:
+            return self.max_raw if a >= 0 else self.min_raw
+        quotient = int((int(a) << f) / b)  # true division, truncated
+        return int(self.saturate(quotient))
+
+
+#: The paper's evaluated design point: 32-bit words, 17 fractional bits.
+Q14_17 = FixedPointFormat(WORD_BITS, FRACTION_BITS)
+
+
 def resolution() -> float:
     """Smallest representable increment (2^-17 ~ 7.6e-6)."""
     return 1.0 / SCALE
@@ -57,21 +206,12 @@ def to_fixed(value) -> _Number:
 
     Values outside the representable range saturate, as the hardware would.
     """
-    if isinstance(value, np.ndarray):
-        if not np.all(np.isfinite(value)):
-            raise FixedPointError("cannot quantize non-finite values")
-        raw = np.round(value * SCALE).astype(np.int64)
-        return _saturate(raw)
-    if not np.isfinite(value):
-        raise FixedPointError(f"cannot quantize non-finite value {value!r}")
-    return int(_saturate(int(round(float(value) * SCALE))))
+    return Q14_17.to_fixed(value)
 
 
 def from_fixed(raw: _Number) -> Union[float, np.ndarray]:
     """Convert raw Q14.17 word(s) back to float."""
-    if isinstance(raw, np.ndarray):
-        return raw.astype(np.float64) / SCALE
-    return float(raw) / SCALE
+    return Q14_17.from_fixed(raw)
 
 
 def fxp_add(a: _Number, b: _Number) -> _Number:
@@ -88,13 +228,7 @@ def fxp_neg(a: _Number) -> _Number:
 
 def fxp_mul(a: _Number, b: _Number) -> _Number:
     """Fixed-point multiply: (a * b) >> FRACTION_BITS with rounding."""
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
-        rounded = (wide + (1 << (FRACTION_BITS - 1))) >> FRACTION_BITS
-        return _saturate(rounded)
-    wide = int(a) * int(b)
-    rounded = (wide + (1 << (FRACTION_BITS - 1))) >> FRACTION_BITS
-    return int(_saturate(rounded))
+    return Q14_17.mul(a, b)
 
 
 def fxp_div(a: _Number, b: _Number) -> _Number:
@@ -103,22 +237,4 @@ def fxp_div(a: _Number, b: _Number) -> _Number:
     Division by zero saturates to the sign-appropriate extreme (hardware
     behavior), rather than raising.
     """
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        a_b, b_b = np.broadcast_arrays(
-            np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
-        )
-        zero = b_b == 0
-        safe_b = np.where(zero, 1, b_b)
-        # Truncating division on the widened numerator (Python-style floor
-        # division would skew negative quotients).
-        numer = a_b << FRACTION_BITS
-        quotient = np.sign(numer) * np.sign(safe_b) * (
-            np.abs(numer) // np.abs(safe_b)
-        )
-        quotient[zero & (a_b >= 0)] = FXP_MAX
-        quotient[zero & (a_b < 0)] = FXP_MIN
-        return _saturate(quotient)
-    if b == 0:
-        return FXP_MAX if a >= 0 else FXP_MIN
-    quotient = int((int(a) << FRACTION_BITS) / b)  # true division, truncated
-    return int(_saturate(quotient))
+    return Q14_17.div(a, b)

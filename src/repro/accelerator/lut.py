@@ -17,7 +17,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.accelerator.fixedpoint import from_fixed, to_fixed
+from repro.accelerator.fixedpoint import Q14_17, FixedPointFormat
 from repro.errors import AcceleratorError
 
 __all__ = ["LookupTable", "LUTBank", "DEFAULT_LUT_ENTRIES"]
@@ -79,8 +79,13 @@ class LUTBank:
     the compiler (a CU is only assigned the nonlinears its two tables hold).
     """
 
-    def __init__(self, entries: int = DEFAULT_LUT_ENTRIES):
+    def __init__(
+        self,
+        entries: int = DEFAULT_LUT_ENTRIES,
+        fmt: FixedPointFormat = Q14_17,
+    ):
         self.entries = entries
+        self.fmt = fmt
         two_pi = 2.0 * math.pi
         self.tables: Dict[str, LookupTable] = {
             "sin": LookupTable("sin", math.sin, (0.0, two_pi), entries),
@@ -148,4 +153,4 @@ class LUTBank:
 
     def evaluate_fixed(self, func: str, raw: int) -> int:
         """Fixed-point in, fixed-point out (the CU datapath view)."""
-        return to_fixed(self.evaluate(func, from_fixed(raw)))
+        return self.fmt.to_fixed(self.evaluate(func, self.fmt.from_fixed(raw)))

@@ -25,15 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.accelerator.fixedpoint import (
-    from_fixed,
-    fxp_add,
-    fxp_div,
-    fxp_mul,
-    fxp_neg,
-    fxp_sub,
-    to_fixed,
-)
+from repro.accelerator.fixedpoint import Q14_17, FixedPointFormat
 from repro.accelerator.lut import DEFAULT_LUT_ENTRIES, LUTBank
 from repro.accelerator.program import (
     BusTransfer,
@@ -76,8 +68,10 @@ class AcceleratorSimulator:
         lut_entries: int = DEFAULT_LUT_ENTRIES,
         bandwidth_bytes_per_cycle: float = 16.0,
         max_cycles: int = 10_000_000,
+        fmt: FixedPointFormat = Q14_17,
     ):
-        self.lut = LUTBank(lut_entries)
+        self.fmt = fmt
+        self.lut = LUTBank(lut_entries, fmt=fmt)
         self.bandwidth = bandwidth_bytes_per_cycle
         self.max_cycles = max_cycles
 
@@ -101,7 +95,7 @@ class AcceleratorSimulator:
         if missing:
             raise AcceleratorError(f"missing program inputs: {missing}")
         for name, (cu, slot) in program.input_slots.items():
-            value[cu][slot] = to_fixed(float(inputs[name]))
+            value[cu][slot] = self.fmt.to_fixed(float(inputs[name]))
             ready[cu][slot] = 0
         memory_cycles = math.ceil(
             len(program.input_slots) * 4 / self.bandwidth
@@ -242,7 +236,7 @@ class AcceleratorSimulator:
             for name, (cu, slot) in program.output_slots.items()
         }
         return SimulationResult(
-            outputs={k: from_fixed(v) for k, v in outputs_raw.items()},
+            outputs={k: self.fmt.from_fixed(v) for k, v in outputs_raw.items()},
             outputs_raw=outputs_raw,
             cycles=cycle,
             memory_cycles=memory_cycles,
@@ -253,20 +247,21 @@ class AcceleratorSimulator:
 
     # ---------------------------------------------------------------------------
     def _execute(self, op: CUOp, regs: List[int]) -> int:
+        fmt = self.fmt
         operands = [regs[s] for s in op.srcs]
         if op.imm is not None:
-            operands.append(to_fixed(op.imm))
+            operands.append(fmt.to_fixed(op.imm))
         name = op.op
         if name == "mov":
             return operands[0]
         if name == "neg":
-            return fxp_neg(operands[0])
+            return fmt.neg(operands[0])
         if name in ("add", "sub", "mul", "div"):
             if len(operands) != 2:
                 raise AcceleratorError(
                     f"{name} needs 2 operands, got {len(operands)}"
                 )
-            fn = {"add": fxp_add, "sub": fxp_sub, "mul": fxp_mul, "div": fxp_div}[
+            fn = {"add": fmt.add, "sub": fmt.sub, "mul": fmt.mul, "div": fmt.div}[
                 name
             ]
             return fn(operands[0], operands[1])
@@ -274,8 +269,12 @@ class AcceleratorSimulator:
             # pow lowers to exp/log in general; integer powers were expanded
             # by the translator, so only the LUT path remains.
             base, exponent = operands
-            return to_fixed(
-                self.lut.evaluate("exp", from_fixed(exponent) * math.log(max(from_fixed(base), 1e-9)))
+            return fmt.to_fixed(
+                self.lut.evaluate(
+                    "exp",
+                    fmt.from_fixed(exponent)
+                    * math.log(max(fmt.from_fixed(base), 1e-9)),
+                )
             )
         # Nonlinear via LUT.
         if len(operands) != 1:
@@ -287,12 +286,12 @@ class AcceleratorSimulator:
         if agg.func == "add":
             acc = vals[0]
             for v in vals[1:]:
-                acc = fxp_add(acc, v)
+                acc = self.fmt.add(acc, v)
             return acc
         if agg.func == "mul":
             acc = vals[0]
             for v in vals[1:]:
-                acc = fxp_mul(acc, v)
+                acc = self.fmt.mul(acc, v)
             return acc
         if agg.func == "min":
             return min(vals)

@@ -21,6 +21,13 @@ Commands
     schedule of sensor/solver/serve faults against a live fleet, followed
     by recovery-invariant checks.  Exits non-zero when any invariant
     fails (the chaos-smoke gate).
+``conform``
+    Differential conformance harness (see :mod:`repro.conform`):
+    ``conform run`` sweeps randomized cases through every registered
+    numeric path against the tolerance ledger (exits non-zero on any
+    disagreement; failing cases are shrunk and serialized), ``conform
+    replay FILE`` re-runs a serialized failure, ``conform paths`` lists
+    the registered paths.
 """
 
 from __future__ import annotations
@@ -199,7 +206,161 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable report instead of the text summary",
     )
 
+    p_conform = sub.add_parser(
+        "conform",
+        help="differential conformance harness over the numeric paths",
+    )
+    conform_sub = p_conform.add_subparsers(dest="conform_command", required=True)
+
+    c_run = conform_sub.add_parser(
+        "run", help="sweep randomized cases through the registered paths"
+    )
+    c_run.add_argument(
+        "--cases", type=int, default=25, help="case budget (default 25)"
+    )
+    c_run.add_argument("--seed", type=int, default=0, help="generator seed")
+    c_run.add_argument(
+        "--paths",
+        default=None,
+        help="comma-separated path names (default: all registered; see "
+        "`repro conform paths`)",
+    )
+    c_run.add_argument(
+        "--robots",
+        default=None,
+        help="comma-separated benchmark names, case-insensitive "
+        "(default: the six Table III robots plus CartPole)",
+    )
+    c_run.add_argument(
+        "--fxp-bits",
+        default=None,
+        metavar="WORD:FRACTION",
+        help="fixed-point width for the accelerator path, e.g. 32:17 "
+        "(default: the paper's Q14.17)",
+    )
+    c_run.add_argument(
+        "--ledger", default=None, help="tolerance ledger path override"
+    )
+    c_run.add_argument(
+        "--out-dir",
+        default="conform/failures",
+        help="directory for shrunk failure repro files",
+    )
+    c_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="serialize failing cases without shrinking them first",
+    )
+    c_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the text summary",
+    )
+
+    c_replay = conform_sub.add_parser(
+        "replay", help="re-run a serialized failure case file"
+    )
+    c_replay.add_argument("file", help="repro JSON written by `conform run`")
+    c_replay.add_argument(
+        "--ledger", default=None, help="tolerance ledger path override"
+    )
+    c_replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable outcome instead of the text summary",
+    )
+
+    conform_sub.add_parser("paths", help="list the registered numeric paths")
+
     return parser
+
+
+def _parse_fxp_bits(spec):
+    from repro.accelerator import FixedPointFormat, Q14_17
+
+    if not spec:
+        return Q14_17
+    try:
+        word, _, fraction = spec.partition(":")
+        return FixedPointFormat(int(word), int(fraction))
+    except ValueError:
+        raise SystemExit(
+            f"invalid --fxp-bits {spec!r}; expected WORD:FRACTION, e.g. 32:17"
+        )
+
+
+def _cmd_conform(args) -> int:
+    from repro.conform import path_names, replay_file, run_conformance
+    from repro.errors import ReproError
+    from repro.robots import resolve
+
+    if args.conform_command == "paths":
+        from repro.conform import PATHS
+
+        for name, path in PATHS.items():
+            tag = " [baseline]" if path.baseline else ""
+            print(f"{name:15s} {path.family:9s} {path.description}{tag}")
+        return 0
+
+    if args.conform_command == "replay":
+        try:
+            outcome = replay_file(args.file, ledger_path=args.ledger)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(outcome.to_dict(), indent=2))
+        else:
+            print(f"{outcome.case.case_id}: {outcome.status}")
+            for c in outcome.comparisons:
+                mark = "ok " if c.ok else "FAIL"
+                print(
+                    f"  {mark} {c.path:15s} err={c.error:9.3e} "
+                    f"tol={c.tolerance:9.3e}"
+                    + (f"  ({c.note})" if c.note else "")
+                )
+        return 0 if outcome.status in ("pass", "infeasible") else 1
+
+    # conform run
+    try:
+        paths = (
+            [p.strip() for p in args.paths.split(",") if p.strip()]
+            if args.paths
+            else None
+        )
+        robots = (
+            [resolve(r.strip()) for r in args.robots.split(",") if r.strip()]
+            if args.robots
+            else None
+        )
+        if paths is not None:
+            known = set(path_names())
+            unknown = [p for p in paths if p not in known]
+            if unknown:
+                print(
+                    f"unknown path(s) {', '.join(unknown)}; registered: "
+                    f"{', '.join(sorted(known))}",
+                    file=sys.stderr,
+                )
+                return 2
+        report = run_conformance(
+            n_cases=args.cases,
+            seed=args.seed,
+            robots=robots,
+            paths=paths,
+            ledger_path=args.ledger,
+            fmt=_parse_fxp_bits(args.fxp_bits),
+            shrink=not args.no_shrink,
+            out_dir=args.out_dir,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_list() -> int:
@@ -478,6 +639,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_sim(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "conform":
+        return _cmd_conform(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

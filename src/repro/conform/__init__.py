@@ -1,0 +1,80 @@
+"""Differential conformance harness: every numeric path vs. its oracle.
+
+The repo carries several independent implementations of the same math —
+dense vs. banded KKT solves, the hand-written IPM vs. the reference
+log-barrier method, double-precision dynamics vs. the fixed-point
+accelerator simulator vs. the DSL-compiled twins.  This package
+cross-checks all of them on seeded, randomized-but-feasible problem
+instances, with per-path/per-robot tolerances pinned in the checked-in
+ledger ``conform/tolerances.json`` and automatic shrinking + replay files
+for every disagreement.
+
+Entry points: :func:`run_conformance` / :func:`replay_file` (library),
+``repro conform run|replay|paths`` (CLI), ``tests/test_conformance.py``
+(pytest; fast lane small budget, ``slow`` lane full sweep).
+"""
+
+from repro.conform.cases import (
+    CASE_HORIZONS,
+    DEFAULT_ROBOTS,
+    ConformanceCase,
+    generate_cases,
+)
+from repro.conform.ledger import (
+    default_ledger_path,
+    load_ledger,
+    relative_error,
+    save_ledger,
+    tolerance_for,
+)
+from repro.conform.paths import (
+    FAMILY_BASELINES,
+    PATHS,
+    CaseContext,
+    NumericPath,
+    PathOutput,
+    get_path,
+    path_names,
+    supported_paths,
+)
+from repro.conform.runner import (
+    FORMAT_VERSION,
+    CaseOutcome,
+    ConformanceReport,
+    PathComparison,
+    replay_file,
+    run_case,
+    run_conformance,
+    write_failure_file,
+)
+from repro.conform.shrink import SHRINK_TRANSFORMS, shrink_case
+
+__all__ = [
+    "ConformanceCase",
+    "generate_cases",
+    "DEFAULT_ROBOTS",
+    "CASE_HORIZONS",
+    "CaseContext",
+    "NumericPath",
+    "PathOutput",
+    "PATHS",
+    "FAMILY_BASELINES",
+    "path_names",
+    "get_path",
+    "supported_paths",
+    "default_ledger_path",
+    "load_ledger",
+    "save_ledger",
+    "tolerance_for",
+    "relative_error",
+    "PathComparison",
+    "CaseOutcome",
+    "ConformanceReport",
+    "FORMAT_VERSION",
+    "run_case",
+    "run_conformance",
+    "replay_file",
+    "write_failure_file",
+    "shrink_case",
+    "SHRINK_TRANSFORMS",
+]

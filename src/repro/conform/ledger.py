@@ -1,0 +1,98 @@
+"""The golden tolerance ledger: reviewed, per-path, per-robot bounds.
+
+Conformance comparisons never use ad-hoc tolerances.  Every (path, robot)
+pair resolves through ``conform/tolerances.json`` at the repository root —
+a checked-in artifact, so *any* drift in cross-path agreement shows up as
+an explicit diff in review, never as a silently loosened constant.
+
+Ledger shape::
+
+    {
+      "banded_kkt": {"default": 1e-8, "Manipulator": 1e-7},
+      "accel_sim":  {"default": 0.002, "AutoVehicle": 1.0},
+      ...
+    }
+
+Keys under a path are canonical robot names, plus the required ``default``.
+Tolerances bound the *relative* disagreement ``max|a - b| / (1 + max|b|)``
+against the family baseline ``b``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ConformanceError
+
+__all__ = [
+    "default_ledger_path",
+    "load_ledger",
+    "save_ledger",
+    "tolerance_for",
+    "relative_error",
+]
+
+Ledger = Dict[str, Dict[str, float]]
+
+
+def default_ledger_path() -> Path:
+    """``conform/tolerances.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "conform" / "tolerances.json"
+
+
+def load_ledger(path: Union[str, Path, None] = None) -> Ledger:
+    p = Path(path) if path is not None else default_ledger_path()
+    if not p.exists():
+        raise ConformanceError(f"tolerance ledger not found at {p}")
+    try:
+        raw = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConformanceError(f"malformed tolerance ledger {p}: {exc}") from None
+    if not isinstance(raw, dict):
+        raise ConformanceError(f"tolerance ledger {p} must be a JSON object")
+    ledger: Ledger = {}
+    for path_name, entry in raw.items():
+        if not isinstance(entry, dict) or "default" not in entry:
+            raise ConformanceError(
+                f"ledger entry for {path_name!r} must be an object with a "
+                "'default' tolerance"
+            )
+        ledger[path_name] = {k: float(v) for k, v in entry.items()}
+    return ledger
+
+
+def save_ledger(ledger: Ledger, path: Union[str, Path, None] = None) -> Path:
+    p = Path(path) if path is not None else default_ledger_path()
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def tolerance_for(ledger: Ledger, path_name: str, robot: str) -> float:
+    """Resolve the bound for ``(path_name, robot)``; robot key wins over
+    ``default``; a missing path entry is an error (a new path must bring a
+    reviewed ledger entry, not inherit a silent one)."""
+    entry = ledger.get(path_name)
+    if entry is None:
+        raise ConformanceError(
+            f"no tolerance ledger entry for path {path_name!r}; add one to "
+            "conform/tolerances.json"
+        )
+    return float(entry.get(robot, entry["default"]))
+
+
+def relative_error(values, baseline) -> float:
+    """``max|a - b| / (1 + max|b|)`` — the ledger's comparison metric."""
+    import numpy as np
+
+    a = np.asarray(values, dtype=float)
+    b = np.asarray(baseline, dtype=float)
+    if a.shape != b.shape:
+        return float("inf")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)) / (1.0 + np.max(np.abs(b))))

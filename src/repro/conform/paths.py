@@ -1,0 +1,403 @@
+"""The registry of comparable numeric paths and the shared case context.
+
+Every registered :class:`NumericPath` computes the *same* mathematical
+object as the other members of its family, through a different
+implementation:
+
+``qp`` family — solve the case's first SQP subproblem (the extended,
+stage-permuted QP produced by :meth:`InteriorPointSolver.first_qp_subproblem`):
+
+* ``dense_kkt`` (baseline): Mehrotra predictor-corrector IPM, dense
+  factorizations.
+* ``banded_kkt``: same IPM routed through the stage-interleaved banded
+  kernels (PR 1's hot path).
+* ``reference_qp``: the independent dense log-barrier method from
+  :mod:`repro.baselines.reference_solver` — a different *algorithm*, so
+  agreement is meaningful.
+
+``dynamics`` family — evaluate the discretized step function at a random
+point near the benchmark's operating state:
+
+* ``float_dynamics`` (baseline): the compiled double-precision step.
+* ``accel_sim``: the same expressions translated/mapped/assembled onto the
+  accelerator and executed by the cycle simulator in fixed point (width
+  configurable via :class:`FixedPointFormat`).
+* ``dsl_dynamics``: the DSL-compiled twin model (MobileRobot, Quadrotor)
+  discretized identically — the frontend-vs-handwritten cross-check.
+
+Paths never see each other's outputs; the runner compares each path against
+its family baseline through the tolerance ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.fixedpoint import FixedPointFormat, Q14_17
+from repro.baselines.reference_solver import (
+    reference_qp_objective,
+    reference_solve_qp,
+)
+from repro.conform.cases import ConformanceCase
+from repro.conform.ledger import relative_error
+from repro.errors import BaselineError, ConformanceError
+from repro.mpc.qp import QPOptions, solve_qp
+from repro.mpc.task import Task
+from repro.mpc.transcription import TranscribedProblem
+from repro.robots.registry import build_benchmark
+
+__all__ = [
+    "CaseContext",
+    "PathOutput",
+    "NumericPath",
+    "PATHS",
+    "FAMILY_BASELINES",
+    "path_names",
+    "get_path",
+    "supported_paths",
+    "compare_outputs",
+]
+
+#: Paths with DSL twins (the only benchmarks with a maintained DSL source
+#: that compiles to the same model).
+_DSL_TWINS = ("MobileRobot", "Quadrotor")
+
+# The DSL toolchain compiles + transcribes a twin per robot; cache it —
+# the twin is immutable and identical across cases.
+_TWIN_CACHE: Dict[str, TranscribedProblem] = {}
+
+
+class CaseContext:
+    """Everything the paths of one case share, built once per case.
+
+    Deterministic in ``case``: all randomness flows from
+    ``default_rng(case.seed)`` in a fixed draw order.
+    """
+
+    def __init__(self, case: ConformanceCase, fmt: FixedPointFormat = Q14_17):
+        self.case = case
+        self.fmt = fmt
+        bench = build_benchmark(case.robot)
+        self.bench = bench
+        rng = np.random.default_rng(case.seed)
+
+        task = bench.task
+        if case.weight_scale != 1.0 or case.drop_constraints:
+            task = Task(
+                task.name,
+                task.model,
+                tuple(
+                    dc_replace(p, weight=p.weight * case.weight_scale)
+                    for p in task.penalties
+                ),
+                () if case.drop_constraints else task.constraints,
+                task.references,
+                task.meta,
+            )
+        self.problem = TranscribedProblem(
+            bench.model, task, horizon=case.horizon, dt=bench.dt
+        )
+
+        x0 = np.asarray(bench.x0, dtype=float).copy()
+        if case.x0_scale:
+            x0 = x0 + case.x0_scale * rng.standard_normal(x0.shape) * (
+                1.0 + np.abs(x0)
+            )
+        self.x0 = x0
+
+        ref = np.asarray(bench.ref, dtype=float).copy()
+        if ref.size and case.ref_scale:
+            ref = ref + case.ref_scale * rng.standard_normal(ref.shape) * (
+                1.0 + np.abs(ref)
+            )
+        self.ref = ref
+
+        z_warm = None
+        if case.warm:
+            z_warm = self.problem.initial_guess(x0)
+            z_warm = z_warm + 0.02 * rng.standard_normal(
+                z_warm.shape
+            ) * self.problem.variable_scales()
+        self.z_warm = z_warm
+
+        self.solver = bench.make_solver(self.problem)
+        self.qp_args, self.qperm = self.solver.first_qp_subproblem(
+            x0, ref, z_warm=z_warm
+        )
+        # Cold-start subproblems are hard QPs; polish + iteration headroom
+        # mirror the banded/dense equivalence tests.  Conformance runs at
+        # 1e-6, a tolerance every implementation reaches robustly on the
+        # randomized instances — at 1e-8 the banded factorization stalls on
+        # occasional ill-conditioned draws, which is a *robustness* envelope
+        # (owned by the curated equivalence tests), not a correctness
+        # disagreement.
+        self.qp_options = dc_replace(
+            self.solver.options.qp,
+            polish=True,
+            max_iterations=400,
+            tolerance=1e-6,
+        )
+
+        # Dynamics evaluation point: named values for every model variable,
+        # near the operating state (far-field points amplify fixed-point
+        # quantization into meaningless comparisons).
+        point: Dict[str, float] = {}
+        for i, name in enumerate(bench.model.state_names):
+            point[name] = float(
+                x0[i] + 0.05 * rng.standard_normal() * (1.0 + abs(x0[i]))
+            )
+        for name in bench.model.input_names:
+            point[name] = float(0.1 + 0.05 * rng.standard_normal())
+        self.dyn_point = point
+
+
+@dataclass
+class PathOutput:
+    """What one path produced for one case."""
+
+    values: np.ndarray
+    converged: bool = True
+    note: str = ""
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class NumericPath:
+    """A registered implementation of one family's computation."""
+
+    name: str
+    family: str  # "qp" | "dynamics"
+    description: str
+    run: Callable[[CaseContext], PathOutput]
+    supports: Callable[[ConformanceCase], bool] = lambda case: True
+    baseline: bool = False
+
+
+# ---------------------------------------------------------------------------
+# qp family
+# ---------------------------------------------------------------------------
+def _run_dense_kkt(ctx: CaseContext) -> PathOutput:
+    H, g, G, b, J, d, _bw = ctx.qp_args
+    res = solve_qp(H, g, G, b, J, d, ctx.qp_options)
+    return PathOutput(
+        values=res.x,
+        converged=bool(res.converged),
+        detail={"iterations": res.iterations, "residual": res.residual},
+    )
+
+
+def _run_banded_kkt(ctx: CaseContext) -> PathOutput:
+    H, g, G, b, J, d, bw = ctx.qp_args
+    res = solve_qp(H, g, G, b, J, d, ctx.qp_options, bandwidth=bw)
+    return PathOutput(
+        values=res.x,
+        converged=bool(res.converged),
+        note="" if bw is not None else "no bandwidth hint; ran dense",
+        detail={"iterations": res.iterations, "residual": res.residual},
+    )
+
+
+def _run_reference_qp(ctx: CaseContext) -> PathOutput:
+    H, g, G, b, J, d, _bw = ctx.qp_args
+    try:
+        x, _nu, _lam = reference_solve_qp(
+            H, g, G, b, J, d, tol=1e-9, max_iterations=600
+        )
+    except BaselineError as exc:
+        return PathOutput(values=np.zeros(g.shape), converged=False, note=str(exc))
+    return PathOutput(values=x)
+
+
+# ---------------------------------------------------------------------------
+# dynamics family
+# ---------------------------------------------------------------------------
+def _dyn_vector(ctx: CaseContext, variables: Tuple[str, ...]) -> np.ndarray:
+    missing = [v for v in variables if v not in ctx.dyn_point]
+    if missing:
+        raise ConformanceError(
+            f"dynamics evaluation point lacks variables {missing}"
+        )
+    return np.array([ctx.dyn_point[v] for v in variables], dtype=float)
+
+
+def _run_float_dynamics(ctx: CaseContext) -> PathOutput:
+    F = ctx.problem._F
+    vec = _dyn_vector(ctx, F.variables)
+    return PathOutput(values=np.asarray(F(vec), dtype=float))
+
+
+def _run_accel_sim(ctx: CaseContext) -> PathOutput:
+    from repro.accelerator import simulate_phase
+
+    result, _reference = simulate_phase(
+        ctx.problem, "dynamics", inputs=dict(ctx.dyn_point), fmt=ctx.fmt
+    )
+    # Output labels are node ids; the translator emits dynamics outputs in
+    # state order, so the id-sorted labels map positionally onto states.
+    labels = sorted(result.outputs, key=lambda s: int(s.replace("node", "")))
+    values = np.array([result.outputs[k] for k in labels], dtype=float)
+    return PathOutput(
+        values=values,
+        detail={"cycles": result.cycles, "format": str(ctx.fmt)},
+    )
+
+
+def _twin_problem(ctx: CaseContext) -> TranscribedProblem:
+    name = ctx.case.robot
+    if name not in _TWIN_CACHE:
+        from repro.robots import dsl_sources
+
+        loader = {
+            "MobileRobot": dsl_sources.load_mobile_robot,
+            "Quadrotor": dsl_sources.load_quadrotor,
+        }[name]
+        twin = loader()
+        # Same dt/integrator as the hand-written benchmark, so the compiled
+        # discrete steps are the same function up to frontend differences.
+        _TWIN_CACHE[name] = TranscribedProblem(
+            twin.model, twin.task, horizon=2, dt=ctx.bench.dt
+        )
+    return _TWIN_CACHE[name]
+
+
+def _run_dsl_dynamics(ctx: CaseContext) -> PathOutput:
+    twin = _twin_problem(ctx)
+    F = twin._F
+    vec = _dyn_vector(ctx, F.variables)
+    out = np.asarray(F(vec), dtype=float)
+    # Twin state ordering may differ from the hand-written model; map by name
+    # into the baseline (hand-written) state order.
+    twin_states = list(twin.model.state_names)
+    try:
+        order = [twin_states.index(n) for n in ctx.bench.model.state_names]
+    except ValueError as exc:
+        raise ConformanceError(
+            f"DSL twin for {ctx.case.robot} lacks a state: {exc}"
+        ) from None
+    return PathOutput(values=out[order])
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+PATHS: Dict[str, NumericPath] = {}
+
+FAMILY_BASELINES: Dict[str, str] = {
+    "qp": "dense_kkt",
+    "dynamics": "float_dynamics",
+}
+
+
+def _register(path: NumericPath) -> NumericPath:
+    if path.name in PATHS:
+        raise ConformanceError(f"duplicate path name {path.name!r}")
+    PATHS[path.name] = path
+    return path
+
+
+_register(
+    NumericPath(
+        name="dense_kkt",
+        family="qp",
+        description="Mehrotra IPM, dense KKT factorizations (oracle)",
+        run=_run_dense_kkt,
+        baseline=True,
+    )
+)
+_register(
+    NumericPath(
+        name="banded_kkt",
+        family="qp",
+        description="Mehrotra IPM through stage-interleaved banded kernels",
+        run=_run_banded_kkt,
+    )
+)
+_register(
+    NumericPath(
+        name="reference_qp",
+        family="qp",
+        description="independent dense log-barrier method (numpy linalg)",
+        run=_run_reference_qp,
+    )
+)
+_register(
+    NumericPath(
+        name="float_dynamics",
+        family="dynamics",
+        description="compiled double-precision discrete step (oracle)",
+        run=_run_float_dynamics,
+        baseline=True,
+    )
+)
+_register(
+    NumericPath(
+        name="accel_sim",
+        family="dynamics",
+        description="fixed-point accelerator simulator (configurable width)",
+        run=_run_accel_sim,
+    )
+)
+_register(
+    NumericPath(
+        name="dsl_dynamics",
+        family="dynamics",
+        description="DSL-compiled twin model's discrete step",
+        run=_run_dsl_dynamics,
+        supports=lambda case: case.robot in _DSL_TWINS,
+    )
+)
+
+
+def compare_outputs(
+    ctx: CaseContext, family: str, out: PathOutput, base: PathOutput
+) -> float:
+    """Disagreement between a path and its family baseline.
+
+    Dynamics family: plain relative error on the output vector.
+
+    QP family: ``min(primal gap, objective gap + feasibility defect)``.
+    Near a flat or weakly-unique optimum, two correct solvers legitimately
+    stop on different near-optimal points (primal gap ~1e-3 with objective
+    agreement ~1e-6); the objective term recognizes that, while the
+    feasibility defect stops a broken solver from "winning" the objective
+    by violating constraints.
+    """
+    err = relative_error(out.values, base.values)
+    if family != "qp":
+        return err
+    H, g, G, b, J, d, _bw = ctx.qp_args
+    x, xb = out.values, base.values
+    if x.shape != xb.shape or not np.all(np.isfinite(x)):
+        return err
+    f = reference_qp_objective(H, g, x)
+    fb = reference_qp_objective(H, g, xb)
+    defect = 0.0
+    if G is not None and G.shape[0]:
+        defect = max(defect, float(np.max(np.abs(G @ x - b))))
+    if J is not None and J.shape[0]:
+        defect = max(defect, float(np.max(np.maximum(J @ x - d, 0.0))))
+    alt = (abs(f - fb) + defect) / (1.0 + abs(fb))
+    return min(err, alt)
+
+
+def path_names() -> List[str]:
+    return list(PATHS)
+
+
+def get_path(name: str) -> NumericPath:
+    try:
+        return PATHS[name]
+    except KeyError:
+        raise ConformanceError(
+            f"unknown conformance path {name!r}; registered: {list(PATHS)}"
+        ) from None
+
+
+def supported_paths(case: ConformanceCase, names: Optional[List[str]] = None):
+    """The subset of ``names`` (default: all) applicable to ``case``."""
+    return [
+        PATHS[n] for n in (names or list(PATHS)) if get_path(n).supports(case)
+    ]

@@ -1,0 +1,96 @@
+"""Greedy shrinking of failing conformance cases.
+
+A raw failing case is noisy: warm-start perturbations, scaled weights, a
+long horizon.  The shrinker repeatedly applies simplifying transformations
+— halve the horizon, drop constraints, reset weights, disable the warm
+start, zero the perturbations — keeping each one only while the *same*
+disagreement persists, until a fixpoint (or the re-check budget runs out).
+The result is the smallest recipe in the transformation lattice that still
+reproduces the failure, which is what lands in the replay file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.conform.cases import ConformanceCase
+
+__all__ = ["shrink_case", "SHRINK_TRANSFORMS"]
+
+
+def _halve_horizon(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if case.horizon <= 2:
+        return None
+    return replace(case, horizon=max(2, case.horizon // 2))
+
+
+def _drop_constraints(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if case.drop_constraints:
+        return None
+    return replace(case, drop_constraints=True)
+
+
+def _reset_weights(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if case.weight_scale == 1.0:
+        return None
+    return replace(case, weight_scale=1.0)
+
+
+def _cold_start(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if not case.warm:
+        return None
+    return replace(case, warm=False)
+
+
+def _zero_ref(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if case.ref_scale == 0.0:
+        return None
+    return replace(case, ref_scale=0.0)
+
+
+def _zero_x0(case: ConformanceCase) -> Optional[ConformanceCase]:
+    if case.x0_scale == 0.0:
+        return None
+    return replace(case, x0_scale=0.0)
+
+
+#: Simplification order: structural reductions first (they shrink the
+#: problem the most), perturbation removal last.
+SHRINK_TRANSFORMS = (
+    _halve_horizon,
+    _drop_constraints,
+    _reset_weights,
+    _cold_start,
+    _zero_ref,
+    _zero_x0,
+)
+
+
+def shrink_case(
+    case: ConformanceCase,
+    still_fails: Callable[[ConformanceCase], bool],
+    max_checks: int = 24,
+) -> Tuple[ConformanceCase, int]:
+    """Greedily minimize ``case`` under the failure predicate.
+
+    ``still_fails`` re-runs the failing paths on a candidate; it is the
+    expensive part, so the loop is bounded by ``max_checks`` re-runs.
+    Returns ``(shrunk_case, checks_used)``; the input case is returned
+    unchanged when nothing simpler still fails.
+    """
+    checks = 0
+    changed = True
+    while changed and checks < max_checks:
+        changed = False
+        for transform in SHRINK_TRANSFORMS:
+            if checks >= max_checks:
+                break
+            candidate = transform(case)
+            if candidate is None:
+                continue
+            checks += 1
+            if still_fails(candidate):
+                case = candidate
+                changed = True
+    return case, checks

@@ -101,6 +101,11 @@ class BaselineError(ReproError):
     """Baseline platform model failure."""
 
 
+class ConformanceError(ReproError):
+    """Differential conformance harness failure (bad case, unknown path,
+    malformed tolerance ledger)."""
+
+
 class ServeError(ReproError):
     """Serving-runtime failure (session lifecycle, engine configuration)."""
 

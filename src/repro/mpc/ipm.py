@@ -272,7 +272,7 @@ class InteriorPointSolver:
             self._qp_bandwidth_ext,
         ), qperm
 
-    def first_qp_subproblem(self, x_init, ref=None):
+    def first_qp_subproblem(self, x_init, ref=None, z_warm=None):
         """QP data of the cold-start (first) SQP subproblem.
 
         Linearizes exactly like the first iteration of :meth:`solve`
@@ -281,11 +281,22 @@ class InteriorPointSolver:
         produced by the internal assembly — the banded-vs-dense benchmark
         and the equivalence tests feed ``qp_args`` to
         :func:`repro.mpc.qp.solve_qp` directly.
+
+        ``z_warm`` optionally supplies the linearization trajectory (shape
+        ``(nz,)``, finite); the conformance harness uses it to probe
+        linearizations away from the cold-start guess.
         """
         p = self.problem
         opt = self.options
         x_init = np.asarray(x_init, dtype=float)
-        z = p.initial_guess(x_init)
+        if z_warm is not None:
+            z = np.array(z_warm, dtype=float)
+            if z.shape != (p.nz,) or not np.all(np.isfinite(z)):
+                raise SolverError(
+                    f"z_warm must be a finite ({p.nz},) trajectory"
+                )
+        else:
+            z = p.initial_guess(x_init)
         z[p.state_slice(0)] = x_init
         m = p.n_ineq
         soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)

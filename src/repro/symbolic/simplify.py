@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.errors import SymbolicError
 from repro.symbolic.expr import OPS, Call, Const, Expr, Var, topological_order
 
 __all__ = ["simplify", "is_zero", "is_one"]
@@ -53,8 +54,10 @@ def _rewrite(node: Call, args) -> Expr:
     if all(isinstance(a, Const) for a in args):
         try:
             return Const(node.op.func(*(a.value for a in args)))
-        except (ZeroDivisionError, ValueError, OverflowError):
-            pass  # leave symbolic (e.g. 1/0): evaluation will raise later
+        except (ZeroDivisionError, ValueError, OverflowError, SymbolicError):
+            # Leave the node symbolic (e.g. 1/0, sqrt(-1)): definedness is
+            # evaluation's concern; simplification must never raise.
+            pass
 
     a = args[0]
     b = args[1] if len(args) > 1 else None

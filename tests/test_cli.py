@@ -195,3 +195,92 @@ class TestServeSim:
         assert doc["sessions"] == 1
         assert doc["crashed"] == []
         assert doc["metrics"]["fleet"]["steps"] == 1
+
+
+class TestConform:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["conform", "run"])
+        assert args.cases == 25 and args.seed == 0
+        assert args.paths is None and args.robots is None
+        assert args.out_dir == "conform/failures"
+        assert not args.no_shrink and not args.json
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conform"])
+
+    def test_paths_listing(self, capsys):
+        assert main(["conform", "paths"]) == 0
+        out = capsys.readouterr().out
+        assert "dense_kkt" in out and "[baseline]" in out
+        assert "accel_sim" in out
+
+    def test_run_small_budget(self, capsys, tmp_path):
+        code = main(
+            [
+                "conform",
+                "run",
+                "--cases",
+                "2",
+                "--seed",
+                "0",
+                "--robots",
+                "MobileRobot",
+                "--paths",
+                "dense_kkt,banded_kkt",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass=2" in out and "fail=0" in out
+
+    def test_run_json_report(self, capsys, tmp_path):
+        code = main(
+            [
+                "conform",
+                "run",
+                "--cases",
+                "1",
+                "--robots",
+                "CartPole",
+                "--paths",
+                "float_dynamics,accel_sim",
+                "--out-dir",
+                str(tmp_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["counts"]["pass"] == 1
+        assert doc["fixed_point"] == {"word_bits": 32, "fraction_bits": 17}
+
+    def test_run_unknown_path_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["conform", "run", "--paths", "warp_drive", "--out-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown path" in capsys.readouterr().err
+
+    def test_bad_fxp_bits_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "conform",
+                    "run",
+                    "--cases",
+                    "1",
+                    "--fxp-bits",
+                    "banana",
+                    "--out-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_replay_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["conform", "replay", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

@@ -1,5 +1,6 @@
 """Tests for the Q14.17 fixed-point datapath."""
 
+import dataclasses
 import math
 
 import numpy as np
@@ -11,6 +12,8 @@ from repro.accelerator import (
     FXP_MAX,
     FXP_MIN,
     SCALE,
+    FixedPointFormat,
+    Q14_17,
     from_fixed,
     fxp_add,
     fxp_div,
@@ -137,3 +140,113 @@ def test_property_div_accuracy(a, b):
 @settings(max_examples=300, deadline=None)
 def test_property_roundtrip_within_half_lsb(v):
     assert abs(from_fixed(to_fixed(v)) - v) <= 0.5 * resolution() + 1e-12
+
+
+class TestFormatValidation:
+    """FixedPointFormat is the design-space axis: widths must validate."""
+
+    def test_default_is_the_paper_design_point(self):
+        assert Q14_17.word_bits == 32 and Q14_17.fraction_bits == 17
+        assert str(Q14_17) == "Q14.17"
+        assert Q14_17.max_raw == FXP_MAX and Q14_17.min_raw == FXP_MIN
+
+    @pytest.mark.parametrize("word_bits", [1, 0, -4, 63, 64])
+    def test_word_bits_out_of_range(self, word_bits):
+        with pytest.raises(FixedPointError, match="word_bits"):
+            FixedPointFormat(word_bits, 1)
+
+    @pytest.mark.parametrize("word_bits,fraction_bits", [(32, 0), (32, 32), (8, 8), (8, 9)])
+    def test_fraction_bits_out_of_range(self, word_bits, fraction_bits):
+        with pytest.raises(FixedPointError, match="fraction_bits"):
+            FixedPointFormat(word_bits, fraction_bits)
+
+    def test_formats_are_frozen_and_hashable(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt == FixedPointFormat(16, 8)
+        assert hash(fmt) == hash(FixedPointFormat(16, 8))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fmt.word_bits = 32
+
+    def test_narrowest_and_widest_legal_formats(self):
+        tiny = FixedPointFormat(2, 1)  # 1 sign + 1 fraction bit
+        assert tiny.max_value == 0.5 and tiny.min_value == -1.0
+        wide = FixedPointFormat(62, 30)
+        v = 12345.6789
+        assert wide.from_fixed(wide.to_fixed(v)) == pytest.approx(
+            v, abs=wide.resolution()
+        )
+
+
+class TestRepresentableEdges:
+    """Boundary behavior: extremes, smallest step, and saturation."""
+
+    FMT = FixedPointFormat(16, 8)  # Q7.8: edges are easy to reason about
+
+    def test_largest_representable_round_trips_exactly(self):
+        fmt = self.FMT
+        assert fmt.to_fixed(fmt.max_value) == fmt.max_raw
+        assert fmt.from_fixed(fmt.max_raw) == fmt.max_value
+
+    def test_most_negative_representable_round_trips_exactly(self):
+        fmt = self.FMT
+        assert fmt.to_fixed(fmt.min_value) == fmt.min_raw
+        assert fmt.from_fixed(fmt.min_raw) == fmt.min_value
+
+    def test_one_lsb_beyond_the_edge_saturates(self):
+        fmt = self.FMT
+        assert fmt.to_fixed(fmt.max_value + fmt.resolution()) == fmt.max_raw
+        assert fmt.to_fixed(fmt.min_value - fmt.resolution()) == fmt.min_raw
+
+    def test_smallest_representable_increment(self):
+        fmt = self.FMT
+        assert fmt.to_fixed(fmt.resolution()) == 1
+        assert fmt.from_fixed(1) == fmt.resolution()
+        # Below half an LSB quantizes to exactly zero.
+        assert fmt.to_fixed(0.49 * fmt.resolution()) == 0
+        assert fmt.to_fixed(-0.49 * fmt.resolution()) == 0
+
+    def test_add_saturates_at_word_boundary(self):
+        fmt = self.FMT
+        assert fmt.add(fmt.max_raw, 1) == fmt.max_raw
+        assert fmt.sub(fmt.min_raw, 1) == fmt.min_raw
+
+    def test_neg_of_most_negative_saturates(self):
+        # Two's complement: -min_raw == max_raw + 1 overflows, so the ALU
+        # must clamp rather than wrap.
+        fmt = self.FMT
+        assert fmt.neg(fmt.min_raw) == fmt.max_raw
+
+    def test_mul_saturates_both_signs(self):
+        fmt = self.FMT
+        assert fmt.mul(fmt.max_raw, fmt.max_raw) == fmt.max_raw
+        assert fmt.mul(fmt.min_raw, fmt.max_raw) == fmt.min_raw
+        assert fmt.mul(fmt.min_raw, fmt.min_raw) == fmt.max_raw
+
+    def test_div_truncates_toward_zero(self):
+        fmt = self.FMT
+        minus_third = fmt.div(fmt.to_fixed(-1.0), fmt.to_fixed(3.0))
+        assert fmt.from_fixed(minus_third) == pytest.approx(
+            -1.0 / 3.0, abs=fmt.resolution()
+        )
+        # Truncation, not floor: the quotient rounds toward zero.
+        assert minus_third >= -1.0 / 3.0 * fmt.scale
+
+    def test_div_by_zero_saturates_per_format(self):
+        fmt = self.FMT
+        assert fmt.div(fmt.to_fixed(2.0), 0) == fmt.max_raw
+        assert fmt.div(fmt.to_fixed(-2.0), 0) == fmt.min_raw
+
+    def test_narrow_format_coarsens_quantization(self):
+        coarse = FixedPointFormat(16, 4)
+        fine = FixedPointFormat(16, 12)
+        v = math.pi
+        err_coarse = abs(coarse.from_fixed(coarse.to_fixed(v)) - v)
+        err_fine = abs(fine.from_fixed(fine.to_fixed(v)) - v)
+        assert err_fine < err_coarse
+        assert err_coarse <= 0.5 * coarse.resolution()
+
+    def test_array_ops_saturate_like_scalars(self):
+        fmt = self.FMT
+        a = np.array([fmt.max_raw, fmt.min_raw], dtype=np.int64)
+        out = fmt.add(a, np.array([10, -10], dtype=np.int64))
+        assert out[0] == fmt.max_raw and out[1] == fmt.min_raw

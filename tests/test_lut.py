@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.accelerator import DEFAULT_LUT_ENTRIES, LookupTable, LUTBank
-from repro.accelerator.fixedpoint import from_fixed, to_fixed
+from repro.accelerator.fixedpoint import FixedPointFormat, from_fixed, to_fixed
 from repro.errors import AcceleratorError
 
 
@@ -120,3 +120,80 @@ class TestEntryCountTradeoff:
         xs = np.linspace(0, 2 * math.pi, 1001)
         err = max(abs(b.evaluate("sin", float(x)) - math.sin(x)) for x in xs)
         assert err < 16 * 2.0**-17
+
+
+class TestEndpointInterpolation:
+    """Domain endpoints must hit the stored samples exactly — the clamped
+    index path (``min(idx, entries - 2)``) is the classic off-by-one spot."""
+
+    def test_first_and_last_entries_are_exact(self):
+        t = LookupTable("cube", lambda x: x**3, (-2.0, 3.0), entries=17)
+        assert t.evaluate(-2.0) == (-2.0) ** 3
+        assert t.evaluate(3.0) == 3.0**3
+
+    def test_interior_sample_points_are_exact(self):
+        t = LookupTable("sq", lambda x: x * x, (0.0, 1.0), entries=11)
+        for i in range(11):
+            x = i / 10.0
+            assert t.evaluate(x) == pytest.approx(x * x, abs=1e-15)
+
+    def test_just_inside_the_upper_endpoint(self):
+        # One ULP below the top must interpolate on the final segment,
+        # not index past it.
+        t = LookupTable("lin", lambda x: 2 * x + 1, (0.0, 1.0), entries=9)
+        x = math.nextafter(1.0, 0.0)
+        assert t.evaluate(x) == pytest.approx(2 * x + 1, abs=1e-12)
+
+    def test_clamping_returns_the_endpoint_samples(self):
+        t = LookupTable("tanh", math.tanh, (-3.0, 3.0), entries=33)
+        assert t.evaluate(100.0) == t.evaluate(3.0)
+        assert t.evaluate(-100.0) == t.evaluate(-3.0)
+
+    def test_two_entry_table_is_a_single_segment(self):
+        t = LookupTable("lin", lambda x: 5 * x, (0.0, 2.0), entries=2)
+        assert t.evaluate(0.0) == 0.0
+        assert t.evaluate(2.0) == 10.0
+        assert t.evaluate(1.3) == pytest.approx(6.5)
+
+    def test_bank_range_reduction_boundaries(self, bank):
+        # sqrt normalization boundaries: exact powers of 4 map to the
+        # table's own endpoints.
+        for x in (0.25, 1.0, 4.0, 16.0):
+            assert bank.evaluate("sqrt", x) == pytest.approx(math.sqrt(x), rel=1e-9)
+        # log normalization boundary: m lands on 1.0, which sits between
+        # table samples (domain starts at 2^-9), so interpolation error
+        # applies — but must stay at the table's accuracy, not blow up.
+        for x in (0.5, 1.0, 2.0, 4.0):
+            assert bank.evaluate("log", x) == pytest.approx(math.log(x), abs=1e-6)
+        # sin periodicity boundary: x = 2*pi wraps to the table's left edge.
+        assert bank.evaluate("sin", 2 * math.pi) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConfigurableWidth:
+    """The bank quantizes through its format — the precision-sweep axis."""
+
+    def test_coarse_format_coarsens_fixed_eval(self):
+        coarse = LUTBank(entries=512, fmt=FixedPointFormat(16, 6))
+        fine = LUTBank(entries=512, fmt=FixedPointFormat(32, 17))
+        x = 0.77
+        err_coarse = abs(
+            coarse.fmt.from_fixed(coarse.evaluate_fixed("sin", coarse.fmt.to_fixed(x)))
+            - math.sin(x)
+        )
+        err_fine = abs(
+            fine.fmt.from_fixed(fine.evaluate_fixed("sin", fine.fmt.to_fixed(x)))
+            - math.sin(x)
+        )
+        assert err_fine < err_coarse
+        assert err_coarse <= 1.5 * coarse.fmt.resolution()
+
+    def test_fixed_eval_saturates_at_format_extremes(self):
+        fmt = FixedPointFormat(8, 4)  # max_value = 7.9375
+        bank = LUTBank(entries=64, fmt=fmt)
+        # exp(6) ~ 403 is far beyond Q3.4's range: the result must clamp
+        # to the format's top word, not wrap.
+        raw = bank.evaluate_fixed("exp", fmt.to_fixed(6.0))
+        assert raw == fmt.max_raw
+
+    def test_default_bank_uses_q14_17(self, bank):
+        assert str(bank.fmt) == "Q14.17"

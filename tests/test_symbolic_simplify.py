@@ -3,9 +3,10 @@
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SymbolicError
 from repro.symbolic import (
     Call,
     Const,
@@ -13,11 +14,14 @@ from repro.symbolic import (
     Var,
     cos,
     count_nodes,
+    exp,
     is_one,
     is_zero,
+    log,
     simplify,
     sin,
     sqrt,
+    tanh,
 )
 
 X = Var("x")
@@ -140,3 +144,74 @@ def test_simplify_bounded_growth(e):
 def test_simplify_idempotent(e):
     once = simplify(e)
     assert simplify(once) == once
+
+
+# -- the full operator surface: div/neg/pow and the transcendentals the
+# -- rewrite rules special-case (x/x -> 1, pow folding, exp/log identities).
+# -- Partial operations can fail on the random input; the property is that
+# -- whenever the ORIGINAL evaluates finitely, the simplified expression
+# -- evaluates to the same value — simplification must never turn a defined
+# -- expression into an undefined (or different) one.
+
+_EVAL_ERRORS = (ZeroDivisionError, ValueError, OverflowError, SymbolicError)
+
+
+def _combine_full(children):
+    a, b = children
+    ops = [
+        lambda: a + b,
+        lambda: a - b,
+        lambda: a * b,
+        lambda: a / b,
+        lambda: -a,
+        lambda: a ** 2,
+        lambda: b ** 3,
+        lambda: a ** 0,
+        lambda: sin(a),
+        lambda: cos(b),
+        lambda: tanh(a),
+        lambda: exp(a),
+        lambda: log(b),
+        lambda: sqrt(a),
+    ]
+    return st.sampled_from(range(len(ops))).map(lambda i: ops[i]())
+
+
+_expr_full = st.recursive(
+    _leaf,
+    lambda inner: st.tuples(inner, inner).flatmap(_combine_full),
+    max_leaves=20,
+)
+
+
+@given(
+    e=_expr_full,
+    x=st.floats(-3, 3, allow_nan=False),
+    y=st.floats(-3, 3, allow_nan=False),
+)
+@settings(max_examples=300, deadline=None)
+def test_simplify_preserves_value_full_operator_surface(e, x, y):
+    env = {"x": x, "y": y}
+    try:
+        expected = e.evaluate(env)
+    except _EVAL_ERRORS:
+        assume(False)  # the original is undefined here; nothing to preserve
+    assume(math.isfinite(expected))
+    got = simplify(e).evaluate(env)
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(e=_expr_full)
+@settings(max_examples=150, deadline=None)
+def test_simplify_idempotent_full_operator_surface(e):
+    once = simplify(e)
+    assert simplify(once) == once
+
+
+@given(e=_expr_full)
+@settings(max_examples=150, deadline=None)
+def test_simplify_never_raises_on_partial_ops(e):
+    # Rewrites constant-fold eagerly; folding a division by zero or a
+    # negative sqrt must leave the node symbolic, never raise at
+    # simplification time (evaluation is where definedness is decided).
+    simplify(e)

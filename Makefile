@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -35,6 +35,13 @@ chaos-smoke:
 # under conform/failures/ and exit non-zero.
 conform-smoke:
 	$(REPRO) conform run --cases 12 --seed 0 --out-dir conform/failures
+
+# Batched-solving smoke: the B in {1,4,16,64} throughput sweep must clear
+# 2x over the scalar path at B=16 on at least one robot, and a small fleet
+# on the batched serve backend must complete with zero crashed sessions.
+batch-smoke:
+	$(PYTEST) -q benchmarks/bench_batch_throughput.py
+	$(REPRO) serve-sim --sessions 8 --ticks 10 --robots MobileRobot --horizon 8 --deadline-ms 250 --backend batched --seed 0
 
 # Fast lane under coverage with the CI floor (requires pytest-cov, which the
 # CI workflow installs; not part of the core dev dependencies).  The floor

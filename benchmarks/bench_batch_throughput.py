@@ -1,0 +1,134 @@
+"""Batched vs scalar MPC solve throughput (the `repro.batch` tentpole).
+
+Sweeps batch size B over {1, 4, 16, 64} on two robots, solving B
+perturbed instances of the benchmark problem cold-start through
+
+* the scalar path: one :class:`InteriorPointSolver` solve per instance
+  (what the serve engine's inline backend does), and
+* the batched path: one :class:`BatchSolver` call over all B lanes.
+
+Reported figure of merit is solves/sec; the acceptance gate is the
+batched path at B=16 clearing 2x the scalar path on at least one robot.
+
+Deliberately free of pytest-benchmark: the CI batch-smoke job runs on a
+bare numpy+pytest install, so timing is plain ``perf_counter`` over a
+fixed, seeded instance set (see conftest's randomness policy).
+"""
+
+from time import perf_counter
+
+import numpy as np
+
+from conftest import banner, make_rng
+from repro.batch import BatchSolver
+from repro.robots import build_benchmark
+
+BATCH_SIZES = (1, 4, 16, 64)
+ROBOTS = (("MobileRobot", 8), ("CartPole", 20))
+X0_NOISE = 0.02
+
+
+def _instances(bench, problem, B, rng):
+    x0 = np.asarray(bench.x0, dtype=float)
+    return np.stack(
+        [x0 + X0_NOISE * rng.standard_normal(problem.nx) for _ in range(B)]
+    )
+
+
+def _measure(robot, horizon, bench, problem, scalar, batch, ref, B, rng):
+    X0 = _instances(bench, problem, B, rng)
+    refs = [ref] * B if ref is not None else None
+
+    t0 = perf_counter()
+    results, report = batch.solve(X0, refs=refs)
+    t_batch = perf_counter() - t0
+
+    t0 = perf_counter()
+    s_results = [scalar.solve(X0[i], ref=ref) for i in range(B)]
+    t_scalar = perf_counter() - t0
+
+    # Same fates lane-for-lane, or the comparison is meaningless.
+    agree = sum(r.status == s.status for r, s in zip(results, s_results))
+    return {
+        "robot": robot,
+        "horizon": horizon,
+        "B": B,
+        "batch_sps": B / t_batch,
+        "scalar_sps": B / t_scalar,
+        "speedup": t_scalar / t_batch,
+        "qp_efficiency": report.qp_efficiency,
+        "status_agree": agree / B,
+    }
+
+
+def _setup(robot, horizon, offset):
+    bench = build_benchmark(robot)
+    problem = bench.transcribe(horizon=horizon)
+    scalar = bench.make_solver(problem)
+    batch = BatchSolver(problem, scalar.options)
+    ref = bench.ref if problem.nref else None
+    rng = make_rng(offset=900 + offset)
+
+    # Warm both code paths once (imports, caches) off the clock.
+    warm = _instances(bench, problem, 2, rng)
+    batch.solve(warm, refs=[ref] * 2 if ref is not None else None)
+    scalar.solve(warm[0], ref=ref)
+    return bench, problem, scalar, batch, ref, rng
+
+
+def run_sweep():
+    rows = []
+    for offset, (robot, horizon) in enumerate(ROBOTS):
+        ctx = _setup(robot, horizon, offset)
+        for B in BATCH_SIZES:
+            rows.append(_measure(robot, horizon, *ctx[:5], B, ctx[5]))
+    return rows
+
+
+def remeasure_at(B):
+    """Fresh B-lane measurement per robot (retry lane for the CI gate)."""
+    rows = []
+    for offset, (robot, horizon) in enumerate(ROBOTS):
+        ctx = _setup(robot, horizon, 100 + offset)
+        rows.append(_measure(robot, horizon, *ctx[:5], B, ctx[5]))
+    return rows
+
+
+def test_batch_throughput():
+    rows = run_sweep()
+    banner("repro.batch: batched vs scalar solve throughput")
+    print(
+        f"{'robot':>12} {'N':>3} {'B':>4} {'batch/s':>9} {'scalar/s':>9} "
+        f"{'speedup':>8} {'qp_eff':>7} {'agree':>6}"
+    )
+    for r in rows:
+        print(
+            f"{r['robot']:>12} {r['horizon']:>3} {r['B']:>4} "
+            f"{r['batch_sps']:>9.1f} {r['scalar_sps']:>9.1f} "
+            f"{r['speedup']:>7.2f}x {r['qp_efficiency']:>6.0%} "
+            f"{r['status_agree']:>6.0%}"
+        )
+
+    # Batched and scalar solves must meet the same fate on (nearly) every
+    # lane; roundoff may flip a borderline lane's final iteration.
+    for r in rows:
+        assert r["status_agree"] >= 0.9, r
+
+    # Acceptance gate: >= 2x over the scalar inline path at B=16 on at
+    # least one robot.  One fresh re-measure before failing — a transient
+    # co-tenant on a shared runner can depress a single timing window.
+    at_16 = [r for r in rows if r["B"] == 16]
+    best = max(r["speedup"] for r in at_16)
+    if best < 2.0:
+        retry = remeasure_at(16)
+        for r in retry:
+            print(
+                f"retry {r['robot']:>12} B=16: {r['speedup']:.2f}x "
+                f"({r['batch_sps']:.1f} vs {r['scalar_sps']:.1f} solves/s)"
+            )
+        best = max(best, max(r["speedup"] for r in retry))
+    assert best >= 2.0, f"batched speedup at B=16 only {best:.2f}x"
+
+    # Throughput must not collapse as B grows on the fast robot.
+    mobile = [r for r in rows if r["robot"] == "MobileRobot"]
+    assert mobile[-1]["batch_sps"] > mobile[0]["batch_sps"]

@@ -1,0 +1,28 @@
+"""Vectorized multi-instance MPC solving (``repro.batch``).
+
+Solves a batch of same-structure MPC instances as stacked ndarrays:
+batched banded Cholesky (:mod:`~repro.batch.linalg`), a batched
+interior-point QP loop with continuous-batching lane freezing
+(:mod:`~repro.batch.qp`), vectorized linearization
+(:mod:`~repro.batch.transcription`), and a lockstep SQP driver
+(:mod:`~repro.batch.ipm`) that the serve engine's ``backend="batched"``
+dispatches session groups through.
+"""
+
+from .ipm import BatchSolveReport, BatchSolver
+from .linalg import BatchCholeskyFactor, robust_factor_batch
+from .qp import BatchQPResult, BatchQPStats, solve_qp_batch
+from .transcription import BatchLinearizer, VectorizedFunction, vectorize_compiled
+
+__all__ = [
+    "BatchCholeskyFactor",
+    "BatchLinearizer",
+    "BatchQPResult",
+    "BatchQPStats",
+    "BatchSolveReport",
+    "BatchSolver",
+    "VectorizedFunction",
+    "robust_factor_batch",
+    "solve_qp_batch",
+    "vectorize_compiled",
+]

@@ -1,0 +1,683 @@
+"""Batched SQP + interior-point solver over stacked MPC instances.
+
+:class:`BatchSolver` runs the same Gauss-Newton SQP iteration as
+:class:`repro.mpc.ipm.InteriorPointSolver` — same linearization, same
+scaled Sl1QP subproblem with the stage-interleaved banded permutation,
+same L1 exact-penalty watchdog line search, same Levenberg adaptation and
+best-iterate restore — but over ``B`` lanes at once:
+
+* linearization runs through :class:`~repro.batch.transcription.
+  BatchLinearizer` (one vectorized sweep instead of ``B`` Python loops);
+* the QP subproblems of all active lanes are solved by one
+  :func:`~repro.batch.qp.solve_qp_batch` call sharing a single
+  factorization sweep per interior-point iteration;
+* every lane carries its own penalty ``rho``, damping ``lm``, merit
+  window, KKT history, and budget clock; lanes freeze individually on
+  convergence, divergence, or budget exhaustion (continuous-batching
+  semantics), and frozen lanes are excluded from all later work.
+
+Per-lane results come back as ordinary :class:`~repro.mpc.ipm.IPMResult`
+objects, so the serve layer's classification ladder consumes a batched
+lane exactly like a scalar solve.  Intentional deviations from the scalar
+path, each forced by batching:
+
+* only the Gauss-Newton Hessian model is supported (the exact/hybrid
+  contraction is stage-sequential; non-GN robots fall back to scalar
+  solves in the serve integration);
+* a lane whose QP cannot be factorized freezes as ``"diverged"`` instead
+  of raising, because one lane must not abort the batch;
+* ``result.solve_time`` is the *batch* wall clock for every lane — that
+  is the latency each lane actually experienced waiting for the group;
+* state validation is batch-level: any non-finite ``x_init`` or
+  reference raises before the solve starts, as on the scalar path, so
+  callers (the serve engine) pre-filter poisoned lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError, StateValidationError
+from repro.mpc.budget import SolveBudget
+from repro.mpc.health import SolverHealth
+from repro.mpc.ipm import IPMOptions, IPMResult, InteriorPointSolver
+from repro.mpc.transcription import TranscribedProblem
+
+from .qp import solve_qp_batch
+from .transcription import BatchLinearizer
+
+__all__ = ["BatchSolveReport", "BatchSolver"]
+
+
+@dataclass
+class BatchSolveReport:
+    """Occupancy telemetry of one batched solve (feeds ``FleetMetrics``)."""
+
+    lanes: int = 0
+    #: outer (SQP) lane-iterations worked / available
+    sqp_lane_iterations: int = 0
+    sqp_lane_slots: int = 0
+    #: inner (QP) lane-iterations worked / available
+    qp_lane_iterations: int = 0
+    qp_lane_slots: int = 0
+
+    @property
+    def sqp_efficiency(self) -> float:
+        return (
+            self.sqp_lane_iterations / self.sqp_lane_slots
+            if self.sqp_lane_slots
+            else 1.0
+        )
+
+    @property
+    def qp_efficiency(self) -> float:
+        return (
+            self.qp_lane_iterations / self.qp_lane_slots
+            if self.qp_lane_slots
+            else 1.0
+        )
+
+
+def _maxabs_rows(v: np.ndarray) -> np.ndarray:
+    if v.shape[1] == 0:
+        return np.zeros(v.shape[0])
+    return np.abs(v).max(axis=1)
+
+
+def _kkt_batch(grad, G, g_eq, J, h, nu, lam) -> np.ndarray:
+    """Batched twin of ``repro.mpc.ipm._kkt_residual`` (same scaling)."""
+    s_max = 100.0
+    n_mult = nu.shape[1] + lam.shape[1]
+    if n_mult:
+        mult_mean = (np.abs(nu).sum(axis=1) + np.abs(lam).sum(axis=1)) / n_mult
+    else:
+        mult_mean = np.zeros(nu.shape[0])
+    sd = np.maximum(s_max, mult_mean) / s_max
+
+    r_dual = grad + np.matmul(G.transpose(0, 2, 1), nu[:, :, None])[:, :, 0]
+    if lam.shape[1]:
+        r_dual = r_dual + np.matmul(J.transpose(0, 2, 1), lam[:, :, None])[:, :, 0]
+        primal_ineq = (
+            np.maximum(h, 0.0).max(axis=1) if h.shape[1] else np.zeros(h.shape[0])
+        )
+        comp = _maxabs_rows(lam * h) / sd
+        dual_feas = np.maximum(-lam, 0.0).max(axis=1) / sd
+    else:
+        primal_ineq = comp = dual_feas = np.zeros(grad.shape[0])
+    return np.maximum.reduce(
+        [
+            _maxabs_rows(r_dual) / sd,
+            _maxabs_rows(g_eq),
+            primal_ineq,
+            comp,
+            dual_feas,
+        ]
+    )
+
+
+class BatchSolver:
+    """Vectorized multi-instance solver for one transcribed problem.
+
+    All lanes share the problem structure (robot + horizon + task); each
+    lane brings its own measured state, reference, warm start, and budget.
+    """
+
+    def __init__(
+        self, problem: TranscribedProblem, options: Optional[IPMOptions] = None
+    ):
+        self.problem = problem
+        self.options = options or IPMOptions()
+        if self.options.hessian != "gauss_newton":
+            raise SolverError(
+                "BatchSolver supports only the Gauss-Newton Hessian model; "
+                f"got hessian={self.options.hessian!r}"
+            )
+        # Structure donor: reuses the scalar solver's stage-interleaved
+        # permutations and band hints so both paths condense identically.
+        self._donor = InteriorPointSolver(problem, self.options)
+        self.lin = BatchLinearizer(problem)
+        #: cumulative statistics with the scalar solver's keys, so fleet
+        #: telemetry absorbs a batch solver like any other
+        self.stats: Dict[str, float] = {
+            "solves": 0,
+            "sqp_iterations": 0,
+            "qp_iterations": 0,
+            "linearize_time": 0.0,
+            "factorize_time": 0.0,
+            "substitute_time": 0.0,
+            "factor_flops": 0,
+            "substitute_flops": 0,
+            "factorizations": 0,
+            "banded_factorizations": 0,
+        }
+        self.last_report: Optional[BatchSolveReport] = None
+
+    # -- serve adapter -----------------------------------------------------
+
+    def solve_payloads(self, payloads: Sequence[Dict[str, object]]):
+        """Solve a group of ``ControlSession.solve_payload`` dicts.
+
+        The payload schema is the same one the process-pool workers
+        consume, so the batched backend slots into the engine's existing
+        dispatch plumbing.
+        """
+        X0 = np.stack([np.asarray(pl["x"], dtype=float) for pl in payloads])
+        refs = [pl.get("ref") for pl in payloads]
+        budgets = [
+            SolveBudget(
+                wall_clock=pl.get("deadline_s"),
+                sqp_iterations=pl.get("max_sqp_iterations"),
+                qp_iterations=pl.get("max_qp_iterations"),
+            )
+            for pl in payloads
+        ]
+        return self.solve(
+            X0,
+            refs=refs if self.problem.nref else None,
+            z_warm=[pl.get("z_warm") for pl in payloads],
+            nu_warm=[pl.get("nu_warm") for pl in payloads],
+            lam_warm=[pl.get("lam_warm") for pl in payloads],
+            budgets=budgets,
+        )
+
+    # -- the batched solve -------------------------------------------------
+
+    def solve(
+        self,
+        x_init: np.ndarray,
+        refs=None,
+        z_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
+        nu_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
+        lam_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
+        budgets: Optional[Sequence[Optional[SolveBudget]]] = None,
+    ):
+        """Solve ``B`` instances; returns ``(results, report)``.
+
+        ``results`` is a list of per-lane :class:`IPMResult`; ``report`` a
+        :class:`BatchSolveReport` with lane-occupancy telemetry.
+        """
+        t_solve = perf_counter()
+        p = self.problem
+        opt = self.options
+        X0 = np.asarray(x_init, dtype=float)
+        if X0.ndim != 2 or X0.shape[1] != p.nx:
+            raise SolverError(
+                f"x_init must be (B, {p.nx}), got shape {X0.shape}"
+            )
+        lanes = X0.shape[0]
+        if not np.all(np.isfinite(X0)):
+            raise StateValidationError(
+                "batched x_init contains non-finite entries; "
+                "pre-filter poisoned lanes before batching"
+            )
+        R = self.lin.normalize_ref(refs, lanes)
+        if R is not None and not np.all(np.isfinite(R)):
+            raise StateValidationError(
+                "batched reference contains non-finite entries"
+            )
+
+        healths = [SolverHealth() for _ in range(lanes)]
+
+        # Per-lane warm starts (scalar validation rules, applied lane-wise).
+        Z = self.lin.initial_guess(X0)
+        if z_warm is not None:
+            for lane, zw in enumerate(z_warm):
+                if zw is None:
+                    continue
+                zw = np.array(zw, dtype=float)
+                if zw.shape != (p.nz,):
+                    raise SolverError(
+                        f"warm start has shape {zw.shape}, expected ({p.nz},)"
+                    )
+                if np.all(np.isfinite(zw)):
+                    Z[lane] = zw
+                else:
+                    healths[lane].warm_start_reseeded = True
+                    healths[lane].note("warm_start_reseeded")
+        Z[:, p.state_slice(0)] = X0
+
+        m = p.n_ineq
+        NU = np.zeros((lanes, p.n_eq))
+        if nu_warm is not None:
+            for lane, nw in enumerate(nu_warm):
+                if nw is not None and np.shape(nw) == (p.n_eq,):
+                    arr = np.array(nw, dtype=float)
+                    if np.all(np.isfinite(arr)):
+                        NU[lane] = arr
+                    else:
+                        healths[lane].warm_start_reseeded = True
+                        healths[lane].note("nu_warm_reseeded")
+        LAM = np.zeros((lanes, m))
+        if lam_warm is not None:
+            for lane, lw in enumerate(lam_warm):
+                if lw is not None and np.shape(lw) == (m,):
+                    arr = np.maximum(np.array(lw, dtype=float), 0.0)
+                    if np.all(np.isfinite(arr)):
+                        LAM[lane] = arr
+                    else:
+                        healths[lane].warm_start_reseeded = True
+                        healths[lane].note("lam_warm_reseeded")
+
+        rho = np.full(lanes, opt.penalty_init)
+        lm = np.full(lanes, opt.regularization)
+        soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)
+        hard = ~soft
+        n_soft = int(soft.sum())
+        nz = p.nz
+        scale = p.variable_scales()
+
+        clocks = [
+            (budgets[lane].start() if budgets is not None and budgets[lane] is not None else None)
+            for lane in range(lanes)
+        ]
+        max_outer = np.full(lanes, opt.max_iterations, dtype=int)
+        qp_caps: List[Optional[int]] = [None] * lanes
+        if budgets is not None:
+            for lane, bud in enumerate(budgets):
+                if bud is None:
+                    continue
+                if bud.sqp_iterations is not None:
+                    max_outer[lane] = min(max_outer[lane], bud.sqp_iterations)
+                qp_caps[lane] = bud.qp_iterations
+
+        histories: List[List[float]] = [[] for _ in range(lanes)]
+        windows: List[List[float]] = [[] for _ in range(lanes)]
+        converged = np.zeros(lanes, dtype=bool)
+        diverged = np.zeros(lanes, dtype=bool)
+        budget_hit = np.zeros(lanes, dtype=bool)
+        cap_frozen = np.zeros(lanes, dtype=bool)
+        active = np.ones(lanes, dtype=bool)
+        iterations = np.zeros(lanes, dtype=int)
+        qp_total = np.zeros(lanes, dtype=int)
+        best_kkt = np.full(lanes, np.inf)
+        bestZ, bestNU, bestLAM = Z.copy(), NU.copy(), LAM.copy()
+        have_cert = np.zeros(lanes, dtype=bool)
+        CERT_NU = np.zeros_like(NU)
+        CERT_LAM = np.zeros_like(LAM)
+
+        report = BatchSolveReport(lanes=lanes)
+
+        def _freeze_cap(lane: int) -> None:
+            active[lane] = False
+            cap_frozen[lane] = True
+            iterations[lane] = int(max_outer[lane])
+
+        global_max = int(max_outer.max()) if lanes else 0
+        for it in range(1, global_max + 1):
+            idx = np.flatnonzero(active)
+            if not idx.size:
+                break
+            # Loop-top budget ladder (scalar order: cap bound, then clock).
+            for lane in idx:
+                lane = int(lane)
+                if it > max_outer[lane]:
+                    _freeze_cap(lane)
+                elif clocks[lane] is not None and (
+                    clocks[lane].expired()
+                    or clocks[lane].qp_exhausted(int(qp_total[lane]))
+                ):
+                    active[lane] = False
+                    budget_hit[lane] = True
+                    iterations[lane] = it - 1
+            idx = np.flatnonzero(active)
+            if not idx.size:
+                break
+            iterations[idx] = it
+            report.sqp_lane_iterations += idx.size
+            report.sqp_lane_slots += lanes
+
+            Za = Z[idx]
+            X0a = X0[idx]
+            Ra = R[idx] if R is not None else None
+
+            t_lin = perf_counter()
+            grad = self.lin.objective_gradient(Za, Ra)
+            H = self.lin.objective_gauss_newton(Za, Ra)
+            g_eq = self.lin.equality_constraints(Za, X0a, Ra)
+            G = self.lin.equality_jacobian(Za, Ra)
+            h = self.lin.inequality_constraints(Za, Ra)
+            J = self.lin.inequality_jacobian(Za, Ra)
+            self.stats["linearize_time"] += perf_counter() - t_lin
+
+            Hs = H * (scale[None, None, :] * scale[None, :, None])
+            dg = np.arange(nz)
+            Hs[:, dg, dg] += lm[idx][:, None]
+            grad_s = grad * scale
+            Gs = G * scale[None, None, :]
+            Js = J * scale[None, None, :] if m else J
+
+            kkt = _kkt_batch(grad, G, g_eq, J, h, NU[idx], LAM[idx])
+            certs = have_cert[idx]
+            if certs.any():
+                kkt_cert = _kkt_batch(
+                    grad, G, g_eq, J, h, CERT_NU[idx], CERT_LAM[idx]
+                )
+                kkt = np.where(certs, np.minimum(kkt, kkt_cert), kkt)
+            for k_l, lane in enumerate(idx):
+                lane = int(lane)
+                histories[lane].append(float(kkt[k_l]))
+                if kkt[k_l] < best_kkt[lane]:
+                    best_kkt[lane] = kkt[k_l]
+                    bestZ[lane] = Z[lane]
+                    bestNU[lane] = NU[lane]
+                    bestLAM[lane] = LAM[lane]
+                if kkt[k_l] < opt.tolerance:
+                    converged[lane] = True
+                    active[lane] = False
+                elif len(histories[lane]) > 1:
+                    if histories[lane][-1] > histories[lane][-2]:
+                        lm[lane] = min(lm[lane] * 10.0, 1e2)
+                    else:
+                        lm[lane] = max(lm[lane] / 3.0, opt.regularization)
+
+            work = active[idx]
+            if not work.any():
+                continue
+            w = np.flatnonzero(work)
+            gl = idx[w]  # global lane ids of the working sub-batch
+            k = gl.size
+
+            qp_args, qperm = self._subproblem_batch(
+                Hs[w], grad_s[w], Gs[w], Js[w] if m else J[w], g_eq[w], h[w]
+            )
+            caps = np.array(
+                [
+                    min(
+                        opt.qp.max_iterations,
+                        qp_caps[int(lane)] - int(qp_total[int(lane)]),
+                    )
+                    if qp_caps[int(lane)] is not None
+                    else opt.qp.max_iterations
+                    for lane in gl
+                ],
+                dtype=int,
+            )
+            lane_deadlines = [
+                clocks[int(lane)].deadline
+                for lane in gl
+                if clocks[int(lane)] is not None
+                and clocks[int(lane)].deadline is not None
+            ]
+            deadline = min(lane_deadlines) if lane_deadlines else None
+
+            qp = solve_qp_batch(
+                *qp_args[:6],
+                opt.qp,
+                bandwidth=qp_args[6],
+                deadline=deadline,
+                iteration_caps=caps,
+            )
+
+            nq = qp.x.shape[1]
+            if qperm is not None:
+                X_qp = np.empty((k, nq))
+                X_qp[:, qperm] = qp.x
+            else:
+                X_qp = qp.x
+            if n_soft:
+                D = X_qp[:, :nz] * scale
+                n_hard = m - n_soft
+                NU_QP = qp.nu
+                LAM_QP = np.zeros((k, m))
+                LAM_QP[:, hard] = qp.lam[:, :n_hard]
+                LAM_QP[:, soft] = qp.lam[:, n_hard : n_hard + n_soft]
+            else:
+                D = X_qp * scale
+                NU_QP, LAM_QP = qp.nu, qp.lam
+
+            report.qp_lane_iterations += qp.batch.lane_iterations
+            report.qp_lane_slots += qp.batch.lane_slots
+            for k_l, lane in enumerate(gl):
+                lane = int(lane)
+                qp_total[lane] += int(qp.iterations[k_l])
+                qs = qp.stats[k_l]
+                self.stats["factorize_time"] += qs.factorize_time
+                self.stats["substitute_time"] += qs.substitute_time
+                self.stats["factor_flops"] += qs.factor_flops
+                self.stats["substitute_flops"] += qs.substitute_flops
+                self.stats["factorizations"] += qs.factorizations
+                self.stats["banded_factorizations"] += qs.banded_factorizations
+                healths[lane].factorization_retries += qs.retries
+                healths[lane].regularization_max = max(
+                    healths[lane].regularization_max, qs.regularization_max
+                )
+
+            # Per-lane post-QP ladder: factorization failure -> diverged;
+            # deadline exhaustion -> budget stop (direction discarded);
+            # non-finite direction -> reject + escalate damping.
+            proceed = np.ones(k, dtype=bool)
+            for k_l, lane in enumerate(gl):
+                lane = int(lane)
+                if qp.status[k_l] == "failed":
+                    healths[lane].note(f"qp_failed_it{it}")
+                    diverged[lane] = True
+                    active[lane] = False
+                    proceed[k_l] = False
+                    continue
+                if clocks[lane] is not None and (
+                    bool(qp.budget_exhausted[k_l]) or clocks[lane].expired()
+                ):
+                    budget_hit[lane] = True
+                    active[lane] = False
+                    proceed[k_l] = False
+                    continue
+                finite = (
+                    np.all(np.isfinite(D[k_l]))
+                    and np.all(np.isfinite(NU_QP[k_l]))
+                    and (not m or np.all(np.isfinite(LAM_QP[k_l])))
+                )
+                if not finite:
+                    healths[lane].steps_rejected += 1
+                    healths[lane].note(f"nonfinite_step_it{it}")
+                    if lm[lane] >= 1e2:
+                        diverged[lane] = True
+                        active[lane] = False
+                    else:
+                        lm[lane] = min(lm[lane] * 100.0, 1e2)
+                    proceed[k_l] = False
+
+            if not proceed.any():
+                continue
+            ls = np.flatnonzero(proceed)
+            ll = gl[ls]  # lanes entering the line search
+            Dl = D[ls]
+            NU_l, LAM_l = NU_QP[ls], LAM_QP[ls]
+            grad_l = grad[w][ls]
+
+            # -- batched L1 exact-penalty merit line search ----------------
+            mult_inf = np.maximum(
+                _maxabs_rows(NU_l),
+                np.maximum(
+                    _maxabs_rows(LAM_l) if m else np.zeros(ls.size),
+                    opt.penalty_init,
+                ),
+            )
+            for k_l, lane in enumerate(ll):
+                lane = int(lane)
+                if rho[lane] < 2.0 * mult_inf[k_l]:
+                    rho[lane] = max(rho[lane], 2.0 * mult_inf[k_l])
+                    windows[lane].clear()  # the merit scale changed
+            Rl = R[ll] if R is not None else None
+            merit0, viol0 = self._merit_batch(Z[ll], X0[ll], Rl, rho[ll], soft)
+            merit_ref = np.empty(ls.size)
+            for k_l, lane in enumerate(ll):
+                lane = int(lane)
+                windows[lane].append(float(merit0[k_l]))
+                if len(windows[lane]) > opt.watchdog:
+                    windows[lane].pop(0)
+                merit_ref[k_l] = max(windows[lane])
+            descent = np.einsum("bi,bi->b", grad_l, Dl) - viol0
+            step_inf = _maxabs_rows(Dl / scale)
+            with np.errstate(divide="ignore"):
+                alpha = np.where(
+                    step_inf > 0.0,
+                    np.minimum(1.0, opt.step_clip / np.where(step_inf > 0, step_inf, 1.0)),
+                    1.0,
+                )
+            accepted = np.zeros(ls.size, dtype=bool)
+            floor = opt.armijo * np.minimum(descent, 0.0)
+            for _ in range(opt.max_backtracks):
+                un = np.flatnonzero(~accepted)
+                if not un.size:
+                    break
+                trial = Z[ll[un]] + alpha[un, None] * Dl[un]
+                Ru = Rl[un] if Rl is not None else None
+                merit_t, _ = self._merit_batch(
+                    trial, X0[ll[un]], Ru, rho[ll[un]], soft
+                )
+                passed = merit_t <= merit_ref[un] + alpha[un] * floor[un]
+                accepted[un[passed]] = True
+                alpha[un[~passed]] *= 0.5
+
+            Z[ll] = Z[ll] + alpha[:, None] * Dl
+            NU[ll] = NU[ll] + alpha[:, None] * (NU_l - NU[ll])
+            if m:
+                LAM[ll] = LAM[ll] + alpha[:, None] * (LAM_l - LAM[ll])
+            CERT_NU[ll] = NU_l
+            CERT_LAM[ll] = LAM_l
+            have_cert[ll] = True
+
+        # Lanes that completed their final permitted iteration without
+        # freezing exhausted their cap (scalar loop-exit path).
+        for lane in np.flatnonzero(active):
+            _freeze_cap(int(lane))
+
+        self.stats["solves"] += lanes
+        self.stats["sqp_iterations"] += int(iterations.sum())
+        self.stats["qp_iterations"] += int(qp_total.sum())
+
+        wall = perf_counter() - t_solve
+        objectives = self.lin.objective(Z, R)
+        results: List[IPMResult] = []
+        for lane in range(lanes):
+            hist = histories[lane]
+            if (
+                cap_frozen[lane]
+                and not converged[lane]
+                and not budget_hit[lane]
+            ):
+                budget_hit[lane] = max_outer[lane] < opt.max_iterations
+            if (
+                not converged[lane]
+                and hist
+                and best_kkt[lane] < 0.1 * hist[-1]
+            ):
+                Z[lane] = bestZ[lane]
+                NU[lane] = bestNU[lane]
+                LAM[lane] = bestLAM[lane]
+                hist[-1] = float(best_kkt[lane])
+                objectives[lane] = p.objective(
+                    Z[lane], R[lane] if R is not None else None
+                )
+            if converged[lane]:
+                status = "converged"
+            elif diverged[lane]:
+                status = "diverged"
+            elif budget_hit[lane]:
+                status = "budget_exhausted"
+            else:
+                status = "max_iterations"
+            results.append(
+                IPMResult(
+                    z=Z[lane].copy(),
+                    converged=bool(converged[lane]),
+                    iterations=int(iterations[lane]),
+                    qp_iterations=int(qp_total[lane]),
+                    objective=float(objectives[lane]),
+                    kkt_residual=hist[-1] if hist else float("inf"),
+                    residual_history=hist,
+                    nu=NU[lane].copy(),
+                    lam=LAM[lane].copy() if m else None,
+                    status=status,
+                    solve_time=wall,
+                    health=healths[lane],
+                )
+            )
+        self.last_report = report
+        return results, report
+
+    # -- shared internals --------------------------------------------------
+
+    def _subproblem_batch(self, Hs, grad_s, Gs, Js, g_eq, h):
+        """Batched twin of ``InteriorPointSolver._subproblem_data``."""
+        p = self.problem
+        opt = self.options
+        donor = self._donor
+        nz = p.nz
+        m = p.n_ineq
+        soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)
+        hard = ~soft
+        n_soft = int(soft.sum())
+        k = Hs.shape[0]
+        if not n_soft:
+            qperm = donor._qp_perm
+            if qperm is None:
+                return (
+                    Hs,
+                    grad_s,
+                    Gs,
+                    -g_eq,
+                    Js if m else None,
+                    -h if m else None,
+                    None,
+                ), None
+            return (
+                Hs[:, qperm][:, :, qperm],
+                grad_s[:, qperm],
+                Gs[:, :, qperm],
+                -g_eq,
+                Js[:, :, qperm] if m else None,
+                -h if m else None,
+                donor._qp_bandwidth,
+            ), qperm
+
+        n_ext = nz + n_soft
+        n_hard = m - n_soft
+        H_ext = np.zeros((k, n_ext, n_ext))
+        H_ext[:, :nz, :nz] = Hs
+        se = np.arange(nz, n_ext)
+        H_ext[:, se, se] = opt.soft_quadratic
+        g_ext = np.concatenate(
+            [grad_s, np.full((k, n_soft), opt.soft_penalty)], axis=1
+        )
+        G_ext = np.concatenate(
+            [Gs, np.zeros((k, Gs.shape[1], n_soft))], axis=2
+        )
+        J_ext = np.zeros((k, m + n_soft, n_ext))
+        d_ext = np.zeros((k, m + n_soft))
+        J_ext[:, :n_hard, :nz] = Js[:, hard]
+        d_ext[:, :n_hard] = -h[:, hard]
+        J_ext[:, n_hard : n_hard + n_soft, :nz] = Js[:, soft]
+        J_ext[:, n_hard : n_hard + n_soft, nz:] = -np.eye(n_soft)
+        d_ext[:, n_hard : n_hard + n_soft] = -h[:, soft]
+        J_ext[:, n_hard + n_soft :, nz:] = -np.eye(n_soft)
+        qperm = donor._qp_perm_ext
+        if qperm is None:
+            return (H_ext, g_ext, G_ext, -g_eq, J_ext, d_ext, None), None
+        return (
+            H_ext[:, qperm][:, :, qperm],
+            g_ext[:, qperm],
+            G_ext[:, :, qperm],
+            -g_eq,
+            J_ext[:, :, qperm],
+            d_ext,
+            donor._qp_bandwidth_ext,
+        ), qperm
+
+    def _merit_batch(self, Z, X0, R, rho, soft):
+        """Batched twin of ``InteriorPointSolver._merit``."""
+        p = self.problem
+        opt = self.options
+        f = self.lin.objective(Z, R)
+        g = self.lin.equality_constraints(Z, X0, R)
+        viol = rho * np.abs(g).sum(axis=1)
+        if p.n_ineq:
+            h = self.lin.inequality_constraints(Z, R)
+            hpos = np.maximum(h, 0.0)
+            viol = viol + rho * hpos[:, ~soft].sum(axis=1)
+            viol = viol + opt.soft_penalty * hpos[:, soft].sum(axis=1)
+        return f + viol, viol

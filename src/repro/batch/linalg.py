@@ -1,0 +1,257 @@
+"""Batched banded Cholesky factorization over ``(B, n, n)`` stacks.
+
+This is the lane-parallel twin of :mod:`repro.mpc.banded`: the same
+blocked bidiagonal factorization (diagonal tiles ``D_k`` and sub-diagonal
+couplings ``C_k``), but with a leading batch axis so one sweep factors
+``B`` independent KKT systems at once.  All inner products run as batched
+``matmul``/``einsum`` contractions, which is where the throughput of the
+``repro.batch`` subsystem comes from: the per-element Python overhead of
+the scalar path is amortized across every lane in the batch.
+
+Failure semantics differ from the scalar path by design.  The scalar
+:class:`~repro.mpc.banded.BandedCholeskyFactor` raises
+:class:`~repro.errors.SolverError` on a non-positive pivot; in a batch a
+single bad lane must not poison its neighbours, so the batched factor
+never raises on pivot failure.  Instead each lane carries an ``ok`` flag:
+a failed lane gets a safe placeholder pivot (its factors are garbage and
+must be discarded by the caller), while every other lane's arithmetic is
+untouched — all operations are lane-diagonal, so no information crosses
+the batch axis.  :func:`robust_factor_batch` wraps this with the same
+escalating-regularization retry ladder as ``repro.mpc.qp._robust_factor``,
+re-factoring only the failed lanes on each attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mpc.banded import (
+    flop_counts_banded_cholesky,
+    flop_counts_banded_substitution,
+)
+from repro.mpc.linalg import flop_counts_cholesky, flop_counts_substitution
+
+__all__ = ["BatchCholeskyFactor", "robust_factor_batch"]
+
+
+def _cholesky_tiles(M: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched dense Cholesky of a ``(B, m, m)`` tile stack.
+
+    Returns ``(L, ok)`` where lanes with a non-positive or non-finite
+    pivot are flagged ``ok=False`` and continue with a placeholder pivot
+    of 1.0 so the remaining lanes factor normally.
+    """
+    lanes, m = M.shape[0], M.shape[1]
+    L = np.zeros_like(M)
+    ok = np.ones(lanes, dtype=bool)
+    for j in range(m):
+        row = L[:, j, :j]
+        acc = M[:, j, j] - np.einsum("bk,bk->b", row, row)
+        good = np.isfinite(acc) & (acc > 0.0)
+        ok &= good
+        piv = np.sqrt(np.where(good, acc, 1.0))
+        L[:, j, j] = piv
+        if j + 1 < m:
+            below = M[:, j + 1 :, j] - np.einsum("bik,bk->bi", L[:, j + 1 :, :j], row)
+            L[:, j + 1 :, j] = below / piv[:, None]
+    return L, ok
+
+
+def _triangular_inverse(L: np.ndarray) -> np.ndarray:
+    """Batched inverse of lower-triangular ``(B, m, m)`` tiles via forward
+    substitution on the identity (mirrors the scalar path's ``Dinv``)."""
+    lanes, m = L.shape[0], L.shape[1]
+    X = np.zeros_like(L)
+    eye = np.eye(m)
+    for i in range(m):
+        r = eye[i] - np.einsum("bk,bkc->bc", L[:, i, :i], X[:, :i, :])
+        X[:, i, :] = r / L[:, i, i, None]
+    return X
+
+
+class BatchCholeskyFactor:
+    """Blocked Cholesky factorization of ``B`` banded SPD systems at once.
+
+    Parameters
+    ----------
+    A : (B, n, n) array
+        Stack of symmetric positive-definite matrices sharing one sparsity
+        envelope (same ``band`` for every lane).
+    band : int or None
+        Half bandwidth shared by all lanes.  ``None`` selects a single
+        dense block (the batched equivalent of a dense factorization).
+    reg : float or (B,) array
+        Diagonal regularization, scalar or per-lane.
+
+    Lanes whose matrix is non-finite or loses positive definiteness are
+    flagged in :attr:`ok`; their factor tiles are placeholders and any
+    ``solve`` output for those lanes is meaningless.
+    """
+
+    MIN_BLOCK = 16
+
+    def __init__(
+        self,
+        A: np.ndarray,
+        band: Optional[int] = None,
+        reg: "float | np.ndarray" = 0.0,
+    ) -> None:
+        A = np.asarray(A, dtype=float)
+        if A.ndim != 3 or A.shape[1] != A.shape[2]:
+            raise SolverError(f"expected a (B, n, n) stack, got shape {A.shape}")
+        self.lanes, self.n = int(A.shape[0]), int(A.shape[1])
+        self.band = None if band is None else int(min(int(band), max(self.n - 1, 0)))
+        reg_vec = np.broadcast_to(np.asarray(reg, dtype=float), (self.lanes,)).copy()
+        self.reg = reg_vec
+
+        finite = np.isfinite(A).all(axis=(1, 2))
+        self.ok = finite.copy()
+
+        n = self.n
+        if self.band is None:
+            nb = max(n, 1)
+        else:
+            nb = min(max(self.band, self.MIN_BLOCK), max(n, 1))
+        K = max(1, -(-n // nb))
+        npad = K * nb
+        self.nb, self.K, self.npad = nb, K, npad
+
+        Ap = np.zeros((self.lanes, npad, npad))
+        # Non-finite lanes get the identity so their (discarded) tiles do
+        # not trip floating-point warnings; their ok flag is already off.
+        Ap[:, :n, :n] = np.where(finite[:, None, None], A, np.eye(n))
+        diag = np.arange(n)
+        Ap[:, diag, diag] += np.where(finite, reg_vec, 0.0)[:, None]
+        pad = np.arange(n, npad)
+        Ap[:, pad, pad] = 1.0
+
+        D = np.empty((self.lanes, K, nb, nb))
+        Dinv = np.empty((self.lanes, K, nb, nb))
+        C = np.empty((self.lanes, max(K - 1, 0), nb, nb))
+        with np.errstate(all="ignore"):
+            M = Ap[:, :nb, :nb].copy()
+            for k in range(K):
+                Lkk, okk = _cholesky_tiles(M)
+                self.ok &= okk
+                D[:, k] = Lkk
+                Dinv[:, k] = _triangular_inverse(Lkk)
+                if k + 1 < K:
+                    s = (k + 1) * nb
+                    E = Ap[:, s : s + nb, s - nb : s]
+                    Ck = E @ Dinv[:, k].transpose(0, 2, 1)
+                    C[:, k] = Ck
+                    M = Ap[:, s : s + nb, s : s + nb] - Ck @ Ck.transpose(0, 2, 1)
+        self._D, self._Dinv, self._C = D, Dinv, C
+
+    # -- solves -----------------------------------------------------------
+
+    @property
+    def banded(self) -> bool:
+        return self.band is not None
+
+    def _prep_rhs(self, b: np.ndarray) -> Tuple[np.ndarray, bool]:
+        b = np.asarray(b, dtype=float)
+        squeeze = b.ndim == 2
+        if squeeze:
+            b = b[:, :, None]
+        if b.ndim != 3 or b.shape[0] != self.lanes or b.shape[1] != self.n:
+            raise SolverError(
+                f"rhs shape {b.shape} incompatible with ({self.lanes}, {self.n})"
+            )
+        return b, squeeze
+
+    def forward(self, b: np.ndarray) -> np.ndarray:
+        b3, squeeze = self._prep_rhs(b)
+        y = np.zeros((self.lanes, self.npad, b3.shape[2]))
+        y[:, : self.n] = b3
+        nb = self.nb
+        with np.errstate(all="ignore"):
+            for k in range(self.K):
+                s = k * nb
+                blk = y[:, s : s + nb]
+                if k:
+                    blk = blk - self._C[:, k - 1] @ y[:, s - nb : s]
+                y[:, s : s + nb] = self._Dinv[:, k] @ blk
+        out = y[:, : self.n]
+        return out[:, :, 0] if squeeze else out
+
+    def backward(self, b: np.ndarray) -> np.ndarray:
+        b3, squeeze = self._prep_rhs(b)
+        x = np.zeros((self.lanes, self.npad, b3.shape[2]))
+        x[:, : self.n] = b3
+        nb = self.nb
+        with np.errstate(all="ignore"):
+            for k in range(self.K - 1, -1, -1):
+                s = k * nb
+                blk = x[:, s : s + nb]
+                if k + 1 < self.K:
+                    blk = blk - self._C[:, k].transpose(0, 2, 1) @ x[:, s + nb : s + 2 * nb]
+                x[:, s : s + nb] = self._Dinv[:, k].transpose(0, 2, 1) @ blk
+        out = x[:, : self.n]
+        return out[:, :, 0] if squeeze else out
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A_i x_i = b_i`` for every lane ``i`` in one sweep."""
+        return self.backward(self.forward(b))
+
+    # -- flop meters (per lane; every lane shares one structure) ----------
+
+    def factor_flops(self) -> int:
+        """Flops one lane's factorization would cost on the scalar path."""
+        if self.band is not None:
+            counts = flop_counts_banded_cholesky(self.n, self.band)
+        else:
+            counts = flop_counts_cholesky(self.n)
+        return int(sum(counts.values()))
+
+    def solve_flops(self, nrhs: int = 1) -> int:
+        """Flops one lane's forward+backward substitution costs."""
+        if self.band is not None:
+            counts = flop_counts_banded_substitution(self.n, self.band, nrhs)
+        else:
+            counts = flop_counts_substitution(self.n, nrhs)
+        return 2 * int(sum(counts.values()))
+
+
+def robust_factor_batch(
+    A: np.ndarray,
+    reg: float,
+    band: Optional[int] = None,
+    attempts: int = 16,
+) -> Tuple[BatchCholeskyFactor, np.ndarray, np.ndarray]:
+    """Factor a batch with the per-lane escalating-regularization ladder.
+
+    Mirrors ``repro.mpc.qp._robust_factor``: on a failed lane the
+    regularization escalates as ``max(reg * 100, 1e-12)`` and only the
+    failed lanes are re-factored (their tiles are scattered back into the
+    full-batch factor, so already-healthy lanes keep bit-identical
+    factors).  Lanes with non-finite input fail immediately and are never
+    retried, matching the scalar fail-fast guard.
+
+    Returns ``(factor, reg_used, retries)``; lanes still failing after
+    ``attempts`` tries are left with ``factor.ok == False`` for the caller
+    to freeze out, instead of raising like the scalar path.
+    """
+    A = np.asarray(A, dtype=float)
+    lanes = A.shape[0]
+    current = np.full(lanes, float(reg))
+    retries = np.zeros(lanes, dtype=int)
+    factor = BatchCholeskyFactor(A, band=band, reg=current)
+    hopeless = ~np.isfinite(A).all(axis=(1, 2))
+    for _ in range(attempts - 1):
+        failed = ~factor.ok & ~hopeless
+        if not failed.any():
+            break
+        retries[failed] += 1
+        current[failed] = np.maximum(current[failed] * 100.0, 1e-12)
+        sub = BatchCholeskyFactor(A[failed], band=band, reg=current[failed])
+        factor._D[failed] = sub._D
+        factor._Dinv[failed] = sub._Dinv
+        if factor._C.shape[1]:
+            factor._C[failed] = sub._C
+        factor.ok[failed] = sub.ok
+        factor.reg[failed] = sub.reg
+    return factor, current, retries

@@ -1,0 +1,475 @@
+"""Batched Mehrotra predictor-corrector QP solver with an active mask.
+
+:func:`solve_qp_batch` runs the same primal-dual interior-point iteration
+as :func:`repro.mpc.qp.solve_qp`, but over ``B`` stacked instances
+``(H, g, G, b, J, d)`` that share one sparsity structure (same shapes,
+same stage-ordered band).  Every lane carries its own step lengths,
+barrier parameter, and convergence scale; an *active mask* implements
+continuous-batching semantics:
+
+* a lane that converges, diverges, fails to factor, or exhausts its
+  iteration cap is **frozen** — its iterate is never touched again, so it
+  stays bit-identical to its freeze point;
+* the remaining lanes are gathered into a smaller sub-batch and keep
+  iterating, so late lanes do not pay for early finishers.
+
+The per-iteration decision ladder (convergence check, divergence guard,
+wall-clock deadline, cap re-evaluation) copies the scalar solver's order
+exactly, so a single-lane batch follows the same iteration path as
+``solve_qp`` on the same data.  The one intentional divergence: a lane
+whose KKT factorization fails after the retry ladder is frozen with
+status ``"failed"`` instead of raising ``SolverError``, because one bad
+lane must not abort its batch-mates.  ``polish`` is ignored (the active
+mask has no meaningful polish point for frozen lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mpc.banded import bandwidth_of
+from repro.mpc.qp import QPOptions, QPStats
+
+from .linalg import BatchCholeskyFactor, robust_factor_batch
+
+__all__ = ["BatchQPStats", "BatchQPResult", "solve_qp_batch"]
+
+_LAM_DIVERGENCE = 1e14
+_SLACK_FLOOR = 1e-300
+_W_CEIL = 1e16
+
+
+@dataclass
+class BatchQPStats:
+    """Batch-level occupancy counters for the continuous-batching loop."""
+
+    #: batch iterations executed (each runs one factorization sweep)
+    iterations: int = 0
+    #: lane-iterations actually worked (sum of active lanes per iteration)
+    lane_iterations: int = 0
+    #: lane-iterations available (batch size x iterations)
+    lane_slots: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        """Active-lanes / total-lanes per iteration, in [0, 1]."""
+        if self.lane_slots == 0:
+            return 1.0
+        return self.lane_iterations / self.lane_slots
+
+
+@dataclass
+class BatchQPResult:
+    """Per-lane solutions and statuses of one batched QP solve.
+
+    ``status[i]`` is one of ``"converged"``, ``"diverged"``,
+    ``"budget_exhausted"`` (wall-clock deadline or a budget-shortened
+    iteration cap), ``"max_iterations"`` (full cap reached), or
+    ``"failed"`` (non-finite lane data or unrecoverable factorization).
+    ``budget_exhausted[i]`` mirrors the scalar ``QPResult`` field and is
+    set **only** for deadline-stopped lanes, so SQP callers can apply the
+    scalar discard-direction rule unchanged.
+    """
+
+    x: np.ndarray
+    nu: np.ndarray
+    lam: np.ndarray
+    slacks: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    residual: np.ndarray
+    status: List[str]
+    budget_exhausted: np.ndarray
+    gap_history: List[List[float]]
+    stats: List[QPStats]
+    batch: BatchQPStats
+    freeze: Optional[Dict[int, Dict[str, np.ndarray]]] = None
+
+
+def _max_step_batch(v: np.ndarray, dv: np.ndarray) -> np.ndarray:
+    """Per-lane fraction-to-the-boundary step (batched ``_max_step``)."""
+    if dv.shape[1] == 0:
+        return np.ones(dv.shape[0])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(dv < 0.0, -v / dv, np.inf)
+    a = ratio.min(axis=1)
+    return np.minimum(1.0, np.where(np.isfinite(a), a, 1.0))
+
+
+def _bmv(M: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Batched matrix @ vector: (k, r, c) x (k, c) -> (k, r)."""
+    return np.matmul(M, v[:, :, None])[:, :, 0]
+
+
+def solve_qp_batch(
+    H: np.ndarray,
+    g: np.ndarray,
+    G: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    J: Optional[np.ndarray],
+    d: Optional[np.ndarray],
+    options: Optional[QPOptions] = None,
+    bandwidth: Optional[int] = None,
+    deadline: Optional[float] = None,
+    iteration_caps: Optional[np.ndarray] = None,
+    record_freeze: bool = False,
+) -> BatchQPResult:
+    """Solve ``B`` convex QPs in lockstep with per-lane freezing.
+
+    ``iteration_caps`` (optional, ``(B,)`` ints) shortens individual
+    lanes' iteration budgets below ``options.max_iterations`` — a lane
+    stopping on a shortened cap reports status ``"budget_exhausted"``.
+    ``record_freeze`` snapshots each lane's iterate at its freeze point
+    (for the bit-identity guarantees tested in the active-mask suite).
+    """
+    opt = options or QPOptions()
+    H = np.asarray(H, dtype=float)
+    g = np.asarray(g, dtype=float)
+    lanes, n = g.shape
+    if H.shape != (lanes, n, n):
+        raise ValueError(f"H shape {H.shape} != ({lanes}, {n}, {n})")
+
+    if G is None or b is None:
+        G = np.zeros((lanes, 0, n))
+        b = np.zeros((lanes, 0))
+        has_eq = False
+    else:
+        G = np.asarray(G, dtype=float)
+        b = np.asarray(b, dtype=float)
+        has_eq = G.shape[1] > 0
+    if J is None or d is None:
+        J = np.zeros((lanes, 0, n))
+        d = np.zeros((lanes, 0))
+    else:
+        J = np.asarray(J, dtype=float)
+        d = np.asarray(d, dtype=float)
+    p, m = G.shape[1], J.shape[1]
+    has_in = m > 0
+
+    x = np.zeros((lanes, n))
+    nu = np.zeros((lanes, p))
+    if has_in:
+        s = np.maximum(1.0, d - _bmv(J, x))
+        lam = np.ones((lanes, m))
+    else:
+        s = np.zeros((lanes, 0))
+        lam = np.zeros((lanes, 0))
+
+    def _maxabs(M: np.ndarray) -> np.ndarray:
+        if M.size == 0:
+            return np.zeros(M.shape[0])
+        return np.abs(M.reshape(M.shape[0], -1)).max(axis=1)
+
+    scale = 1.0 + np.minimum(
+        np.maximum(_maxabs(g), np.maximum(_maxabs(b), _maxabs(d))), 100.0
+    )
+
+    caps = np.full(lanes, int(opt.max_iterations), dtype=int)
+    if iteration_caps is not None:
+        ic = np.asarray(iteration_caps, dtype=int)
+        caps = np.minimum(caps, np.maximum(ic, 1))
+    budget_capped = caps < opt.max_iterations
+
+    active = np.ones(lanes, dtype=bool)
+    status: List[str] = ["max_iterations"] * lanes
+    converged = np.zeros(lanes, dtype=bool)
+    budget_ex = np.zeros(lanes, dtype=bool)
+    iterations = np.zeros(lanes, dtype=int)
+    residual = np.full(lanes, np.inf)
+    gap_history: List[List[float]] = [[] for _ in range(lanes)]
+    stats = [QPStats() for _ in range(lanes)]
+    freeze: Dict[int, Dict[str, np.ndarray]] = {}
+    bstats = BatchQPStats()
+
+    def _freeze(lane: int, st: str, its: int, budget: bool = False) -> None:
+        active[lane] = False
+        status[lane] = st
+        iterations[lane] = its
+        converged[lane] = st == "converged"
+        budget_ex[lane] = budget
+        if record_freeze:
+            freeze[lane] = {
+                "x": x[lane].copy(),
+                "nu": nu[lane].copy(),
+                "lam": lam[lane].copy(),
+                "slacks": s[lane].copy(),
+                "residual": np.array(residual[lane]),
+            }
+
+    # Per-lane non-finite data fails fast (scalar raises SolverError; in a
+    # batch the lane freezes as "failed" so its mates keep solving).
+    lane_finite = (
+        np.isfinite(H).all(axis=(1, 2))
+        & np.isfinite(g).all(axis=1)
+        & np.isfinite(G.reshape(lanes, -1)).all(axis=1)
+        & np.isfinite(b).all(axis=1)
+        & np.isfinite(J.reshape(lanes, -1)).all(axis=1)
+        & np.isfinite(d).all(axis=1)
+    )
+    for lane in np.flatnonzero(~lane_finite):
+        _freeze(int(lane), "failed", 0)
+
+    # Structural Phi band from the max-abs envelope over finite lanes —
+    # a sparsity superset of every lane's H + J^T W J, measured once.
+    phi_band: Optional[int] = None
+    if bandwidth is not None and n and lane_finite.any():
+        env = np.abs(H[lane_finite]).max(axis=0)
+        if has_in:
+            jmax = np.abs(J[lane_finite]).max(axis=0)
+            env = env + jmax.T @ jmax
+        struct = bandwidth_of(env)
+        if struct <= bandwidth:
+            phi_band = struct
+            for lane in np.flatnonzero(lane_finite):
+                stats[int(lane)].phi_bandwidth = struct
+
+    sfloor = _SLACK_FLOOR
+    global_max = int(caps[active].max()) if active.any() else 0
+
+    for it in range(1, global_max + 2):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+
+        xa, nua, sa, lama = x[idx], nu[idx], s[idx], lam[idx]
+        Ha, ga = H[idx], g[idx]
+        Ga, ba = G[idx], b[idx]
+        Ja, da = J[idx], d[idx]
+
+        # Residual evaluation (mirrors eval_residual in the scalar loop).
+        with np.errstate(all="ignore"):
+            r_dual = _bmv(Ha, xa) + ga
+            if has_eq:
+                r_dual = r_dual + _bmv(Ga.transpose(0, 2, 1), nua)
+            if has_in:
+                r_dual = r_dual + _bmv(Ja.transpose(0, 2, 1), lama)
+            r_eq = _bmv(Ga, xa) - ba if has_eq else np.zeros((idx.size, 0))
+            r_in = _bmv(Ja, xa) + sa - da if has_in else np.zeros((idx.size, 0))
+            mu = (sa * lama).sum(axis=1) / m if has_in else np.zeros(idx.size)
+            res = _maxabs(r_dual)
+            if has_eq:
+                res = np.maximum(res, _maxabs(r_eq))
+            if has_in:
+                res = np.maximum(res, _maxabs(r_in))
+            res = res + mu
+        residual[idx] = res
+        for k_l, lane in enumerate(idx):
+            gap_history[int(lane)].append(float(mu[k_l]))
+
+        # Classification ladder, scalar order: cap / converged / diverged.
+        over_cap = it > caps[idx]
+        conv = (~over_cap) & (res < opt.tolerance * scale[idx])
+        lam_blow = (
+            lama.max(axis=1) > _LAM_DIVERGENCE * scale[idx]
+            if has_in
+            else np.zeros(idx.size, dtype=bool)
+        )
+        div = (~over_cap) & ~conv & (~np.isfinite(res) | lam_blow)
+        for k_l, lane in enumerate(idx):
+            lane = int(lane)
+            if over_cap[k_l]:
+                if budget_capped[lane]:
+                    _freeze(lane, "budget_exhausted", int(caps[lane]))
+                else:
+                    _freeze(lane, "max_iterations", int(caps[lane]))
+            elif conv[k_l]:
+                _freeze(lane, "converged", it)
+            elif div[k_l]:
+                _freeze(lane, "diverged", it)
+
+        # Wall-clock deadline stops every still-active lane at once.
+        if deadline is not None and perf_counter() >= deadline:
+            for lane in np.flatnonzero(active):
+                _freeze(int(lane), "budget_exhausted", it - 1, budget=True)
+            break
+
+        keep = active[idx]
+        if not keep.any():
+            continue
+        idx = idx[keep]
+        xa, nua, sa, lama = xa[keep], nua[keep], sa[keep], lama[keep]
+        Ha, ga, Ga, ba, Ja, da = Ha[keep], ga[keep], Ga[keep], ba[keep], Ja[keep], da[keep]
+        r_dual, r_eq, r_in, mu = r_dual[keep], r_eq[keep], r_in[keep], mu[keep]
+        k = idx.size
+
+        bstats.iterations += 1
+        bstats.lane_iterations += k
+        bstats.lane_slots += lanes
+
+        with np.errstate(all="ignore"):
+            if has_in:
+                w = np.minimum(lama / np.maximum(sa, sfloor), _W_CEIL)
+                Phi = Ha + np.matmul(Ja.transpose(0, 2, 1) * w[:, None, :], Ja)
+            else:
+                w = np.zeros((k, 0))
+                Phi = Ha
+
+        t0 = perf_counter()
+        phi_factor, reg_used, retries = robust_factor_batch(
+            Phi, opt.regularization, phi_band
+        )
+        dt = perf_counter() - t0
+        alive = phi_factor.ok.copy()
+        for k_l, lane in enumerate(idx):
+            lane = int(lane)
+            st = stats[lane]
+            st.retries += int(retries[k_l])
+            st.factorize_time += dt / k
+            if alive[k_l]:
+                st.factorizations += 1
+                if phi_factor.banded:
+                    st.banded_factorizations += 1
+                st.factor_flops += phi_factor.factor_flops()
+                st.regularization_max = max(st.regularization_max, float(reg_used[k_l]))
+            else:
+                _freeze(lane, "failed", it)
+
+        sub_time = [0.0]
+        sub_flops_lane = [0]
+
+        def _timed_solve(factor: BatchCholeskyFactor, rhs: np.ndarray) -> np.ndarray:
+            t = perf_counter()
+            out = factor.solve(rhs)
+            sub_time[0] += perf_counter() - t
+            nrhs = rhs.shape[2] if rhs.ndim == 3 else 1
+            sub_flops_lane[0] += factor.solve_flops(nrhs)
+            return out
+
+        s_factor: Optional[BatchCholeskyFactor] = None
+        PhiInv_Gt = None
+        if has_eq and alive.any():
+            with np.errstate(all="ignore"):
+                PhiInv_Gt = _timed_solve(phi_factor, Ga.transpose(0, 2, 1))
+                S = np.matmul(Ga, PhiInv_Gt)
+            s_band: Optional[int] = None
+            if bandwidth is not None:
+                meas = bandwidth_of(np.abs(S[alive]).max(axis=0))
+                if meas <= bandwidth:
+                    s_band = meas
+                for k_l, lane in enumerate(idx):
+                    if alive[k_l]:
+                        st = stats[int(lane)]
+                        st.schur_bandwidth = max(st.schur_bandwidth or 0, meas)
+            t0 = perf_counter()
+            s_factor, s_reg, s_retries = robust_factor_batch(
+                S, opt.regularization, s_band
+            )
+            dt = perf_counter() - t0
+            still = alive & s_factor.ok
+            for k_l, lane in enumerate(idx):
+                lane = int(lane)
+                if not alive[k_l]:
+                    continue
+                st = stats[lane]
+                st.retries += int(s_retries[k_l])
+                st.factorize_time += dt / max(int(alive.sum()), 1)
+                if still[k_l]:
+                    st.factorizations += 1
+                    if s_factor.banded:
+                        st.banded_factorizations += 1
+                    st.factor_flops += s_factor.factor_flops()
+                    st.regularization_max = max(
+                        st.regularization_max, float(s_reg[k_l])
+                    )
+                else:
+                    _freeze(lane, "failed", it)
+            alive = still
+
+        if not alive.any():
+            continue
+
+        def _newton(rc: np.ndarray):
+            with np.errstate(all="ignore"):
+                if has_in:
+                    rhs1 = -(
+                        r_dual
+                        + _bmv(
+                            Ja.transpose(0, 2, 1),
+                            w * r_in - rc / np.maximum(sa, sfloor),
+                        )
+                    )
+                else:
+                    rhs1 = -r_dual
+                t = _timed_solve(phi_factor, rhs1[:, :, None])[:, :, 0]
+                if has_eq:
+                    rhs2 = _bmv(Ga, t) + r_eq
+                    dnu = _timed_solve(s_factor, rhs2[:, :, None])[:, :, 0]
+                    dx = t - _bmv(PhiInv_Gt, dnu)
+                else:
+                    dnu = np.zeros((k, 0))
+                    dx = t
+                if has_in:
+                    ds = -r_in - _bmv(Ja, dx)
+                    dlam = (-rc - lama * ds) / np.maximum(sa, sfloor)
+                else:
+                    ds = np.zeros((k, 0))
+                    dlam = np.zeros((k, 0))
+            return dx, dnu, ds, dlam
+
+        with np.errstate(all="ignore"):
+            # Predictor (affine scaling) step.
+            rc_aff = sa * lama
+            dx_a, dnu_a, ds_a, dlam_a = _newton(rc_aff)
+            if has_in:
+                ap_aff = _max_step_batch(sa, ds_a)
+                ad_aff = _max_step_batch(lama, dlam_a)
+                mu_aff = (
+                    (sa + ap_aff[:, None] * ds_a) * (lama + ad_aff[:, None] * dlam_a)
+                ).sum(axis=1) / m
+                safe_mu = np.where(mu > 0.0, mu, 1.0)
+                sigma = np.where(mu > 0.0, (mu_aff / safe_mu) ** 3, 0.0)
+                rc = sa * lama + ds_a * dlam_a - (sigma * mu)[:, None]
+                dx, dnu, ds, dlam = _newton(rc)
+                ap = np.minimum(1.0, opt.tau * _max_step_batch(sa, ds))
+                ad = np.minimum(1.0, opt.tau * _max_step_batch(lama, dlam))
+            else:
+                dx, dnu, ds, dlam = dx_a, dnu_a, ds_a, dlam_a
+                ap = np.ones(k)
+                ad = np.ones(k)
+
+        for k_l, lane in enumerate(idx):
+            lane = int(lane)
+            if not alive[k_l]:
+                continue
+            st = stats[lane]
+            st.substitute_time += sub_time[0] / max(int(alive.sum()), 1)
+            st.substitute_flops += sub_flops_lane[0]
+
+        upd = np.flatnonzero(alive)
+        gidx = idx[upd]
+        x[gidx] = xa[upd] + ap[upd, None] * dx[upd]
+        nu[gidx] = nua[upd] + ad[upd, None] * dnu[upd]
+        if has_in:
+            s[gidx] = sa[upd] + ap[upd, None] * ds[upd]
+            lam[gidx] = lama[upd] + ad[upd, None] * dlam[upd]
+
+    for lane in range(lanes):
+        st = stats[lane]
+        if st.factorizations == 0:
+            st.mode = "dense"
+        elif st.banded_factorizations == st.factorizations:
+            st.mode = "banded"
+        elif st.banded_factorizations:
+            st.mode = "mixed"
+        else:
+            st.mode = "dense"
+
+    return BatchQPResult(
+        x=x,
+        nu=nu,
+        lam=lam,
+        slacks=s,
+        converged=converged,
+        iterations=iterations,
+        residual=residual,
+        status=status,
+        budget_exhausted=budget_ex,
+        gap_history=gap_history,
+        stats=stats,
+        batch=bstats,
+        freeze=freeze if record_freeze else None,
+    )

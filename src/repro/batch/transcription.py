@@ -1,0 +1,473 @@
+"""Vectorized linearization: evaluate compiled stage functions batch-wide.
+
+The scalar :class:`~repro.mpc.transcription.TranscribedProblem` evaluates
+its generated stage functions one knot at a time with Python floats.  For
+a batch of ``B`` instances of the *same* problem that is ``B x N`` Python
+calls per linearization — the dominant cost of a batched SQP iteration.
+
+:class:`VectorizedFunction` removes it: every
+:class:`~repro.symbolic.compile.CompiledFunction` carries its generated
+source, and the generated body is pure arithmetic plus a small closed set
+of ``math`` calls.  Re-executing that source against a NumPy namespace
+(``sin -> np.sin``, ``asin -> np.arcsin``, ...) yields a callable that
+accepts ``(B, K)``-shaped columns and evaluates all ``B x K`` stage
+points in one pass — the "vectorized fast path where the
+``CompiledFunction`` supports it" of the batching subsystem.  Any
+function whose source fails to vectorize (or a future op with no ufunc
+twin) drops the whole linearizer to a per-lane loop fallback over the
+scalar problem methods, which is slower but bit-equal by construction.
+
+:class:`BatchLinearizer` exposes the batched twins of every evaluation
+method the SQP layer needs (`objective`, gradients, Gauss-Newton Hessian,
+constraint stacks and Jacobians, cold-start guesses), with identical
+stacking order to the scalar path so the stage-ordered band structure and
+permutations of PR 1 carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TranscriptionError
+from repro.mpc.transcription import TranscribedProblem
+from repro.symbolic.compile import CompiledFunction
+
+__all__ = ["VectorizedFunction", "vectorize_compiled", "BatchLinearizer"]
+
+#: numpy twins of the scalar codegen namespace (names differ for arc-trig)
+_NUMPY_FUNCS = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "asin": np.arcsin,
+    "acos": np.arccos,
+    "atan": np.arctan,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+}
+
+RefLike = Optional[Union[np.ndarray, Sequence[Optional[np.ndarray]]]]
+
+
+class VectorizedFunction:
+    """A compiled stage function re-bound to NumPy ufuncs.
+
+    Calling with columns of shape ``S`` (one array per input variable)
+    returns an ``S + (n_outputs,)`` array.  Outputs that the generated
+    source returns as bare constants or pass-through inputs are broadcast
+    to the batch shape.  Floating-point warnings are suppressed — NaN/inf
+    propagate to the solver's divergence guards exactly as on the scalar
+    path.
+    """
+
+    def __init__(self, fn: CompiledFunction) -> None:
+        self.scalar = fn
+        self.n_outputs = fn.n_outputs
+        name = fn.source.split("(", 1)[0].split()[-1]
+        namespace: Dict[str, object] = dict(_NUMPY_FUNCS)
+        exec(compile(fn.source, f"<vectorized:{name}>", "exec"), namespace)
+        self._func = namespace[name]
+
+    def __call__(self, cols: Sequence[np.ndarray]) -> np.ndarray:
+        shape = np.shape(cols[0]) if cols else ()
+        with np.errstate(all="ignore"):
+            outs = self._func(*cols)
+        stacked = [
+            np.broadcast_to(np.asarray(o, dtype=float), shape) for o in outs
+        ]
+        return np.stack(stacked, axis=-1) if stacked else np.zeros(shape + (0,))
+
+
+def vectorize_compiled(fn: CompiledFunction) -> VectorizedFunction:
+    """Build the NumPy-vectorized twin of a compiled stage function."""
+    return VectorizedFunction(fn)
+
+
+class BatchLinearizer:
+    """Batched evaluation of one :class:`TranscribedProblem` over ``B`` lanes.
+
+    All methods accept stacked arguments with a leading batch axis
+    (``Z: (B, nz)``, ``x_init: (B, nx)``) and return the batched stack of
+    what the scalar method returns per lane, in the same row order.
+    Requires ``move_block == 1`` (the serve path always transcribes with
+    per-step inputs; blocked knots would break the contiguous
+    state/input reshape fast paths).
+    """
+
+    def __init__(self, problem: TranscribedProblem) -> None:
+        if problem.move_block != 1:
+            raise TranscriptionError(
+                "BatchLinearizer requires move_block == 1, got "
+                f"{problem.move_block}"
+            )
+        self.problem = problem
+        self.N = problem.N
+        self.nx = problem.nx
+        self.nu = problem.nu
+        self.nz = problem.nz
+        self.nref = problem.nref
+        self._base = (self.N + 1) * self.nx
+        self.vectorized = True
+        try:
+            names = (
+                "_F", "_A", "_B",
+                "_L", "_L_grad", "_P_run_jac",
+                "_Phi", "_Phi_grad", "_P_term_jac",
+                "_h_state", "_h_state_jac",
+                "_h_input", "_h_input_jac",
+                "_h_term", "_h_term_jac",
+                "_g_state", "_g_state_jac",
+                "_g_input", "_g_input_jac",
+                "_g_term", "_g_term_jac",
+            )
+            self._v = {nm: vectorize_compiled(getattr(problem, nm)) for nm in names}
+        except Exception:  # any non-vectorizable source -> loop fallback
+            self._v = {}
+            self.vectorized = False
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _split(self, Z: np.ndarray):
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        xs = Z[:, : self._base].reshape(lanes, self.N + 1, self.nx)
+        us = Z[:, self._base :].reshape(lanes, self.N, self.nu)
+        return xs, us
+
+    def normalize_ref(self, ref: RefLike, lanes: int) -> Optional[np.ndarray]:
+        """Normalize per-lane references to one ``(B, N+1, nref)`` stack.
+
+        Accepts ``None`` (only for reference-free tasks), one shared array
+        of shape ``(nref,)`` or ``(N+1, nref)``, or a per-lane sequence of
+        such arrays.
+        """
+        if self.nref == 0:
+            return None
+        if (
+            isinstance(ref, np.ndarray)
+            and ref.ndim == 3
+            and ref.shape == (lanes, self.N + 1, self.nref)
+        ):
+            return ref  # already a normalized stack (or a gathered subset)
+
+        def one(r) -> np.ndarray:
+            if r is None:
+                raise TranscriptionError(
+                    f"task {self.problem.task.name!r} requires reference "
+                    f"values {self.problem.task.references}"
+                )
+            r = np.asarray(r, dtype=float)
+            if r.shape == (self.nref,):
+                return np.tile(r, (self.N + 1, 1))
+            if r.shape == (self.N + 1, self.nref):
+                return r
+            raise TranscriptionError(
+                f"reference values must have shape ({self.nref},) or "
+                f"({self.N + 1}, {self.nref}), got {r.shape}"
+            )
+
+        if ref is None or isinstance(ref, np.ndarray):
+            return np.tile(one(ref), (lanes, 1, 1))
+        rows = [one(r) for r in ref]
+        if len(rows) != lanes:
+            raise TranscriptionError(
+                f"got {len(rows)} per-lane references for {lanes} lanes"
+            )
+        return np.stack(rows)
+
+    def _ref_lane(self, R: Optional[np.ndarray], lane: int) -> Optional[np.ndarray]:
+        return None if R is None else R[lane]
+
+    def _run_cols(self, xs, us, R, ks) -> List[np.ndarray]:
+        cols = [xs[:, ks, i] for i in range(self.nx)]
+        cols += [us[:, ks, j] for j in range(self.nu)]
+        if self.nref:
+            cols += [R[:, ks, r] for r in range(self.nref)]
+        return cols
+
+    def _dyn_cols(self, xs, us, ks) -> List[np.ndarray]:
+        cols = [xs[:, ks, i] for i in range(self.nx)]
+        cols += [us[:, ks, j] for j in range(self.nu)]
+        return cols
+
+    def _term_cols(self, xs, R) -> List[np.ndarray]:
+        cols = [xs[:, self.N, i] for i in range(self.nx)]
+        if self.nref:
+            cols += [R[:, self.N, r] for r in range(self.nref)]
+        return cols
+
+    def _state_sl(self, k: int) -> slice:
+        return slice(k * self.nx, (k + 1) * self.nx)
+
+    def _input_sl(self, k: int) -> slice:
+        return slice(self._base + k * self.nu, self._base + (k + 1) * self.nu)
+
+    # -- objective ---------------------------------------------------------
+
+    def objective(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.array(
+                [
+                    self.problem.objective(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        xs, us = self._split(Z)
+        ks = np.arange(self.N)
+        run = self._v["_L"](self._run_cols(xs, us, R, ks))[..., 0]
+        term = self._v["_Phi"](self._term_cols(xs, R))[..., 0]
+        return run.sum(axis=1) + term
+
+    def objective_gradient(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.objective_gradient(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        xs, us = self._split(Z)
+        ks = np.arange(self.N)
+        gs = self._v["_L_grad"](self._run_cols(xs, us, R, ks))  # (B, N, nxu)
+        grad = np.zeros((lanes, self.nz))
+        grad[:, : self.N * self.nx] += gs[:, :, : self.nx].reshape(lanes, -1)
+        grad[:, self._base :] += gs[:, :, self.nx :].reshape(lanes, -1)
+        grad[:, self.N * self.nx : self._base] += self._v["_Phi_grad"](
+            self._term_cols(xs, R)
+        )
+        return grad
+
+    def objective_gauss_newton(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.objective_gauss_newton(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        xs, us = self._split(Z)
+        nxu = self.nx + self.nu
+        H = np.zeros((lanes, self.nz, self.nz))
+        n_run = len(self.problem.w_run)
+        n_term = len(self.problem.w_term)
+        if n_run:
+            ks = np.arange(self.N)
+            Jp = self._v["_P_run_jac"](self._run_cols(xs, us, R, ks))
+            Jp = Jp.reshape(lanes, self.N, n_run, nxu)
+            blk = 2.0 * np.einsum("bkrp,r,bkrq->bkpq", Jp, self.problem.w_run, Jp)
+            for k in range(self.N):
+                sx, su = self._state_sl(k), self._input_sl(k)
+                H[:, sx, sx] += blk[:, k, : self.nx, : self.nx]
+                H[:, sx, su] += blk[:, k, : self.nx, self.nx :]
+                H[:, su, sx] += blk[:, k, self.nx :, : self.nx]
+                H[:, su, su] += blk[:, k, self.nx :, self.nx :]
+        if n_term:
+            Jp = self._v["_P_term_jac"](self._term_cols(xs, R))
+            Jp = Jp.reshape(lanes, n_term, self.nx)
+            sN = self._state_sl(self.N)
+            H[:, sN, sN] += 2.0 * np.einsum(
+                "brp,r,brq->bpq", Jp, self.problem.w_term, Jp
+            )
+        return H
+
+    # -- constraints -------------------------------------------------------
+
+    def equality_constraints(
+        self, Z: np.ndarray, x_init: np.ndarray, ref: RefLike = None
+    ) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        X0 = np.asarray(x_init, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.equality_constraints(
+                        Z[i], X0[i], self._ref_lane(R, i)
+                    )
+                    for i in range(lanes)
+                ]
+            )
+        p = self.problem
+        xs, us = self._split(Z)
+        ks = np.arange(self.N)
+        parts = [xs[:, 0] - X0]
+        F = self._v["_F"](self._dyn_cols(xs, us, ks))  # (B, N, nx)
+        parts.append((xs[:, 1:] - F).reshape(lanes, -1))
+        if p._eq_state_rows and self.N > 1:
+            ks_in = np.arange(1, self.N)
+            vals = self._v["_g_state"](self._run_cols(xs, us, R, ks_in))
+            parts.append(vals.reshape(lanes, -1))
+        if p._eq_input_rows:
+            vals = self._v["_g_input"](self._run_cols(xs, us, R, ks))
+            parts.append(vals.reshape(lanes, -1))
+        if p._eq_term_rows:
+            parts.append(self._v["_g_term"](self._term_cols(xs, R)))
+        return np.concatenate(parts, axis=1)
+
+    def equality_jacobian(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.equality_jacobian(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        p = self.problem
+        xs, us = self._split(Z)
+        nx, nu, nxu = self.nx, self.nu, self.nx + self.nu
+        ks = np.arange(self.N)
+        G = np.zeros((lanes, p.n_eq, self.nz))
+        G[:, :nx, :nx] = np.eye(nx)
+        A = self._v["_A"](self._dyn_cols(xs, us, ks)).reshape(
+            lanes, self.N, nx, nx
+        )
+        Bm = self._v["_B"](self._dyn_cols(xs, us, ks)).reshape(
+            lanes, self.N, nx, nu
+        )
+        row = nx
+        for k in range(self.N):
+            rows = slice(row, row + nx)
+            G[:, rows, self._state_sl(k + 1)] = np.eye(nx)
+            G[:, rows, self._state_sl(k)] = -A[:, k]
+            G[:, rows, self._input_sl(k)] = -Bm[:, k]
+            row += nx
+        if p._eq_state_rows and self.N > 1:
+            ks_in = np.arange(1, self.N)
+            J = self._v["_g_state_jac"](self._run_cols(xs, us, R, ks_in))
+            J = J.reshape(lanes, self.N - 1, p._eq_state_rows, nxu)
+            for i, k in enumerate(range(1, self.N)):
+                rows = slice(row, row + p._eq_state_rows)
+                G[:, rows, self._state_sl(k)] = J[:, i, :, :nx]
+                G[:, rows, self._input_sl(k)] = J[:, i, :, nx:]
+                row += p._eq_state_rows
+        if p._eq_input_rows:
+            J = self._v["_g_input_jac"](self._run_cols(xs, us, R, ks))
+            J = J.reshape(lanes, self.N, p._eq_input_rows, nxu)
+            for k in range(self.N):
+                rows = slice(row, row + p._eq_input_rows)
+                G[:, rows, self._state_sl(k)] = J[:, k, :, :nx]
+                G[:, rows, self._input_sl(k)] = J[:, k, :, nx:]
+                row += p._eq_input_rows
+        if p._eq_term_rows:
+            J = self._v["_g_term_jac"](self._term_cols(xs, R))
+            J = J.reshape(lanes, p._eq_term_rows, nx)
+            G[:, row : row + p._eq_term_rows, self._state_sl(self.N)] = J
+            row += p._eq_term_rows
+        return G
+
+    def inequality_constraints(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.inequality_constraints(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        p = self.problem
+        if p.n_ineq == 0:
+            return np.zeros((lanes, 0))
+        xs, us = self._split(Z)
+        parts = []
+        if p._h_state_rows and self.N > 1:
+            ks_in = np.arange(1, self.N)
+            vals = self._v["_h_state"](self._run_cols(xs, us, R, ks_in))
+            parts.append(vals.reshape(lanes, -1))
+        if p._h_input_rows:
+            ks = np.arange(self.N)
+            vals = self._v["_h_input"](self._run_cols(xs, us, R, ks))
+            parts.append(vals.reshape(lanes, -1))
+        if p._h_term_rows:
+            parts.append(self._v["_h_term"](self._term_cols(xs, R)))
+        return (
+            np.concatenate(parts, axis=1) if parts else np.zeros((lanes, 0))
+        )
+
+    def inequality_jacobian(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        lanes = Z.shape[0]
+        R = self.normalize_ref(ref, lanes)
+        if not self.vectorized:
+            return np.stack(
+                [
+                    self.problem.inequality_jacobian(Z[i], self._ref_lane(R, i))
+                    for i in range(lanes)
+                ]
+            )
+        p = self.problem
+        nx, nxu = self.nx, self.nx + self.nu
+        J = np.zeros((lanes, p.n_ineq, self.nz))
+        if p.n_ineq == 0:
+            return J
+        xs, us = self._split(Z)
+        row = 0
+        if p._h_state_rows and self.N > 1:
+            ks_in = np.arange(1, self.N)
+            blk = self._v["_h_state_jac"](self._run_cols(xs, us, R, ks_in))
+            blk = blk.reshape(lanes, self.N - 1, p._h_state_rows, nxu)
+            for i, k in enumerate(range(1, self.N)):
+                rows = slice(row, row + p._h_state_rows)
+                J[:, rows, self._state_sl(k)] = blk[:, i, :, :nx]
+                J[:, rows, self._input_sl(k)] = blk[:, i, :, nx:]
+                row += p._h_state_rows
+        if p._h_input_rows:
+            ks = np.arange(self.N)
+            blk = self._v["_h_input_jac"](self._run_cols(xs, us, R, ks))
+            blk = blk.reshape(lanes, self.N, p._h_input_rows, nxu)
+            for k in range(self.N):
+                rows = slice(row, row + p._h_input_rows)
+                J[:, rows, self._state_sl(k)] = blk[:, k, :, :nx]
+                J[:, rows, self._input_sl(k)] = blk[:, k, :, nx:]
+                row += p._h_input_rows
+        if p._h_term_rows:
+            blk = self._v["_h_term_jac"](self._term_cols(xs, R))
+            blk = blk.reshape(lanes, p._h_term_rows, nx)
+            J[:, row : row + p._h_term_rows, self._state_sl(self.N)] = blk
+        return J
+
+    # -- initialization ----------------------------------------------------
+
+    def initial_guess(self, x_init: np.ndarray) -> np.ndarray:
+        X0 = np.asarray(x_init, dtype=float)
+        lanes = X0.shape[0]
+        if not self.vectorized:
+            return np.stack(
+                [self.problem.initial_guess(X0[i]) for i in range(lanes)]
+            )
+        p = self.problem
+        u0 = np.array(p.model.trim_inputs(), dtype=float)
+        us = np.tile(u0, (lanes, self.N, 1))
+        if not p.model.rollout_guess:
+            xs = np.repeat(X0[:, None, :], self.N + 1, axis=1)
+        else:
+            lo, hi = p.model.state_bounds()
+            lo = np.maximum(np.asarray(lo), -1e6)
+            hi = np.minimum(np.asarray(hi), 1e6)
+            xs = np.empty((lanes, self.N + 1, self.nx))
+            xs[:, 0] = X0
+            u_cols = [np.full(lanes, u0[j]) for j in range(self.nu)]
+            for k in range(self.N):
+                cols = [xs[:, k, i] for i in range(self.nx)] + u_cols
+                xs[:, k + 1] = np.clip(self._v["_F"](cols), lo, hi)
+        return np.concatenate(
+            [xs.reshape(lanes, -1), us.reshape(lanes, -1)], axis=1
+        )

@@ -126,9 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "batched"),
         default="thread",
-        help="worker pool kind when --workers > 0",
+        help="worker pool kind when --workers > 0, or 'batched' for "
+        "in-process vectorized group solves (requires --workers 0)",
     )
     p_serve.add_argument(
         "--tick-budget-ms",
@@ -447,6 +448,7 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_serve_sim(args) -> int:
+    from repro.errors import ReproError
     from repro.robots import BENCHMARK_NAMES
     from repro.serve import DEFAULT_ROBOTS, LoadConfig, run_load
 
@@ -479,7 +481,11 @@ def _cmd_serve_sim(args) -> int:
         ),
         trace_path=args.trace,
     )
-    report = run_load(config)
+    try:
+        report = run_load(config)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

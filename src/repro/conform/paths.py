@@ -200,6 +200,76 @@ def _run_banded_kkt(ctx: CaseContext) -> PathOutput:
     )
 
 
+def _run_batch_qp(ctx: CaseContext) -> PathOutput:
+    """The batched IPM, cross-checked lane-by-lane against the scalar path.
+
+    Three lanes share one batched solve: lane 0 is the case's exact
+    subproblem (its solution is what the ledger compares against the
+    family baseline), lanes 1-2 carry small deterministic gradient
+    perturbations so the active-mask machinery actually runs (lanes
+    converge at different iterations).  Every lane is re-solved by the
+    scalar ``banded_kkt`` oracle with identical options; a lane-wise
+    disagreement beyond the sanity gate marks the path non-converged —
+    that is the batched-vs-scalar drift this path exists to catch.
+    """
+    from repro.batch import solve_qp_batch
+
+    H, g, G, b, J, d, bw = ctx.qp_args
+    opts = dc_replace(ctx.qp_options, polish=False)
+    rng = np.random.default_rng(ctx.case.seed + 1)
+    lanes = 3
+    g_scale = 1.0 + float(np.max(np.abs(g))) if g.size else 1.0
+    G_stack = np.stack([np.asarray(g, dtype=float)] * lanes)
+    for lane in range(1, lanes):
+        G_stack[lane] += 1e-3 * g_scale * rng.standard_normal(g.shape)
+
+    res = solve_qp_batch(
+        np.stack([H] * lanes),
+        G_stack,
+        None if G is None else np.stack([G] * lanes),
+        None if b is None else np.stack([b] * lanes),
+        None if J is None else np.stack([J] * lanes),
+        None if d is None else np.stack([d] * lanes),
+        opts,
+        bandwidth=bw,
+    )
+
+    worst = 0.0
+    for lane in range(lanes):
+        oracle = solve_qp(
+            H, G_stack[lane], G, b, J, d, opts, bandwidth=bw
+        )
+        # Same disagreement metric as ``compare_outputs``: near a flat
+        # optimum two correct solvers stop on different near-optimal
+        # points, so primal gap alone over-reports.
+        dev = relative_error(res.x[lane], oracle.x)
+        if np.all(np.isfinite(res.x[lane])):
+            f = reference_qp_objective(H, G_stack[lane], res.x[lane])
+            fb = reference_qp_objective(H, G_stack[lane], oracle.x)
+            defect = 0.0
+            if G is not None and G.shape[0]:
+                defect = float(np.max(np.abs(G @ res.x[lane] - b)))
+            if J is not None and J.shape[0]:
+                defect = max(
+                    defect,
+                    float(np.max(np.maximum(J @ res.x[lane] - d, 0.0))),
+                )
+            dev = min(dev, (abs(f - fb) + defect) / (1.0 + abs(fb)))
+        worst = max(worst, dev)
+    agree = worst < 1e-3  # sanity gate: beyond this the paths diverged
+    return PathOutput(
+        values=res.x[0],
+        converged=bool(np.all(res.converged)) and agree,
+        note="" if agree else f"lane disagrees with scalar oracle ({worst:.1e})",
+        detail={
+            "iterations": res.iterations.tolist(),
+            "statuses": list(res.status),
+            "lane_vs_scalar": worst,
+            "batch_efficiency": res.batch.efficiency,
+        },
+    )
+
+
 def _run_reference_qp(ctx: CaseContext) -> PathOutput:
     H, g, G, b, J, d, _bw = ctx.qp_args
     try:
@@ -313,6 +383,14 @@ _register(
         family="qp",
         description="Mehrotra IPM through stage-interleaved banded kernels",
         run=_run_banded_kkt,
+    )
+)
+_register(
+    NumericPath(
+        name="batch_qp",
+        family="qp",
+        description="batched Mehrotra IPM (repro.batch), per-lane scalar cross-check",
+        run=_run_batch_qp,
     )
 )
 _register(

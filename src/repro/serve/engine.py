@@ -65,7 +65,8 @@ class EngineConfig:
     max_sessions: int = 256
     #: 0 = inline execution; > 0 = pool of this many workers
     workers: int = 0
-    #: "thread" or "process" (only consulted when ``workers > 0``)
+    #: "thread" / "process" (pools, only engaged when ``workers > 0``) or
+    #: "batched" (in-process vectorized group solves, ``workers`` must be 0)
     backend: str = "thread"
     #: soft per-tick wall budget driving backpressure (None = no limit)
     tick_budget_s: Optional[float] = None
@@ -77,8 +78,12 @@ class EngineConfig:
             raise ServeError("max_sessions must be >= 1")
         if self.workers < 0:
             raise ServeError("workers must be >= 0")
-        if self.workers and self.backend not in ("thread", "process"):
+        if self.backend not in ("thread", "process", "batched"):
             raise ServeError(f"unknown backend {self.backend!r}")
+        if self.backend == "batched" and self.workers:
+            raise ServeError(
+                "backend='batched' solves in-process; workers must be 0"
+            )
         if self.min_batch < 1:
             raise ServeError("min_batch must be >= 1")
 
@@ -125,6 +130,10 @@ class ServeEngine:
         self.fault_hook = None
         #: shared transcriptions: (robot, horizon) -> (benchmark, problem)
         self._problem_cache: Dict[Tuple[str, int], Tuple[object, object]] = {}
+        #: batched backend: (robot, horizon) -> BatchSolver, or None when
+        #: the binding cannot batch (non-Gauss-Newton Hessian model) and
+        #: its sessions fall back to scalar inline solves
+        self._batch_solvers: Dict[Tuple[str, int], Optional[object]] = {}
 
     # -- session lifecycle ------------------------------------------------------
     def create_session(
@@ -285,7 +294,9 @@ class ServeEngine:
 
     def _dispatch(self, ready: List[str], inputs, report: TickReport) -> None:
         cfg = self.config
-        if cfg.workers and cfg.backend == "process":
+        if cfg.backend == "batched":
+            self._dispatch_batched(ready, inputs, report)
+        elif cfg.workers and cfg.backend == "process":
             self._dispatch_process(ready, inputs, report)
         elif cfg.workers:
             self._dispatch_threads(ready, inputs, report)
@@ -398,6 +409,112 @@ class ServeEngine:
         if broken:
             self._discard_pool()
 
+    # -- batched backend ------------------------------------------------------
+    @staticmethod
+    def _group_key(session: ControlSession) -> Tuple[str, int]:
+        """The co-batching key: sessions are solved together **only** when
+        they share both robot type and horizon.  Anything else would stack
+        structurally different KKT systems into one lane layout and produce
+        silently wrong trajectories, so the key is explicit — never derived
+        from array shapes, which can coincide across different robots."""
+        return (session.config.robot, session.config.horizon)
+
+    def _batch_solver(self, key: Tuple[str, int]):
+        """The shared :class:`~repro.batch.ipm.BatchSolver` for a group key
+        (``None`` = the binding cannot batch; scalar inline fallback)."""
+        if key not in self._batch_solvers:
+            if key not in self._problem_cache:
+                # Externally-built sessions (add_session) carry their own
+                # solver; without a shared binding they step scalar-inline.
+                self._batch_solvers[key] = None
+            else:
+                from repro.batch import BatchSolver
+
+                bench, problem = self._problem_cache[key]
+                scalar = bench.make_solver(problem)
+                try:
+                    self._batch_solvers[key] = BatchSolver(problem, scalar.options)
+                except ReproError:
+                    # e.g. a hybrid/exact-Hessian robot (MicroSat): its solve
+                    # is stage-sequential, so its sessions step scalar-inline.
+                    self._batch_solvers[key] = None
+        return self._batch_solvers[key]
+
+    def _dispatch_batched(self, ready, inputs, report) -> None:
+        """Group ready sessions by (robot, horizon), solve each group in
+        one batched call, and scatter lane results back through each
+        session's own classification/degradation ladder."""
+        groups: Dict[Tuple[str, int], List[str]] = {}
+        for sid in ready:
+            directive = self._fault_directive(sid)
+            if directive is not None:
+                kind = directive.get("kind")
+                if kind == "worker_crash":
+                    # One lost solve, same contract as a dead pool worker.
+                    self._record(
+                        sid, self.sessions[sid].fail_step("worker_died"), report
+                    )
+                    continue
+                if kind == "slow":
+                    sleep(float(directive.get("delay_s", 0.0)))
+            groups.setdefault(self._group_key(self.sessions[sid]), []).append(sid)
+        for key, sids in groups.items():
+            self._solve_group(key, sids, inputs, report)
+
+    def _solve_group(self, key, sids, inputs, report) -> None:
+        solver = self._batch_solver(key)
+        if solver is None:
+            for sid in sids:
+                x, ref = inputs[sid]
+                self._record(sid, self._step_guarded(sid, x, ref), report)
+            return
+        lanes: List[str] = []
+        payloads = []
+        for sid in sids:
+            session = self.sessions[sid]
+            x, ref = inputs[sid]
+            payload = session.solve_payload(x, ref=ref)
+            bad = not np.all(np.isfinite(payload["x"])) or (
+                payload["ref"] is not None
+                and not np.all(np.isfinite(payload["ref"]))
+            )
+            if bad:
+                # Poisoned measurement/reference: reject before it enters
+                # the batch (one bad lane must not abort the group solve);
+                # the warm start survives, as on the inline path.
+                self._record(sid, session.fail_step("bad_state"), report)
+                continue
+            lanes.append(sid)
+            payloads.append(payload)
+        if not lanes:
+            return
+        try:
+            results, batch_report = solver.solve_payloads(payloads)
+        except ReproError:
+            # Solver-level rejection of the whole group: each session pays
+            # one ladder step and drops its (implicated) warm start.
+            for sid in lanes:
+                self._record(
+                    sid,
+                    self.sessions[sid].fail_step("solver_error", reset_warm=True),
+                    report,
+                )
+            return
+        except Exception:
+            for sid in lanes:
+                self._record(sid, self.sessions[sid].mark_crashed(), report)
+            return
+        self.metrics.observe_batch(len(lanes), batch_report)
+        for sid, result in zip(lanes, results):
+            session = self.sessions[sid]
+            try:
+                outcome = session.absorb_result(result)
+            except ReproError:
+                raise
+            except Exception:
+                outcome = session.mark_crashed()
+            self._record(sid, outcome, report)
+
     def _discard_pool(self) -> None:
         """Throw away a broken worker pool; the next process dispatch
         rebuilds (and re-primes) it lazily."""
@@ -441,6 +558,9 @@ class ServeEngine:
         fleet metrics (call once, at end of run)."""
         for session in self.sessions.values():
             self.metrics.absorb_solver_stats(session.solver_stats())
+        for solver in self._batch_solvers.values():
+            if solver is not None:
+                self.metrics.absorb_solver_stats(solver.stats)
 
     def shutdown(self) -> None:
         """Close all serving sessions and stop the worker pool."""

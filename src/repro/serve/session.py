@@ -364,8 +364,22 @@ class ControlSession:
             solve_time=solve_time,
             health=SolverHealth.from_dict(remote.get("health")),
         )
+        return self.absorb_result(result, solve_time)
+
+    def absorb_result(
+        self, result: IPMResult, solve_time: Optional[float] = None
+    ) -> StepOutcome:
+        """Fold an in-process :class:`IPMResult` into the session.
+
+        The batched backend solves a whole session group in one call and
+        scatters each lane's result back here: adopt the iterate as the
+        next warm start, then run the same classification ladder as an
+        inline or worker solve.
+        """
+        self._require_serving("step")
+        elapsed = result.solve_time if solve_time is None else solve_time
         u = self.controller.adopt(result)
-        return self._classify(u, result, solve_time)
+        return self._classify(u, result, elapsed)
 
     # -- shared outcome logic ---------------------------------------------------
     def _classify(

@@ -183,6 +183,14 @@ class FleetMetrics:
         self.phase_totals: Dict[str, float] = {k: 0 for k in _PHASE_KEYS}
         self.ticks = 0
         self.deferred_steps = 0
+        #: batched-backend telemetry: group solves, lanes, and occupancy
+        self.batch_solves = 0
+        self.batched_lanes = 0
+        self.max_batch = 0
+        self.sqp_lane_iterations = 0
+        self.sqp_lane_slots = 0
+        self.qp_lane_iterations = 0
+        self.qp_lane_slots = 0
 
     def session(self, session_id: str) -> SessionMetrics:
         if session_id not in self.sessions:
@@ -225,6 +233,42 @@ class FleetMetrics:
         self.ticks += 1
         self.deferred_steps += deferred
 
+    def observe_batch(self, lanes: int, report) -> None:
+        """Fold one batched group solve's occupancy report in.
+
+        ``report`` is a :class:`~repro.batch.ipm.BatchSolveReport`;
+        efficiency = worked lane-iterations / available lane-slots, the
+        continuous-batching utilization of the solver.
+        """
+        self.batch_solves += 1
+        self.batched_lanes += lanes
+        self.max_batch = max(self.max_batch, lanes)
+        self.sqp_lane_iterations += report.sqp_lane_iterations
+        self.sqp_lane_slots += report.sqp_lane_slots
+        self.qp_lane_iterations += report.qp_lane_iterations
+        self.qp_lane_slots += report.qp_lane_slots
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batched_lanes / self.batch_solves if self.batch_solves else 0.0
+
+    @property
+    def batch_efficiency(self) -> float:
+        """Fraction of QP lane-slots doing useful work (active-mask yield)."""
+        return (
+            self.qp_lane_iterations / self.qp_lane_slots
+            if self.qp_lane_slots
+            else 1.0
+        )
+
+    @property
+    def sqp_batch_efficiency(self) -> float:
+        return (
+            self.sqp_lane_iterations / self.sqp_lane_slots
+            if self.sqp_lane_slots
+            else 1.0
+        )
+
     def absorb_solver_stats(self, stats: Dict[str, float]) -> None:
         """Accumulate one solver's cumulative per-phase stats."""
         for key in _PHASE_KEYS:
@@ -236,6 +280,18 @@ class FleetMetrics:
             "ticks": self.ticks,
             "deferred_steps": self.deferred_steps,
             "phase_totals": dict(self.phase_totals),
+            "batching": {
+                "batch_solves": self.batch_solves,
+                "batched_lanes": self.batched_lanes,
+                "mean_batch": self.mean_batch,
+                "max_batch": self.max_batch,
+                "sqp_lane_iterations": self.sqp_lane_iterations,
+                "sqp_lane_slots": self.sqp_lane_slots,
+                "sqp_batch_efficiency": self.sqp_batch_efficiency,
+                "qp_lane_iterations": self.qp_lane_iterations,
+                "qp_lane_slots": self.qp_lane_slots,
+                "batch_efficiency": self.batch_efficiency,
+            },
             "sessions": {
                 sid: m.to_dict() for sid, m in sorted(self.sessions.items())
             },
@@ -335,6 +391,15 @@ def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
     lines.append(
         f"iterations:      sqp={f.sqp_iterations}  qp={f.qp_iterations}"
     )
+    if metrics.batch_solves:
+        lines.append(
+            "batching:        "
+            f"solves={metrics.batch_solves}  "
+            f"mean_batch={metrics.mean_batch:.1f}  "
+            f"max_batch={metrics.max_batch}  "
+            f"sqp_eff={metrics.sqp_batch_efficiency:.0%}  "
+            f"qp_eff={metrics.batch_efficiency:.0%}"
+        )
     pt = metrics.phase_totals
     lines.append(
         "solver phases:   "

@@ -1,0 +1,121 @@
+"""Batched banded Cholesky: lane-wise agreement with the scalar kernels,
+per-lane failure isolation, and the escalating-regularization retry ladder."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchCholeskyFactor, robust_factor_batch
+from repro.errors import SolverError
+from repro.mpc.banded import BandedCholeskyFactor, to_banded
+
+
+def spd(n, seed, band=None, scale=1.0):
+    """SPD matrix with an exact half-bandwidth: built as L L^T from a
+    banded lower factor, so definiteness survives the band structure."""
+    rng = np.random.default_rng(seed)
+    L = np.tril(rng.normal(size=(n, n)))
+    if band is not None:
+        mask = np.subtract.outer(np.arange(n), np.arange(n)) <= band
+        L = np.where(mask, L, 0.0)
+    L[np.arange(n), np.arange(n)] = 1.0 + np.abs(L[np.arange(n), np.arange(n)])
+    return scale * (L @ L.T)
+
+
+class TestAgainstScalar:
+    @pytest.mark.parametrize("band", [None, 0, 2, 5])
+    def test_solve_matches_numpy(self, band):
+        n, B = 24, 5
+        A = np.stack([spd(n, 100 + i, band=band) for i in range(B)])
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=(B, n))
+        fac = BatchCholeskyFactor(A, band=band)
+        assert fac.ok.all()
+        x = fac.solve(b)
+        for i in range(B):
+            assert np.allclose(A[i] @ x[i], b[i], atol=1e-8)
+
+    def test_matches_scalar_banded_kernel(self):
+        n, band, B = 30, 3, 4
+        A = np.stack([spd(n, 7 + i, band=band) for i in range(B)])
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(B, n))
+        batch = BatchCholeskyFactor(A, band=band)
+        x = batch.solve(b)
+        for i in range(B):
+            scalar = BandedCholeskyFactor(to_banded(A[i], band))
+            assert np.allclose(x[i], scalar.solve(b[i]), atol=1e-9)
+
+    def test_multi_rhs(self):
+        n, B, k = 12, 3, 4
+        A = np.stack([spd(n, 40 + i) for i in range(B)])
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=(B, n, k))
+        x = BatchCholeskyFactor(A).solve(b)
+        assert x.shape == (B, n, k)
+        for i in range(B):
+            assert np.allclose(A[i] @ x[i], b[i], atol=1e-8)
+
+    def test_band_wider_than_matrix_clamped(self):
+        A = np.stack([spd(4, 3)])
+        fac = BatchCholeskyFactor(A, band=99)
+        assert fac.ok.all()
+        b = np.ones((1, 4))
+        assert np.allclose(A[0] @ fac.solve(b)[0], b[0], atol=1e-9)
+
+
+class TestLaneIsolation:
+    def test_indefinite_lane_flagged_others_exact(self):
+        n, B = 10, 3
+        A = np.stack([spd(n, i) for i in range(B)])
+        A[1] = -np.eye(n)  # not SPD
+        fac = BatchCholeskyFactor(A)
+        assert list(fac.ok) == [True, False, True]
+        b = np.ones((B, n))
+        x = fac.solve(b)
+        for i in (0, 2):
+            assert np.allclose(A[i] @ x[i], b[i], atol=1e-8)
+
+    def test_nonfinite_lane_never_poisons_neighbours(self):
+        n = 8
+        A = np.stack([spd(n, 1), np.full((n, n), np.nan), spd(n, 2)])
+        fac = BatchCholeskyFactor(A, band=3)
+        assert list(fac.ok) == [True, False, True]
+        x = fac.solve(np.ones((3, n)))
+        assert np.all(np.isfinite(x[[0, 2]]))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(SolverError):
+            BatchCholeskyFactor(np.eye(3))
+        fac = BatchCholeskyFactor(np.stack([spd(4, 0)]))
+        with pytest.raises(SolverError):
+            fac.solve(np.ones((2, 4)))
+
+
+class TestRobustFactorBatch:
+    def test_healthy_lanes_no_retries(self):
+        A = np.stack([spd(12, i, band=2) for i in range(3)])
+        fac, reg, retries = robust_factor_batch(A, 1e-9, band=2)
+        assert fac.ok.all()
+        assert (retries == 0).all()
+        assert np.allclose(reg, 1e-9)
+
+    def test_retry_scatters_only_failed_lanes(self):
+        n = 8
+        good = spd(n, 5)
+        # Semidefinite lane: needs regularization to factor.
+        v = np.ones((n, 1))
+        bad = v @ v.T
+        A = np.stack([good, bad, good])
+        fac, reg, retries = robust_factor_batch(A, 0.0, band=None)
+        assert fac.ok.all()
+        assert retries[1] > 0 and retries[0] == 0 and retries[2] == 0
+        assert reg[1] > reg[0]
+        # Healthy lanes keep the bit-identical zero-reg factor.
+        base = BatchCholeskyFactor(np.stack([good]), reg=0.0)
+        assert np.array_equal(fac._D[0], base._D[0])
+
+    def test_hopeless_nonfinite_lane_not_retried(self):
+        A = np.stack([spd(6, 1), np.full((6, 6), np.inf)])
+        fac, _reg, retries = robust_factor_batch(A, 1e-9)
+        assert list(fac.ok) == [True, False]
+        assert retries[1] == 0  # fail-fast, like the scalar guard

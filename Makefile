@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke lint
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -49,3 +49,9 @@ batch-smoke:
 # sizeable untested addition fails CI without flaking on small diffs.
 test-cov:
 	$(PYTEST) -q -m "not slow" --cov=repro --cov-fail-under=$(or $(COV_FLOOR),85)
+
+# Lint: the batch hot path (linalg/qp/ipm/transcription) must route every
+# array op through the backend seam -- bare numpy there pins work to the
+# host and silently reintroduces per-iteration device transfers.
+lint:
+	python scripts/check_no_bare_numpy.py

@@ -18,12 +18,15 @@ fixed, seeded instance set (see conftest's randomness policy).
 from time import perf_counter
 
 import numpy as np
+import pytest
 
 from conftest import banner, make_rng
-from repro.batch import BatchSolver
+from repro.batch import BatchSolver, available_backends, solve_qp_batch
 from repro.robots import build_benchmark
 
 BATCH_SIZES = (1, 4, 16, 64)
+#: Device-scale lane counts for the per-backend QP sweep (slow lane).
+LARGE_BATCH_SIZES = (256, 1024, 4096)
 ROBOTS = (("MobileRobot", 8), ("CartPole", 20))
 X0_NOISE = 0.02
 
@@ -132,3 +135,69 @@ def test_batch_throughput():
     # Throughput must not collapse as B grows on the fast robot.
     mobile = [r for r in rows if r["robot"] == "MobileRobot"]
     assert mobile[-1]["batch_sps"] > mobile[0]["batch_sps"]
+
+
+def _qp_stack(B, rng):
+    """B perturbed replicas of MobileRobot's first QP subproblem.
+
+    A full SQP solve at B=4096 is minutes of CPU; one QP iteration-capped
+    batch is the device-scale unit of work the backends actually differ
+    on, and it keeps the slow lane under a minute per backend.
+    """
+    bench = build_benchmark("MobileRobot")
+    problem = bench.transcribe(horizon=8)
+    solver = bench.make_solver(problem)
+    (H, g, G, b, J, d, bw), _perm = solver.first_qp_subproblem(
+        bench.x0, bench.ref
+    )
+    rep = lambda M: np.repeat(np.asarray(M, dtype=float)[None], B, axis=0)
+    g_stack = rep(g)
+    g_stack += 0.01 * rng.standard_normal(g_stack.shape)
+    args = tuple(
+        None if M is None else rep(M) for M in (H, G, b, J, d)
+    )
+    return (args[0], g_stack) + args[1:], bw
+
+
+@pytest.mark.slow
+def test_backend_throughput_large_batches():
+    """Device-scale QP sweep: B in {256, 1024, 4096}, one column per
+    registered array backend (numpy always; torch/cupy when importable)."""
+    backends = available_backends()
+    rng = make_rng(offset=950)
+
+    rows = []
+    for B in LARGE_BATCH_SIZES:
+        qp_args, bw = _qp_stack(B, rng)
+        row = {"B": B}
+        for name in backends:
+            # One off-the-clock warm call per (backend, B) for allocator
+            # and kernel-compile effects, then the timed solve.
+            solve_qp_batch(*qp_args, bandwidth=bw, backend=name)
+            t0 = perf_counter()
+            res = solve_qp_batch(*qp_args, bandwidth=bw, backend=name)
+            row[name] = B / (perf_counter() - t0)
+            row[f"{name}_converged"] = sum(
+                s == "converged" for s in res.status
+            ) / B
+        rows.append(row)
+
+    banner("repro.batch: per-backend QP throughput at device-scale B")
+    head = f"{'B':>6}" + "".join(f" {n + ' qp/s':>16}" for n in backends)
+    print(head)
+    for row in rows:
+        print(
+            f"{row['B']:>6}"
+            + "".join(f" {row[n]:>16.1f}" for n in backends)
+        )
+    absent = [n for n in ("torch", "cupy") if n not in backends]
+    if absent:
+        print(f"(not importable here, columns omitted: {', '.join(absent)})")
+
+    for row in rows:
+        for name in backends:
+            assert row[f"{name}_converged"] >= 0.99, (name, row)
+    # Vectorization must keep paying off: per-lane cost at B=4096 must
+    # not exceed 3x the per-lane cost at B=256 on any backend.
+    for name in backends:
+        assert rows[-1][name] > rows[0][name] / 3.0, name

@@ -7,21 +7,40 @@ interior-point QP loop with continuous-batching lane freezing
 (:mod:`~repro.batch.transcription`), and a lockstep SQP driver
 (:mod:`~repro.batch.ipm`) that the serve engine's ``backend="batched"``
 dispatches session groups through.
+
+Every batch kernel routes its array ops through the array-backend seam
+(:mod:`~repro.batch.backend`): numpy is the always-available reference,
+cupy / torch register automatically when importable and run the QP loop
+device-resident in masked lockstep mode.  Select with
+``REPRO_ARRAY_BACKEND=torch`` (optionally ``:float32``) or explicitly via
+``BatchSolver(problem, backend="torch")``.
 """
 
+from .backend import (
+    ArrayBackend,
+    CountingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .ipm import BatchSolveReport, BatchSolver
 from .linalg import BatchCholeskyFactor, robust_factor_batch
 from .qp import BatchQPResult, BatchQPStats, solve_qp_batch
 from .transcription import BatchLinearizer, VectorizedFunction, vectorize_compiled
 
 __all__ = [
+    "ArrayBackend",
     "BatchCholeskyFactor",
     "BatchLinearizer",
     "BatchQPResult",
     "BatchQPStats",
     "BatchSolveReport",
     "BatchSolver",
+    "CountingBackend",
     "VectorizedFunction",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "robust_factor_batch",
     "solve_qp_batch",
     "vectorize_compiled",

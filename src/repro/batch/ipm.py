@@ -16,6 +16,18 @@ best-iterate restore — but over ``B`` lanes at once:
   convergence, divergence, or budget exhaustion (continuous-batching
   semantics), and frozen lanes are excluded from all later work.
 
+Array ops route through the :mod:`repro.batch.backend` seam.  The
+host-sync contract on a device backend: the heavy tensors (Hessians,
+Jacobians, constraint stacks, QP iterates) live on the device from
+linearization through the entire QP loop; per SQP iteration the solver
+materializes only the small per-lane reductions the Python bookkeeping
+needs (the KKT residual vector, the scaled gradient for the descent test,
+one merit value per line-search trial).  The inner QP loop itself runs
+with **zero** per-iteration host syncs (see :mod:`repro.batch.qp`).
+Small SQP state (iterates ``Z``, multipliers, penalties, clocks) is
+host-resident — it is touched lane-wise by watchdog windows and budget
+ladders, which are Python decisions.
+
 Per-lane results come back as ordinary :class:`~repro.mpc.ipm.IPMResult`
 objects, so the serve layer's classification ladder consumes a batched
 lane exactly like a scalar solve.  Intentional deviations from the scalar
@@ -39,14 +51,13 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.errors import SolverError, StateValidationError
 from repro.mpc.budget import SolveBudget
 from repro.mpc.health import SolverHealth
 from repro.mpc.ipm import IPMOptions, IPMResult, InteriorPointSolver
 from repro.mpc.transcription import TranscribedProblem
 
+from .backend import HOST, ArrayBackend, get_backend
 from .qp import solve_qp_batch
 from .transcription import BatchLinearizer
 
@@ -82,36 +93,43 @@ class BatchSolveReport:
         )
 
 
-def _maxabs_rows(v: np.ndarray) -> np.ndarray:
-    if v.shape[1] == 0:
-        return np.zeros(v.shape[0])
-    return np.abs(v).max(axis=1)
+def _maxabs_rows(xp: ArrayBackend, v):
+    if int(v.shape[1]) == 0:
+        return xp.zeros((int(v.shape[0]),))
+    return xp.max(xp.abs(v), axis=1)
 
 
-def _kkt_batch(grad, G, g_eq, J, h, nu, lam) -> np.ndarray:
+def _kkt_batch(xp: ArrayBackend, grad, G, g_eq, J, h, nu, lam):
     """Batched twin of ``repro.mpc.ipm._kkt_residual`` (same scaling)."""
     s_max = 100.0
-    n_mult = nu.shape[1] + lam.shape[1]
+    n_mult = int(nu.shape[1]) + int(lam.shape[1])
     if n_mult:
-        mult_mean = (np.abs(nu).sum(axis=1) + np.abs(lam).sum(axis=1)) / n_mult
+        mult_mean = (
+            xp.sum(xp.abs(nu), axis=1) + xp.sum(xp.abs(lam), axis=1)
+        ) / n_mult
     else:
-        mult_mean = np.zeros(nu.shape[0])
-    sd = np.maximum(s_max, mult_mean) / s_max
+        mult_mean = xp.zeros((int(nu.shape[0]),))
+    sd = xp.maximum(s_max, mult_mean) / s_max
 
-    r_dual = grad + np.matmul(G.transpose(0, 2, 1), nu[:, :, None])[:, :, 0]
-    if lam.shape[1]:
-        r_dual = r_dual + np.matmul(J.transpose(0, 2, 1), lam[:, :, None])[:, :, 0]
-        primal_ineq = (
-            np.maximum(h, 0.0).max(axis=1) if h.shape[1] else np.zeros(h.shape[0])
+    r_dual = grad + xp.matmul(xp.transpose_last2(G), nu[:, :, None])[:, :, 0]
+    if int(lam.shape[1]):
+        r_dual = (
+            r_dual
+            + xp.matmul(xp.transpose_last2(J), lam[:, :, None])[:, :, 0]
         )
-        comp = _maxabs_rows(lam * h) / sd
-        dual_feas = np.maximum(-lam, 0.0).max(axis=1) / sd
+        primal_ineq = (
+            xp.max(xp.maximum(h, 0.0), axis=1)
+            if int(h.shape[1])
+            else xp.zeros((int(h.shape[0]),))
+        )
+        comp = _maxabs_rows(xp, lam * h) / sd
+        dual_feas = xp.max(xp.maximum(-lam, 0.0), axis=1) / sd
     else:
-        primal_ineq = comp = dual_feas = np.zeros(grad.shape[0])
-    return np.maximum.reduce(
+        primal_ineq = comp = dual_feas = xp.zeros((int(grad.shape[0]),))
+    return xp.maximum_reduce(
         [
-            _maxabs_rows(r_dual) / sd,
-            _maxabs_rows(g_eq),
+            _maxabs_rows(xp, r_dual) / sd,
+            _maxabs_rows(xp, g_eq),
             primal_ineq,
             comp,
             dual_feas,
@@ -124,10 +142,15 @@ class BatchSolver:
 
     All lanes share the problem structure (robot + horizon + task); each
     lane brings its own measured state, reference, warm start, and budget.
+    ``backend`` selects the array namespace for the heavy math (default:
+    the process-wide selection — ``REPRO_ARRAY_BACKEND`` or numpy).
     """
 
     def __init__(
-        self, problem: TranscribedProblem, options: Optional[IPMOptions] = None
+        self,
+        problem: TranscribedProblem,
+        options: Optional[IPMOptions] = None,
+        backend=None,
     ):
         self.problem = problem
         self.options = options or IPMOptions()
@@ -136,10 +159,11 @@ class BatchSolver:
                 "BatchSolver supports only the Gauss-Newton Hessian model; "
                 f"got hessian={self.options.hessian!r}"
             )
+        self.xp = get_backend(backend)
         # Structure donor: reuses the scalar solver's stage-interleaved
         # permutations and band hints so both paths condense identically.
         self._donor = InteriorPointSolver(problem, self.options)
-        self.lin = BatchLinearizer(problem)
+        self.lin = BatchLinearizer(problem, backend=self.xp)
         #: cumulative statistics with the scalar solver's keys, so fleet
         #: telemetry absorbs a batch solver like any other
         self.stats: Dict[str, float] = {
@@ -165,7 +189,7 @@ class BatchSolver:
         consume, so the batched backend slots into the engine's existing
         dispatch plumbing.
         """
-        X0 = np.stack([np.asarray(pl["x"], dtype=float) for pl in payloads])
+        X0 = HOST.stack([HOST.asarray(pl["x"]) for pl in payloads])
         refs = [pl.get("ref") for pl in payloads]
         budgets = [
             SolveBudget(
@@ -188,11 +212,11 @@ class BatchSolver:
 
     def solve(
         self,
-        x_init: np.ndarray,
+        x_init,
         refs=None,
-        z_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
-        nu_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
-        lam_warm: Optional[Sequence[Optional[np.ndarray]]] = None,
+        z_warm: Optional[Sequence] = None,
+        nu_warm: Optional[Sequence] = None,
+        lam_warm: Optional[Sequence] = None,
         budgets: Optional[Sequence[Optional[SolveBudget]]] = None,
     ):
         """Solve ``B`` instances; returns ``(results, report)``.
@@ -203,19 +227,21 @@ class BatchSolver:
         t_solve = perf_counter()
         p = self.problem
         opt = self.options
-        X0 = np.asarray(x_init, dtype=float)
+        xp = self.xp
+        X0 = HOST.asarray(x_init)
         if X0.ndim != 2 or X0.shape[1] != p.nx:
             raise SolverError(
-                f"x_init must be (B, {p.nx}), got shape {X0.shape}"
+                f"x_init must be (B, {p.nx}), got shape {tuple(X0.shape)}"
             )
-        lanes = X0.shape[0]
-        if not np.all(np.isfinite(X0)):
+        lanes = int(X0.shape[0])
+        if not bool(HOST.scalar(HOST.all(HOST.isfinite(X0)))):
             raise StateValidationError(
                 "batched x_init contains non-finite entries; "
                 "pre-filter poisoned lanes before batching"
             )
-        R = self.lin.normalize_ref(refs, lanes)
-        if R is not None and not np.all(np.isfinite(R)):
+        R_dev = self.lin.normalize_ref(refs, lanes)
+        R = None if R_dev is None else xp.to_host(R_dev)
+        if R is not None and not bool(HOST.scalar(HOST.all(HOST.isfinite(R)))):
             raise StateValidationError(
                 "batched reference contains non-finite entries"
             )
@@ -223,17 +249,18 @@ class BatchSolver:
         healths = [SolverHealth() for _ in range(lanes)]
 
         # Per-lane warm starts (scalar validation rules, applied lane-wise).
-        Z = self.lin.initial_guess(X0)
+        Z = xp.to_host(self.lin.initial_guess(X0))
         if z_warm is not None:
             for lane, zw in enumerate(z_warm):
                 if zw is None:
                     continue
-                zw = np.array(zw, dtype=float)
-                if zw.shape != (p.nz,):
+                zw = HOST.asarray(zw)
+                if tuple(zw.shape) != (p.nz,):
                     raise SolverError(
-                        f"warm start has shape {zw.shape}, expected ({p.nz},)"
+                        f"warm start has shape {tuple(zw.shape)}, "
+                        f"expected ({p.nz},)"
                     )
-                if np.all(np.isfinite(zw)):
+                if bool(HOST.scalar(HOST.all(HOST.isfinite(zw)))):
                     Z[lane] = zw
                 else:
                     healths[lane].warm_start_reseeded = True
@@ -241,63 +268,80 @@ class BatchSolver:
         Z[:, p.state_slice(0)] = X0
 
         m = p.n_ineq
-        NU = np.zeros((lanes, p.n_eq))
+        NU = HOST.zeros((lanes, p.n_eq))
         if nu_warm is not None:
             for lane, nw in enumerate(nu_warm):
-                if nw is not None and np.shape(nw) == (p.n_eq,):
-                    arr = np.array(nw, dtype=float)
-                    if np.all(np.isfinite(arr)):
+                if nw is None:
+                    continue
+                arr = HOST.asarray(nw)
+                if tuple(arr.shape) == (p.n_eq,):
+                    if bool(HOST.scalar(HOST.all(HOST.isfinite(arr)))):
                         NU[lane] = arr
                     else:
                         healths[lane].warm_start_reseeded = True
                         healths[lane].note("nu_warm_reseeded")
-        LAM = np.zeros((lanes, m))
+        LAM = HOST.zeros((lanes, m))
         if lam_warm is not None:
             for lane, lw in enumerate(lam_warm):
-                if lw is not None and np.shape(lw) == (m,):
-                    arr = np.maximum(np.array(lw, dtype=float), 0.0)
-                    if np.all(np.isfinite(arr)):
+                if lw is None:
+                    continue
+                arr = HOST.asarray(lw)
+                if tuple(arr.shape) == (m,):
+                    arr = HOST.maximum(arr, 0.0)
+                    if bool(HOST.scalar(HOST.all(HOST.isfinite(arr)))):
                         LAM[lane] = arr
                     else:
                         healths[lane].warm_start_reseeded = True
                         healths[lane].note("lam_warm_reseeded")
 
-        rho = np.full(lanes, opt.penalty_init)
-        lm = np.full(lanes, opt.regularization)
-        soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)
+        rho = HOST.full((lanes,), opt.penalty_init)
+        lm = HOST.full((lanes,), opt.regularization)
+        soft = (
+            p.soft_inequality_mask() if m else HOST.zeros((0,), dtype="bool")
+        )
         hard = ~soft
         n_soft = int(soft.sum())
         nz = p.nz
         scale = p.variable_scales()
+        # Device-resident scaling constants, uploaded once per solve.
+        scale_dev = xp.asarray(scale)
+        scale_outer = scale_dev[None, None, :] * scale_dev[None, :, None]
+        dg = xp.arange(nz)
 
         clocks = [
-            (budgets[lane].start() if budgets is not None and budgets[lane] is not None else None)
+            (
+                budgets[lane].start()
+                if budgets is not None and budgets[lane] is not None
+                else None
+            )
             for lane in range(lanes)
         ]
-        max_outer = np.full(lanes, opt.max_iterations, dtype=int)
+        max_outer = HOST.full((lanes,), opt.max_iterations, dtype="int")
         qp_caps: List[Optional[int]] = [None] * lanes
         if budgets is not None:
             for lane, bud in enumerate(budgets):
                 if bud is None:
                     continue
                 if bud.sqp_iterations is not None:
-                    max_outer[lane] = min(max_outer[lane], bud.sqp_iterations)
+                    max_outer[lane] = min(
+                        int(max_outer[lane]), bud.sqp_iterations
+                    )
                 qp_caps[lane] = bud.qp_iterations
 
         histories: List[List[float]] = [[] for _ in range(lanes)]
         windows: List[List[float]] = [[] for _ in range(lanes)]
-        converged = np.zeros(lanes, dtype=bool)
-        diverged = np.zeros(lanes, dtype=bool)
-        budget_hit = np.zeros(lanes, dtype=bool)
-        cap_frozen = np.zeros(lanes, dtype=bool)
-        active = np.ones(lanes, dtype=bool)
-        iterations = np.zeros(lanes, dtype=int)
-        qp_total = np.zeros(lanes, dtype=int)
-        best_kkt = np.full(lanes, np.inf)
+        converged = HOST.zeros((lanes,), dtype="bool")
+        diverged = HOST.zeros((lanes,), dtype="bool")
+        budget_hit = HOST.zeros((lanes,), dtype="bool")
+        cap_frozen = HOST.zeros((lanes,), dtype="bool")
+        active = HOST.ones((lanes,), dtype="bool")
+        iterations = HOST.zeros((lanes,), dtype="int")
+        qp_total = HOST.zeros((lanes,), dtype="int")
+        best_kkt = HOST.full((lanes,), float("inf"))
         bestZ, bestNU, bestLAM = Z.copy(), NU.copy(), LAM.copy()
-        have_cert = np.zeros(lanes, dtype=bool)
-        CERT_NU = np.zeros_like(NU)
-        CERT_LAM = np.zeros_like(LAM)
+        have_cert = HOST.zeros((lanes,), dtype="bool")
+        CERT_NU = HOST.zeros_like(NU)
+        CERT_LAM = HOST.zeros_like(LAM)
 
         report = BatchSolveReport(lanes=lanes)
 
@@ -308,7 +352,7 @@ class BatchSolver:
 
         global_max = int(max_outer.max()) if lanes else 0
         for it in range(1, global_max + 1):
-            idx = np.flatnonzero(active)
+            idx = HOST.flatnonzero(active)
             if not idx.size:
                 break
             # Loop-top budget ladder (scalar order: cap bound, then clock).
@@ -323,11 +367,11 @@ class BatchSolver:
                     active[lane] = False
                     budget_hit[lane] = True
                     iterations[lane] = it - 1
-            idx = np.flatnonzero(active)
+            idx = HOST.flatnonzero(active)
             if not idx.size:
                 break
             iterations[idx] = it
-            report.sqp_lane_iterations += idx.size
+            report.sqp_lane_iterations += int(idx.size)
             report.sqp_lane_slots += lanes
 
             Za = Z[idx]
@@ -343,20 +387,31 @@ class BatchSolver:
             J = self.lin.inequality_jacobian(Za, Ra)
             self.stats["linearize_time"] += perf_counter() - t_lin
 
-            Hs = H * (scale[None, None, :] * scale[None, :, None])
-            dg = np.arange(nz)
-            Hs[:, dg, dg] += lm[idx][:, None]
-            grad_s = grad * scale
-            Gs = G * scale[None, None, :]
-            Js = J * scale[None, None, :] if m else J
+            Hs = H * scale_outer
+            Hs[:, dg, dg] += xp.asarray(lm[idx])[:, None]
+            grad_s = grad * scale_dev
+            Gs = G * scale_dev[None, None, :]
+            Js = J * scale_dev[None, None, :] if m else J
 
-            kkt = _kkt_batch(grad, G, g_eq, J, h, NU[idx], LAM[idx])
+            # The per-iteration host materialization: one small reduction
+            # vector (KKT) plus the gradient rows for the descent test.
+            kkt_dev = _kkt_batch(
+                xp, grad, G, g_eq, J, h,
+                xp.asarray(NU[idx]), xp.asarray(LAM[idx]),
+            )
             certs = have_cert[idx]
             if certs.any():
                 kkt_cert = _kkt_batch(
-                    grad, G, g_eq, J, h, CERT_NU[idx], CERT_LAM[idx]
+                    xp, grad, G, g_eq, J, h,
+                    xp.asarray(CERT_NU[idx]), xp.asarray(CERT_LAM[idx]),
                 )
-                kkt = np.where(certs, np.minimum(kkt, kkt_cert), kkt)
+                kkt_dev = xp.where(
+                    xp.asarray(certs, dtype="bool"),
+                    xp.minimum(kkt_dev, kkt_cert),
+                    kkt_dev,
+                )
+            kkt = xp.to_host(kkt_dev)
+            grad_h = xp.to_host(grad)
             for k_l, lane in enumerate(idx):
                 lane = int(lane)
                 histories[lane].append(float(kkt[k_l]))
@@ -377,14 +432,20 @@ class BatchSolver:
             work = active[idx]
             if not work.any():
                 continue
-            w = np.flatnonzero(work)
+            w = HOST.flatnonzero(work)
             gl = idx[w]  # global lane ids of the working sub-batch
-            k = gl.size
+            k = int(gl.size)
+            w_dev = xp.asarray(w, dtype="int")
 
             qp_args, qperm = self._subproblem_batch(
-                Hs[w], grad_s[w], Gs[w], Js[w] if m else J[w], g_eq[w], h[w]
+                Hs[w_dev],
+                grad_s[w_dev],
+                Gs[w_dev],
+                Js[w_dev] if m else J[w_dev],
+                g_eq[w_dev],
+                h[w_dev],
             )
-            caps = np.array(
+            caps = HOST.asarray(
                 [
                     min(
                         opt.qp.max_iterations,
@@ -394,7 +455,7 @@ class BatchSolver:
                     else opt.qp.max_iterations
                     for lane in gl
                 ],
-                dtype=int,
+                dtype="int",
             )
             lane_deadlines = [
                 clocks[int(lane)].deadline
@@ -410,24 +471,28 @@ class BatchSolver:
                 bandwidth=qp_args[6],
                 deadline=deadline,
                 iteration_caps=caps,
+                backend=xp,
             )
 
-            nq = qp.x.shape[1]
+            qp_x = HOST.asarray(qp.x)
+            qp_nu = HOST.asarray(qp.nu)
+            qp_lam = HOST.asarray(qp.lam)
+            nq = int(qp_x.shape[1])
             if qperm is not None:
-                X_qp = np.empty((k, nq))
-                X_qp[:, qperm] = qp.x
+                X_qp = HOST.empty((k, nq))
+                X_qp[:, qperm] = qp_x
             else:
-                X_qp = qp.x
+                X_qp = qp_x
             if n_soft:
                 D = X_qp[:, :nz] * scale
                 n_hard = m - n_soft
-                NU_QP = qp.nu
-                LAM_QP = np.zeros((k, m))
-                LAM_QP[:, hard] = qp.lam[:, :n_hard]
-                LAM_QP[:, soft] = qp.lam[:, n_hard : n_hard + n_soft]
+                NU_QP = qp_nu
+                LAM_QP = HOST.zeros((k, m))
+                LAM_QP[:, hard] = qp_lam[:, :n_hard]
+                LAM_QP[:, soft] = qp_lam[:, n_hard : n_hard + n_soft]
             else:
                 D = X_qp * scale
-                NU_QP, LAM_QP = qp.nu, qp.lam
+                NU_QP, LAM_QP = qp_nu, qp_lam
 
             report.qp_lane_iterations += qp.batch.lane_iterations
             report.qp_lane_slots += qp.batch.lane_slots
@@ -449,7 +514,7 @@ class BatchSolver:
             # Per-lane post-QP ladder: factorization failure -> diverged;
             # deadline exhaustion -> budget stop (direction discarded);
             # non-finite direction -> reject + escalate damping.
-            proceed = np.ones(k, dtype=bool)
+            proceed = HOST.ones((k,), dtype="bool")
             for k_l, lane in enumerate(gl):
                 lane = int(lane)
                 if qp.status[k_l] == "failed":
@@ -466,9 +531,14 @@ class BatchSolver:
                     proceed[k_l] = False
                     continue
                 finite = (
-                    np.all(np.isfinite(D[k_l]))
-                    and np.all(np.isfinite(NU_QP[k_l]))
-                    and (not m or np.all(np.isfinite(LAM_QP[k_l])))
+                    bool(HOST.scalar(HOST.all(HOST.isfinite(D[k_l]))))
+                    and bool(HOST.scalar(HOST.all(HOST.isfinite(NU_QP[k_l]))))
+                    and (
+                        not m
+                        or bool(
+                            HOST.scalar(HOST.all(HOST.isfinite(LAM_QP[k_l])))
+                        )
+                    )
                 )
                 if not finite:
                     healths[lane].steps_rejected += 1
@@ -482,17 +552,19 @@ class BatchSolver:
 
             if not proceed.any():
                 continue
-            ls = np.flatnonzero(proceed)
+            ls = HOST.flatnonzero(proceed)
             ll = gl[ls]  # lanes entering the line search
             Dl = D[ls]
             NU_l, LAM_l = NU_QP[ls], LAM_QP[ls]
-            grad_l = grad[w][ls]
+            grad_l = grad_h[w][ls]
 
             # -- batched L1 exact-penalty merit line search ----------------
-            mult_inf = np.maximum(
-                _maxabs_rows(NU_l),
-                np.maximum(
-                    _maxabs_rows(LAM_l) if m else np.zeros(ls.size),
+            mult_inf = HOST.maximum(
+                _maxabs_rows(HOST, NU_l),
+                HOST.maximum(
+                    _maxabs_rows(HOST, LAM_l)
+                    if m
+                    else HOST.zeros((int(ls.size),)),
                     opt.penalty_init,
                 ),
             )
@@ -503,25 +575,29 @@ class BatchSolver:
                     windows[lane].clear()  # the merit scale changed
             Rl = R[ll] if R is not None else None
             merit0, viol0 = self._merit_batch(Z[ll], X0[ll], Rl, rho[ll], soft)
-            merit_ref = np.empty(ls.size)
+            merit_ref = HOST.empty((int(ls.size),))
             for k_l, lane in enumerate(ll):
                 lane = int(lane)
                 windows[lane].append(float(merit0[k_l]))
                 if len(windows[lane]) > opt.watchdog:
                     windows[lane].pop(0)
                 merit_ref[k_l] = max(windows[lane])
-            descent = np.einsum("bi,bi->b", grad_l, Dl) - viol0
-            step_inf = _maxabs_rows(Dl / scale)
-            with np.errstate(divide="ignore"):
-                alpha = np.where(
+            descent = HOST.einsum("bi,bi->b", grad_l, Dl) - viol0
+            step_inf = _maxabs_rows(HOST, Dl / scale)
+            with HOST.errstate():
+                alpha = HOST.where(
                     step_inf > 0.0,
-                    np.minimum(1.0, opt.step_clip / np.where(step_inf > 0, step_inf, 1.0)),
+                    HOST.minimum(
+                        1.0,
+                        opt.step_clip
+                        / HOST.where(step_inf > 0, step_inf, 1.0),
+                    ),
                     1.0,
                 )
-            accepted = np.zeros(ls.size, dtype=bool)
-            floor = opt.armijo * np.minimum(descent, 0.0)
+            accepted = HOST.zeros((int(ls.size),), dtype="bool")
+            floor = opt.armijo * HOST.minimum(descent, 0.0)
             for _ in range(opt.max_backtracks):
-                un = np.flatnonzero(~accepted)
+                un = HOST.flatnonzero(~accepted)
                 if not un.size:
                     break
                 trial = Z[ll[un]] + alpha[un, None] * Dl[un]
@@ -543,7 +619,7 @@ class BatchSolver:
 
         # Lanes that completed their final permitted iteration without
         # freezing exhausted their cap (scalar loop-exit path).
-        for lane in np.flatnonzero(active):
+        for lane in HOST.flatnonzero(active):
             _freeze_cap(int(lane))
 
         self.stats["solves"] += lanes
@@ -551,7 +627,7 @@ class BatchSolver:
         self.stats["qp_iterations"] += int(qp_total.sum())
 
         wall = perf_counter() - t_solve
-        objectives = self.lin.objective(Z, R)
+        objectives = xp.to_host(self.lin.objective(Z, R))
         results: List[IPMResult] = []
         for lane in range(lanes):
             hist = histories[lane]
@@ -603,16 +679,23 @@ class BatchSolver:
     # -- shared internals --------------------------------------------------
 
     def _subproblem_batch(self, Hs, grad_s, Gs, Js, g_eq, h):
-        """Batched twin of ``InteriorPointSolver._subproblem_data``."""
+        """Batched twin of ``InteriorPointSolver._subproblem_data``.
+
+        Inputs and outputs are backend arrays; the returned permutation is
+        a host index array (it is applied to host QP results too).
+        """
         p = self.problem
         opt = self.options
+        xp = self.xp
         donor = self._donor
         nz = p.nz
         m = p.n_ineq
-        soft = p.soft_inequality_mask() if m else np.zeros(0, dtype=bool)
+        soft = (
+            p.soft_inequality_mask() if m else HOST.zeros((0,), dtype="bool")
+        )
         hard = ~soft
         n_soft = int(soft.sum())
-        k = Hs.shape[0]
+        k = int(Hs.shape[0])
         if not n_soft:
             qperm = donor._qp_perm
             if qperm is None:
@@ -625,59 +708,71 @@ class BatchSolver:
                     -h if m else None,
                     None,
                 ), None
+            qp_dev = xp.asarray(qperm, dtype="int")
             return (
-                Hs[:, qperm][:, :, qperm],
-                grad_s[:, qperm],
-                Gs[:, :, qperm],
+                Hs[:, qp_dev][:, :, qp_dev],
+                grad_s[:, qp_dev],
+                Gs[:, :, qp_dev],
                 -g_eq,
-                Js[:, :, qperm] if m else None,
+                Js[:, :, qp_dev] if m else None,
                 -h if m else None,
                 donor._qp_bandwidth,
             ), qperm
 
         n_ext = nz + n_soft
         n_hard = m - n_soft
-        H_ext = np.zeros((k, n_ext, n_ext))
+        hard_dev = xp.asarray(hard, dtype="bool")
+        soft_dev = xp.asarray(soft, dtype="bool")
+        H_ext = xp.zeros((k, n_ext, n_ext))
         H_ext[:, :nz, :nz] = Hs
-        se = np.arange(nz, n_ext)
+        se = xp.arange(nz, n_ext)
         H_ext[:, se, se] = opt.soft_quadratic
-        g_ext = np.concatenate(
-            [grad_s, np.full((k, n_soft), opt.soft_penalty)], axis=1
+        g_ext = xp.concatenate(
+            [grad_s, xp.full((k, n_soft), opt.soft_penalty)], axis=1
         )
-        G_ext = np.concatenate(
-            [Gs, np.zeros((k, Gs.shape[1], n_soft))], axis=2
+        G_ext = xp.concatenate(
+            [Gs, xp.zeros((k, int(Gs.shape[1]), n_soft))], axis=2
         )
-        J_ext = np.zeros((k, m + n_soft, n_ext))
-        d_ext = np.zeros((k, m + n_soft))
-        J_ext[:, :n_hard, :nz] = Js[:, hard]
-        d_ext[:, :n_hard] = -h[:, hard]
-        J_ext[:, n_hard : n_hard + n_soft, :nz] = Js[:, soft]
-        J_ext[:, n_hard : n_hard + n_soft, nz:] = -np.eye(n_soft)
-        d_ext[:, n_hard : n_hard + n_soft] = -h[:, soft]
-        J_ext[:, n_hard + n_soft :, nz:] = -np.eye(n_soft)
+        J_ext = xp.zeros((k, m + n_soft, n_ext))
+        d_ext = xp.zeros((k, m + n_soft))
+        J_ext[:, :n_hard, :nz] = Js[:, hard_dev]
+        d_ext[:, :n_hard] = -h[:, hard_dev]
+        J_ext[:, n_hard : n_hard + n_soft, :nz] = Js[:, soft_dev]
+        J_ext[:, n_hard : n_hard + n_soft, nz:] = -xp.eye(n_soft)
+        d_ext[:, n_hard : n_hard + n_soft] = -h[:, soft_dev]
+        J_ext[:, n_hard + n_soft :, nz:] = -xp.eye(n_soft)
         qperm = donor._qp_perm_ext
         if qperm is None:
             return (H_ext, g_ext, G_ext, -g_eq, J_ext, d_ext, None), None
+        qp_dev = xp.asarray(qperm, dtype="int")
         return (
-            H_ext[:, qperm][:, :, qperm],
-            g_ext[:, qperm],
-            G_ext[:, :, qperm],
+            H_ext[:, qp_dev][:, :, qp_dev],
+            g_ext[:, qp_dev],
+            G_ext[:, :, qp_dev],
             -g_eq,
-            J_ext[:, :, qperm],
+            J_ext[:, :, qp_dev],
             d_ext,
             donor._qp_bandwidth_ext,
         ), qperm
 
     def _merit_batch(self, Z, X0, R, rho, soft):
-        """Batched twin of ``InteriorPointSolver._merit``."""
+        """Batched twin of ``InteriorPointSolver._merit``.
+
+        Accepts host iterates, computes on the backend, and returns host
+        merit/violation rows (the line search is a host decision ladder).
+        """
         p = self.problem
         opt = self.options
+        xp = self.xp
         f = self.lin.objective(Z, R)
         g = self.lin.equality_constraints(Z, X0, R)
-        viol = rho * np.abs(g).sum(axis=1)
+        rho_dev = xp.asarray(rho)
+        viol = rho_dev * xp.sum(xp.abs(g), axis=1)
         if p.n_ineq:
             h = self.lin.inequality_constraints(Z, R)
-            hpos = np.maximum(h, 0.0)
-            viol = viol + rho * hpos[:, ~soft].sum(axis=1)
-            viol = viol + opt.soft_penalty * hpos[:, soft].sum(axis=1)
-        return f + viol, viol
+            hpos = xp.maximum(h, 0.0)
+            hard_dev = xp.asarray(~soft, dtype="bool")
+            soft_dev = xp.asarray(soft, dtype="bool")
+            viol = viol + rho_dev * xp.sum(hpos[:, hard_dev], axis=1)
+            viol = viol + opt.soft_penalty * xp.sum(hpos[:, soft_dev], axis=1)
+        return xp.to_host(f + viol), xp.to_host(viol)

@@ -5,8 +5,15 @@ blocked bidiagonal factorization (diagonal tiles ``D_k`` and sub-diagonal
 couplings ``C_k``), but with a leading batch axis so one sweep factors
 ``B`` independent KKT systems at once.  All inner products run as batched
 ``matmul``/``einsum`` contractions, which is where the throughput of the
-``repro.batch`` subsystem comes from: the per-element Python overhead of
-the scalar path is amortized across every lane in the batch.
+``repro.batch`` subsystem comes from — and every contraction routes
+through the :mod:`~repro.batch.backend` seam (``xp``), so the same sweep
+runs on numpy, cupy, or torch arrays without touching this file.
+
+Storage is tile-only: the factorization keeps the ``(B, K, nb, nb)``
+``D``/``D⁻¹``/``C`` tile stacks and indexes the input ``A`` block-wise as
+it sweeps.  It never materializes a padded ``(B, npad, npad)`` copy of
+``A`` — in banded mode that copy was the memory wall (at B=4096 on the
+Quadrotor N=30 problem it dwarfed the tiles it was scaffolding for).
 
 Failure semantics differ from the scalar path by design.  The scalar
 :class:`~repro.mpc.banded.BandedCholeskyFactor` raises
@@ -16,16 +23,23 @@ never raises on pivot failure.  Instead each lane carries an ``ok`` flag:
 a failed lane gets a safe placeholder pivot (its factors are garbage and
 must be discarded by the caller), while every other lane's arithmetic is
 untouched — all operations are lane-diagonal, so no information crosses
-the batch axis.  :func:`robust_factor_batch` wraps this with the same
-escalating-regularization retry ladder as ``repro.mpc.qp._robust_factor``,
-re-factoring only the failed lanes on each attempt.
+the batch axis.  A lane whose factor tiles come out non-finite (overflow
+during the sweep slipping past the pivot checks) is flagged the same way:
+``ok`` certifies finite, positive-definite factors, never silent garbage.
+Floating-point warnings are **not** blanket-suppressed: failed lanes'
+garbage operands are zeroed as the sweep goes (so they cannot warn), and
+a genuine overflow in a *healthy* lane is allowed to surface — solves on
+an already-degraded factor are the one place warnings are muted, and only
+when a flagged lane is actually present.  :func:`robust_factor_batch`
+wraps this with the same escalating-regularization retry ladder as
+``repro.mpc.qp._robust_factor``, re-factoring only the failed lanes on
+each attempt.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional, Tuple
-
-import numpy as np
 
 from repro.errors import SolverError
 from repro.mpc.banded import (
@@ -34,41 +48,58 @@ from repro.mpc.banded import (
 )
 from repro.mpc.linalg import flop_counts_cholesky, flop_counts_substitution
 
+from .backend import ArrayBackend, get_backend
+
 __all__ = ["BatchCholeskyFactor", "robust_factor_batch"]
 
 
-def _cholesky_tiles(M: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _cholesky_tiles(xp: ArrayBackend, M):
     """Batched dense Cholesky of a ``(B, m, m)`` tile stack.
 
     Returns ``(L, ok)`` where lanes with a non-positive or non-finite
     pivot are flagged ``ok=False`` and continue with a placeholder pivot
-    of 1.0 so the remaining lanes factor normally.
+    of 1.0 so the remaining lanes factor normally.  Sub-diagonal columns
+    of lanes already flagged are zeroed as they are produced: their
+    factors are discarded garbage either way, and bounded placeholders
+    keep failed lanes from emitting the floating-point warnings that
+    belong to healthy-lane overflow alone.
     """
-    lanes, m = M.shape[0], M.shape[1]
-    L = np.zeros_like(M)
-    ok = np.ones(lanes, dtype=bool)
+    lanes, m = int(M.shape[0]), int(M.shape[1])
+    L = xp.zeros_like(M)
+    ok = xp.ones((lanes,), dtype="bool")
     for j in range(m):
         row = L[:, j, :j]
-        acc = M[:, j, j] - np.einsum("bk,bk->b", row, row)
-        good = np.isfinite(acc) & (acc > 0.0)
-        ok &= good
-        piv = np.sqrt(np.where(good, acc, 1.0))
+        acc = M[:, j, j] - xp.einsum("bk,bk->b", row, row)
+        good = xp.isfinite(acc) & (acc > 0.0)
+        ok = ok & good
+        piv = xp.sqrt(xp.where(good, acc, 1.0))
         L[:, j, j] = piv
         if j + 1 < m:
-            below = M[:, j + 1 :, j] - np.einsum("bik,bk->bi", L[:, j + 1 :, :j], row)
+            below = M[:, j + 1 :, j] - xp.einsum(
+                "bik,bk->bi", L[:, j + 1 :, :j], row
+            )
+            below = xp.where(ok[:, None], below, 0.0)
             L[:, j + 1 :, j] = below / piv[:, None]
     return L, ok
 
 
-def _triangular_inverse(L: np.ndarray) -> np.ndarray:
+def _triangular_inverse(xp: ArrayBackend, L):
     """Batched inverse of lower-triangular ``(B, m, m)`` tiles via forward
-    substitution on the identity (mirrors the scalar path's ``Dinv``)."""
-    lanes, m = L.shape[0], L.shape[1]
-    X = np.zeros_like(L)
-    eye = np.eye(m)
+    substitution (mirrors the scalar path's ``Dinv``).
+
+    Row ``i`` of the inverse is nonzero only on columns ``0..i``, so the
+    substitution contracts over the filled ``(:i, :i)`` prefix alone —
+    no identity matrix is materialized (this runs K times per factor,
+    per interior-point iteration) and no zero-padded columns are swept.
+    """
+    lanes, m = int(L.shape[0]), int(L.shape[1])
+    X = xp.zeros_like(L)
     for i in range(m):
-        r = eye[i] - np.einsum("bk,bkc->bc", L[:, i, :i], X[:, :i, :])
-        X[:, i, :] = r / L[:, i, i, None]
+        piv = L[:, i, i]
+        if i:
+            r = 0.0 - xp.einsum("bk,bkc->bc", L[:, i, :i], X[:, :i, :i])
+            X[:, i, :i] = r / piv[:, None]
+        X[:, i, i] = 1.0 / piv
     return X
 
 
@@ -85,30 +116,38 @@ class BatchCholeskyFactor:
         dense block (the batched equivalent of a dense factorization).
     reg : float or (B,) array
         Diagonal regularization, scalar or per-lane.
+    backend : str or ArrayBackend, optional
+        The array namespace to factor under (default: the process-wide
+        selection, see :func:`repro.batch.backend.get_backend`).
 
-    Lanes whose matrix is non-finite or loses positive definiteness are
-    flagged in :attr:`ok`; their factor tiles are placeholders and any
-    ``solve`` output for those lanes is meaningless.
+    Lanes whose matrix is non-finite, loses positive definiteness, or
+    overflows into non-finite factor tiles are flagged in :attr:`ok`;
+    their factor tiles are placeholders and any ``solve`` output for
+    those lanes is meaningless.
     """
 
     MIN_BLOCK = 16
 
     def __init__(
         self,
-        A: np.ndarray,
+        A,
         band: Optional[int] = None,
-        reg: "float | np.ndarray" = 0.0,
+        reg=0.0,
+        backend=None,
     ) -> None:
-        A = np.asarray(A, dtype=float)
+        xp = self.xp = get_backend(backend)
+        A = xp.asarray(A)
         if A.ndim != 3 or A.shape[1] != A.shape[2]:
-            raise SolverError(f"expected a (B, n, n) stack, got shape {A.shape}")
+            raise SolverError(
+                f"expected a (B, n, n) stack, got shape {tuple(A.shape)}"
+            )
         self.lanes, self.n = int(A.shape[0]), int(A.shape[1])
         self.band = None if band is None else int(min(int(band), max(self.n - 1, 0)))
-        reg_vec = np.broadcast_to(np.asarray(reg, dtype=float), (self.lanes,)).copy()
+        reg_vec = xp.copy(xp.broadcast_to(xp.asarray(reg), (self.lanes,)))
         self.reg = reg_vec
 
-        finite = np.isfinite(A).all(axis=(1, 2))
-        self.ok = finite.copy()
+        finite = xp.all(xp.isfinite(A), axis=(1, 2))
+        self.ok = xp.copy(finite)
 
         n = self.n
         if self.band is None:
@@ -119,32 +158,74 @@ class BatchCholeskyFactor:
         npad = K * nb
         self.nb, self.K, self.npad = nb, K, npad
 
-        Ap = np.zeros((self.lanes, npad, npad))
-        # Non-finite lanes get the identity so their (discarded) tiles do
-        # not trip floating-point warnings; their ok flag is already off.
-        Ap[:, :n, :n] = np.where(finite[:, None, None], A, np.eye(n))
-        diag = np.arange(n)
-        Ap[:, diag, diag] += np.where(finite, reg_vec, 0.0)[:, None]
-        pad = np.arange(n, npad)
-        Ap[:, pad, pad] = 1.0
+        lanes = self.lanes
+        eye_nb = xp.eye(nb)
+        reg_fill = xp.where(finite, reg_vec, 0.0)[:, None]
 
-        D = np.empty((self.lanes, K, nb, nb))
-        Dinv = np.empty((self.lanes, K, nb, nb))
-        C = np.empty((self.lanes, max(K - 1, 0), nb, nb))
-        with np.errstate(all="ignore"):
-            M = Ap[:, :nb, :nb].copy()
-            for k in range(K):
-                Lkk, okk = _cholesky_tiles(M)
-                self.ok &= okk
-                D[:, k] = Lkk
-                Dinv[:, k] = _triangular_inverse(Lkk)
-                if k + 1 < K:
-                    s = (k + 1) * nb
-                    E = Ap[:, s : s + nb, s - nb : s]
-                    Ck = E @ Dinv[:, k].transpose(0, 2, 1)
-                    C[:, k] = Ck
-                    M = Ap[:, s : s + nb, s : s + nb] - Ck @ Ck.transpose(0, 2, 1)
+        def diag_tile(k: int):
+            """Block ``(k, k)`` of the padded, regularized matrix — built
+            from ``A`` directly, never from a dense padded copy."""
+            s = k * nb
+            e = min(s + nb, n)
+            w = e - s
+            if w == nb:
+                T = xp.copy(A[:, s:e, s:e])
+            else:
+                T = xp.zeros((lanes, nb, nb))
+                T[:, :w, :w] = A[:, s:e, s:e]
+                pad = xp.arange(w, nb)
+                T[:, pad, pad] = 1.0
+            # Non-finite lanes get the identity tile so their (discarded)
+            # factors stay bounded; their ok flag is already off.
+            T = xp.where(finite[:, None, None], T, eye_nb)
+            dd = xp.arange(w)
+            T[:, dd, dd] = T[:, dd, dd] + reg_fill
+            return T
+
+        def sub_tile(k: int):
+            """Block ``(k+1, k)`` — the sub-diagonal coupling ``E_k``."""
+            s = (k + 1) * nb
+            e = min(s + nb, n)
+            w = e - s
+            if w == nb:
+                E = A[:, s:e, s - nb : s]
+            else:
+                E = xp.zeros((lanes, nb, nb))
+                E[:, :w, :] = A[:, s:e, s - nb : s]
+            return xp.where(finite[:, None, None], E, 0.0)
+
+        D = xp.empty((lanes, K, nb, nb))
+        Dinv = xp.empty((lanes, K, nb, nb))
+        C = xp.empty((lanes, max(K - 1, 0), nb, nb))
+        M = diag_tile(0)
+        for k in range(K):
+            Lkk, okk = _cholesky_tiles(xp, M)
+            self.ok = self.ok & okk
+            D[:, k] = Lkk
+            Dinv[:, k] = _triangular_inverse(xp, Lkk)
+            if k + 1 < K:
+                Ck = xp.matmul(sub_tile(k), xp.transpose_last2(Dinv[:, k]))
+                C[:, k] = Ck
+                M = diag_tile(k + 1) - xp.matmul(Ck, xp.transpose_last2(Ck))
         self._D, self._Dinv, self._C = D, Dinv, C
+
+        # Overflow during the sweep can slip past the pivot checks (e.g. a
+        # tiny pivot inflating D⁻¹ past the float ceiling in the final
+        # block, where no later pivot re-checks it).  ok certifies finite
+        # factors — garbage must freeze the lane, never solve silently.
+        tiles_ok = xp.all(xp.isfinite(D), axis=(1, 2, 3)) & xp.all(
+            xp.isfinite(Dinv), axis=(1, 2, 3)
+        )
+        if K > 1:
+            tiles_ok = tiles_ok & xp.all(xp.isfinite(C), axis=(1, 2, 3))
+        self.ok = self.ok & tiles_ok
+
+        # Solves on a batch with flagged lanes run the flagged lanes'
+        # placeholder tiles too; mute warnings then (and only then) — on
+        # an all-healthy batch, overflow in a solve must stay audible.
+        self._suppress = (not xp.is_device) and not bool(
+            xp.scalar(xp.all(self.ok))
+        )
 
     # -- solves -----------------------------------------------------------
 
@@ -152,48 +233,60 @@ class BatchCholeskyFactor:
     def banded(self) -> bool:
         return self.band is not None
 
-    def _prep_rhs(self, b: np.ndarray) -> Tuple[np.ndarray, bool]:
-        b = np.asarray(b, dtype=float)
+    def _errstate(self):
+        return self.xp.errstate() if self._suppress else nullcontext()
+
+    def _prep_rhs(self, b):
+        xp = self.xp
+        b = xp.asarray(b)
         squeeze = b.ndim == 2
         if squeeze:
             b = b[:, :, None]
         if b.ndim != 3 or b.shape[0] != self.lanes or b.shape[1] != self.n:
             raise SolverError(
-                f"rhs shape {b.shape} incompatible with ({self.lanes}, {self.n})"
+                f"rhs shape {tuple(b.shape)} incompatible with "
+                f"({self.lanes}, {self.n})"
             )
         return b, squeeze
 
-    def forward(self, b: np.ndarray) -> np.ndarray:
+    def forward(self, b):
+        xp = self.xp
         b3, squeeze = self._prep_rhs(b)
-        y = np.zeros((self.lanes, self.npad, b3.shape[2]))
+        y = xp.zeros((self.lanes, self.npad, int(b3.shape[2])))
         y[:, : self.n] = b3
         nb = self.nb
-        with np.errstate(all="ignore"):
+        with self._errstate():
             for k in range(self.K):
                 s = k * nb
                 blk = y[:, s : s + nb]
                 if k:
-                    blk = blk - self._C[:, k - 1] @ y[:, s - nb : s]
-                y[:, s : s + nb] = self._Dinv[:, k] @ blk
+                    blk = blk - xp.matmul(self._C[:, k - 1], y[:, s - nb : s])
+                y[:, s : s + nb] = xp.matmul(self._Dinv[:, k], blk)
         out = y[:, : self.n]
         return out[:, :, 0] if squeeze else out
 
-    def backward(self, b: np.ndarray) -> np.ndarray:
+    def backward(self, b):
+        xp = self.xp
         b3, squeeze = self._prep_rhs(b)
-        x = np.zeros((self.lanes, self.npad, b3.shape[2]))
+        x = xp.zeros((self.lanes, self.npad, int(b3.shape[2])))
         x[:, : self.n] = b3
         nb = self.nb
-        with np.errstate(all="ignore"):
+        with self._errstate():
             for k in range(self.K - 1, -1, -1):
                 s = k * nb
                 blk = x[:, s : s + nb]
                 if k + 1 < self.K:
-                    blk = blk - self._C[:, k].transpose(0, 2, 1) @ x[:, s + nb : s + 2 * nb]
-                x[:, s : s + nb] = self._Dinv[:, k].transpose(0, 2, 1) @ blk
+                    blk = blk - xp.matmul(
+                        xp.transpose_last2(self._C[:, k]),
+                        x[:, s + nb : s + 2 * nb],
+                    )
+                x[:, s : s + nb] = xp.matmul(
+                    xp.transpose_last2(self._Dinv[:, k]), blk
+                )
         out = x[:, : self.n]
         return out[:, :, 0] if squeeze else out
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
+    def solve(self, b):
         """Solve ``A_i x_i = b_i`` for every lane ``i`` in one sweep."""
         return self.backward(self.forward(b))
 
@@ -217,11 +310,13 @@ class BatchCholeskyFactor:
 
 
 def robust_factor_batch(
-    A: np.ndarray,
+    A,
     reg: float,
     band: Optional[int] = None,
     attempts: int = 16,
-) -> Tuple[BatchCholeskyFactor, np.ndarray, np.ndarray]:
+    backend=None,
+    active=None,
+):
     """Factor a batch with the per-lane escalating-regularization ladder.
 
     Mirrors ``repro.mpc.qp._robust_factor``: on a failed lane the
@@ -229,29 +324,41 @@ def robust_factor_batch(
     failed lanes are re-factored (their tiles are scattered back into the
     full-batch factor, so already-healthy lanes keep bit-identical
     factors).  Lanes with non-finite input fail immediately and are never
-    retried, matching the scalar fail-fast guard.
+    retried, matching the scalar fail-fast guard; ``active=False`` lanes
+    (a masked lockstep caller's frozen lanes) are likewise never retried.
+
+    The ladder's early exit reads one scalar per attempt, so device-mode
+    callers that must stay sync-free pass ``attempts=1`` — a single
+    factorization sweep with no retry and therefore no host round-trip
+    (the lockstep deviation documented in :mod:`repro.batch.qp`).
 
     Returns ``(factor, reg_used, retries)``; lanes still failing after
     ``attempts`` tries are left with ``factor.ok == False`` for the caller
     to freeze out, instead of raising like the scalar path.
     """
-    A = np.asarray(A, dtype=float)
-    lanes = A.shape[0]
-    current = np.full(lanes, float(reg))
-    retries = np.zeros(lanes, dtype=int)
-    factor = BatchCholeskyFactor(A, band=band, reg=current)
-    hopeless = ~np.isfinite(A).all(axis=(1, 2))
+    xp = get_backend(backend)
+    A = xp.asarray(A)
+    lanes = int(A.shape[0])
+    current = xp.full((lanes,), float(reg))
+    retries = xp.zeros((lanes,), dtype="int")
+    factor = BatchCholeskyFactor(A, band=band, reg=current, backend=xp)
+    hopeless = ~xp.all(xp.isfinite(A), axis=(1, 2))
+    if active is not None:
+        hopeless = hopeless | ~active
     for _ in range(attempts - 1):
         failed = ~factor.ok & ~hopeless
-        if not failed.any():
+        if not bool(xp.scalar(xp.any(failed))):
             break
-        retries[failed] += 1
-        current[failed] = np.maximum(current[failed] * 100.0, 1e-12)
-        sub = BatchCholeskyFactor(A[failed], band=band, reg=current[failed])
+        retries[failed] = retries[failed] + 1
+        current[failed] = xp.maximum(current[failed] * 100.0, 1e-12)
+        sub = BatchCholeskyFactor(
+            A[failed], band=band, reg=current[failed], backend=xp
+        )
         factor._D[failed] = sub._D
         factor._Dinv[failed] = sub._Dinv
         if factor._C.shape[1]:
             factor._C[failed] = sub._C
         factor.ok[failed] = sub.ok
         factor.reg[failed] = sub.reg
+        factor._suppress = factor._suppress or sub._suppress
     return factor, current, retries

@@ -13,6 +13,31 @@ continuous-batching semantics:
 * the remaining lanes are gathered into a smaller sub-batch and keep
   iterating, so late lanes do not pay for early finishers.
 
+Every array operation routes through the :mod:`repro.batch.backend` seam
+(``xp``), and the loop itself comes in two strategies keyed on
+``xp.is_device``:
+
+**Host strategy** (numpy and other host backends): the gather loop above,
+unchanged from its original numpy form — per-lane Python bookkeeping is
+free on host arrays, and the numpy backend stays bit-identical to the
+pre-seam implementation.
+
+**Device strategy** (cupy/torch — anything with ``is_device=True``): a
+masked lockstep loop with *no per-iteration host synchronization*.  Lane
+statuses live in a device integer array, freezes are ``where``-masked
+updates instead of gathers, the loop runs to the precomputed global
+iteration cap, and every per-lane statistic (iteration counts, residuals,
+QPStats counters, the barrier-gap history) accumulates in device arrays
+that are downloaded **once**, after the loop.  The optional
+``sync_interval`` trades that purity for early exit: every such interval
+one boolean is read back to stop a fully-frozen batch (set it to 0 for a
+strictly sync-free solve).  Two intentional lockstep deviations from the
+host strategy, both documented in DESIGN.md: frozen lanes still ride
+along in the batched matmuls (their results are masked away), and the
+factorization retry ladder is disabled (``attempts=1`` — a ladder's
+early-exit test is a host round-trip per rung), so a lane the base
+regularization cannot factor freezes as ``"failed"`` instead of retrying.
+
 The per-iteration decision ladder (convergence check, divergence guard,
 wall-clock deadline, cap re-evaluation) copies the scalar solver's order
 exactly, so a single-lane batch follows the same iteration path as
@@ -25,15 +50,14 @@ mask has no meaningful polish point for frozen lanes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional
-
-import numpy as np
 
 from repro.mpc.banded import bandwidth_of
 from repro.mpc.qp import QPOptions, QPStats
 
+from .backend import HOST, ArrayBackend, get_backend
 from .linalg import BatchCholeskyFactor, robust_factor_batch
 
 __all__ = ["BatchQPStats", "BatchQPResult", "solve_qp_batch"]
@@ -41,6 +65,19 @@ __all__ = ["BatchQPStats", "BatchQPResult", "solve_qp_batch"]
 _LAM_DIVERGENCE = 1e14
 _SLACK_FLOOR = 1e-300
 _W_CEIL = 1e16
+_INF = float("inf")
+_NAN = float("nan")
+
+#: Device-side lane status codes (masked lockstep strategy).
+_ACTIVE, _CONV, _DIV, _MAXIT, _BUDGET, _FAILED = 0, 1, 2, 3, 4, 5
+_STATUS_NAMES = {
+    _ACTIVE: "max_iterations",  # unreachable fallback
+    _CONV: "converged",
+    _DIV: "diverged",
+    _MAXIT: "max_iterations",
+    _BUDGET: "budget_exhausted",
+    _FAILED: "failed",
+}
 
 
 @dataclass
@@ -73,50 +110,75 @@ class BatchQPResult:
     ``budget_exhausted[i]`` mirrors the scalar ``QPResult`` field and is
     set **only** for deadline-stopped lanes, so SQP callers can apply the
     scalar discard-direction rule unchanged.
+
+    Arrays are host (numpy) regardless of the solve backend — a device
+    solve downloads its state once, here, at result assembly.
     """
 
-    x: np.ndarray
-    nu: np.ndarray
-    lam: np.ndarray
-    slacks: np.ndarray
-    converged: np.ndarray
-    iterations: np.ndarray
-    residual: np.ndarray
+    x: object
+    nu: object
+    lam: object
+    slacks: object
+    converged: object
+    iterations: object
+    residual: object
     status: List[str]
-    budget_exhausted: np.ndarray
+    budget_exhausted: object
     gap_history: List[List[float]]
     stats: List[QPStats]
     batch: BatchQPStats
-    freeze: Optional[Dict[int, Dict[str, np.ndarray]]] = None
+    freeze: Optional[Dict[int, Dict[str, object]]] = None
 
 
-def _max_step_batch(v: np.ndarray, dv: np.ndarray) -> np.ndarray:
-    """Per-lane fraction-to-the-boundary step (batched ``_max_step``)."""
-    if dv.shape[1] == 0:
-        return np.ones(dv.shape[0])
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratio = np.where(dv < 0.0, -v / dv, np.inf)
-    a = ratio.min(axis=1)
-    return np.minimum(1.0, np.where(np.isfinite(a), a, 1.0))
+def _maxabs(xp: ArrayBackend, M):
+    """Per-lane max-abs over all trailing axes of a ``(B, ...)`` stack."""
+    lanes = int(M.shape[0])
+    cols = 1
+    for dim in tuple(M.shape)[1:]:
+        cols *= int(dim)
+    if cols == 0:
+        return xp.zeros((lanes,))
+    return xp.max(xp.abs(xp.reshape(M, (lanes, cols))), axis=1)
 
 
-def _bmv(M: np.ndarray, v: np.ndarray) -> np.ndarray:
+def _max_step_batch(xp: ArrayBackend, v, dv, safe_div: bool = False):
+    """Per-lane fraction-to-the-boundary step (batched ``_max_step``).
+
+    ``safe_div=True`` substitutes a dummy denominator where ``dv >= 0``
+    so no divide-by-zero is ever issued — the masked lockstep strategy
+    runs without the host strategy's errstate suppression.
+    """
+    if int(dv.shape[1]) == 0:
+        return xp.ones((int(dv.shape[0]),))
+    if safe_div:
+        neg = dv < 0.0
+        ratio = xp.where(neg, (0.0 - v) / xp.where(neg, dv, -1.0), _INF)
+    else:
+        with xp.errstate():
+            ratio = xp.where(dv < 0.0, -v / dv, _INF)
+    a = xp.min(ratio, axis=1)
+    return xp.minimum(1.0, xp.where(xp.isfinite(a), a, 1.0))
+
+
+def _bmv(xp: ArrayBackend, M, v):
     """Batched matrix @ vector: (k, r, c) x (k, c) -> (k, r)."""
-    return np.matmul(M, v[:, :, None])[:, :, 0]
+    return xp.matmul(M, v[:, :, None])[:, :, 0]
 
 
 def solve_qp_batch(
-    H: np.ndarray,
-    g: np.ndarray,
-    G: Optional[np.ndarray],
-    b: Optional[np.ndarray],
-    J: Optional[np.ndarray],
-    d: Optional[np.ndarray],
+    H,
+    g,
+    G,
+    b,
+    J,
+    d,
     options: Optional[QPOptions] = None,
     bandwidth: Optional[int] = None,
     deadline: Optional[float] = None,
-    iteration_caps: Optional[np.ndarray] = None,
+    iteration_caps=None,
     record_freeze: bool = False,
+    backend=None,
+    sync_interval: int = 8,
 ) -> BatchQPResult:
     """Solve ``B`` convex QPs in lockstep with per-lane freezing.
 
@@ -125,64 +187,96 @@ def solve_qp_batch(
     stopping on a shortened cap reports status ``"budget_exhausted"``.
     ``record_freeze`` snapshots each lane's iterate at its freeze point
     (for the bit-identity guarantees tested in the active-mask suite).
+    ``backend`` selects the array namespace (default: process-wide
+    selection); device backends take the masked lockstep strategy, where
+    ``sync_interval`` controls the early-exit cadence (0 = never sync).
     """
     opt = options or QPOptions()
-    H = np.asarray(H, dtype=float)
-    g = np.asarray(g, dtype=float)
-    lanes, n = g.shape
-    if H.shape != (lanes, n, n):
-        raise ValueError(f"H shape {H.shape} != ({lanes}, {n}, {n})")
-
-    if G is None or b is None:
-        G = np.zeros((lanes, 0, n))
-        b = np.zeros((lanes, 0))
-        has_eq = False
-    else:
-        G = np.asarray(G, dtype=float)
-        b = np.asarray(b, dtype=float)
-        has_eq = G.shape[1] > 0
-    if J is None or d is None:
-        J = np.zeros((lanes, 0, n))
-        d = np.zeros((lanes, 0))
-    else:
-        J = np.asarray(J, dtype=float)
-        d = np.asarray(d, dtype=float)
-    p, m = G.shape[1], J.shape[1]
-    has_in = m > 0
-
-    x = np.zeros((lanes, n))
-    nu = np.zeros((lanes, p))
-    if has_in:
-        s = np.maximum(1.0, d - _bmv(J, x))
-        lam = np.ones((lanes, m))
-    else:
-        s = np.zeros((lanes, 0))
-        lam = np.zeros((lanes, 0))
-
-    def _maxabs(M: np.ndarray) -> np.ndarray:
-        if M.size == 0:
-            return np.zeros(M.shape[0])
-        return np.abs(M.reshape(M.shape[0], -1)).max(axis=1)
-
-    scale = 1.0 + np.minimum(
-        np.maximum(_maxabs(g), np.maximum(_maxabs(b), _maxabs(d))), 100.0
+    xp = get_backend(backend)
+    if xp.is_device:
+        return _solve_masked(
+            xp, H, g, G, b, J, d, opt, bandwidth, deadline,
+            iteration_caps, record_freeze, sync_interval,
+        )
+    return _solve_gather(
+        xp, H, g, G, b, J, d, opt, bandwidth, deadline,
+        iteration_caps, record_freeze,
     )
 
-    caps = np.full(lanes, int(opt.max_iterations), dtype=int)
+
+# ------------------------------------------------------------------------
+# Host strategy: gather loop (bit-identical to the pre-seam numpy code)
+# ------------------------------------------------------------------------
+
+
+def _solve_gather(
+    xp: ArrayBackend,
+    H,
+    g,
+    G,
+    b,
+    J,
+    d,
+    opt: QPOptions,
+    bandwidth: Optional[int],
+    deadline: Optional[float],
+    iteration_caps,
+    record_freeze: bool,
+) -> BatchQPResult:
+    H = xp.asarray(H)
+    g = xp.asarray(g)
+    lanes, n = int(g.shape[0]), int(g.shape[1])
+    if tuple(H.shape) != (lanes, n, n):
+        raise ValueError(f"H shape {tuple(H.shape)} != ({lanes}, {n}, {n})")
+
+    if G is None or b is None:
+        G = xp.zeros((lanes, 0, n))
+        b = xp.zeros((lanes, 0))
+        has_eq = False
+    else:
+        G = xp.asarray(G)
+        b = xp.asarray(b)
+        has_eq = G.shape[1] > 0
+    if J is None or d is None:
+        J = xp.zeros((lanes, 0, n))
+        d = xp.zeros((lanes, 0))
+    else:
+        J = xp.asarray(J)
+        d = xp.asarray(d)
+    p, m = int(G.shape[1]), int(J.shape[1])
+    has_in = m > 0
+
+    x = xp.zeros((lanes, n))
+    nu = xp.zeros((lanes, p))
+    if has_in:
+        s = xp.maximum(1.0, d - _bmv(xp, J, x))
+        lam = xp.ones((lanes, m))
+    else:
+        s = xp.zeros((lanes, 0))
+        lam = xp.zeros((lanes, 0))
+
+    scale = 1.0 + xp.minimum(
+        xp.maximum(
+            _maxabs(xp, g), xp.maximum(_maxabs(xp, b), _maxabs(xp, d))
+        ),
+        100.0,
+    )
+
+    caps = xp.full((lanes,), int(opt.max_iterations), dtype="int")
     if iteration_caps is not None:
-        ic = np.asarray(iteration_caps, dtype=int)
-        caps = np.minimum(caps, np.maximum(ic, 1))
+        ic = xp.asarray(iteration_caps, dtype="int")
+        caps = xp.minimum(caps, xp.maximum(ic, 1))
     budget_capped = caps < opt.max_iterations
 
-    active = np.ones(lanes, dtype=bool)
+    active = xp.ones((lanes,), dtype="bool")
     status: List[str] = ["max_iterations"] * lanes
-    converged = np.zeros(lanes, dtype=bool)
-    budget_ex = np.zeros(lanes, dtype=bool)
-    iterations = np.zeros(lanes, dtype=int)
-    residual = np.full(lanes, np.inf)
+    converged = xp.zeros((lanes,), dtype="bool")
+    budget_ex = xp.zeros((lanes,), dtype="bool")
+    iterations = xp.zeros((lanes,), dtype="int")
+    residual = xp.full((lanes,), _INF)
     gap_history: List[List[float]] = [[] for _ in range(lanes)]
     stats = [QPStats() for _ in range(lanes)]
-    freeze: Dict[int, Dict[str, np.ndarray]] = {}
+    freeze: Dict[int, Dict[str, object]] = {}
     bstats = BatchQPStats()
 
     def _freeze(lane: int, st: str, its: int, budget: bool = False) -> None:
@@ -193,45 +287,45 @@ def solve_qp_batch(
         budget_ex[lane] = budget
         if record_freeze:
             freeze[lane] = {
-                "x": x[lane].copy(),
-                "nu": nu[lane].copy(),
-                "lam": lam[lane].copy(),
-                "slacks": s[lane].copy(),
-                "residual": np.array(residual[lane]),
+                "x": xp.copy(x[lane]),
+                "nu": xp.copy(nu[lane]),
+                "lam": xp.copy(lam[lane]),
+                "slacks": xp.copy(s[lane]),
+                "residual": xp.asarray(residual[lane]),
             }
 
     # Per-lane non-finite data fails fast (scalar raises SolverError; in a
     # batch the lane freezes as "failed" so its mates keep solving).
     lane_finite = (
-        np.isfinite(H).all(axis=(1, 2))
-        & np.isfinite(g).all(axis=1)
-        & np.isfinite(G.reshape(lanes, -1)).all(axis=1)
-        & np.isfinite(b).all(axis=1)
-        & np.isfinite(J.reshape(lanes, -1)).all(axis=1)
-        & np.isfinite(d).all(axis=1)
+        xp.all(xp.isfinite(H), axis=(1, 2))
+        & xp.all(xp.isfinite(g), axis=1)
+        & xp.all(xp.isfinite(xp.reshape(G, (lanes, -1))), axis=1)
+        & xp.all(xp.isfinite(b), axis=1)
+        & xp.all(xp.isfinite(xp.reshape(J, (lanes, -1))), axis=1)
+        & xp.all(xp.isfinite(d), axis=1)
     )
-    for lane in np.flatnonzero(~lane_finite):
+    for lane in xp.flatnonzero(~lane_finite):
         _freeze(int(lane), "failed", 0)
 
     # Structural Phi band from the max-abs envelope over finite lanes —
     # a sparsity superset of every lane's H + J^T W J, measured once.
     phi_band: Optional[int] = None
     if bandwidth is not None and n and lane_finite.any():
-        env = np.abs(H[lane_finite]).max(axis=0)
+        env = xp.max(xp.abs(H[lane_finite]), axis=0)
         if has_in:
-            jmax = np.abs(J[lane_finite]).max(axis=0)
-            env = env + jmax.T @ jmax
+            jmax = xp.max(xp.abs(J[lane_finite]), axis=0)
+            env = env + xp.matmul(xp.transpose_last2(jmax), jmax)
         struct = bandwidth_of(env)
         if struct <= bandwidth:
             phi_band = struct
-            for lane in np.flatnonzero(lane_finite):
+            for lane in xp.flatnonzero(lane_finite):
                 stats[int(lane)].phi_bandwidth = struct
 
     sfloor = _SLACK_FLOOR
     global_max = int(caps[active].max()) if active.any() else 0
 
     for it in range(1, global_max + 2):
-        idx = np.flatnonzero(active)
+        idx = xp.flatnonzero(active)
         if idx.size == 0:
             break
 
@@ -241,20 +335,30 @@ def solve_qp_batch(
         Ja, da = J[idx], d[idx]
 
         # Residual evaluation (mirrors eval_residual in the scalar loop).
-        with np.errstate(all="ignore"):
-            r_dual = _bmv(Ha, xa) + ga
+        with xp.errstate():
+            r_dual = _bmv(xp, Ha, xa) + ga
             if has_eq:
-                r_dual = r_dual + _bmv(Ga.transpose(0, 2, 1), nua)
+                r_dual = r_dual + _bmv(xp, xp.transpose_last2(Ga), nua)
             if has_in:
-                r_dual = r_dual + _bmv(Ja.transpose(0, 2, 1), lama)
-            r_eq = _bmv(Ga, xa) - ba if has_eq else np.zeros((idx.size, 0))
-            r_in = _bmv(Ja, xa) + sa - da if has_in else np.zeros((idx.size, 0))
-            mu = (sa * lama).sum(axis=1) / m if has_in else np.zeros(idx.size)
-            res = _maxabs(r_dual)
+                r_dual = r_dual + _bmv(xp, xp.transpose_last2(Ja), lama)
+            r_eq = (
+                _bmv(xp, Ga, xa) - ba if has_eq else xp.zeros((int(idx.size), 0))
+            )
+            r_in = (
+                _bmv(xp, Ja, xa) + sa - da
+                if has_in
+                else xp.zeros((int(idx.size), 0))
+            )
+            mu = (
+                xp.sum(sa * lama, axis=1) / m
+                if has_in
+                else xp.zeros((int(idx.size),))
+            )
+            res = _maxabs(xp, r_dual)
             if has_eq:
-                res = np.maximum(res, _maxabs(r_eq))
+                res = xp.maximum(res, _maxabs(xp, r_eq))
             if has_in:
-                res = np.maximum(res, _maxabs(r_in))
+                res = xp.maximum(res, _maxabs(xp, r_in))
             res = res + mu
         residual[idx] = res
         for k_l, lane in enumerate(idx):
@@ -264,11 +368,11 @@ def solve_qp_batch(
         over_cap = it > caps[idx]
         conv = (~over_cap) & (res < opt.tolerance * scale[idx])
         lam_blow = (
-            lama.max(axis=1) > _LAM_DIVERGENCE * scale[idx]
+            xp.max(lama, axis=1) > _LAM_DIVERGENCE * scale[idx]
             if has_in
-            else np.zeros(idx.size, dtype=bool)
+            else xp.zeros((int(idx.size),), dtype="bool")
         )
-        div = (~over_cap) & ~conv & (~np.isfinite(res) | lam_blow)
+        div = (~over_cap) & ~conv & (~xp.isfinite(res) | lam_blow)
         for k_l, lane in enumerate(idx):
             lane = int(lane)
             if over_cap[k_l]:
@@ -283,7 +387,7 @@ def solve_qp_batch(
 
         # Wall-clock deadline stops every still-active lane at once.
         if deadline is not None and perf_counter() >= deadline:
-            for lane in np.flatnonzero(active):
+            for lane in xp.flatnonzero(active):
                 _freeze(int(lane), "budget_exhausted", it - 1, budget=True)
             break
 
@@ -292,28 +396,32 @@ def solve_qp_batch(
             continue
         idx = idx[keep]
         xa, nua, sa, lama = xa[keep], nua[keep], sa[keep], lama[keep]
-        Ha, ga, Ga, ba, Ja, da = Ha[keep], ga[keep], Ga[keep], ba[keep], Ja[keep], da[keep]
+        Ha, ga, Ga, ba, Ja, da = (
+            Ha[keep], ga[keep], Ga[keep], ba[keep], Ja[keep], da[keep]
+        )
         r_dual, r_eq, r_in, mu = r_dual[keep], r_eq[keep], r_in[keep], mu[keep]
-        k = idx.size
+        k = int(idx.size)
 
         bstats.iterations += 1
         bstats.lane_iterations += k
         bstats.lane_slots += lanes
 
-        with np.errstate(all="ignore"):
+        with xp.errstate():
             if has_in:
-                w = np.minimum(lama / np.maximum(sa, sfloor), _W_CEIL)
-                Phi = Ha + np.matmul(Ja.transpose(0, 2, 1) * w[:, None, :], Ja)
+                w = xp.minimum(lama / xp.maximum(sa, sfloor), _W_CEIL)
+                Phi = Ha + xp.matmul(
+                    xp.transpose_last2(Ja) * w[:, None, :], Ja
+                )
             else:
-                w = np.zeros((k, 0))
+                w = xp.zeros((k, 0))
                 Phi = Ha
 
         t0 = perf_counter()
         phi_factor, reg_used, retries = robust_factor_batch(
-            Phi, opt.regularization, phi_band
+            Phi, opt.regularization, phi_band, backend=xp
         )
         dt = perf_counter() - t0
-        alive = phi_factor.ok.copy()
+        alive = xp.copy(phi_factor.ok)
         for k_l, lane in enumerate(idx):
             lane = int(lane)
             st = stats[lane]
@@ -324,30 +432,32 @@ def solve_qp_batch(
                 if phi_factor.banded:
                     st.banded_factorizations += 1
                 st.factor_flops += phi_factor.factor_flops()
-                st.regularization_max = max(st.regularization_max, float(reg_used[k_l]))
+                st.regularization_max = max(
+                    st.regularization_max, float(reg_used[k_l])
+                )
             else:
                 _freeze(lane, "failed", it)
 
         sub_time = [0.0]
         sub_flops_lane = [0]
 
-        def _timed_solve(factor: BatchCholeskyFactor, rhs: np.ndarray) -> np.ndarray:
+        def _timed_solve(factor: BatchCholeskyFactor, rhs):
             t = perf_counter()
             out = factor.solve(rhs)
             sub_time[0] += perf_counter() - t
-            nrhs = rhs.shape[2] if rhs.ndim == 3 else 1
+            nrhs = int(rhs.shape[2]) if rhs.ndim == 3 else 1
             sub_flops_lane[0] += factor.solve_flops(nrhs)
             return out
 
         s_factor: Optional[BatchCholeskyFactor] = None
         PhiInv_Gt = None
         if has_eq and alive.any():
-            with np.errstate(all="ignore"):
-                PhiInv_Gt = _timed_solve(phi_factor, Ga.transpose(0, 2, 1))
-                S = np.matmul(Ga, PhiInv_Gt)
+            with xp.errstate():
+                PhiInv_Gt = _timed_solve(phi_factor, xp.transpose_last2(Ga))
+                S = xp.matmul(Ga, PhiInv_Gt)
             s_band: Optional[int] = None
             if bandwidth is not None:
-                meas = bandwidth_of(np.abs(S[alive]).max(axis=0))
+                meas = bandwidth_of(xp.max(xp.abs(S[alive]), axis=0))
                 if meas <= bandwidth:
                     s_band = meas
                 for k_l, lane in enumerate(idx):
@@ -356,7 +466,7 @@ def solve_qp_batch(
                         st.schur_bandwidth = max(st.schur_bandwidth or 0, meas)
             t0 = perf_counter()
             s_factor, s_reg, s_retries = robust_factor_batch(
-                S, opt.regularization, s_band
+                S, opt.regularization, s_band, backend=xp
             )
             dt = perf_counter() - t0
             still = alive & s_factor.ok
@@ -382,54 +492,56 @@ def solve_qp_batch(
         if not alive.any():
             continue
 
-        def _newton(rc: np.ndarray):
-            with np.errstate(all="ignore"):
+        def _newton(rc):
+            with xp.errstate():
                 if has_in:
                     rhs1 = -(
                         r_dual
                         + _bmv(
-                            Ja.transpose(0, 2, 1),
-                            w * r_in - rc / np.maximum(sa, sfloor),
+                            xp,
+                            xp.transpose_last2(Ja),
+                            w * r_in - rc / xp.maximum(sa, sfloor),
                         )
                     )
                 else:
                     rhs1 = -r_dual
                 t = _timed_solve(phi_factor, rhs1[:, :, None])[:, :, 0]
                 if has_eq:
-                    rhs2 = _bmv(Ga, t) + r_eq
+                    rhs2 = _bmv(xp, Ga, t) + r_eq
                     dnu = _timed_solve(s_factor, rhs2[:, :, None])[:, :, 0]
-                    dx = t - _bmv(PhiInv_Gt, dnu)
+                    dx = t - _bmv(xp, PhiInv_Gt, dnu)
                 else:
-                    dnu = np.zeros((k, 0))
+                    dnu = xp.zeros((k, 0))
                     dx = t
                 if has_in:
-                    ds = -r_in - _bmv(Ja, dx)
-                    dlam = (-rc - lama * ds) / np.maximum(sa, sfloor)
+                    ds = -r_in - _bmv(xp, Ja, dx)
+                    dlam = (-rc - lama * ds) / xp.maximum(sa, sfloor)
                 else:
-                    ds = np.zeros((k, 0))
-                    dlam = np.zeros((k, 0))
+                    ds = xp.zeros((k, 0))
+                    dlam = xp.zeros((k, 0))
             return dx, dnu, ds, dlam
 
-        with np.errstate(all="ignore"):
+        with xp.errstate():
             # Predictor (affine scaling) step.
             rc_aff = sa * lama
             dx_a, dnu_a, ds_a, dlam_a = _newton(rc_aff)
             if has_in:
-                ap_aff = _max_step_batch(sa, ds_a)
-                ad_aff = _max_step_batch(lama, dlam_a)
+                ap_aff = _max_step_batch(xp, sa, ds_a)
+                ad_aff = _max_step_batch(xp, lama, dlam_a)
                 mu_aff = (
-                    (sa + ap_aff[:, None] * ds_a) * (lama + ad_aff[:, None] * dlam_a)
+                    (sa + ap_aff[:, None] * ds_a)
+                    * (lama + ad_aff[:, None] * dlam_a)
                 ).sum(axis=1) / m
-                safe_mu = np.where(mu > 0.0, mu, 1.0)
-                sigma = np.where(mu > 0.0, (mu_aff / safe_mu) ** 3, 0.0)
+                safe_mu = xp.where(mu > 0.0, mu, 1.0)
+                sigma = xp.where(mu > 0.0, (mu_aff / safe_mu) ** 3, 0.0)
                 rc = sa * lama + ds_a * dlam_a - (sigma * mu)[:, None]
                 dx, dnu, ds, dlam = _newton(rc)
-                ap = np.minimum(1.0, opt.tau * _max_step_batch(sa, ds))
-                ad = np.minimum(1.0, opt.tau * _max_step_batch(lama, dlam))
+                ap = xp.minimum(1.0, opt.tau * _max_step_batch(xp, sa, ds))
+                ad = xp.minimum(1.0, opt.tau * _max_step_batch(xp, lama, dlam))
             else:
                 dx, dnu, ds, dlam = dx_a, dnu_a, ds_a, dlam_a
-                ap = np.ones(k)
-                ad = np.ones(k)
+                ap = xp.ones((k,))
+                ad = xp.ones((k,))
 
         for k_l, lane in enumerate(idx):
             lane = int(lane)
@@ -439,7 +551,7 @@ def solve_qp_batch(
             st.substitute_time += sub_time[0] / max(int(alive.sum()), 1)
             st.substitute_flops += sub_flops_lane[0]
 
-        upd = np.flatnonzero(alive)
+        upd = xp.flatnonzero(alive)
         gidx = idx[upd]
         x[gidx] = xa[upd] + ap[upd, None] * dx[upd]
         nu[gidx] = nua[upd] + ad[upd, None] * dnu[upd]
@@ -472,4 +584,422 @@ def solve_qp_batch(
         stats=stats,
         batch=bstats,
         freeze=freeze if record_freeze else None,
+    )
+
+
+# ------------------------------------------------------------------------
+# Device strategy: masked lockstep loop (no per-iteration host syncs)
+# ------------------------------------------------------------------------
+
+
+def _solve_masked(
+    xp: ArrayBackend,
+    H,
+    g,
+    G,
+    b,
+    J,
+    d,
+    opt: QPOptions,
+    bandwidth: Optional[int],
+    deadline: Optional[float],
+    iteration_caps,
+    record_freeze: bool,
+    sync_interval: int,
+) -> BatchQPResult:
+    H = xp.asarray(H)
+    g = xp.asarray(g)
+    lanes, n = int(g.shape[0]), int(g.shape[1])
+    if tuple(H.shape) != (lanes, n, n):
+        raise ValueError(f"H shape {tuple(H.shape)} != ({lanes}, {n}, {n})")
+
+    if G is None or b is None:
+        G = xp.zeros((lanes, 0, n))
+        b = xp.zeros((lanes, 0))
+    else:
+        G = xp.asarray(G)
+        b = xp.asarray(b)
+    if J is None or d is None:
+        J = xp.zeros((lanes, 0, n))
+        d = xp.zeros((lanes, 0))
+    else:
+        J = xp.asarray(J)
+        d = xp.asarray(d)
+    p, m = int(G.shape[1]), int(J.shape[1])
+    has_eq, has_in = p > 0, m > 0
+
+    lane_finite = (
+        xp.all(xp.isfinite(H), axis=(1, 2))
+        & xp.all(xp.isfinite(g), axis=1)
+        & xp.all(xp.isfinite(xp.reshape(G, (lanes, -1))), axis=1)
+        & xp.all(xp.isfinite(b), axis=1)
+        & xp.all(xp.isfinite(xp.reshape(J, (lanes, -1))), axis=1)
+        & xp.all(xp.isfinite(d), axis=1)
+    )
+    # Sanitize failed lanes' data so lockstep arithmetic on them stays
+    # bounded; their state is frozen at zeros and never published.
+    lf3 = lane_finite[:, None, None]
+    lf2 = lane_finite[:, None]
+    H = xp.where(lf3, H, 0.0)
+    g = xp.where(lf2, g, 0.0)
+    if has_eq:
+        G = xp.where(lf3, G, 0.0)
+        b = xp.where(lf2, b, 0.0)
+    if has_in:
+        J = xp.where(lf3, J, 0.0)
+        d = xp.where(lf2, d, 0.0)
+    Gt = xp.transpose_last2(G)
+    Jt = xp.transpose_last2(J)
+
+    x = xp.zeros((lanes, n))
+    nu = xp.zeros((lanes, p))
+    if has_in:
+        s = xp.maximum(1.0, d - _bmv(xp, J, x))
+        lam = xp.ones((lanes, m))
+    else:
+        s = xp.zeros((lanes, 0))
+        lam = xp.zeros((lanes, 0))
+
+    scale = 1.0 + xp.minimum(
+        xp.maximum(
+            _maxabs(xp, g), xp.maximum(_maxabs(xp, b), _maxabs(xp, d))
+        ),
+        100.0,
+    )
+
+    # Iteration caps: the global trip count is a host decision made once,
+    # before the loop, from host-side inputs.
+    max_it = int(opt.max_iterations)
+    if iteration_caps is not None:
+        caps_h = HOST.minimum(
+            HOST.full((lanes,), max_it, dtype="int"),
+            HOST.maximum(HOST.asarray(iteration_caps, dtype="int"), 1),
+        )
+        global_max = int(HOST.scalar(HOST.max(caps_h)))
+        caps = xp.from_host(caps_h, dtype="int")
+    else:
+        global_max = max_it
+        caps = xp.full((lanes,), max_it, dtype="int")
+    budget_capped = caps < max_it
+
+    status = xp.where(lane_finite, _ACTIVE, _FAILED)
+    iterations = xp.zeros((lanes,), dtype="int")
+    residual = xp.full((lanes,), _INF)
+    deadline_hit = xp.zeros((lanes,), dtype="bool")
+    mu_rows: List[object] = []
+
+    # Device-resident per-lane QPStats accumulators.
+    factz = xp.zeros((lanes,), dtype="int")
+    banded_factz = xp.zeros((lanes,), dtype="int")
+    flops_acc = xp.zeros((lanes,), dtype="int")
+    subflops_acc = xp.zeros((lanes,), dtype="int")
+    regmax = xp.zeros((lanes,))
+    lane_iter_acc = xp.sum(xp.zeros((1,), dtype="int"))
+    factor_time_total = 0.0
+    sub_time_total = 0.0
+    bstats = BatchQPStats()
+
+    # Structural Phi band, measured once at setup (one constant download;
+    # sanitized failed lanes contribute zeros to the envelope).
+    phi_band: Optional[int] = None
+    phi_struct: Optional[int] = None
+    if bandwidth is not None and n:
+        env = xp.max(xp.abs(H), axis=0)
+        if has_in:
+            jmax = xp.max(xp.abs(J), axis=0)
+            env = env + xp.matmul(xp.transpose_last2(jmax), jmax)
+        struct = bandwidth_of(xp.to_host(env))
+        if struct <= bandwidth:
+            phi_band = phi_struct = struct
+    schur_meas: Optional[int] = None
+
+    sfloor = _SLACK_FLOOR
+
+    for it in range(1, global_max + 2):
+        eval_active = status == _ACTIVE
+
+        with xp.errstate():
+            r_dual = _bmv(xp, H, x) + g
+            if has_eq:
+                r_dual = r_dual + _bmv(xp, Gt, nu)
+            if has_in:
+                r_dual = r_dual + _bmv(xp, Jt, lam)
+            r_eq = _bmv(xp, G, x) - b if has_eq else None
+            r_in = _bmv(xp, J, x) + s - d if has_in else None
+            mu = (
+                xp.sum(s * lam, axis=1) / m
+                if has_in
+                else xp.zeros((lanes,))
+            )
+            res = _maxabs(xp, r_dual)
+            if has_eq:
+                res = xp.maximum(res, _maxabs(xp, r_eq))
+            if has_in:
+                res = xp.maximum(res, _maxabs(xp, r_in))
+            res = res + mu
+
+        residual = xp.where(eval_active, res, residual)
+        mu_rows.append(xp.where(eval_active, mu, _NAN))
+
+        # Classification ladder, scalar order: cap / converged / diverged.
+        over_cap = eval_active & (it > caps)
+        conv = eval_active & ~over_cap & (res < opt.tolerance * scale)
+        if has_in:
+            lam_blow = xp.max(lam, axis=1) > _LAM_DIVERGENCE * scale
+        else:
+            lam_blow = xp.zeros((lanes,), dtype="bool")
+        div = (
+            eval_active
+            & ~over_cap
+            & ~conv
+            & (~xp.isfinite(res) | lam_blow)
+        )
+        status = xp.where(
+            over_cap, xp.where(budget_capped, _BUDGET, _MAXIT), status
+        )
+        status = xp.where(conv, _CONV, status)
+        status = xp.where(div, _DIV, status)
+        iterations = xp.where(over_cap, caps, iterations)
+        iterations = xp.where(conv | div, it, iterations)
+
+        # Wall-clock deadline stops every still-active lane at once (a
+        # host-clock decision — no device data is read).
+        if deadline is not None and perf_counter() >= deadline:
+            still = status == _ACTIVE
+            status = xp.where(still, _BUDGET, status)
+            iterations = xp.where(still, it - 1, iterations)
+            deadline_hit = deadline_hit | still
+            break
+
+        active = status == _ACTIVE
+        if sync_interval and it % sync_interval == 0:
+            # The one optional host round-trip: early exit for a batch
+            # that has fully frozen before the global cap.
+            if not bool(xp.scalar(xp.any(active))):
+                break
+
+        ai = xp.astype(active, "int")
+        bstats.iterations += 1
+        bstats.lane_slots += lanes
+        lane_iter_acc = lane_iter_acc + xp.sum(ai)
+
+        with xp.errstate():
+            if has_in:
+                w = xp.minimum(lam / xp.maximum(s, sfloor), _W_CEIL)
+                Phi = H + xp.matmul(Jt * w[:, None, :], J)
+            else:
+                w = None
+                Phi = H
+
+        t0 = perf_counter()
+        phi_factor, reg_used, _rt = robust_factor_batch(
+            Phi, opt.regularization, phi_band,
+            attempts=1, backend=xp, active=active,
+        )
+        factor_time_total += perf_counter() - t0
+        alive = active & phi_factor.ok
+        newly_failed = active & ~phi_factor.ok
+        status = xp.where(newly_failed, _FAILED, status)
+        iterations = xp.where(newly_failed, it, iterations)
+        aiv = xp.astype(alive, "int")
+        factz = factz + aiv
+        if phi_factor.banded:
+            banded_factz = banded_factz + aiv
+        flops_acc = flops_acc + aiv * phi_factor.factor_flops()
+        regmax = xp.maximum(regmax, xp.where(alive, reg_used, 0.0))
+
+        def _timed_solve(factor, rhs, aiv_now):
+            nonlocal sub_time_total, subflops_acc
+            t = perf_counter()
+            out = factor.solve(rhs)
+            sub_time_total += perf_counter() - t
+            nrhs = int(rhs.shape[2]) if rhs.ndim == 3 else 1
+            subflops_acc = subflops_acc + aiv_now * factor.solve_flops(nrhs)
+            return out
+
+        s_factor = None
+        PhiInv_Gt = None
+        if has_eq:
+            with xp.errstate():
+                PhiInv_Gt = _timed_solve(phi_factor, Gt, aiv)
+                S = xp.matmul(G, PhiInv_Gt)
+            s_band: Optional[int] = None
+            if bandwidth is not None:
+                if schur_meas is None:
+                    # Measured once, on the first iteration's Schur
+                    # complement (one constant download).
+                    schur_meas = bandwidth_of(
+                        xp.to_host(xp.max(xp.abs(S), axis=0))
+                    )
+                if schur_meas <= bandwidth:
+                    s_band = schur_meas
+            t0 = perf_counter()
+            s_factor, s_reg, _rt = robust_factor_batch(
+                S, opt.regularization, s_band,
+                attempts=1, backend=xp, active=alive,
+            )
+            factor_time_total += perf_counter() - t0
+            still = alive & s_factor.ok
+            newly_failed = alive & ~s_factor.ok
+            status = xp.where(newly_failed, _FAILED, status)
+            iterations = xp.where(newly_failed, it, iterations)
+            siv = xp.astype(still, "int")
+            factz = factz + siv
+            if s_factor.banded:
+                banded_factz = banded_factz + siv
+            flops_acc = flops_acc + siv * s_factor.factor_flops()
+            regmax = xp.maximum(regmax, xp.where(still, s_reg, 0.0))
+            alive = still
+            aiv = siv
+
+        def _newton(rc):
+            with xp.errstate():
+                if has_in:
+                    rhs1 = 0.0 - (
+                        r_dual
+                        + _bmv(
+                            xp,
+                            Jt,
+                            w * r_in - rc / xp.maximum(s, sfloor),
+                        )
+                    )
+                else:
+                    rhs1 = 0.0 - r_dual
+                t = _timed_solve(phi_factor, rhs1[:, :, None], aiv)[:, :, 0]
+                if has_eq:
+                    rhs2 = _bmv(xp, G, t) + r_eq
+                    dnu = _timed_solve(s_factor, rhs2[:, :, None], aiv)[
+                        :, :, 0
+                    ]
+                    dx = t - _bmv(xp, PhiInv_Gt, dnu)
+                else:
+                    dnu = nu
+                    dx = t
+                if has_in:
+                    ds = (0.0 - r_in) - _bmv(xp, J, dx)
+                    dlam = ((0.0 - rc) - lam * ds) / xp.maximum(s, sfloor)
+                else:
+                    ds = s
+                    dlam = lam
+            return dx, dnu, ds, dlam
+
+        with xp.errstate():
+            rc_aff = s * lam
+            dx_a, dnu_a, ds_a, dlam_a = _newton(rc_aff)
+            if has_in:
+                ap_aff = _max_step_batch(xp, s, ds_a, safe_div=True)
+                ad_aff = _max_step_batch(xp, lam, dlam_a, safe_div=True)
+                mu_aff = xp.sum(
+                    (s + ap_aff[:, None] * ds_a)
+                    * (lam + ad_aff[:, None] * dlam_a),
+                    axis=1,
+                ) / m
+                safe_mu = xp.where(mu > 0.0, mu, 1.0)
+                sigma = xp.where(mu > 0.0, (mu_aff / safe_mu) ** 3, 0.0)
+                rc = s * lam + ds_a * dlam_a - (sigma * mu)[:, None]
+                dx, dnu, ds, dlam = _newton(rc)
+                ap = xp.minimum(
+                    1.0, opt.tau * _max_step_batch(xp, s, ds, safe_div=True)
+                )
+                ad = xp.minimum(
+                    1.0, opt.tau * _max_step_batch(xp, lam, dlam, safe_div=True)
+                )
+            else:
+                dx, dnu, ds, dlam = dx_a, dnu_a, ds_a, dlam_a
+                ap = xp.ones((lanes,))
+                ad = xp.ones((lanes,))
+
+        am = alive[:, None]
+        x = xp.where(am, x + ap[:, None] * dx, x)
+        if has_eq:
+            nu = xp.where(am, nu + ad[:, None] * dnu, nu)
+        if has_in:
+            s = xp.where(am, s + ap[:, None] * ds, s)
+            lam = xp.where(am, lam + ad[:, None] * dlam, lam)
+
+    # ---- single bulk download: the only host materialization ----------
+    x_h = xp.to_host(x)
+    nu_h = xp.to_host(nu)
+    s_h = xp.to_host(s)
+    lam_h = xp.to_host(lam)
+    status_h = xp.to_host(status)
+    iters_h = xp.to_host(iterations)
+    resid_h = xp.to_host(residual)
+    deadline_h = xp.to_host(deadline_hit)
+    factz_h = xp.to_host(factz)
+    banded_h = xp.to_host(banded_factz)
+    flops_h = xp.to_host(flops_acc)
+    subflops_h = xp.to_host(subflops_acc)
+    regmax_h = xp.to_host(regmax)
+    finite_h = xp.to_host(lane_finite)
+    mu_h = xp.to_host(xp.stack(mu_rows)) if mu_rows else None
+    bstats.lane_iterations = int(xp.scalar(lane_iter_acc))
+
+    status_codes = [int(c) for c in status_h]
+    status = [_STATUS_NAMES[c] for c in status_codes]
+    converged_h = HOST.asarray(
+        [c == _CONV for c in status_codes], dtype="bool"
+    )
+
+    gap_history: List[List[float]] = [[] for _ in range(lanes)]
+    if mu_h is not None:
+        for lane in range(lanes):
+            col = mu_h[:, lane]
+            gap_history[lane] = [float(v) for v in col if v == v]
+
+    total_factz = max(int(factz_h.sum()), 1)
+    stats: List[QPStats] = []
+    for lane in range(lanes):
+        st = QPStats()
+        st.factorizations = int(factz_h[lane])
+        st.banded_factorizations = int(banded_h[lane])
+        st.factor_flops = int(flops_h[lane])
+        st.substitute_flops = int(subflops_h[lane])
+        st.regularization_max = float(regmax_h[lane])
+        share = int(factz_h[lane]) / total_factz
+        st.factorize_time = factor_time_total * share
+        st.substitute_time = sub_time_total * share
+        if phi_struct is not None and bool(finite_h[lane]):
+            st.phi_bandwidth = phi_struct
+        if schur_meas is not None and st.factorizations:
+            st.schur_bandwidth = schur_meas
+        if st.factorizations == 0:
+            st.mode = "dense"
+        elif st.banded_factorizations == st.factorizations:
+            st.mode = "banded"
+        elif st.banded_factorizations:
+            st.mode = "mixed"
+        else:
+            st.mode = "dense"
+        stats.append(st)
+
+    freeze: Optional[Dict[int, Dict[str, object]]] = None
+    if record_freeze:
+        # Frozen lanes are where-masked out of every update, so the final
+        # state *is* each lane's freeze-point snapshot.
+        freeze = {}
+        for lane in range(lanes):
+            if status_codes[lane] != _ACTIVE:
+                freeze[lane] = {
+                    "x": x_h[lane].copy(),
+                    "nu": nu_h[lane].copy(),
+                    "lam": lam_h[lane].copy(),
+                    "slacks": s_h[lane].copy(),
+                    "residual": HOST.asarray(resid_h[lane]),
+                }
+
+    return BatchQPResult(
+        x=x_h,
+        nu=nu_h,
+        lam=lam_h,
+        slacks=s_h,
+        converged=converged_h,
+        iterations=iters_h,
+        residual=resid_h,
+        status=status,
+        budget_exhausted=deadline_h,
+        gap_history=gap_history,
+        stats=stats,
+        batch=bstats,
+        freeze=freeze,
     )

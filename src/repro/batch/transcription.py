@@ -8,14 +8,17 @@ calls per linearization — the dominant cost of a batched SQP iteration.
 :class:`VectorizedFunction` removes it: every
 :class:`~repro.symbolic.compile.CompiledFunction` carries its generated
 source, and the generated body is pure arithmetic plus a small closed set
-of ``math`` calls.  Re-executing that source against a NumPy namespace
-(``sin -> np.sin``, ``asin -> np.arcsin``, ...) yields a callable that
+of ``math`` calls.  Re-executing that source against an array-backend
+namespace (``sin -> xp.sin``, ``asin -> xp.arcsin``, ... — see
+:meth:`repro.batch.backend.ArrayBackend.ufuncs`) yields a callable that
 accepts ``(B, K)``-shaped columns and evaluates all ``B x K`` stage
 points in one pass — the "vectorized fast path where the
-``CompiledFunction`` supports it" of the batching subsystem.  Any
-function whose source fails to vectorize (or a future op with no ufunc
-twin) drops the whole linearizer to a per-lane loop fallback over the
-scalar problem methods, which is slower but bit-equal by construction.
+``CompiledFunction`` supports it" of the batching subsystem, on whichever
+backend the caller selected (numpy, cupy, torch).  Any function whose
+source fails to vectorize (or a future op with no ufunc twin) drops the
+whole linearizer to a per-lane loop fallback over the scalar problem
+methods, which is slower but bit-equal by construction (the fallback
+round-trips through host arrays on device backends).
 
 :class:`BatchLinearizer` exposes the batched twins of every evaluation
 method the SQP layer needs (`objective`, gradients, Gauss-Newton Hessian,
@@ -26,35 +29,21 @@ permutations of PR 1 carry over unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TranscriptionError
 from repro.mpc.transcription import TranscribedProblem
 from repro.symbolic.compile import CompiledFunction
 
+from .backend import ArrayBackend, get_backend
+
 __all__ = ["VectorizedFunction", "vectorize_compiled", "BatchLinearizer"]
 
-#: numpy twins of the scalar codegen namespace (names differ for arc-trig)
-_NUMPY_FUNCS = {
-    "sin": np.sin,
-    "cos": np.cos,
-    "tan": np.tan,
-    "asin": np.arcsin,
-    "acos": np.arccos,
-    "atan": np.arctan,
-    "exp": np.exp,
-    "log": np.log,
-    "sqrt": np.sqrt,
-    "tanh": np.tanh,
-}
-
-RefLike = Optional[Union[np.ndarray, Sequence[Optional[np.ndarray]]]]
+RefLike = Optional[object]
 
 
 class VectorizedFunction:
-    """A compiled stage function re-bound to NumPy ufuncs.
+    """A compiled stage function re-bound to a backend's ufunc namespace.
 
     Calling with columns of shape ``S`` (one array per input variable)
     returns an ``S + (n_outputs,)`` array.  Outputs that the generated
@@ -64,27 +53,31 @@ class VectorizedFunction:
     path.
     """
 
-    def __init__(self, fn: CompiledFunction) -> None:
+    def __init__(self, fn: CompiledFunction, backend=None) -> None:
         self.scalar = fn
+        self.xp = get_backend(backend)
         self.n_outputs = fn.n_outputs
         name = fn.source.split("(", 1)[0].split()[-1]
-        namespace: Dict[str, object] = dict(_NUMPY_FUNCS)
+        namespace: Dict[str, object] = dict(self.xp.ufuncs())
         exec(compile(fn.source, f"<vectorized:{name}>", "exec"), namespace)
         self._func = namespace[name]
 
-    def __call__(self, cols: Sequence[np.ndarray]) -> np.ndarray:
-        shape = np.shape(cols[0]) if cols else ()
-        with np.errstate(all="ignore"):
+    def __call__(self, cols: Sequence) -> object:
+        xp = self.xp
+        shape = tuple(cols[0].shape) if cols else ()
+        with xp.errstate():
             outs = self._func(*cols)
-        stacked = [
-            np.broadcast_to(np.asarray(o, dtype=float), shape) for o in outs
-        ]
-        return np.stack(stacked, axis=-1) if stacked else np.zeros(shape + (0,))
+        stacked = [xp.broadcast_to(xp.asarray(o), shape) for o in outs]
+        return (
+            xp.stack(stacked, axis=-1)
+            if stacked
+            else xp.zeros(shape + (0,))
+        )
 
 
-def vectorize_compiled(fn: CompiledFunction) -> VectorizedFunction:
-    """Build the NumPy-vectorized twin of a compiled stage function."""
-    return VectorizedFunction(fn)
+def vectorize_compiled(fn: CompiledFunction, backend=None) -> VectorizedFunction:
+    """Build the backend-vectorized twin of a compiled stage function."""
+    return VectorizedFunction(fn, backend)
 
 
 class BatchLinearizer:
@@ -92,19 +85,20 @@ class BatchLinearizer:
 
     All methods accept stacked arguments with a leading batch axis
     (``Z: (B, nz)``, ``x_init: (B, nx)``) and return the batched stack of
-    what the scalar method returns per lane, in the same row order.
-    Requires ``move_block == 1`` (the serve path always transcribes with
-    per-step inputs; blocked knots would break the contiguous
-    state/input reshape fast paths).
+    what the scalar method returns per lane, in the same row order, as
+    arrays of the selected backend.  Requires ``move_block == 1`` (the
+    serve path always transcribes with per-step inputs; blocked knots
+    would break the contiguous state/input reshape fast paths).
     """
 
-    def __init__(self, problem: TranscribedProblem) -> None:
+    def __init__(self, problem: TranscribedProblem, backend=None) -> None:
         if problem.move_block != 1:
             raise TranscriptionError(
                 "BatchLinearizer requires move_block == 1, got "
                 f"{problem.move_block}"
             )
         self.problem = problem
+        self.xp = get_backend(backend)
         self.N = problem.N
         self.nx = problem.nx
         self.nu = problem.nu
@@ -124,77 +118,87 @@ class BatchLinearizer:
                 "_g_input", "_g_input_jac",
                 "_g_term", "_g_term_jac",
             )
-            self._v = {nm: vectorize_compiled(getattr(problem, nm)) for nm in names}
+            self._v = {
+                nm: vectorize_compiled(getattr(problem, nm), self.xp)
+                for nm in names
+            }
         except Exception:  # any non-vectorizable source -> loop fallback
             self._v = {}
             self.vectorized = False
 
     # -- shared plumbing ---------------------------------------------------
 
-    def _split(self, Z: np.ndarray):
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
-        xs = Z[:, : self._base].reshape(lanes, self.N + 1, self.nx)
-        us = Z[:, self._base :].reshape(lanes, self.N, self.nu)
+    def _split(self, Z):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
+        xs = xp.reshape(Z[:, : self._base], (lanes, self.N + 1, self.nx))
+        us = xp.reshape(Z[:, self._base :], (lanes, self.N, self.nu))
         return xs, us
 
-    def normalize_ref(self, ref: RefLike, lanes: int) -> Optional[np.ndarray]:
+    def normalize_ref(self, ref: RefLike, lanes: int):
         """Normalize per-lane references to one ``(B, N+1, nref)`` stack.
 
         Accepts ``None`` (only for reference-free tasks), one shared array
         of shape ``(nref,)`` or ``(N+1, nref)``, or a per-lane sequence of
         such arrays.
         """
+        xp = self.xp
         if self.nref == 0:
             return None
         if (
-            isinstance(ref, np.ndarray)
+            hasattr(ref, "ndim")
             and ref.ndim == 3
-            and ref.shape == (lanes, self.N + 1, self.nref)
+            and tuple(ref.shape) == (lanes, self.N + 1, self.nref)
         ):
-            return ref  # already a normalized stack (or a gathered subset)
+            return xp.asarray(ref)  # already a normalized stack
 
-        def one(r) -> np.ndarray:
+        def one(r):
             if r is None:
                 raise TranscriptionError(
                     f"task {self.problem.task.name!r} requires reference "
                     f"values {self.problem.task.references}"
                 )
-            r = np.asarray(r, dtype=float)
-            if r.shape == (self.nref,):
-                return np.tile(r, (self.N + 1, 1))
-            if r.shape == (self.N + 1, self.nref):
+            r = xp.asarray(r)
+            if tuple(r.shape) == (self.nref,):
+                return xp.tile(r, (self.N + 1, 1))
+            if tuple(r.shape) == (self.N + 1, self.nref):
                 return r
             raise TranscriptionError(
                 f"reference values must have shape ({self.nref},) or "
-                f"({self.N + 1}, {self.nref}), got {r.shape}"
+                f"({self.N + 1}, {self.nref}), got {tuple(r.shape)}"
             )
 
-        if ref is None or isinstance(ref, np.ndarray):
-            return np.tile(one(ref), (lanes, 1, 1))
+        if ref is None or hasattr(ref, "ndim"):
+            return xp.tile(one(ref), (lanes, 1, 1))
         rows = [one(r) for r in ref]
         if len(rows) != lanes:
             raise TranscriptionError(
                 f"got {len(rows)} per-lane references for {lanes} lanes"
             )
-        return np.stack(rows)
+        return xp.stack(rows)
 
-    def _ref_lane(self, R: Optional[np.ndarray], lane: int) -> Optional[np.ndarray]:
-        return None if R is None else R[lane]
+    def _ref_lane(self, R, lane: int):
+        return None if R is None else self.xp.to_host(R[lane])
 
-    def _run_cols(self, xs, us, R, ks) -> List[np.ndarray]:
+    def _loop_stack(self, rows: List):
+        """Stack per-lane host results back onto the backend."""
+        xp = self.xp
+        return xp.stack([xp.asarray(r) for r in rows])
+
+    def _run_cols(self, xs, us, R, ks) -> List:
         cols = [xs[:, ks, i] for i in range(self.nx)]
         cols += [us[:, ks, j] for j in range(self.nu)]
         if self.nref:
             cols += [R[:, ks, r] for r in range(self.nref)]
         return cols
 
-    def _dyn_cols(self, xs, us, ks) -> List[np.ndarray]:
+    def _dyn_cols(self, xs, us, ks) -> List:
         cols = [xs[:, ks, i] for i in range(self.nx)]
         cols += [us[:, ks, j] for j in range(self.nu)]
         return cols
 
-    def _term_cols(self, xs, R) -> List[np.ndarray]:
+    def _term_cols(self, xs, R) -> List:
         cols = [xs[:, self.N, i] for i in range(self.nx)]
         if self.nref:
             cols += [R[:, self.N, r] for r in range(self.nref)]
@@ -206,68 +210,83 @@ class BatchLinearizer:
     def _input_sl(self, k: int) -> slice:
         return slice(self._base + k * self.nu, self._base + (k + 1) * self.nu)
 
+    def _ks(self, lo: int, hi: int):
+        return self.xp.arange(lo, hi)
+
     # -- objective ---------------------------------------------------------
 
-    def objective(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def objective(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.array(
+            Zh = xp.to_host(Z)
+            return xp.asarray(
                 [
-                    self.problem.objective(Z[i], self._ref_lane(R, i))
+                    self.problem.objective(Zh[i], self._ref_lane(R, i))
                     for i in range(lanes)
                 ]
             )
         xs, us = self._split(Z)
-        ks = np.arange(self.N)
+        ks = self._ks(0, self.N)
         run = self._v["_L"](self._run_cols(xs, us, R, ks))[..., 0]
         term = self._v["_Phi"](self._term_cols(xs, R))[..., 0]
-        return run.sum(axis=1) + term
+        return xp.sum(run, axis=1) + term
 
-    def objective_gradient(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def objective_gradient(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh = xp.to_host(Z)
+            return self._loop_stack(
                 [
-                    self.problem.objective_gradient(Z[i], self._ref_lane(R, i))
+                    self.problem.objective_gradient(Zh[i], self._ref_lane(R, i))
                     for i in range(lanes)
                 ]
             )
         xs, us = self._split(Z)
-        ks = np.arange(self.N)
+        ks = self._ks(0, self.N)
         gs = self._v["_L_grad"](self._run_cols(xs, us, R, ks))  # (B, N, nxu)
-        grad = np.zeros((lanes, self.nz))
-        grad[:, : self.N * self.nx] += gs[:, :, : self.nx].reshape(lanes, -1)
-        grad[:, self._base :] += gs[:, :, self.nx :].reshape(lanes, -1)
+        grad = xp.zeros((lanes, self.nz))
+        grad[:, : self.N * self.nx] += xp.reshape(
+            gs[:, :, : self.nx], (lanes, -1)
+        )
+        grad[:, self._base :] += xp.reshape(gs[:, :, self.nx :], (lanes, -1))
         grad[:, self.N * self.nx : self._base] += self._v["_Phi_grad"](
             self._term_cols(xs, R)
         )
         return grad
 
-    def objective_gauss_newton(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def objective_gauss_newton(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh = xp.to_host(Z)
+            return self._loop_stack(
                 [
-                    self.problem.objective_gauss_newton(Z[i], self._ref_lane(R, i))
+                    self.problem.objective_gauss_newton(
+                        Zh[i], self._ref_lane(R, i)
+                    )
                     for i in range(lanes)
                 ]
             )
         xs, us = self._split(Z)
         nxu = self.nx + self.nu
-        H = np.zeros((lanes, self.nz, self.nz))
+        H = xp.zeros((lanes, self.nz, self.nz))
         n_run = len(self.problem.w_run)
         n_term = len(self.problem.w_term)
         if n_run:
-            ks = np.arange(self.N)
+            ks = self._ks(0, self.N)
             Jp = self._v["_P_run_jac"](self._run_cols(xs, us, R, ks))
-            Jp = Jp.reshape(lanes, self.N, n_run, nxu)
-            blk = 2.0 * np.einsum("bkrp,r,bkrq->bkpq", Jp, self.problem.w_run, Jp)
+            Jp = xp.reshape(Jp, (lanes, self.N, n_run, nxu))
+            blk = 2.0 * xp.einsum(
+                "bkrp,r,bkrq->bkpq", Jp, xp.asarray(self.problem.w_run), Jp
+            )
             for k in range(self.N):
                 sx, su = self._state_sl(k), self._input_sl(k)
                 H[:, sx, sx] += blk[:, k, : self.nx, : self.nx]
@@ -276,82 +295,84 @@ class BatchLinearizer:
                 H[:, su, su] += blk[:, k, self.nx :, self.nx :]
         if n_term:
             Jp = self._v["_P_term_jac"](self._term_cols(xs, R))
-            Jp = Jp.reshape(lanes, n_term, self.nx)
+            Jp = xp.reshape(Jp, (lanes, n_term, self.nx))
             sN = self._state_sl(self.N)
-            H[:, sN, sN] += 2.0 * np.einsum(
-                "brp,r,brq->bpq", Jp, self.problem.w_term, Jp
+            H[:, sN, sN] += 2.0 * xp.einsum(
+                "brp,r,brq->bpq", Jp, xp.asarray(self.problem.w_term), Jp
             )
         return H
 
     # -- constraints -------------------------------------------------------
 
-    def equality_constraints(
-        self, Z: np.ndarray, x_init: np.ndarray, ref: RefLike = None
-    ) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        X0 = np.asarray(x_init, dtype=float)
-        lanes = Z.shape[0]
+    def equality_constraints(self, Z, x_init, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        X0 = xp.asarray(x_init)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh, X0h = xp.to_host(Z), xp.to_host(X0)
+            return self._loop_stack(
                 [
                     self.problem.equality_constraints(
-                        Z[i], X0[i], self._ref_lane(R, i)
+                        Zh[i], X0h[i], self._ref_lane(R, i)
                     )
                     for i in range(lanes)
                 ]
             )
         p = self.problem
         xs, us = self._split(Z)
-        ks = np.arange(self.N)
+        ks = self._ks(0, self.N)
         parts = [xs[:, 0] - X0]
         F = self._v["_F"](self._dyn_cols(xs, us, ks))  # (B, N, nx)
-        parts.append((xs[:, 1:] - F).reshape(lanes, -1))
+        parts.append(xp.reshape(xs[:, 1:] - F, (lanes, -1)))
         if p._eq_state_rows and self.N > 1:
-            ks_in = np.arange(1, self.N)
+            ks_in = self._ks(1, self.N)
             vals = self._v["_g_state"](self._run_cols(xs, us, R, ks_in))
-            parts.append(vals.reshape(lanes, -1))
+            parts.append(xp.reshape(vals, (lanes, -1)))
         if p._eq_input_rows:
             vals = self._v["_g_input"](self._run_cols(xs, us, R, ks))
-            parts.append(vals.reshape(lanes, -1))
+            parts.append(xp.reshape(vals, (lanes, -1)))
         if p._eq_term_rows:
             parts.append(self._v["_g_term"](self._term_cols(xs, R)))
-        return np.concatenate(parts, axis=1)
+        return xp.concatenate(parts, axis=1)
 
-    def equality_jacobian(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def equality_jacobian(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh = xp.to_host(Z)
+            return self._loop_stack(
                 [
-                    self.problem.equality_jacobian(Z[i], self._ref_lane(R, i))
+                    self.problem.equality_jacobian(Zh[i], self._ref_lane(R, i))
                     for i in range(lanes)
                 ]
             )
         p = self.problem
         xs, us = self._split(Z)
         nx, nu, nxu = self.nx, self.nu, self.nx + self.nu
-        ks = np.arange(self.N)
-        G = np.zeros((lanes, p.n_eq, self.nz))
-        G[:, :nx, :nx] = np.eye(nx)
-        A = self._v["_A"](self._dyn_cols(xs, us, ks)).reshape(
-            lanes, self.N, nx, nx
+        ks = self._ks(0, self.N)
+        G = xp.zeros((lanes, p.n_eq, self.nz))
+        G[:, :nx, :nx] = xp.eye(nx)
+        A = xp.reshape(
+            self._v["_A"](self._dyn_cols(xs, us, ks)), (lanes, self.N, nx, nx)
         )
-        Bm = self._v["_B"](self._dyn_cols(xs, us, ks)).reshape(
-            lanes, self.N, nx, nu
+        Bm = xp.reshape(
+            self._v["_B"](self._dyn_cols(xs, us, ks)), (lanes, self.N, nx, nu)
         )
         row = nx
         for k in range(self.N):
             rows = slice(row, row + nx)
-            G[:, rows, self._state_sl(k + 1)] = np.eye(nx)
+            G[:, rows, self._state_sl(k + 1)] = xp.eye(nx)
             G[:, rows, self._state_sl(k)] = -A[:, k]
             G[:, rows, self._input_sl(k)] = -Bm[:, k]
             row += nx
         if p._eq_state_rows and self.N > 1:
-            ks_in = np.arange(1, self.N)
+            ks_in = self._ks(1, self.N)
             J = self._v["_g_state_jac"](self._run_cols(xs, us, R, ks_in))
-            J = J.reshape(lanes, self.N - 1, p._eq_state_rows, nxu)
+            J = xp.reshape(J, (lanes, self.N - 1, p._eq_state_rows, nxu))
             for i, k in enumerate(range(1, self.N)):
                 rows = slice(row, row + p._eq_state_rows)
                 G[:, rows, self._state_sl(k)] = J[:, i, :, :nx]
@@ -359,7 +380,7 @@ class BatchLinearizer:
                 row += p._eq_state_rows
         if p._eq_input_rows:
             J = self._v["_g_input_jac"](self._run_cols(xs, us, R, ks))
-            J = J.reshape(lanes, self.N, p._eq_input_rows, nxu)
+            J = xp.reshape(J, (lanes, self.N, p._eq_input_rows, nxu))
             for k in range(self.N):
                 rows = slice(row, row + p._eq_input_rows)
                 G[:, rows, self._state_sl(k)] = J[:, k, :, :nx]
@@ -367,72 +388,80 @@ class BatchLinearizer:
                 row += p._eq_input_rows
         if p._eq_term_rows:
             J = self._v["_g_term_jac"](self._term_cols(xs, R))
-            J = J.reshape(lanes, p._eq_term_rows, nx)
+            J = xp.reshape(J, (lanes, p._eq_term_rows, nx))
             G[:, row : row + p._eq_term_rows, self._state_sl(self.N)] = J
             row += p._eq_term_rows
         return G
 
-    def inequality_constraints(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def inequality_constraints(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh = xp.to_host(Z)
+            return self._loop_stack(
                 [
-                    self.problem.inequality_constraints(Z[i], self._ref_lane(R, i))
+                    self.problem.inequality_constraints(
+                        Zh[i], self._ref_lane(R, i)
+                    )
                     for i in range(lanes)
                 ]
             )
         p = self.problem
         if p.n_ineq == 0:
-            return np.zeros((lanes, 0))
+            return xp.zeros((lanes, 0))
         xs, us = self._split(Z)
         parts = []
         if p._h_state_rows and self.N > 1:
-            ks_in = np.arange(1, self.N)
+            ks_in = self._ks(1, self.N)
             vals = self._v["_h_state"](self._run_cols(xs, us, R, ks_in))
-            parts.append(vals.reshape(lanes, -1))
+            parts.append(xp.reshape(vals, (lanes, -1)))
         if p._h_input_rows:
-            ks = np.arange(self.N)
+            ks = self._ks(0, self.N)
             vals = self._v["_h_input"](self._run_cols(xs, us, R, ks))
-            parts.append(vals.reshape(lanes, -1))
+            parts.append(xp.reshape(vals, (lanes, -1)))
         if p._h_term_rows:
             parts.append(self._v["_h_term"](self._term_cols(xs, R)))
         return (
-            np.concatenate(parts, axis=1) if parts else np.zeros((lanes, 0))
+            xp.concatenate(parts, axis=1) if parts else xp.zeros((lanes, 0))
         )
 
-    def inequality_jacobian(self, Z: np.ndarray, ref: RefLike = None) -> np.ndarray:
-        Z = np.asarray(Z, dtype=float)
-        lanes = Z.shape[0]
+    def inequality_jacobian(self, Z, ref: RefLike = None):
+        xp = self.xp
+        Z = xp.asarray(Z)
+        lanes = int(Z.shape[0])
         R = self.normalize_ref(ref, lanes)
         if not self.vectorized:
-            return np.stack(
+            Zh = xp.to_host(Z)
+            return self._loop_stack(
                 [
-                    self.problem.inequality_jacobian(Z[i], self._ref_lane(R, i))
+                    self.problem.inequality_jacobian(
+                        Zh[i], self._ref_lane(R, i)
+                    )
                     for i in range(lanes)
                 ]
             )
         p = self.problem
         nx, nxu = self.nx, self.nx + self.nu
-        J = np.zeros((lanes, p.n_ineq, self.nz))
+        J = xp.zeros((lanes, p.n_ineq, self.nz))
         if p.n_ineq == 0:
             return J
         xs, us = self._split(Z)
         row = 0
         if p._h_state_rows and self.N > 1:
-            ks_in = np.arange(1, self.N)
+            ks_in = self._ks(1, self.N)
             blk = self._v["_h_state_jac"](self._run_cols(xs, us, R, ks_in))
-            blk = blk.reshape(lanes, self.N - 1, p._h_state_rows, nxu)
+            blk = xp.reshape(blk, (lanes, self.N - 1, p._h_state_rows, nxu))
             for i, k in enumerate(range(1, self.N)):
                 rows = slice(row, row + p._h_state_rows)
                 J[:, rows, self._state_sl(k)] = blk[:, i, :, :nx]
                 J[:, rows, self._input_sl(k)] = blk[:, i, :, nx:]
                 row += p._h_state_rows
         if p._h_input_rows:
-            ks = np.arange(self.N)
+            ks = self._ks(0, self.N)
             blk = self._v["_h_input_jac"](self._run_cols(xs, us, R, ks))
-            blk = blk.reshape(lanes, self.N, p._h_input_rows, nxu)
+            blk = xp.reshape(blk, (lanes, self.N, p._h_input_rows, nxu))
             for k in range(self.N):
                 rows = slice(row, row + p._h_input_rows)
                 J[:, rows, self._state_sl(k)] = blk[:, k, :, :nx]
@@ -440,34 +469,37 @@ class BatchLinearizer:
                 row += p._h_input_rows
         if p._h_term_rows:
             blk = self._v["_h_term_jac"](self._term_cols(xs, R))
-            blk = blk.reshape(lanes, p._h_term_rows, nx)
+            blk = xp.reshape(blk, (lanes, p._h_term_rows, nx))
             J[:, row : row + p._h_term_rows, self._state_sl(self.N)] = blk
         return J
 
     # -- initialization ----------------------------------------------------
 
-    def initial_guess(self, x_init: np.ndarray) -> np.ndarray:
-        X0 = np.asarray(x_init, dtype=float)
-        lanes = X0.shape[0]
+    def initial_guess(self, x_init):
+        xp = self.xp
+        X0 = xp.asarray(x_init)
+        lanes = int(X0.shape[0])
         if not self.vectorized:
-            return np.stack(
-                [self.problem.initial_guess(X0[i]) for i in range(lanes)]
+            X0h = xp.to_host(X0)
+            return self._loop_stack(
+                [self.problem.initial_guess(X0h[i]) for i in range(lanes)]
             )
         p = self.problem
-        u0 = np.array(p.model.trim_inputs(), dtype=float)
-        us = np.tile(u0, (lanes, self.N, 1))
+        u0_h = [float(v) for v in p.model.trim_inputs()]
+        u0 = xp.asarray(u0_h)
+        us = xp.tile(u0, (lanes, self.N, 1))
         if not p.model.rollout_guess:
-            xs = np.repeat(X0[:, None, :], self.N + 1, axis=1)
+            xs = xp.repeat(X0[:, None, :], self.N + 1, axis=1)
         else:
             lo, hi = p.model.state_bounds()
-            lo = np.maximum(np.asarray(lo), -1e6)
-            hi = np.minimum(np.asarray(hi), 1e6)
-            xs = np.empty((lanes, self.N + 1, self.nx))
+            lo = xp.maximum(xp.asarray(lo), -1e6)
+            hi = xp.minimum(xp.asarray(hi), 1e6)
+            xs = xp.empty((lanes, self.N + 1, self.nx))
             xs[:, 0] = X0
-            u_cols = [np.full(lanes, u0[j]) for j in range(self.nu)]
+            u_cols = [xp.full((lanes,), u0_h[j]) for j in range(self.nu)]
             for k in range(self.N):
                 cols = [xs[:, k, i] for i in range(self.nx)] + u_cols
-                xs[:, k + 1] = np.clip(self._v["_F"](cols), lo, hi)
-        return np.concatenate(
-            [xs.reshape(lanes, -1), us.reshape(lanes, -1)], axis=1
+                xs[:, k + 1] = xp.clip(self._v["_F"](cols), lo, hi)
+        return xp.concatenate(
+            [xp.reshape(xs, (lanes, -1)), xp.reshape(us, (lanes, -1))], axis=1
         )

@@ -16,6 +16,10 @@ Commands
     Run the multi-session serving runtime against simulated plants:
     deadline-budgeted solves, graceful degradation, fleet telemetry.
     Exits non-zero when any session crashed (the serve-smoke gate).
+``backends``
+    List the registered array backends for the batch kernels (numpy is
+    always present; torch/cupy appear when importable) and how to select
+    one (``REPRO_ARRAY_BACKEND`` or ``serve-sim --array-backend``).
 ``chaos``
     Run a fault-injection campaign (see :mod:`repro.faults`): a scripted
     schedule of sensor/solver/serve faults against a live fleet, followed
@@ -132,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process vectorized group solves (requires --workers 0)",
     )
     p_serve.add_argument(
+        "--array-backend",
+        default=None,
+        metavar="NAME[:DTYPE]",
+        help="array backend for --backend batched, e.g. torch, cupy, "
+        "numpy:float32 (default: $REPRO_ARRAY_BACKEND, then numpy; "
+        "see `repro backends`)",
+    )
+    p_serve.add_argument(
         "--tick-budget-ms",
         type=float,
         default=None,
@@ -145,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of the text summary",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list the registered array backends for the batch kernels",
     )
 
     p_chaos = sub.add_parser(
@@ -466,6 +483,25 @@ def _cmd_serve_sim(args) -> int:
         )
         return 2
 
+    if args.array_backend is not None:
+        if args.backend != "batched":
+            print(
+                "--array-backend requires --backend batched",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.batch import available_backends
+
+        name = args.array_backend.split(":", 1)[0]
+        if name not in available_backends():
+            print(
+                f"array backend {name!r} is not registered here "
+                f"(available: {', '.join(available_backends())}); "
+                "torch/cupy register automatically when importable",
+                file=sys.stderr,
+            )
+            return 2
+
     config = LoadConfig(
         sessions=args.sessions,
         ticks=args.ticks,
@@ -476,6 +512,7 @@ def _cmd_serve_sim(args) -> int:
         seed=args.seed,
         workers=args.workers,
         backend=args.backend,
+        array_backend=args.array_backend,
         tick_budget_s=(
             args.tick_budget_ms / 1e3 if args.tick_budget_ms else None
         ),
@@ -504,6 +541,26 @@ def _cmd_serve_sim(args) -> int:
             f"CRASHED sessions: {', '.join(report.crashed)}", file=sys.stderr
         )
         return 1
+    return 0
+
+
+def _cmd_backends() -> int:
+    from repro.batch import available_backends, get_backend
+
+    names = available_backends()
+    active = get_backend()  # resolves $REPRO_ARRAY_BACKEND / the default
+    for name in names:
+        xp = get_backend(name)
+        kind = "device" if xp.is_device else "host"
+        mark = " (selected)" if name == active.name else ""
+        print(f"{name:10s} {kind:6s} dtype={xp.dtype_name}{mark}")
+    for name in ("torch", "cupy"):
+        if name not in names:
+            print(f"{name:10s} absent (not importable in this environment)")
+    print(
+        "\nselect with REPRO_ARRAY_BACKEND=NAME[:DTYPE] or "
+        "`repro serve-sim --backend batched --array-backend NAME`"
+    )
     return 0
 
 
@@ -643,6 +700,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "conform":

@@ -72,6 +72,9 @@ class EngineConfig:
     tick_budget_s: Optional[float] = None
     #: backpressure never shrinks the batch below this many sessions/tick
     min_batch: int = 1
+    #: array backend for the batched dispatch path, e.g. "torch" or
+    #: "numpy:float32" (None = REPRO_ARRAY_BACKEND env, then numpy)
+    array_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.max_sessions < 1:
@@ -83,6 +86,10 @@ class EngineConfig:
         if self.backend == "batched" and self.workers:
             raise ServeError(
                 "backend='batched' solves in-process; workers must be 0"
+            )
+        if self.array_backend is not None and self.backend != "batched":
+            raise ServeError(
+                "array_backend only applies to backend='batched'"
             )
         if self.min_batch < 1:
             raise ServeError("min_batch must be >= 1")
@@ -433,7 +440,11 @@ class ServeEngine:
                 bench, problem = self._problem_cache[key]
                 scalar = bench.make_solver(problem)
                 try:
-                    self._batch_solvers[key] = BatchSolver(problem, scalar.options)
+                    self._batch_solvers[key] = BatchSolver(
+                        problem,
+                        scalar.options,
+                        backend=self.config.array_backend,
+                    )
                 except ReproError:
                     # e.g. a hybrid/exact-Hessian robot (MicroSat): its solve
                     # is stage-sequential, so its sessions step scalar-inline.

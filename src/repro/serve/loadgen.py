@@ -51,6 +51,8 @@ class LoadConfig:
     seed: int = 0
     workers: int = 0
     backend: str = "thread"
+    #: array backend for backend="batched" (None = env / numpy default)
+    array_backend: Optional[str] = None
     tick_budget_s: Optional[float] = None
     #: plant RK4 sub-steps per control interval
     substeps: int = 2
@@ -113,6 +115,7 @@ def run_load(config: LoadConfig) -> LoadReport:
             max_sessions=config.sessions,
             workers=config.workers,
             backend=config.backend,
+            array_backend=config.array_backend,
             tick_budget_s=config.tick_budget_s,
         ),
         trace=trace,

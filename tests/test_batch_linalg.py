@@ -1,12 +1,21 @@
 """Batched banded Cholesky: lane-wise agreement with the scalar kernels,
 per-lane failure isolation, and the escalating-regularization retry ladder."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.batch import BatchCholeskyFactor, robust_factor_batch
+from repro.batch import BatchCholeskyFactor, robust_factor_batch, solve_qp_batch
+from repro.batch.backend import HOST
+from repro.batch.linalg import _triangular_inverse
 from repro.errors import SolverError
 from repro.mpc.banded import BandedCholeskyFactor, to_banded
+
+# Both pivots pass the positivity check, yet the forward-substitution
+# sweep of the inverse overflows (1e154 * 1e160 > float max): the sweep
+# used to certify this lane ok=True while its D^-1 tiles held inf.
+OVERFLOW = np.array([[1e-320, 1e-6], [1e-6, 1.5e308]])
 
 
 def spd(n, seed, band=None, scale=1.0):
@@ -119,3 +128,94 @@ class TestRobustFactorBatch:
         fac, _reg, retries = robust_factor_batch(A, 1e-9)
         assert list(fac.ok) == [True, False]
         assert retries[1] == 0  # fail-fast, like the scalar guard
+
+
+class TestTileOnlyStorage:
+    """The banded factor must never hold a dense (B, npad, npad) array —
+    only the (B, K, nb, nb) D / D^-1 / C tile stacks."""
+
+    def test_no_padded_dense_copy_retained(self):
+        n, band, B = 90, 4, 3
+        A = np.stack([spd(n, 60 + i, band=band) for i in range(B)])
+        fac = BatchCholeskyFactor(A, band=band)
+        assert fac.ok.all()
+        assert fac.nb < n < fac.npad  # padding is real in this config
+        for name, val in vars(fac).items():
+            if isinstance(val, np.ndarray) and val.ndim >= 2:
+                assert val.shape[-2:] != (fac.npad, fac.npad), (
+                    f"{name} is a dense padded (npad, npad) allocation"
+                )
+        assert fac._D.shape == (B, fac.K, fac.nb, fac.nb)
+        assert fac._Dinv.shape == (B, fac.K, fac.nb, fac.nb)
+        assert fac._C.shape == (B, fac.K - 1, fac.nb, fac.nb)
+        b = np.ones((B, n))
+        x = fac.solve(b)
+        for i in range(B):
+            assert np.allclose(A[i] @ x[i], b[i], atol=1e-8)
+
+
+class TestTriangularInverse:
+    def test_matches_dense_inverse_and_stays_triangular(self):
+        rng = np.random.default_rng(3)
+        L = np.tril(rng.normal(size=(4, 8, 8)))
+        dg = np.arange(8)
+        L[:, dg, dg] = 1.0 + np.abs(L[:, dg, dg])
+        X = _triangular_inverse(HOST, L)
+        assert np.array_equal(np.tril(X), X)
+        for i in range(4):
+            assert np.allclose(X[i] @ L[i], np.eye(8), atol=1e-9)
+
+
+class TestOverflowEscape:
+    """Overflow past the pivot checks must flag the lane, not certify
+    garbage; warnings stay audible for healthy batches."""
+
+    def test_overflowing_lane_flagged_not_certified(self):
+        A = np.stack([spd(2, 0), OVERFLOW, spd(2, 1)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            fac = BatchCholeskyFactor(A)
+        assert list(fac.ok) == [True, False, True]
+        assert not np.all(np.isfinite(fac._Dinv[1]))  # the garbage it flags
+
+    def test_ladder_repairs_overflow_lane(self):
+        # Pre-fix the ladder saw ok=True, never retried, and solves on the
+        # "certified" factor returned non-finite values silently.
+        A = np.stack([spd(2, 0), OVERFLOW])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            fac, reg, retries = robust_factor_batch(A, 0.0)
+        assert fac.ok.all()
+        assert retries[1] > 0 and retries[0] == 0
+        assert reg[1] > 0.0 and reg[0] == 0.0
+        x = fac.solve(np.ones((2, 2)))
+        assert np.all(np.isfinite(x))
+
+    def test_unfactorable_lane_surfaces_failed_in_qp_not_garbage(self):
+        # A lane the whole regularization ladder cannot repair must come
+        # out of the batched QP as a frozen failure (the SQP driver then
+        # classifies it diverged), never as a healthy-looking solution.
+        good = np.array([[4.0, 1.0], [1.0, 3.0]])
+        H = np.stack([good, -1e30 * np.eye(2), good])
+        g = np.tile(np.array([1.0, -1.0]), (3, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = solve_qp_batch(H, g, None, None, None, None)
+        assert list(res.status) == ["converged", "failed", "converged"]
+        assert np.all(np.isfinite(res.x[[0, 2]]))
+
+    def test_healthy_batch_keeps_warnings_audible(self):
+        A = np.stack([spd(6, 1), spd(6, 2)])
+        fac = BatchCholeskyFactor(A)
+        assert fac.ok.all()
+        assert fac._suppress is False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any FP warning would raise
+            x = fac.solve(np.ones((2, 6)))
+        assert np.all(np.isfinite(x))
+
+    def test_errstate_muted_only_with_flagged_lanes_present(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            flagged = BatchCholeskyFactor(np.stack([spd(2, 0), OVERFLOW]))
+        assert flagged._suppress is True

@@ -55,6 +55,21 @@ class TestConfig:
     def test_batched_accepted(self):
         assert EngineConfig(backend="batched").backend == "batched"
 
+    def test_array_backend_requires_batched(self):
+        with pytest.raises(ServeError):
+            EngineConfig(backend="thread", array_backend="numpy")
+        cfg = EngineConfig(backend="batched", array_backend="numpy:float32")
+        assert cfg.array_backend == "numpy:float32"
+
+    def test_array_backend_reaches_the_group_solver(self):
+        engine = batched_engine(array_backend="numpy:float32")
+        sids = make_fleet(engine, [("MobileRobot", 6)] * 2)
+        tick_states(engine, sids)
+        solver = engine._batch_solver(("MobileRobot", 6))
+        assert solver is not None
+        assert solver.xp.dtype_name == "float32"
+        assert engine.metrics.batch_solves == 1
+
 
 class TestGroupKey:
     """Satellite regression: sessions are co-batched **only** on an exact

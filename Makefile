@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke lint
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke lint
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -42,6 +42,14 @@ conform-smoke:
 batch-smoke:
 	$(PYTEST) -q benchmarks/bench_batch_throughput.py
 	$(REPRO) serve-sim --sessions 8 --ticks 10 --robots MobileRobot --horizon 8 --deadline-ms 250 --backend batched --seed 0
+
+# First-order solver smoke: the scalar and numpy-batched ADMM conform paths
+# must sit within the golden ledger against the dense_kkt oracle, and the
+# IPM-vs-ADMM crossover bench must clear its throughput gate (ADMM beating
+# IPM qp/s at B=256, tol=1e-3, numpy backend).
+admm-smoke:
+	$(REPRO) conform run --cases 8 --seed 0 --paths dense_kkt,admm_qp,batch_admm --out-dir conform/failures
+	$(PYTEST) -q benchmarks/bench_qp_crossover.py -m "not slow"
 
 # Fast lane under coverage with the CI floor (requires pytest-cov, which the
 # CI workflow installs; not part of the core dev dependencies).  The floor

@@ -23,6 +23,11 @@ REPO = Path(__file__).resolve().parent.parent
 HOT_PATH = [
     REPO / "src" / "repro" / "batch" / name
     for name in ("linalg.py", "qp.py", "ipm.py", "transcription.py")
+] + [
+    # the batched first-order (ADMM) loop is device-resident by the same
+    # contract; its host-side setup lives in firstorder/admm.py, which —
+    # like backend.py — is allowed bare numpy
+    REPO / "src" / "repro" / "firstorder" / "batch.py",
 ]
 
 #: anything that binds or uses numpy directly

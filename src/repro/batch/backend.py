@@ -61,6 +61,7 @@ __all__ = [
     "NumpyBackend",
     "CupyBackend",
     "TorchBackend",
+    "JaxBackend",
     "CountingBackend",
     "HOST",
     "register_backend",
@@ -624,6 +625,170 @@ class TorchBackend(ArrayBackend):
         }
 
 
+class JaxBackend(ArrayBackend):
+    """jax.numpy arrays (auto-registered when importable).
+
+    jax mirrors the numpy namespace, so only creation dtypes, the host
+    bridge, and a handful of structural ops need rebinding.  Two caveats
+    shape the integration:
+
+    * float64 requires the ``jax_enable_x64`` flag, flipped here on first
+      construction of a float64 backend (jax's default is float32);
+    * jax arrays are immutable, so only seam-pure consumers run on this
+      backend — the masked-lockstep QP/ADMM loops qualify, but
+      :class:`~repro.batch.ipm.BatchSolver`'s host-side scatter updates do
+      not; it raises through jax's own ``TypeError`` if attempted.
+    """
+
+    name = "jax"
+    is_device = True
+
+    def __init__(self, dtype: str = "float64") -> None:
+        super().__init__(dtype)
+        import jax  # deferred: only reached when registered
+        import jax.numpy as jnp
+
+        if dtype == "float64":
+            jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self._jnp = jnp
+        self.float_dtype = getattr(jnp, dtype)
+        self.int_dtype = jnp.int64 if dtype == "float64" else jnp.int32
+        self.bool_dtype = jnp.bool_
+
+    def asarray(self, x, dtype: Optional[str] = "float"):
+        return self._jnp.asarray(x, dtype=self._dtype(dtype))
+
+    def zeros(self, shape, dtype: Optional[str] = "float"):
+        return self._jnp.zeros(shape, dtype=self._dtype(dtype))
+
+    def ones(self, shape, dtype: Optional[str] = "float"):
+        return self._jnp.ones(shape, dtype=self._dtype(dtype))
+
+    def empty(self, shape, dtype: Optional[str] = "float"):
+        # jax has no uninitialized arrays; zeros is the conservative twin.
+        return self._jnp.zeros(shape, dtype=self._dtype(dtype))
+
+    def full(self, shape, value, dtype: Optional[str] = "float"):
+        return self._jnp.full(shape, value, dtype=self._dtype(dtype))
+
+    def eye(self, n: int):
+        return self._jnp.eye(n, dtype=self.float_dtype)
+
+    def arange(self, *args):
+        return self._jnp.arange(*args)
+
+    def zeros_like(self, a):
+        return self._jnp.zeros_like(a)
+
+    def stack(self, seq, axis: int = 0):
+        return self._jnp.stack(seq, axis=axis)
+
+    def concatenate(self, seq, axis: int = 0):
+        return self._jnp.concatenate(seq, axis=axis)
+
+    def where(self, cond, a, b):
+        return self._jnp.where(cond, a, b)
+
+    def broadcast_to(self, a, shape):
+        return self._jnp.broadcast_to(a, shape)
+
+    def tile(self, a, reps):
+        return self._jnp.tile(a, reps)
+
+    def repeat(self, a, n: int, axis: int):
+        return self._jnp.repeat(a, n, axis=axis)
+
+    def copy(self, a):
+        return self._jnp.array(a, copy=True)
+
+    def reshape(self, a, shape):
+        return self._jnp.reshape(a, shape)
+
+    def astype(self, a, dtype: str):
+        return a.astype(self._dtype(dtype))
+
+    def sqrt(self, a):
+        return self._jnp.sqrt(a)
+
+    def abs(self, a):
+        return self._jnp.abs(a)
+
+    def isfinite(self, a):
+        return self._jnp.isfinite(a)
+
+    def maximum(self, a, b):
+        return self._jnp.maximum(a, b)
+
+    def minimum(self, a, b):
+        return self._jnp.minimum(a, b)
+
+    def clip(self, a, lo, hi):
+        return self._jnp.clip(a, lo, hi)
+
+    def matmul(self, a, b):
+        return self._jnp.matmul(a, b)
+
+    def einsum(self, spec: str, *ops):
+        return self._jnp.einsum(spec, *ops)
+
+    def logical_not(self, a):
+        return self._jnp.logical_not(a)
+
+    def sum(self, a, axis=None):
+        return self._jnp.sum(a, axis=axis)
+
+    def max(self, a, axis=None):
+        return self._jnp.max(a, axis=axis)
+
+    def min(self, a, axis=None):
+        return self._jnp.min(a, axis=axis)
+
+    def all(self, a, axis=None):
+        return self._jnp.all(a, axis=axis)
+
+    def any(self, a, axis=None):
+        return self._jnp.any(a, axis=axis)
+
+    def flatnonzero(self, a):
+        return self._jnp.flatnonzero(a)
+
+    def transpose_last2(self, a):
+        return self._jnp.swapaxes(a, -1, -2)
+
+    def errstate(self):
+        return nullcontext()
+
+    def from_host(self, x, dtype: Optional[str] = "float"):
+        self.upload_count += 1
+        return self._jnp.asarray(_np.asarray(x), dtype=self._dtype(dtype))
+
+    def to_host(self, a) -> _np.ndarray:
+        self.sync_count += 1
+        return _np.asarray(a)
+
+    def scalar(self, a):
+        if isinstance(a, (bool, int, float)):
+            return a
+        self.sync_count += 1
+        return a.item()
+
+    def ufuncs(self) -> Dict[str, object]:
+        jnp = self._jnp
+        return {
+            "sin": jnp.sin,
+            "cos": jnp.cos,
+            "tan": jnp.tan,
+            "asin": jnp.arcsin,
+            "acos": jnp.arccos,
+            "atan": jnp.arctan,
+            "exp": jnp.exp,
+            "log": jnp.log,
+            "sqrt": jnp.sqrt,
+            "tanh": jnp.tanh,
+        }
+
+
 class CountingBackend(ArrayBackend):
     """A numpy-backed *pretend device*: every op delegates to an inner
     backend, but ``is_device`` is True and every host crossing is counted.
@@ -704,6 +869,8 @@ if _importable("cupy"):  # pragma: no cover - GPU environments only
     register_backend("cupy", CupyBackend)
 if _importable("torch"):
     register_backend("torch", TorchBackend)
+if _importable("jax"):  # pragma: no cover - jax environments only
+    register_backend("jax", JaxBackend)
 
 
 def get_backend(

@@ -143,7 +143,11 @@ class BatchSolver:
     All lanes share the problem structure (robot + horizon + task); each
     lane brings its own measured state, reference, warm start, and budget.
     ``backend`` selects the array namespace for the heavy math (default:
-    the process-wide selection — ``REPRO_ARRAY_BACKEND`` or numpy).
+    the process-wide selection — ``REPRO_ARRAY_BACKEND`` or numpy);
+    ``qp_method`` the inner QP solver (``"ipm"`` — the batched
+    interior-point of :mod:`repro.batch.qp` — or ``"admm"`` — the
+    device-resident first-order iteration of
+    :mod:`repro.firstorder.batch`; default: ``options.qp.method``).
     """
 
     def __init__(
@@ -151,6 +155,7 @@ class BatchSolver:
         problem: TranscribedProblem,
         options: Optional[IPMOptions] = None,
         backend=None,
+        qp_method: Optional[str] = None,
     ):
         self.problem = problem
         self.options = options or IPMOptions()
@@ -158,6 +163,11 @@ class BatchSolver:
             raise SolverError(
                 "BatchSolver supports only the Gauss-Newton Hessian model; "
                 f"got hessian={self.options.hessian!r}"
+            )
+        self.qp_method = qp_method or self.options.qp.method
+        if self.qp_method not in ("ipm", "admm"):
+            raise SolverError(
+                f"qp_method must be 'ipm' or 'admm', got {self.qp_method!r}"
             )
         self.xp = get_backend(backend)
         # Structure donor: reuses the scalar solver's stage-interleaved
@@ -344,6 +354,9 @@ class BatchSolver:
         CERT_LAM = HOST.zeros_like(LAM)
 
         report = BatchSolveReport(lanes=lanes)
+        # ADMM warm state, full-lane host buffers (x/z/y iterates + adapted
+        # rho), sliced per sub-batch; lazily sized from the first QP result.
+        admm_state: Optional[dict] = None
 
         def _freeze_cap(lane: int) -> None:
             active[lane] = False
@@ -445,14 +458,19 @@ class BatchSolver:
                 g_eq[w_dev],
                 h[w_dev],
             )
+            qp_max = (
+                opt.qp.admm_max_iterations
+                if self.qp_method == "admm"
+                else opt.qp.max_iterations
+            )
             caps = HOST.asarray(
                 [
                     min(
-                        opt.qp.max_iterations,
+                        qp_max,
                         qp_caps[int(lane)] - int(qp_total[int(lane)]),
                     )
                     if qp_caps[int(lane)] is not None
-                    else opt.qp.max_iterations
+                    else qp_max
                     for lane in gl
                 ],
                 dtype="int",
@@ -465,14 +483,58 @@ class BatchSolver:
             ]
             deadline = min(lane_deadlines) if lane_deadlines else None
 
-            qp = solve_qp_batch(
-                *qp_args[:6],
-                opt.qp,
-                bandwidth=qp_args[6],
-                deadline=deadline,
-                iteration_caps=caps,
-                backend=xp,
-            )
+            if self.qp_method == "admm":
+                # Lazy import: repro.firstorder.batch reaches back into
+                # repro.batch for the seam, so a module-level import here
+                # would close an import cycle.
+                from repro.firstorder.batch import solve_qp_admm_batch
+
+                warm_in = None
+                if admm_state is not None:
+                    warm_in = {
+                        "x": admm_state["x"][gl],
+                        "z": admm_state["z"][gl],
+                        "y": admm_state["y"][gl],
+                        "rho": admm_state["rho"][gl],
+                    }
+                qp = solve_qp_admm_batch(
+                    *[
+                        xp.to_host(a) if a is not None else None
+                        for a in qp_args[:6]
+                    ],
+                    opt.qp,
+                    deadline=deadline,
+                    iteration_caps=caps,
+                    backend=xp,
+                    warm=warm_in,
+                )
+                if qp.warm is not None:
+                    if admm_state is None:
+                        admm_state = {
+                            "x": HOST.zeros(
+                                (lanes, int(qp.warm["x"].shape[1]))
+                            ),
+                            "z": HOST.zeros(
+                                (lanes, int(qp.warm["z"].shape[1]))
+                            ),
+                            "y": HOST.zeros(
+                                (lanes, int(qp.warm["y"].shape[1]))
+                            ),
+                            "rho": HOST.full((lanes,), opt.qp.admm_rho),
+                        }
+                    admm_state["x"][gl] = qp.warm["x"]
+                    admm_state["z"][gl] = qp.warm["z"]
+                    admm_state["y"][gl] = qp.warm["y"]
+                    admm_state["rho"][gl] = qp.warm["rho"]
+            else:
+                qp = solve_qp_batch(
+                    *qp_args[:6],
+                    opt.qp,
+                    bandwidth=qp_args[6],
+                    deadline=deadline,
+                    iteration_caps=caps,
+                    backend=xp,
+                )
 
             qp_x = HOST.asarray(qp.x)
             qp_nu = HOST.asarray(qp.nu)

@@ -128,6 +128,10 @@ class BatchQPResult:
     stats: List[QPStats]
     batch: BatchQPStats
     freeze: Optional[Dict[int, Dict[str, object]]] = None
+    #: solver-internal warm-start state for the next solve of the same
+    #: shapes (ADMM batches only — see :mod:`repro.firstorder.batch`);
+    #: ``None`` for the IPM strategies.
+    warm: Optional[dict] = None
 
 
 def _maxabs(xp: ArrayBackend, M):

@@ -144,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         "see `repro backends`)",
     )
     p_serve.add_argument(
+        "--qp-method",
+        choices=("ipm", "admm"),
+        default="ipm",
+        help="inner QP solver for every fleet session: 'ipm' "
+        "(interior-point, default) or 'admm' (first-order, cached "
+        "factorization + warm-started iterations)",
+    )
+    p_serve.add_argument(
         "--tick-budget-ms",
         type=float,
         default=None,
@@ -288,7 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable outcome instead of the text summary",
     )
 
-    conform_sub.add_parser("paths", help="list the registered numeric paths")
+    c_paths = conform_sub.add_parser(
+        "paths", help="list the registered numeric paths"
+    )
+    c_paths.add_argument(
+        "--family",
+        default=None,
+        help="only list paths of this family, e.g. qp, dynamics, accel",
+    )
 
     return parser
 
@@ -315,9 +330,22 @@ def _cmd_conform(args) -> int:
     if args.conform_command == "paths":
         from repro.conform import PATHS
 
+        family = getattr(args, "family", None)
+        shown = 0
         for name, path in PATHS.items():
+            if family is not None and path.family != family:
+                continue
             tag = " [baseline]" if path.baseline else ""
-            print(f"{name:15s} {path.family:9s} {path.description}{tag}")
+            print(f"{name:18s} {path.family:9s} {path.description}{tag}")
+            shown += 1
+        if family is not None and not shown:
+            families = sorted({p.family for p in PATHS.values()})
+            print(
+                f"no paths in family {family!r}; families: "
+                f"{', '.join(families)}",
+                file=sys.stderr,
+            )
+            return 2
         return 0
 
     if args.conform_command == "replay":
@@ -513,6 +541,7 @@ def _cmd_serve_sim(args) -> int:
         workers=args.workers,
         backend=args.backend,
         array_backend=args.array_backend,
+        qp_method=args.qp_method,
         tick_budget_s=(
             args.tick_budget_ms / 1e3 if args.tick_budget_ms else None
         ),
@@ -546,15 +575,36 @@ def _cmd_serve_sim(args) -> int:
 
 def _cmd_backends() -> int:
     from repro.batch import available_backends, get_backend
+    from repro.conform import PATHS
 
     names = available_backends()
     active = get_backend()  # resolves $REPRO_ARRAY_BACKEND / the default
+
+    accels = ("torch", "cupy", "jax")
+
+    def conform_paths_for(name: str) -> List[str]:
+        # Suffixed paths (batch_qp_torch, batch_admm_cupy, ...) belong to
+        # that backend; batch paths with no accelerator suffix run on the
+        # always-present numpy reference (batch_qp_numpy_float32 included).
+        if name == "numpy":
+            return sorted(
+                p
+                for p in PATHS
+                if p.startswith("batch_")
+                and not any(f"_{a}" in p for a in accels)
+            )
+        return sorted(p for p in PATHS if f"_{name}" in p)
+
     for name in names:
         xp = get_backend(name)
         kind = "device" if xp.is_device else "host"
         mark = " (selected)" if name == active.name else ""
         print(f"{name:10s} {kind:6s} dtype={xp.dtype_name}{mark}")
-    for name in ("torch", "cupy"):
+        print(f"{'':10s} variants: {name}, {name}:float32, {name}:float64")
+        paths = conform_paths_for(name)
+        if paths:
+            print(f"{'':10s} conform paths: {', '.join(paths)}")
+    for name in ("torch", "cupy", "jax"):
         if name not in names:
             print(f"{name:10s} absent (not importable in this environment)")
     print(

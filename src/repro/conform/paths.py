@@ -284,6 +284,130 @@ def _make_batch_qp(backend: str, gate: float):
     return _run
 
 
+def _admm_options(ctx: CaseContext) -> QPOptions:
+    """Conformance options for the first-order (ADMM) paths.
+
+    Tighter-than-default ADMM tolerance with generous iteration headroom:
+    a first-order method earns its ledger row by running to high accuracy,
+    so residual disagreement measures implementation drift rather than
+    early stopping.  Polish is off — the ADMM path has no active-set
+    polish step, matching the batched variants exactly.
+    """
+    return dc_replace(
+        ctx.qp_options,
+        method="admm",
+        polish=False,
+        admm_tolerance=1e-8,
+        admm_max_iterations=40000,
+    )
+
+
+def _run_admm_qp(ctx: CaseContext) -> PathOutput:
+    H, g, G, b, J, d, _bw = ctx.qp_args
+    res = solve_qp(H, g, G, b, J, d, _admm_options(ctx))
+    return PathOutput(
+        values=res.x,
+        converged=bool(res.converged),
+        detail={
+            "iterations": res.iterations,
+            "residual": res.residual,
+            "factorizations": res.stats.factorizations,
+        },
+    )
+
+
+#: Iteration ceiling for the perturbed decoy lanes of the batched-ADMM
+#: path.  A first-order method is noise-sensitive near marginal
+#: conditioning, so a decoy can legitimately need far more iterations
+#: than the exact lane; the cap bounds sweep time, and a capped decoy is
+#: still compared against the identically-capped scalar oracle — which
+#: additionally exercises the budget-freeze path under conformance.
+_ADMM_DECOY_CAP = 5000
+
+
+def _make_batch_admm(backend: str, gate: float):
+    """Build the batched-ADMM path runner for one array backend.
+
+    Same three-lane template as :func:`_make_batch_qp` (lane 0 exact,
+    lanes 1-2 gradient-perturbed so per-lane convergence masks engage),
+    with each lane re-solved by the *scalar ADMM* oracle under identical
+    options and iteration budget — the gate catches batched-vs-scalar
+    drift of the same first-order iteration, while the ledger row
+    compares lane 0 against the family's ``dense_kkt`` interior-point
+    baseline.  Decoy perturbations are 10x smaller than the batched-IPM
+    template's and their lanes are capped at ``_ADMM_DECOY_CAP``
+    iterations: only lane 0 must converge — the decoys' job is to
+    desynchronize the masks and then match the scalar solver wherever it
+    lands.
+    """
+
+    def _run(ctx: CaseContext) -> PathOutput:
+        from repro.firstorder import solve_qp_admm_batch
+
+        H, g, G, b, J, d, _bw = ctx.qp_args
+        opts = _admm_options(ctx)
+        rng = np.random.default_rng(ctx.case.seed + 1)
+        lanes = 3
+        g_scale = 1.0 + float(np.max(np.abs(g))) if g.size else 1.0
+        G_stack = np.stack([np.asarray(g, dtype=float)] * lanes)
+        for lane in range(1, lanes):
+            G_stack[lane] += 1e-4 * g_scale * rng.standard_normal(g.shape)
+
+        caps = [opts.admm_max_iterations] + [_ADMM_DECOY_CAP] * (lanes - 1)
+        res = solve_qp_admm_batch(
+            np.stack([H] * lanes),
+            G_stack,
+            None if G is None else np.stack([G] * lanes),
+            None if b is None else np.stack([b] * lanes),
+            None if J is None else np.stack([J] * lanes),
+            None if d is None else np.stack([d] * lanes),
+            opts,
+            iteration_caps=caps,
+            backend=backend,
+        )
+
+        worst = 0.0
+        for lane in range(lanes):
+            oracle = solve_qp(
+                H, G_stack[lane], G, b, J, d,
+                dc_replace(opts, admm_max_iterations=caps[lane]),
+            )
+            x_lane = np.asarray(res.x[lane], dtype=float)
+            dev = relative_error(x_lane, oracle.x)
+            if np.all(np.isfinite(x_lane)):
+                f = reference_qp_objective(H, G_stack[lane], x_lane)
+                fb = reference_qp_objective(H, G_stack[lane], oracle.x)
+                defect = 0.0
+                if G is not None and G.shape[0]:
+                    defect = float(np.max(np.abs(G @ x_lane - b)))
+                if J is not None and J.shape[0]:
+                    defect = max(
+                        defect,
+                        float(np.max(np.maximum(J @ x_lane - d, 0.0))),
+                    )
+                dev = min(dev, (abs(f - fb) + defect) / (1.0 + abs(fb)))
+            worst = max(worst, dev)
+        agree = worst < gate
+        return PathOutput(
+            values=np.asarray(res.x[0], dtype=float),
+            converged=bool(res.converged[0]) and agree,
+            note=(
+                ""
+                if agree
+                else f"lane disagrees with scalar ADMM oracle ({worst:.1e})"
+            ),
+            detail={
+                "backend": backend,
+                "iterations": np.asarray(res.iterations).tolist(),
+                "statuses": list(res.status),
+                "lane_vs_scalar": worst,
+                "batch_efficiency": res.batch.efficiency,
+            },
+        )
+
+    return _run
+
+
 def _backend_available(name: str) -> bool:
     from repro.batch import available_backends
 
@@ -298,6 +422,15 @@ def _backend_available(name: str) -> bool:
 #: which measures conditioning, not implementation drift.  The float32
 #: ledger rows bound agreement where agreement is defined.
 _FLOAT32_ROBOTS = ("MobileRobot", "CartPole")
+
+#: Robots whose conform QPs a first-order method solves to ledger accuracy
+#: in a bounded iteration budget.  The stiff benchmarks are the IPM's
+#: domain (see DESIGN.md's crossover discussion): Manipulator-class cases
+#: cost ADMM tens of thousands of iterations at the conform tolerance —
+#: minutes per batched case — measuring conditioning, not implementation
+#: drift.  The ADMM ledger rows bound agreement where the method is the
+#: right tool.
+_ADMM_ROBOTS = ("MobileRobot", "CartPole", "AutoVehicle", "Hexacopter")
 
 
 def _run_reference_qp(ctx: CaseContext) -> PathOutput:
@@ -458,6 +591,41 @@ for _accel in ("torch", "cupy"):
             supports=(
                 lambda case, _n=_accel: _backend_available(_n)
                 and case.robot in _FLOAT32_ROBOTS
+            ),
+        )
+    )
+# First-order (ADMM) solver paths: a different *algorithm* from the IPM
+# baseline, so agreement against ``dense_kkt`` is meaningful.  The batched
+# variants additionally cross-check every lane against the scalar ADMM
+# oracle, mirroring the batched-IPM template.
+_register(
+    NumericPath(
+        name="admm_qp",
+        family="qp",
+        description="OSQP-style ADMM with cached factorization (repro.firstorder)",
+        run=_run_admm_qp,
+        supports=lambda case: case.robot in _ADMM_ROBOTS,
+    )
+)
+_register(
+    NumericPath(
+        name="batch_admm",
+        family="qp",
+        description="batched ADMM (repro.firstorder.batch), per-lane scalar cross-check",
+        run=_make_batch_admm("numpy", gate=1e-3),
+        supports=lambda case: case.robot in _ADMM_ROBOTS,
+    )
+)
+for _accel in ("torch", "cupy"):
+    _register(
+        NumericPath(
+            name=f"batch_admm_{_accel}",
+            family="qp",
+            description=f"batched ADMM on the {_accel} backend (masked lockstep)",
+            run=_make_batch_admm(_accel, gate=1e-3),
+            supports=(
+                lambda case, _n=_accel: _backend_available(_n)
+                and case.robot in _ADMM_ROBOTS
             ),
         )
     )

@@ -1,0 +1,21 @@
+"""First-order (ADMM / ReLU-QP style) QP solver subsystem.
+
+An alternate QP backend alongside the Mehrotra interior-point method of
+:mod:`repro.mpc.qp`: an OSQP-style ADMM iteration whose per-iteration work
+is matrix-vector products and a clamp against one *cached* factorization of
+``P + sigma I + A^T R A`` — re-factored only when the penalty ``rho`` is
+rescaled.  The batched variant expresses the whole iteration as batched
+matmul + clamp through the :mod:`repro.batch.backend` seam, so it runs
+device-resident and sync-free (the ReLU-QP observation), with per-lane
+convergence masks reusing the masked-lockstep freeze semantics of
+:mod:`repro.batch.qp`.
+
+Select it with ``QPOptions(method="admm")`` (scalar / SQP),
+``BatchSolver(qp_method="admm")`` (batched), or ``serve-sim --qp-method
+admm`` (end-to-end).  See DESIGN.md for the IPM-vs-ADMM selection guide.
+"""
+
+from repro.firstorder.admm import solve_qp_admm
+from repro.firstorder.batch import solve_qp_admm_batch
+
+__all__ = ["solve_qp_admm", "solve_qp_admm_batch"]

@@ -1,0 +1,509 @@
+"""OSQP-style ADMM solver for the repo's convex QP form.
+
+The QP
+
+    min  1/2 x^T H x + g^T x
+    s.t. G x  = b                      (equalities)
+         J x <= d                      (inequalities)
+
+is rewritten in the OSQP box form ``l <= A x <= u`` with ``A = [G; J]``,
+``l = [b; -inf]``, ``u = [b; d]`` and solved by the standard splitting:
+
+    x~  <-  K^-1 (sigma x - g + A^T (R z - y))      with K = H + sigma I + A^T R A
+    z   <-  clamp(relax(A x~, z) + R^-1 y, l, u)
+    y   <-  y + R (relax(A x~, z) - z)
+
+``R`` is the diagonal penalty (``rho`` on inequality rows, ``rho_eq_scale
+* rho`` on the stiff equality rows).  ``K`` is factorized **once** per
+solve — the cached factor is reused every iteration and rebuilt only when
+the primal/dual residual ratio triggers a rho rescaling (TinyMPC's cached-
+factorization discipline).  Because the per-iteration work is then pure
+matvec + clamp, the iteration maps directly onto batched device execution
+(:mod:`repro.firstorder.batch`, the ReLU-QP observation).
+
+Warm starting: ``QPResult.warm`` carries ``(x, z, y, rho)`` out of every
+solve; passing it back in (same problem family — shapes must match)
+resumes the operator-splitting iteration instead of restarting it, which
+is what makes ADMM competitive across RTI/MPC ticks.  A solve stopped by
+its ``deadline`` returns the **best iterate seen** (by scaled residual)
+with ``budget_exhausted=True`` and still-valid warm state, mirroring the
+IPM's budget semantics.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mpc.linalg import (
+    cholesky,
+    cholesky_solve,
+    flop_counts_cholesky,
+    flop_counts_substitution,
+)
+from repro.mpc.qp import QPOptions, QPResult, QPStats
+
+__all__ = ["solve_qp_admm"]
+
+#: rho adaptation clamp (OSQP's RHO_MIN / RHO_MAX)
+_RHO_MIN = 1e-6
+_RHO_MAX = 1e6
+#: residual-ratio threshold that actually triggers a rescale+refactor
+_RHO_TRIGGER = 5.0
+
+
+def _max_abs(v: np.ndarray) -> float:
+    return float(np.max(np.abs(v))) if v.size else 0.0
+
+
+def _penalty_diag(rho: float, p: int, m: int, eq_scale: float) -> np.ndarray:
+    R = np.full(p + m, rho)
+    R[:p] *= eq_scale
+    return R
+
+
+def _factor_inverse(H, A, R, sigma, reg, stats: Optional[QPStats] = None):
+    """Explicit inverse of ``K = H + sigma I + A^T R A`` via the repo's
+    Cholesky kernels (regularization escalates x100 on failure, same
+    schedule as the IPM's ``_robust_cholesky``).
+
+    Returning the inverse — rather than keeping the factor — makes the
+    per-iteration solve a single matvec, which is the form the batched
+    device loop needs (matmul + clamp, nothing else).
+    """
+    n = H.shape[0]
+    K = H + sigma * np.eye(n)
+    if A.shape[0]:
+        K = K + (A.T * R) @ A
+    t0 = perf_counter()
+    current = reg
+    L = None
+    for _ in range(16):
+        try:
+            L = cholesky(K, reg=current)
+            break
+        except SolverError:
+            if stats is not None:
+                stats.retries += 1
+            current = max(current * 100.0, 1e-12)
+    if L is None:
+        raise SolverError(
+            f"ADMM KKT matrix could not be factorized (reg {current:.1e})"
+        )
+    Kinv = cholesky_solve(L, np.eye(n))
+    if stats is not None:
+        stats.factorizations += 1
+        stats.factor_flops += sum(flop_counts_cholesky(n).values())
+        stats.factor_flops += 2 * sum(
+            flop_counts_substitution(n, n).values()
+        )
+        stats.factorize_time += perf_counter() - t0
+        stats.regularization_max = max(stats.regularization_max, current)
+    return Kinv
+
+
+def _valid_warm(warm: Optional[dict], n: int, msz: int) -> Optional[dict]:
+    """Warm-start hygiene: accept only a complete, shape-matching, finite
+    iterate triple — anything else falls back to a cold start (the same
+    reject-and-reseed contract the SQP applies to its own warm starts)."""
+    if not isinstance(warm, dict):
+        return None
+    try:
+        x = np.asarray(warm["x"], dtype=float)
+        z = np.asarray(warm["z"], dtype=float)
+        y = np.asarray(warm["y"], dtype=float)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if x.shape != (n,) or z.shape != (msz,) or y.shape != (msz,):
+        return None
+    if not (
+        np.all(np.isfinite(x))
+        and np.all(np.isfinite(z))
+        and np.all(np.isfinite(y))
+    ):
+        return None
+    rho = warm.get("rho")
+    if rho is not None:
+        rho = float(rho)
+        if not np.isfinite(rho) or rho <= 0.0:
+            rho = None
+    return {"x": x.copy(), "z": z.copy(), "y": y.copy(), "rho": rho}
+
+
+def solve_qp_admm(
+    H: np.ndarray,
+    g: np.ndarray,
+    G: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    J: Optional[np.ndarray],
+    d: Optional[np.ndarray],
+    options: Optional[QPOptions] = None,
+    deadline: Optional[float] = None,
+    warm: Optional[dict] = None,
+) -> QPResult:
+    """Solve one convex QP with over-relaxed ADMM and a cached factorization.
+
+    Same data contract as :func:`repro.mpc.qp.solve_qp` (which dispatches
+    here for ``options.method == "admm"``).  ``deadline`` is an absolute
+    ``perf_counter`` stamp: past it, the best iterate seen is returned with
+    ``budget_exhausted=True``.  ``warm`` resumes from a previous solve's
+    ``QPResult.warm``.
+    """
+    opt = options or QPOptions()
+    n = g.shape[0]
+    if H.shape != (n, n):
+        raise SolverError(f"H shape {H.shape} does not match g length {n}")
+    for name, arr in (("H", H), ("g", g), ("G", G), ("b", b), ("J", J), ("d", d)):
+        if arr is not None and np.size(arr) and not np.all(np.isfinite(arr)):
+            raise SolverError(
+                f"QP data {name} contains non-finite entries; "
+                "refusing to start the ADMM iteration"
+            )
+
+    has_eq = G is not None and G.shape[0] > 0
+    has_in = J is not None and J.shape[0] > 0
+    p = G.shape[0] if has_eq else 0
+    m = J.shape[0] if has_in else 0
+    if has_eq and (b is None or b.shape != (p,)):
+        raise SolverError("equality right-hand side b missing or mis-shaped")
+    if has_in and (d is None or d.shape != (m,)):
+        raise SolverError("inequality right-hand side d missing or mis-shaped")
+    msz = p + m
+
+    rows = []
+    if has_eq:
+        rows.append(np.asarray(G, dtype=float))
+    if has_in:
+        rows.append(np.asarray(J, dtype=float))
+    A = np.vstack(rows) if rows else np.zeros((0, n))
+    l = np.concatenate(
+        [b if has_eq else np.zeros(0), np.full(m, -np.inf)]
+    )
+    u = np.concatenate(
+        [b if has_eq else np.zeros(0), d if has_in else np.zeros(0)]
+    )
+
+    stats = QPStats(mode="admm")
+    tol = opt.admm_tolerance
+    sigma = opt.admm_sigma
+    alpha = opt.admm_alpha
+
+    ws = _valid_warm(warm, n, msz)
+    rho = opt.admm_rho
+    if ws is not None and ws["rho"] is not None:
+        rho = min(max(ws["rho"], _RHO_MIN), _RHO_MAX)
+    R = _penalty_diag(rho, p, m, opt.admm_rho_eq_scale)
+    Rinv = 1.0 / R
+    Kinv = _factor_inverse(H, A, R, sigma, opt.regularization, stats)
+
+    if ws is not None:
+        x, z, y = ws["x"], ws["z"], ws["y"]
+        z = np.clip(z, l, u)
+    else:
+        x = np.zeros(n)
+        z = np.clip(A @ x, l, u)
+        y = np.zeros(msz)
+
+    g_norm = _max_abs(g)
+    gap_history: List[float] = []
+    converged = False
+    budget_exhausted = False
+    residual = float("inf")
+    best_score = float("inf")
+    best = (x.copy(), z.copy(), y.copy(), residual, 0)
+    it = 0
+    matvec_flops = 2 * n * n + 6 * msz * n  # per-iteration matvec budget
+    t_sub = perf_counter()
+    fact_t0 = stats.factorize_time
+
+    for it in range(1, opt.admm_max_iterations + 1):
+        # Deadline guard at the iteration top, scalar-IPM order: the best
+        # iterate seen so far is returned with budget_exhausted=True, so
+        # ``it - 1`` iterations did real work.
+        if deadline is not None and perf_counter() >= deadline:
+            budget_exhausted = True
+            it -= 1
+            break
+
+        xt = Kinv @ (sigma * x - g + A.T @ (R * z - y))
+        x = alpha * xt + (1.0 - alpha) * x
+        zr = alpha * (A @ xt) + (1.0 - alpha) * z
+        z_new = np.clip(zr + Rinv * y, l, u)
+        y = y + R * (zr - z_new)
+        z = z_new
+
+        Ax = A @ x
+        Hx = H @ x
+        Aty = A.T @ y if msz else np.zeros(n)
+        r_prim = _max_abs(Ax - z)
+        r_dual = _max_abs(Hx + g + Aty)
+        residual = max(r_prim, r_dual)
+        gap_history.append(residual)
+        if not np.isfinite(residual):
+            # Poisoned iterate: stop on the best finite iterate seen.  The
+            # caller's non-finite direction guard never fires on the
+            # restored state.
+            break
+
+        prim_scale = 1.0 + max(_max_abs(Ax), _max_abs(z))
+        dual_scale = 1.0 + max(_max_abs(Hx), _max_abs(Aty), g_norm)
+        rp_rel = r_prim / prim_scale
+        rd_rel = r_dual / dual_scale
+        score = max(rp_rel, rd_rel)
+        if score < best_score:
+            best_score = score
+            best = (x.copy(), z.copy(), y.copy(), residual, it)
+        if rp_rel <= tol and rd_rel <= tol:
+            converged = True
+            break
+
+        if opt.admm_rho_interval and it % opt.admm_rho_interval == 0:
+            # OSQP residual-balancing rho update; a rescale is the ONLY
+            # event that re-factorizes the cached KKT matrix.
+            ratio = np.sqrt(max(rp_rel, 1e-30) / max(rd_rel, 1e-30))
+            if ratio > _RHO_TRIGGER or ratio < 1.0 / _RHO_TRIGGER:
+                new_rho = min(max(rho * ratio, _RHO_MIN), _RHO_MAX)
+                if new_rho != rho:
+                    rho = new_rho
+                    R = _penalty_diag(rho, p, m, opt.admm_rho_eq_scale)
+                    Rinv = 1.0 / R
+                    Kinv = _factor_inverse(
+                        H, A, R, sigma, opt.regularization, stats
+                    )
+
+    if not converged and best[4] > 0:
+        # Return the best iterate seen (budget stop, cap, or divergence):
+        # the residual was evaluated at exactly this iterate, so the
+        # returned pair is consistent — and the warm state stays reusable.
+        x, z, y, residual, _best_it = best
+
+    stats.substitute_time += (
+        perf_counter() - t_sub - (stats.factorize_time - fact_t0)
+    )
+    stats.substitute_flops += it * matvec_flops
+
+    nu = y[:p].copy()
+    lam = np.maximum(y[p:], 0.0)
+    slacks = (
+        np.maximum(d - J @ x, 0.0) if has_in else np.zeros(0)
+    )
+    warm_out = None
+    if (
+        np.all(np.isfinite(x))
+        and np.all(np.isfinite(z))
+        and np.all(np.isfinite(y))
+    ):
+        warm_out = {
+            "x": x.copy(),
+            "z": z.copy(),
+            "y": y.copy(),
+            "rho": rho,
+        }
+
+    return QPResult(
+        x=x,
+        nu=nu,
+        lam=lam,
+        slacks=slacks,
+        converged=converged,
+        iterations=it,
+        residual=residual,
+        gap_history=gap_history,
+        stats=stats,
+        budget_exhausted=budget_exhausted,
+        warm=warm_out,
+    )
+
+
+# ------------------------------------------------------------------------
+# Host-side setup for the batched device loop (repro.firstorder.batch).
+#
+# All bare-numpy work of the batched path lives HERE, not in batch.py:
+# the lint gate (scripts/check_no_bare_numpy.py) keeps the device module
+# free of host-pinned array ops, and setup is by construction a one-time
+# host materialization (build A/l/u, invert K) before the sync-free loop.
+# ------------------------------------------------------------------------
+
+
+def _admm_refactor_batch(H, A, rho_lane, p, m, eq_scale, sigma, reg):
+    """(Re)build the per-lane penalty diagonal and the batched inverse of
+    ``K = H + sigma I + A^T R A`` on the host.
+
+    Called once at setup and again whenever the residual-balancing rho
+    update fires at a sync checkpoint — the *only* events that touch the
+    cached factorization, mirroring the scalar path's discipline.
+    Returns ``(Kinv, R, Rinv, ok)`` with ``ok`` flagging lanes whose K
+    actually inverted to finite values.
+    """
+    lanes, n = H.shape[0], H.shape[1]
+    msz = p + m
+    R = np.repeat(np.asarray(rho_lane, dtype=float)[:, None], msz, axis=1)
+    R[:, :p] *= eq_scale
+    eye = np.broadcast_to(np.eye(n), (lanes, n, n))
+    K = H + (sigma + reg) * eye
+    if msz:
+        K = K + np.matmul(A.transpose(0, 2, 1), R[:, :, None] * A)
+    try:
+        Kinv = np.linalg.inv(K)
+    except np.linalg.LinAlgError:
+        # Per-lane fallback: a singular lane freezes as failed, the rest
+        # keep their exact inverse.
+        Kinv = np.empty_like(K)
+        for lane in range(lanes):
+            try:
+                Kinv[lane] = np.linalg.inv(K[lane])
+            except np.linalg.LinAlgError:
+                Kinv[lane] = np.eye(n)
+    ok = np.all(np.isfinite(Kinv), axis=(1, 2))
+    Kinv[~ok] = np.eye(n)
+    with np.errstate(divide="ignore"):
+        Rinv = np.where(R > 0.0, 1.0 / np.where(R > 0.0, R, 1.0), 0.0)
+    return Kinv, R, Rinv, ok
+
+
+def _admm_setup_batch(
+    H, g, G, b, J, d, opt: QPOptions, rho0=None
+) -> dict:
+    """Assemble the batched ADMM problem data on the host.
+
+    Returns host numpy arrays only; the caller uploads them once.  Lanes
+    with non-finite data are sanitized (identity K, zero constraints) and
+    flagged in ``lane_finite`` so the device loop freezes them as failed
+    without poisoning batch-mates — same contract as the batched IPM.
+    ``rho0`` optionally seeds the per-lane penalty (scalar or ``(B,)``,
+    e.g. a warm start's adapted rho).
+    """
+    H = np.asarray(H, dtype=float)
+    g = np.asarray(g, dtype=float)
+    lanes, n = g.shape[0], g.shape[1]
+    if H.shape != (lanes, n, n):
+        raise SolverError(f"H shape {H.shape} != ({lanes}, {n}, {n})")
+    if G is None or b is None:
+        G = np.zeros((lanes, 0, n))
+        b = np.zeros((lanes, 0))
+    else:
+        G = np.asarray(G, dtype=float)
+        b = np.asarray(b, dtype=float)
+    if J is None or d is None:
+        J = np.zeros((lanes, 0, n))
+        d = np.zeros((lanes, 0))
+    else:
+        J = np.asarray(J, dtype=float)
+        d = np.asarray(d, dtype=float)
+    p, m = G.shape[1], J.shape[1]
+    msz = p + m
+
+    lane_finite = (
+        np.all(np.isfinite(H), axis=(1, 2))
+        & np.all(np.isfinite(g), axis=1)
+        & np.all(np.isfinite(G.reshape(lanes, -1)), axis=1)
+        & np.all(np.isfinite(b), axis=1)
+        & np.all(np.isfinite(J.reshape(lanes, -1)), axis=1)
+        & np.all(np.isfinite(d), axis=1)
+    )
+    lf3 = lane_finite[:, None, None]
+    lf2 = lane_finite[:, None]
+    eye = np.broadcast_to(np.eye(n), (lanes, n, n))
+    H = np.where(lf3, H, eye)
+    g = np.where(lf2, g, 0.0)
+    G = np.where(lf3, G, 0.0)
+    b = np.where(lf2, b, 0.0)
+    J = np.where(lf3, J, 0.0)
+    d = np.where(lf2, d, 0.0)
+
+    A = np.concatenate([G, J], axis=1)
+    l = np.concatenate(
+        [b, np.full((lanes, m), -np.inf)], axis=1
+    )
+    u = np.concatenate([b, d], axis=1)
+
+    if rho0 is None:
+        rho_lane = np.full(lanes, opt.admm_rho)
+    else:
+        rho_lane = np.broadcast_to(
+            np.asarray(rho0, dtype=float), (lanes,)
+        ).copy()
+        bad_rho = ~np.isfinite(rho_lane) | (rho_lane <= 0.0)
+        rho_lane[bad_rho] = opt.admm_rho
+    rho_lane = np.clip(rho_lane, _RHO_MIN, _RHO_MAX)
+
+    Kinv, R, Rinv, ok = _admm_refactor_batch(
+        H, A, rho_lane, p, m,
+        opt.admm_rho_eq_scale, opt.admm_sigma, opt.regularization,
+    )
+    lane_finite = lane_finite & ok
+
+    return {
+        "Kinv": Kinv,
+        "A": A,
+        "At": A.transpose(0, 2, 1).copy(),
+        "H": H,
+        "q": g,
+        "l": l,
+        "u": u,
+        "J": J,
+        "d": d,
+        "R": R,
+        "Rinv": Rinv,
+        "lane_finite": lane_finite,
+        "n": n,
+        "p": p,
+        "m": m,
+        "rho": rho_lane,
+    }
+
+
+def _admm_warm_batch(warm: Optional[dict], lanes: int, n: int, msz: int):
+    """Validate a batched warm-start dict (host arrays, all-finite)."""
+    if not isinstance(warm, dict):
+        return None
+    try:
+        x = np.asarray(warm["x"], dtype=float)
+        z = np.asarray(warm["z"], dtype=float)
+        y = np.asarray(warm["y"], dtype=float)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if (
+        x.shape != (lanes, n)
+        or z.shape != (lanes, msz)
+        or y.shape != (lanes, msz)
+    ):
+        return None
+    if not (
+        np.all(np.isfinite(x))
+        and np.all(np.isfinite(z))
+        and np.all(np.isfinite(y))
+    ):
+        return None
+    rho = warm.get("rho")
+    if rho is not None:
+        try:
+            rho = np.broadcast_to(
+                np.asarray(rho, dtype=float), (lanes,)
+            ).copy()
+        except ValueError:
+            rho = None
+    return {"x": x, "z": z, "y": y, "rho": rho}
+
+
+def _admm_rho_update_batch(rho_lane, rp_rel, rd_rel, trigger_mask):
+    """Host-side per-lane residual-balancing rho update (sync checkpoint).
+
+    Returns ``(new_rho, changed)`` where ``changed`` marks lanes whose rho
+    actually moved (those are the lanes whose cached factor is rebuilt).
+    """
+    ratio = np.sqrt(
+        np.maximum(rp_rel, 1e-30) / np.maximum(rd_rel, 1e-30)
+    )
+    fire = (
+        trigger_mask
+        & np.isfinite(ratio)
+        & ((ratio > _RHO_TRIGGER) | (ratio < 1.0 / _RHO_TRIGGER))
+    )
+    new_rho = np.clip(rho_lane * ratio, _RHO_MIN, _RHO_MAX)
+    new_rho = np.where(fire, new_rho, rho_lane)
+    changed = fire & (new_rho != rho_lane)
+    return new_rho, changed

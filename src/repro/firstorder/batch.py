@@ -1,0 +1,354 @@
+"""Batched device-resident ADMM: the iteration as matmul + clamp.
+
+:func:`solve_qp_admm_batch` runs the ADMM splitting of
+:mod:`repro.firstorder.admm` over ``B`` stacked QP instances.  Setup — box
+form assembly and the one-time inverse of ``K = H + sigma I + A^T R A`` —
+happens on the host (``_admm_setup_batch``); everything uploaded once,
+the loop body is then *pure batched matmul, elementwise algebra, and
+clamp* through the :mod:`repro.batch.backend` seam (``xp``), the ReLU-QP
+formulation.  There is **no** per-iteration host synchronization:
+
+* lane statuses live in a device integer array with the same masked
+  lockstep freeze semantics (and status codes) as the batched IPM in
+  :mod:`repro.batch.qp` — converged/failed/capped lanes are
+  ``where``-masked out of every update;
+* residual histories accumulate in device rows downloaded once at result
+  assembly;
+* ``sync_interval`` (default 25 — ADMM iterations are matvec-cheap, so
+  the early-exit payoff is larger than the IPM's) optionally reads back
+  one boolean every such interval to stop a fully-frozen batch.  Set it
+  to 0 for a strictly sync-free loop, the property the CountingBackend
+  acceptance test pins.
+
+Rho adaptation is a *checkpoint* event: at every ``sync_interval``
+boundary (where a host round-trip happens anyway for early exit) the
+per-lane residual ratios come back with it, and lanes whose ratio fires
+the OSQP trigger get a new rho, a host rebuild of their cached inverse,
+and one re-upload — a bounded number of host materializations, between
+which the loop stays strictly sync-free.  With ``sync_interval=0`` there
+are no checkpoints, so the batch runs at the fixed initial rho (warm
+starts carry an adapted rho forward instead).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional
+
+from repro.firstorder.admm import (
+    _admm_refactor_batch,
+    _admm_rho_update_batch,
+    _admm_setup_batch,
+    _admm_warm_batch,
+)
+from repro.mpc.qp import QPOptions, QPStats
+
+from repro.batch.backend import HOST, get_backend
+from repro.batch.qp import (
+    _ACTIVE,
+    _BUDGET,
+    _CONV,
+    _FAILED,
+    _MAXIT,
+    _STATUS_NAMES,
+    BatchQPResult,
+    BatchQPStats,
+    _bmv,
+    _maxabs,
+)
+
+__all__ = ["solve_qp_admm_batch"]
+
+_INF = float("inf")
+_NAN = float("nan")
+
+
+def solve_qp_admm_batch(
+    H,
+    g,
+    G,
+    b,
+    J,
+    d,
+    options: Optional[QPOptions] = None,
+    deadline: Optional[float] = None,
+    iteration_caps=None,
+    backend=None,
+    sync_interval: int = 25,
+    check_interval: int = 5,
+    warm: Optional[dict] = None,
+) -> BatchQPResult:
+    """Solve ``B`` convex QPs with lockstep ADMM and per-lane freezing.
+
+    Data contract matches :func:`repro.batch.qp.solve_qp_batch` (host
+    arrays in, host arrays out); ``iteration_caps`` shortens individual
+    lanes below ``options.admm_max_iterations`` (such lanes report
+    ``"budget_exhausted"``), ``deadline`` is the absolute wall-clock stop,
+    ``warm`` resumes from a previous result's ``.warm``.  The result's
+    ``warm`` field carries the batch iterate triple for the next solve of
+    the same shapes.
+
+    ``check_interval`` is the residual-evaluation cadence (OSQP's
+    ``check_termination``, device-side — no host sync): the dual/primal
+    residual matvecs run every such iteration, so between checks the loop
+    body is the bare three-matvec update and lanes converge quantized to
+    the cadence (at most ``check_interval - 1`` surplus iterations).
+    ``1`` restores per-iteration checking.
+    """
+    opt = options or QPOptions()
+    xp = get_backend(backend)
+    t_setup = perf_counter()
+    lanes_guess = int(HOST.asarray(g).shape[0])
+    ws = _admm_warm_batch(
+        warm,
+        lanes_guess,
+        int(HOST.asarray(g).shape[1]),
+        (0 if G is None else int(HOST.asarray(G).shape[1]))
+        + (0 if J is None else int(HOST.asarray(J).shape[1])),
+    )
+    setup = _admm_setup_batch(
+        H, g, G, b, J, d, opt,
+        rho0=ws["rho"] if ws is not None else None,
+    )
+    lanes = int(setup["q"].shape[0])
+    n, p, m = setup["n"], setup["p"], setup["m"]
+    msz = p + m
+    sigma = opt.admm_sigma
+    alpha = opt.admm_alpha
+    tol = opt.admm_tolerance
+    rho_lane = setup["rho"]  # host (B,), adapted at sync checkpoints
+
+    # ---- one-time uploads: after this point the loop touches no host data
+    # until a sync checkpoint (early exit + rho adaptation) or the final
+    # result materialization.
+    Kinv = xp.from_host(setup["Kinv"])
+    A = xp.from_host(setup["A"])
+    At = xp.from_host(setup["At"])
+    Hd = xp.from_host(setup["H"])
+    q = xp.from_host(setup["q"])
+    lo = xp.from_host(setup["l"])
+    hi = xp.from_host(setup["u"])
+    R = xp.from_host(setup["R"])
+    Rinv = xp.from_host(setup["Rinv"])
+    lane_finite = xp.from_host(setup["lane_finite"], dtype="bool")
+    factz_h = HOST.astype(setup["lane_finite"], "int")  # host counters
+
+    if ws is not None:
+        x = xp.from_host(ws["x"])
+        z = xp.clip(xp.from_host(ws["z"]), lo, hi)
+        y = xp.from_host(ws["y"])
+    else:
+        x = xp.zeros((lanes, n))
+        z = xp.clip(xp.zeros((lanes, msz)), lo, hi)
+        y = xp.zeros((lanes, msz))
+
+    q_norm = _maxabs(xp, q)
+
+    # Iteration caps: the global trip count is a host decision made once.
+    max_it = int(opt.admm_max_iterations)
+    if iteration_caps is not None:
+        caps_h = HOST.minimum(
+            HOST.full((lanes,), max_it, dtype="int"),
+            HOST.maximum(HOST.asarray(iteration_caps, dtype="int"), 1),
+        )
+        global_max = int(HOST.scalar(HOST.max(caps_h)))
+        caps = xp.from_host(caps_h, dtype="int")
+    else:
+        global_max = max_it
+        caps = xp.full((lanes,), max_it, dtype="int")
+    budget_capped = caps < max_it
+
+    status = xp.where(lane_finite, _ACTIVE, _FAILED)
+    iterations = xp.zeros((lanes,), dtype="int")
+    residual = xp.full((lanes,), _INF)
+    deadline_hit = xp.zeros((lanes,), dtype="bool")
+    res_rows: List[object] = []
+    lane_iter_acc = xp.sum(xp.zeros((1,), dtype="int"))
+    bstats = BatchQPStats()
+    setup_time = perf_counter() - t_setup
+    t_loop = perf_counter()
+
+    for it in range(1, global_max + 1):
+        # Wall-clock deadline stops every still-active lane at once (a
+        # host-clock decision — no device data is read).
+        if deadline is not None and perf_counter() >= deadline:
+            still = status == _ACTIVE
+            status = xp.where(still, _BUDGET, status)
+            deadline_hit = deadline_hit | still
+            break
+
+        active = status == _ACTIVE
+        ai = xp.astype(active, "int")
+        iterations = iterations + ai
+        bstats.iterations += 1
+        bstats.lane_slots += lanes
+        lane_iter_acc = lane_iter_acc + xp.sum(ai)
+
+        # ---- the ReLU-QP iteration: matmul + clamp, nothing else -------
+        xt = _bmv(xp, Kinv, sigma * x - q + _bmv(xp, At, R * z - y))
+        x_new = alpha * xt + (1.0 - alpha) * x
+        zr = alpha * _bmv(xp, A, xt) + (1.0 - alpha) * z
+        z_new = xp.clip(zr + Rinv * y, lo, hi)
+        y_new = y + R * (zr - z_new)
+
+        am = active[:, None]
+        x = xp.where(am, x_new, x)
+        z = xp.where(am, z_new, z)
+        y = xp.where(am, y_new, y)
+
+        # ---- per-lane residuals and the classification ladder ----------
+        # Evaluated every ``check_interval`` iterations (and on the final
+        # trip): the three residual matvecs double the iteration cost, so
+        # between checks the loop is the bare update above.
+        is_check = (
+            check_interval <= 1
+            or it % check_interval == 0
+            or it == global_max
+            or bool(sync_interval) and it % sync_interval == 0
+        )
+        if is_check:
+            Ax = _bmv(xp, A, x)
+            Hx = _bmv(xp, Hd, x)
+            Aty = _bmv(xp, At, y)
+            r_prim = _maxabs(xp, Ax - z)
+            r_dual = _maxabs(xp, Hx + q + Aty)
+            res = xp.maximum(r_prim, r_dual)
+            residual = xp.where(active, res, residual)
+            res_rows.append(xp.where(active, res, _NAN))
+
+            prim_scale = 1.0 + xp.maximum(_maxabs(xp, Ax), _maxabs(xp, z))
+            dual_scale = 1.0 + xp.maximum(
+                xp.maximum(_maxabs(xp, Hx), _maxabs(xp, Aty)), q_norm
+            )
+            rp_rel = r_prim / prim_scale
+            rd_rel = r_dual / dual_scale
+            finite = xp.isfinite(res)
+            conv = (
+                active
+                & finite
+                & (r_prim <= tol * prim_scale)
+                & (r_dual <= tol * dual_scale)
+            )
+            fail = active & xp.logical_not(finite)
+            status = xp.where(conv, _CONV, status)
+            status = xp.where(fail, _FAILED, status)
+            # Sanitize poisoned lanes so NaNs cannot linger in the frozen
+            # state (their lane never publishes these zeros as a solution).
+            fm = fail[:, None]
+            x = xp.where(fm, 0.0, x)
+            z = xp.where(fm, 0.0, z)
+            y = xp.where(fm, 0.0, y)
+
+        # Cap enforcement runs every iteration (elementwise, no matvec) so
+        # a budgeted lane freezes exactly at its cap; on check iterations
+        # convergence is classified first, preserving conv-beats-cap.
+        over_cap = active & (status == _ACTIVE) & (iterations >= caps)
+        status = xp.where(
+            over_cap, xp.where(budget_capped, _BUDGET, _MAXIT), status
+        )
+
+        if is_check and sync_interval and it % sync_interval == 0:
+            # The bounded host round-trip: early exit for a batch that has
+            # fully frozen before the global cap, plus the per-lane
+            # residual-balancing rho checkpoint.  Between checkpoints the
+            # loop stays strictly sync-free.
+            active_h = xp.to_host(status) == _ACTIVE
+            if not bool(HOST.scalar(HOST.any(active_h))):
+                break
+            new_rho, changed = _admm_rho_update_batch(
+                rho_lane,
+                xp.to_host(rp_rel),
+                xp.to_host(rd_rel),
+                active_h,
+            )
+            if bool(HOST.scalar(HOST.any(changed))):
+                rho_lane = new_rho
+                Kinv_h, R_h, Rinv_h, ok = _admm_refactor_batch(
+                    setup["H"], setup["A"], rho_lane, p, m,
+                    opt.admm_rho_eq_scale, sigma, opt.regularization,
+                )
+                Kinv = xp.from_host(Kinv_h)
+                R = xp.from_host(R_h)
+                Rinv = xp.from_host(Rinv_h)
+                factz_h = factz_h + HOST.astype(changed, "int")
+                bad = changed & HOST.logical_not(ok)
+                if bool(HOST.scalar(HOST.any(bad))):
+                    status = xp.where(
+                        xp.from_host(bad, dtype="bool"), _FAILED, status
+                    )
+
+    loop_time = perf_counter() - t_loop
+
+    # ---- single bulk download: the only host materialization ----------
+    x_h = xp.to_host(x)
+    z_h = xp.to_host(z)
+    y_h = xp.to_host(y)
+    status_h = xp.to_host(status)
+    iters_h = xp.to_host(iterations)
+    resid_h = xp.to_host(residual)
+    deadline_h = xp.to_host(deadline_hit)
+    finite_h = xp.to_host(lane_finite)
+    res_h = xp.to_host(xp.stack(res_rows)) if res_rows else None
+    bstats.lane_iterations = int(xp.scalar(lane_iter_acc))
+
+    status_codes = [int(c) for c in status_h]
+    status_names = [_STATUS_NAMES[c] for c in status_codes]
+    converged_h = HOST.asarray(
+        [c == _CONV for c in status_codes], dtype="bool"
+    )
+
+    nu_h = HOST.copy(y_h[:, :p])
+    lam_h = HOST.maximum(y_h[:, p:], 0.0)
+    slacks_h = HOST.maximum(
+        setup["d"] - _bmv(HOST, setup["J"], x_h), 0.0
+    )
+
+    gap_history: List[List[float]] = [[] for _ in range(lanes)]
+    if res_h is not None:
+        for lane in range(lanes):
+            col = res_h[:, lane]
+            gap_history[lane] = [float(v) for v in col if v == v]
+
+    factor_flops = 2 * n * n * n  # batched inverse of K, per lane
+    matvec_flops = 2 * n * n + 6 * msz * n
+    stats: List[QPStats] = []
+    for lane in range(lanes):
+        st = QPStats(mode="admm")
+        if finite_h[lane]:
+            st.factorizations = int(factz_h[lane])
+            st.factor_flops = st.factorizations * factor_flops
+            st.factorize_time = setup_time / lanes
+        st.substitute_flops = int(iters_h[lane]) * matvec_flops
+        st.substitute_time = loop_time / lanes
+        stats.append(st)
+
+    warm_out = None
+    if bool(
+        HOST.scalar(
+            HOST.all(HOST.isfinite(x_h))
+            & HOST.all(HOST.isfinite(z_h))
+            & HOST.all(HOST.isfinite(y_h))
+        )
+    ):
+        warm_out = {
+            "x": HOST.copy(x_h),
+            "z": HOST.copy(z_h),
+            "y": HOST.copy(y_h),
+            "rho": HOST.copy(rho_lane),
+        }
+
+    return BatchQPResult(
+        x=x_h,
+        nu=nu_h,
+        lam=lam_h,
+        slacks=slacks_h,
+        converged=converged_h,
+        iterations=iters_h,
+        residual=resid_h,
+        status=status_names,
+        budget_exhausted=deadline_h,
+        gap_history=gap_history,
+        stats=stats,
+        batch=bstats,
+        warm=warm_out,
+    )

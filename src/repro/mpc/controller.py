@@ -108,6 +108,12 @@ class MPCController:
         self._lam_warm = None
         self.last_result = None
         self.last_solve_time = None
+        # Solver-internal warm state (e.g. the ADMM iterate triple) lives
+        # on the solver itself — clear it too so a reset is a true cold
+        # start regardless of the selected QP method.
+        reset_qp_warm = getattr(self.solver, "reset_qp_warm", None)
+        if callable(reset_qp_warm):
+            reset_qp_warm()
 
     def step(
         self,

@@ -152,7 +152,20 @@ class InteriorPointSolver:
         #: optional :mod:`repro.faults` solver-layer injector, threaded into
         #: every QP factorization (``None`` in production)
         self.fault_hook: Optional[object] = None
+        #: ADMM solver-internal warm state (iterate triple + adapted rho)
+        #: carried across QP subproblems and MPC ticks when
+        #: ``options.qp.method == "admm"``; the ADMM path validates shapes
+        #: and finiteness itself, so stale state degrades to a cold start.
+        self._qp_warm: Optional[dict] = None
         self._setup_banded_path()
+
+    def reset_qp_warm(self) -> None:
+        """Drop solver-internal QP warm state (ADMM iterates/rho).
+
+        Called by :meth:`repro.mpc.controller.MPCController.reset` so a
+        session reset is a true cold start for every solver method.
+        """
+        self._qp_warm = None
 
     def _setup_banded_path(self) -> None:
         """Precompute the stage-interleaved QP permutations and band hints.
@@ -503,8 +516,15 @@ class InteriorPointSolver:
             if budget is not None and budget.qp_iterations is not None:
                 # Hand the QP only the unspent share of the inner-iteration
                 # budget (the loop-top check guarantees it is >= 1 here).
+                # The ADMM method counts its own (cheaper) iterations, so
+                # the cap lands on its field instead.
                 remaining = budget.qp_iterations - qp_total
-                if remaining < qp_opt.max_iterations:
+                if qp_opt.method == "admm":
+                    if remaining < qp_opt.admm_max_iterations:
+                        qp_opt = replace(
+                            qp_opt, admm_max_iterations=remaining
+                        )
+                elif remaining < qp_opt.max_iterations:
                     qp_opt = replace(qp_opt, max_iterations=remaining)
             try:
                 qp_res = solve_qp(
@@ -513,6 +533,7 @@ class InteriorPointSolver:
                     bandwidth=qp_args[6],
                     deadline=clock.deadline if clock is not None else None,
                     fault_hook=self.fault_hook,
+                    warm=self._qp_warm if qp_opt.method == "admm" else None,
                 )
             except SolverError:
                 # A QP subproblem that cannot even be factorized (poisoned
@@ -541,6 +562,10 @@ class InteriorPointSolver:
                 d = x_qp * scale
                 nu_qp, lam_qp = qp_res.nu, qp_res.lam
             qp_total += qp_res.iterations
+            if qp_res.warm is not None:
+                # ADMM hands back its iterate triple + adapted rho; seed the
+                # next subproblem (and, across ticks, the next solve) with it.
+                self._qp_warm = qp_res.warm
             qs = qp_res.stats
             self.stats["factorize_time"] += qs.factorize_time
             self.stats["substitute_time"] += qs.substitute_time

@@ -56,7 +56,15 @@ __all__ = ["QPOptions", "QPResult", "QPStats", "solve_qp"]
 
 @dataclass
 class QPOptions:
-    """Parameters for the QP interior-point method."""
+    """Parameters for the QP solvers (interior-point and first-order).
+
+    ``method`` selects the solver family :func:`solve_qp` dispatches to:
+    ``"ipm"`` (the Mehrotra predictor-corrector in this module — tight
+    tolerances, per-iteration factorizations) or ``"admm"`` (the OSQP-style
+    operator splitting in :mod:`repro.firstorder` — one cached
+    factorization, cheap matvec iterations, loose-to-moderate tolerances).
+    The ``admm_*`` fields only matter for the latter.
+    """
 
     max_iterations: int = 50
     tolerance: float = 1e-8
@@ -73,12 +81,41 @@ class QPOptions:
     #: of the ~1e-5 trajectory-roundoff drift of two IPM runs.  The polished
     #: point is adopted only when it does not worsen the KKT residual.
     polish: bool = False
+    #: solver family: "ipm" or "admm"
+    method: str = "ipm"
+    #: ADMM penalty parameter (initial value; adapted on the residual ratio)
+    admm_rho: float = 0.1
+    #: ADMM equality rows carry ``admm_rho_eq_scale * rho`` (OSQP treats
+    #: ``l == u`` rows as stiff so the equalities are enforced tightly)
+    admm_rho_eq_scale: float = 1e3
+    #: ADMM proximal regularization sigma
+    admm_sigma: float = 1e-6
+    #: ADMM over-relaxation factor (1.0 disables; OSQP default region 1.5-1.8)
+    admm_alpha: float = 1.6
+    #: ADMM iteration cap — first-order iterations are matvec-cheap, so the
+    #: cap is far above the IPM's ``max_iterations``
+    admm_max_iterations: int = 2000
+    #: ADMM convergence tolerance (relative, OSQP-style eps_abs == eps_rel);
+    #: intentionally separate from the IPM ``tolerance`` because the two
+    #: families live at different practical accuracy tiers
+    admm_tolerance: float = 1e-5
+    #: iterations between rho-adaptation checks (each adaptation triggers
+    #: the one re-factorization of the cached KKT matrix)
+    admm_rho_interval: int = 25
 
     def __post_init__(self):
         if self.max_iterations < 1:
             raise SolverError("max_iterations must be >= 1")
         if not 0 < self.tau < 1:
             raise SolverError("tau must lie in (0, 1)")
+        if self.method not in ("ipm", "admm"):
+            raise SolverError(
+                f"unknown QP method {self.method!r} (expected 'ipm' or 'admm')"
+            )
+        if self.admm_max_iterations < 1:
+            raise SolverError("admm_max_iterations must be >= 1")
+        if not 0.0 < self.admm_alpha < 2.0:
+            raise SolverError("admm_alpha must lie in (0, 2)")
 
 
 @dataclass
@@ -130,6 +167,11 @@ class QPResult:
     #: the solve stopped on the caller's wall-clock ``deadline`` before
     #: converging (the returned iterate/residual pair is still consistent)
     budget_exhausted: bool = False
+    #: solver-internal warm-start state for the next solve of the same
+    #: problem family (ADMM method only: the primal/slack/dual iterates and
+    #: the adapted rho).  ``None`` for the IPM method and whenever the
+    #: iterates are unfit for reuse; always host arrays.
+    warm: Optional[dict] = None
 
 
 class _DenseFactor:
@@ -240,8 +282,9 @@ def solve_qp(
     bandwidth: Optional[int] = None,
     deadline: Optional[float] = None,
     fault_hook: Optional[object] = None,
+    warm: Optional[dict] = None,
 ) -> QPResult:
-    """Solve a convex QP with a Mehrotra predictor-corrector IPM.
+    """Solve a convex QP (Mehrotra predictor-corrector IPM, or ADMM).
 
     Args:
         H: PSD Hessian (n x n); a small regularization is added internally.
@@ -261,6 +304,10 @@ def solve_qp(
             returned iterate and residual stay consistent.
         fault_hook: optional :mod:`repro.faults` solver-layer injector; every
             main-loop factorization consults it (see :func:`_robust_factor`).
+        warm: solver-internal warm start returned by a previous solve's
+            ``QPResult.warm`` (ADMM method only; ignored by the IPM, whose
+            central-path iteration starts from its own strictly interior
+            point).
     """
     opt = options or QPOptions()
     n = g.shape[0]
@@ -272,6 +319,15 @@ def solve_qp(
                 f"QP data {name} contains non-finite entries; "
                 "refusing to start the interior-point iteration"
             )
+
+    if opt.method == "admm":
+        # Imported lazily: repro.firstorder imports this module's dataclasses,
+        # so the dependency edge must not exist at import time.
+        from repro.firstorder.admm import solve_qp_admm
+
+        return solve_qp_admm(
+            H, g, G, b, J, d, options=opt, deadline=deadline, warm=warm
+        )
 
     has_eq = G is not None and G.shape[0] > 0
     has_in = J is not None and J.shape[0] > 0

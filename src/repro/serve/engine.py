@@ -75,8 +75,16 @@ class EngineConfig:
     #: array backend for the batched dispatch path, e.g. "torch" or
     #: "numpy:float32" (None = REPRO_ARRAY_BACKEND env, then numpy)
     array_backend: Optional[str] = None
+    #: inner QP solver for the batched dispatch path: "ipm" or "admm"
+    #: (engine-wide; scalar/worker paths follow each session's own
+    #: ``SessionConfig.qp_method``)
+    qp_method: str = "ipm"
 
     def __post_init__(self):
+        if self.qp_method not in ("ipm", "admm"):
+            raise ServeError(
+                f"qp_method must be 'ipm' or 'admm', got {self.qp_method!r}"
+            )
         if self.max_sessions < 1:
             raise ServeError("max_sessions must be >= 1")
         if self.workers < 0:
@@ -376,7 +384,15 @@ class ServeEngine:
             # fork start method the children inherit the compiled problems
             # for free instead of re-transcribing per worker.
             for (robot, horizon), (bench, problem) in self._problem_cache.items():
-                prime_worker_cache(robot, horizon, bench, problem)
+                methods = {
+                    s.config.qp_method
+                    for s in self.sessions.values()
+                    if (s.config.robot, s.config.horizon) == (robot, horizon)
+                } or {"ipm"}
+                for method in methods:
+                    prime_worker_cache(
+                        robot, horizon, bench, problem, qp_method=method
+                    )
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         futures = {}
         broken = False
@@ -444,6 +460,7 @@ class ServeEngine:
                         problem,
                         scalar.options,
                         backend=self.config.array_backend,
+                        qp_method=self.config.qp_method,
                     )
                 except ReproError:
                     # e.g. a hybrid/exact-Hessian robot (MicroSat): its solve
@@ -585,13 +602,18 @@ class ServeEngine:
 
 # -- worker-side solve (process backend) ----------------------------------------
 
-#: per-process cache: (robot, horizon) -> (benchmark, problem, solver)
-_WORKER_CACHE: Dict[Tuple[str, int], Tuple[object, object, object]] = {}
+#: per-process cache: (robot, horizon, qp_method) -> (benchmark, problem,
+#: solver) — the QP method is part of the solver's identity, so sessions
+#: with different methods never share a worker-side solver (or its
+#: ADMM-internal warm state)
+_WORKER_CACHE: Dict[Tuple[str, int, str], Tuple[object, object, object]] = {}
 
 
-def prime_worker_cache(robot: str, horizon: int, bench=None, problem=None) -> None:
+def prime_worker_cache(
+    robot: str, horizon: int, bench=None, problem=None, qp_method: str = "ipm"
+) -> None:
     """Populate this process's solver cache (parent-side, pre-fork)."""
-    key = (robot, horizon)
+    key = (robot, horizon, qp_method)
     if key in _WORKER_CACHE:
         return
     if bench is None:
@@ -601,6 +623,10 @@ def prime_worker_cache(robot: str, horizon: int, bench=None, problem=None) -> No
     if problem is None:
         problem = bench.transcribe(horizon=horizon)
     solver = bench.make_solver(problem)
+    if qp_method != "ipm":
+        from repro.serve.session import apply_qp_method
+
+        apply_qp_method(solver, qp_method)
     _WORKER_CACHE[key] = (bench, problem, solver)
 
 
@@ -628,8 +654,9 @@ def remote_solve(payload: Dict[str, object]) -> Dict[str, object]:
                 sleep(float(fault.get("delay_s", 0.0)))
         robot = str(payload["robot"])
         horizon = int(payload["horizon"])
-        prime_worker_cache(robot, horizon)
-        _, _, solver = _WORKER_CACHE[(robot, horizon)]
+        qp_method = str(payload.get("qp_method") or "ipm")
+        prime_worker_cache(robot, horizon, qp_method=qp_method)
+        _, _, solver = _WORKER_CACHE[(robot, horizon, qp_method)]
         budget = None
         if (
             payload.get("deadline_s") is not None

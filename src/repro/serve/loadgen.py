@@ -53,6 +53,8 @@ class LoadConfig:
     backend: str = "thread"
     #: array backend for backend="batched" (None = env / numpy default)
     array_backend: Optional[str] = None
+    #: inner QP solver for every fleet session: "ipm" or "admm"
+    qp_method: str = "ipm"
     tick_budget_s: Optional[float] = None
     #: plant RK4 sub-steps per control interval
     substeps: int = 2
@@ -116,6 +118,7 @@ def run_load(config: LoadConfig) -> LoadReport:
             workers=config.workers,
             backend=config.backend,
             array_backend=config.array_backend,
+            qp_method=config.qp_method,
             tick_budget_s=config.tick_budget_s,
         ),
         trace=trace,
@@ -137,6 +140,7 @@ def run_load(config: LoadConfig) -> LoadReport:
                 horizon=config.horizon,
                 deadline_s=config.deadline_s,
                 degrade_after=config.degrade_after,
+                qp_method=config.qp_method,
             )
         )
         bench, problem = engine.binding(robot, config.horizon)

@@ -24,13 +24,18 @@ Two execution paths produce identical outcomes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ReproError, SessionStateError, StateValidationError
+from repro.errors import (
+    ReproError,
+    ServeError,
+    SessionStateError,
+    StateValidationError,
+)
 from repro.mpc.budget import SolveBudget
 from repro.mpc.controller import MPCController
 from repro.mpc.health import SolverHealth
@@ -45,6 +50,7 @@ __all__ = [
     "SessionConfig",
     "StepOutcome",
     "ControlSession",
+    "apply_qp_method",
 ]
 
 ACTIVE = "active"
@@ -56,6 +62,19 @@ CRASHED = "crashed"
 def _health_dict(result: Optional[IPMResult]) -> Optional[Dict[str, object]]:
     health = getattr(result, "health", None)
     return health.to_dict() if isinstance(health, SolverHealth) else None
+
+
+def apply_qp_method(solver, method: str) -> None:
+    """Rebind a scalar solver's inner QP method in place.
+
+    Options are immutable dataclasses, so this swaps the whole options
+    object; the solver reads them afresh on every solve.  No-ops on stub
+    solvers (no ``options``) and when the method already matches.
+    """
+    options = getattr(solver, "options", None)
+    if options is None or getattr(options.qp, "method", method) == method:
+        return
+    solver.options = replace(options, qp=replace(options.qp, method=method))
 
 
 @dataclass(frozen=True)
@@ -83,6 +102,17 @@ class SessionConfig:
     accept_kkt: float = 1e-2
     #: override the benchmark's warm-start recommendation (None = keep it)
     warm_start: Optional[bool] = None
+    #: inner QP solver for this session's solves: "ipm" (Mehrotra
+    #: interior-point, the default) or "admm" (the first-order solver of
+    #: :mod:`repro.firstorder` — cached factorization, RTI-friendly
+    #: warm-started iterations)
+    qp_method: str = "ipm"
+
+    def __post_init__(self):
+        if self.qp_method not in ("ipm", "admm"):
+            raise ServeError(
+                f"qp_method must be 'ipm' or 'admm', got {self.qp_method!r}"
+            )
 
     def budget(self) -> Optional[SolveBudget]:
         if (
@@ -197,6 +227,8 @@ class ControlSession:
         if problem is None:
             problem = bench.transcribe(horizon=config.horizon)
         controller = bench.make_controller(problem)
+        if config.qp_method != "ipm":
+            apply_qp_method(controller.solver, config.qp_method)
         return cls(session_id, config, controller, ref=bench.ref)
 
     # -- lifecycle ------------------------------------------------------------
@@ -336,6 +368,7 @@ class ControlSession:
             "deadline_s": self.config.deadline_s,
             "max_sqp_iterations": self.config.max_sqp_iterations,
             "max_qp_iterations": self.config.max_qp_iterations,
+            "qp_method": self.config.qp_method,
         }
 
     def absorb(self, remote: Dict[str, object]) -> StepOutcome:

@@ -46,6 +46,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-sim", "--backend", "mpi"])
 
+    def test_serve_sim_qp_method(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.qp_method == "ipm"
+        args = build_parser().parse_args(
+            ["serve-sim", "--qp-method", "admm"]
+        )
+        assert args.qp_method == "admm"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--qp-method", "sgd"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -173,6 +183,30 @@ class TestServeSim:
         assert types.count("tick") == 2
         assert types.count("summary") == 1
 
+    def test_admm_fleet_completes(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--sessions",
+                "1",
+                "--ticks",
+                "2",
+                "--robots",
+                "MobileRobot",
+                "--horizon",
+                "5",
+                "--deadline-ms",
+                "500",
+                "--qp-method",
+                "admm",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["crashed"] == []
+        assert doc["metrics"]["fleet"]["steps"] == 2
+
     def test_json_report(self, capsys):
         code = main(
             [
@@ -197,6 +231,23 @@ class TestServeSim:
         assert doc["metrics"]["fleet"]["steps"] == 1
 
 
+class TestBackends:
+    def test_lists_variants_and_conform_paths(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out and "(selected)" in out
+        assert "numpy, numpy:float32, numpy:float64" in out
+        # numpy owns the unsuffixed batch paths, never the accelerators'.
+        assert "batch_qp" in out and "batch_admm" in out
+        assert "batch_qp_torch" not in out.split("absent")[0]
+        # Absent accelerators are reported, jax included.
+        for name in ("torch", "cupy", "jax"):
+            from repro.batch import available_backends
+
+            if name not in available_backends():
+                assert f"{name}" in out and "absent" in out
+
+
 class TestConform:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["conform", "run"])
@@ -214,6 +265,18 @@ class TestConform:
         out = capsys.readouterr().out
         assert "dense_kkt" in out and "[baseline]" in out
         assert "accel_sim" in out
+        assert "admm_qp" in out and "batch_admm" in out
+
+    def test_paths_family_filter(self, capsys):
+        assert main(["conform", "paths", "--family", "qp"]) == 0
+        out = capsys.readouterr().out
+        assert "dense_kkt" in out and "admm_qp" in out
+        assert "accel_sim" not in out
+
+    def test_paths_unknown_family_exits_2(self, capsys):
+        assert main(["conform", "paths", "--family", "qqp"]) == 2
+        err = capsys.readouterr().err
+        assert "qp" in err and "dynamics" in err
 
     def test_run_small_budget(self, capsys, tmp_path):
         code = main(

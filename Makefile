@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke lint
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke resilience-smoke lint
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -50,6 +50,17 @@ batch-smoke:
 admm-smoke:
 	$(REPRO) conform run --cases 8 --seed 0 --paths dense_kkt,admm_qp,batch_admm --out-dir conform/failures
 	$(PYTEST) -q benchmarks/bench_qp_crossover.py -m "not slow"
+
+# Solver-resilience smoke: a seeded admm_stall/illcond_qp campaign on the
+# stiff Manipulator with an ADMM fleet must pass every recovery invariant --
+# including stalls_rescued: each forced stall is answered by the rescue
+# ladder (ADMM->IPM retry), never a silent bad plan.  Deadline budgeting is
+# disabled (--deadline-ms 0) so rescues run to completion.  A stiff-robot
+# conform replay then pins the equilibrated ADMM paths to the golden ledger.
+resilience-smoke:
+	mkdir -p conform/failures
+	$(REPRO) chaos --robot manipulator --schedule resilience --qp-method admm --sessions 1 --ticks 10 --horizon 6 --deadline-ms 0 --seed 3 --trace conform/failures/resilience-trace.jsonl
+	$(REPRO) conform run --cases 8 --seed 0 --robots Manipulator,Humanoid --paths dense_kkt,admm_qp,batch_admm --out-dir conform/failures
 
 # Fast lane under coverage with the CI floor (requires pytest-cov, which the
 # CI workflow installs; not part of the core dev dependencies).  The floor

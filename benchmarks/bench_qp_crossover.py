@@ -27,8 +27,12 @@ import pytest
 
 from conftest import banner, make_rng
 from repro.batch import available_backends, solve_qp_batch
-from repro.firstorder import solve_qp_admm_batch
+from repro.firstorder import solve_qp_admm, solve_qp_admm_batch
 from repro.robots import build_benchmark
+
+#: stiff robots for the equilibration table — large inertia ratios and
+#: mixed unit scales push the stacked-data norm spread past the gate
+STIFF_ROBOTS = ("Manipulator", "Humanoid")
 
 #: fast-lane sweep; large-B points live in the slow lane below
 BATCH_SIZES = (16, 64, 256)
@@ -150,6 +154,87 @@ def test_qp_crossover():
         assert series[-1]["ratio"] > series[0]["ratio"] / 3.0, series
 
 
+def _first_subproblem(robot, horizon=6):
+    bench = build_benchmark(robot)
+    problem = bench.transcribe(horizon=horizon)
+    solver = bench.make_solver(problem)
+    (H, g, G, b, J, d, _bw), _perm = solver.first_qp_subproblem(
+        bench.x0, bench.ref
+    )
+    return (H, g, G, b, J, d), solver.options.qp
+
+
+def _stiff_rows():
+    """Pre/post-equilibration ADMM iteration counts on the stiff robots.
+
+    Iteration counts (not wall time) are the honest metric here: the Ruiz
+    sweeps are one-time setup work, so the win is entirely in how many
+    first-order iterations the scaled problem needs — a deterministic
+    number, safe to gate CI on.
+    """
+    rows = []
+    for robot in STIFF_ROBOTS:
+        qp_args, base = _first_subproblem(robot)
+        for tol in TOLERANCES:
+            opts_off = replace(
+                base,
+                method="admm",
+                polish=False,
+                admm_tolerance=tol,
+                admm_equilibrate=False,
+                admm_max_iterations=100_000,
+            )
+            off = solve_qp_admm(*qp_args, opts_off)
+            on = solve_qp_admm(
+                *qp_args, replace(opts_off, admm_equilibrate=True)
+            )
+            status = lambda res: (
+                "converged"
+                if res.converged
+                else ("stalled" if res.stats.conditioning.stalled else "max_iter")
+            )
+            cond = on.stats.conditioning
+            rows.append({
+                "robot": robot,
+                "tol": tol,
+                "pre_it": off.iterations,
+                "pre_status": status(off),
+                "post_it": on.iterations,
+                "post_status": status(on),
+                "spread_before": cond.norm_spread_before,
+                "spread_after": cond.norm_spread_after,
+            })
+    return rows
+
+
+def test_stiff_robot_equilibration():
+    """Ruiz equilibration must collapse ADMM iterations on stiff robots."""
+    rows = _stiff_rows()
+    banner("repro.firstorder: ADMM iterations on stiff robots, pre/post Ruiz")
+    print(
+        f"{'robot':>12} {'tol':>7} {'pre it':>8} {'pre status':>12} "
+        f"{'post it':>8} {'post status':>12} {'norm spread':>18}"
+    )
+    for r in rows:
+        print(
+            f"{r['robot']:>12} {r['tol']:>7.0e} {r['pre_it']:>8d} "
+            f"{r['pre_status']:>12} {r['post_it']:>8d} "
+            f"{r['post_status']:>12} "
+            f"{r['spread_before']:>8.1e} -> {r['spread_after']:.1e}"
+        )
+
+    for r in rows:
+        # The gate saw a genuinely stiff problem and fixed its scaling.
+        assert r["spread_before"] > 100.0, r
+        assert r["spread_after"] < r["spread_before"] / 10.0, r
+        # Fewer first-order iterations on the scaled problem, always.
+        assert r["post_it"] < r["pre_it"], r
+        # At the serving tier's control-grade tolerance the scaled solve
+        # must actually converge (unscaled Humanoid stalls here).
+        if r["tol"] == 1e-3:
+            assert r["post_status"] == "converged", r
+
+
 @pytest.mark.slow
 def test_qp_crossover_large_batches():
     """Device-scale crossover points (B in {1024, 4096}) per backend."""
@@ -172,3 +257,4 @@ if __name__ == "__main__":
         run_sweep(BATCH_SIZES),
         "repro.firstorder: IPM vs ADMM throughput crossover",
     )
+    test_stiff_robot_equilibration()

@@ -526,6 +526,100 @@ class BatchSolver:
                     admm_state["z"][gl] = qp.warm["z"]
                     admm_state["y"][gl] = qp.warm["y"]
                     admm_state["rho"][gl] = qp.warm["rho"]
+
+                # ---- method-health fallback ladder (lane-scatter rescue) --
+                # Lanes whose first-order run ended stalled, diverged, or
+                # failed (and that the rescue polish could not repair) are
+                # gathered and re-solved through the batched interior-point
+                # path, then scattered back before the post-QP ladder
+                # classifies them.  Deadline-stopped lanes are left alone —
+                # rescue work past a deadline breaks the budget contract.
+                # Warm-start hygiene: the stalled ADMM iterate must never
+                # seed a later solve, so rescued rows of ``admm_state`` are
+                # reset to the cold-start pattern (zeros + configured rho).
+                if opt.qp.admm_fallback:
+                    resc = []
+                    for k_l in range(k):
+                        lane = int(gl[k_l])
+                        cond = qp.stats[k_l].conditioning
+                        wants = qp.status[k_l] == "failed" or (
+                            cond is not None and cond.needs_fallback
+                        )
+                        if not wants or bool(qp.budget_exhausted[k_l]):
+                            continue
+                        if clocks[lane] is not None and clocks[lane].expired():
+                            continue
+                        if qp_caps[lane] is not None:
+                            left = (
+                                qp_caps[lane]
+                                - int(qp_total[lane])
+                                - int(qp.iterations[k_l])
+                            )
+                            if left < 1:
+                                continue
+                        resc.append(k_l)
+                    if resc:
+                        r_dev = xp.asarray(
+                            HOST.asarray(resc, dtype="int"), dtype="int"
+                        )
+                        r_caps = HOST.asarray(
+                            [
+                                min(
+                                    opt.qp.max_iterations,
+                                    qp_caps[int(gl[k_l])]
+                                    - int(qp_total[int(gl[k_l])])
+                                    - int(qp.iterations[k_l]),
+                                )
+                                if qp_caps[int(gl[k_l])] is not None
+                                else opt.qp.max_iterations
+                                for k_l in resc
+                            ],
+                            dtype="int",
+                        )
+                        rqp = solve_qp_batch(
+                            *[
+                                a[r_dev] if a is not None else None
+                                for a in qp_args[:6]
+                            ],
+                            opt.qp,
+                            bandwidth=qp_args[6],
+                            deadline=deadline,
+                            iteration_caps=r_caps,
+                            backend=xp,
+                        )
+                        report.qp_lane_iterations += rqp.batch.lane_iterations
+                        report.qp_lane_slots += rqp.batch.lane_slots
+                        for j, k_l in enumerate(resc):
+                            lane = int(gl[k_l])
+                            healths[lane].method_fallbacks += 1
+                            healths[lane].note(f"admm_fallback_it{it}")
+                            if admm_state is not None:
+                                admm_state["x"][lane] = 0.0
+                                admm_state["z"][lane] = 0.0
+                                admm_state["y"][lane] = 0.0
+                                admm_state["rho"][lane] = opt.qp.admm_rho
+                            qp.x[k_l] = rqp.x[j]
+                            qp.nu[k_l] = rqp.nu[j]
+                            qp.lam[k_l] = rqp.lam[j]
+                            qp.slacks[k_l] = rqp.slacks[j]
+                            qp.converged[k_l] = rqp.converged[j]
+                            qp.residual[k_l] = rqp.residual[j]
+                            qp.status[k_l] = rqp.status[j]
+                            qp.budget_exhausted[k_l] = rqp.budget_exhausted[j]
+                            qp.iterations[k_l] = int(qp.iterations[k_l]) + int(
+                                rqp.iterations[j]
+                            )
+                            qs, rs = qp.stats[k_l], rqp.stats[j]
+                            qs.factorize_time += rs.factorize_time
+                            qs.substitute_time += rs.substitute_time
+                            qs.factor_flops += rs.factor_flops
+                            qs.substitute_flops += rs.substitute_flops
+                            qs.factorizations += rs.factorizations
+                            qs.banded_factorizations += rs.banded_factorizations
+                            qs.retries += rs.retries
+                            qs.regularization_max = max(
+                                qs.regularization_max, rs.regularization_max
+                            )
             else:
                 qp = solve_qp_batch(
                     *qp_args[:6],

@@ -68,8 +68,11 @@ _W_CEIL = 1e16
 _INF = float("inf")
 _NAN = float("nan")
 
-#: Device-side lane status codes (masked lockstep strategy).
-_ACTIVE, _CONV, _DIV, _MAXIT, _BUDGET, _FAILED = 0, 1, 2, 3, 4, 5
+#: Device-side lane status codes (masked lockstep strategy).  ``_STALLED``
+#: is produced only by the batched ADMM loop (repro.firstorder.batch):
+#: the lane froze because its residual stopped improving — the batched
+#: SQP driver treats it, like ``_FAILED``, as an IPM-rescue candidate.
+_ACTIVE, _CONV, _DIV, _MAXIT, _BUDGET, _FAILED, _STALLED = 0, 1, 2, 3, 4, 5, 6
 _STATUS_NAMES = {
     _ACTIVE: "max_iterations",  # unreachable fallback
     _CONV: "converged",
@@ -77,6 +80,7 @@ _STATUS_NAMES = {
     _MAXIT: "max_iterations",
     _BUDGET: "budget_exhausted",
     _FAILED: "failed",
+    _STALLED: "stalled",
 }
 
 

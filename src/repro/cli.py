@@ -185,8 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--schedule",
         default="smoke",
-        help="builtin fault schedule: smoke, sensor, solver, serve, mixed "
-        "(default: smoke)",
+        help="builtin fault schedule: smoke, sensor, solver, serve, mixed, "
+        "resilience (default: smoke)",
     )
     p_chaos.add_argument(
         "--sessions", type=int, default=3, help="fleet size (default 3)"
@@ -206,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="consecutive fallbacks before a session is marked degraded",
+    )
+    p_chaos.add_argument(
+        "--qp-method",
+        choices=("ipm", "admm"),
+        default="ipm",
+        help="QP method the fleet starts on; admm arms the rescue ladder "
+        "(pair with --schedule resilience)",
     )
     p_chaos.add_argument(
         "--workers",
@@ -494,7 +501,7 @@ def _cmd_solve(args) -> int:
 
 def _cmd_serve_sim(args) -> int:
     from repro.errors import ReproError
-    from repro.robots import BENCHMARK_NAMES
+    from repro.robots import BENCHMARK_NAMES, EXTRA_NAMES
     from repro.serve import DEFAULT_ROBOTS, LoadConfig, run_load
 
     robots = (
@@ -502,11 +509,12 @@ def _cmd_serve_sim(args) -> int:
         if args.robots
         else DEFAULT_ROBOTS
     )
-    unknown = [r for r in robots if r not in BENCHMARK_NAMES]
+    known = (*BENCHMARK_NAMES, *EXTRA_NAMES)
+    unknown = [r for r in robots if r not in known]
     if unknown:
         print(
             f"unknown benchmark(s) {', '.join(unknown)}; choose from "
-            f"{', '.join(BENCHMARK_NAMES)}",
+            f"{', '.join(known)}",
             file=sys.stderr,
         )
         return 2
@@ -640,6 +648,7 @@ def _cmd_chaos(args) -> int:
         horizon=args.horizon,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
         degrade_after=args.degrade_after,
+        qp_method=args.qp_method,
         seed=args.seed,
         workers=args.workers,
         backend=args.backend,

@@ -15,6 +15,9 @@ invariants*:
   its start, with no plant re-seeds after the recovery window.
 * ``restarts_succeeded`` — any session the run had to crash-restart came
   back (vacuously true when nothing crashed).
+* ``stalls_rescued`` — only checked for ``qp_method="admm"`` fleets whose
+  schedule fired ``admm_stall`` faults: at least one ADMM->IPM rescue was
+  recorded, i.e. no forced stall produced a silent bad plan.
 
 ``repro chaos`` is a thin CLI wrapper; the chaos test-suite calls
 :func:`run_campaign` directly with small tick counts.
@@ -58,6 +61,9 @@ class CampaignConfig:
     seed: int = 0
     workers: int = 0
     backend: str = "thread"
+    #: QP method every session starts on; "admm" arms the rescue ladder
+    #: (and the ``stalls_rescued`` invariant when the schedule stalls it)
+    qp_method: str = "ipm"
     substeps: int = 2
     x0_noise: float = 0.02
     trace_path: Optional[str] = None
@@ -189,6 +195,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
                 horizon=config.horizon,
                 deadline_s=config.deadline_s,
                 degrade_after=config.degrade_after,
+                qp_method=config.qp_method,
             )
         )
         sids.append(sid)
@@ -309,6 +316,19 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             f"{restarts_attempted - restarts_succeeded} session restart(s) "
             "failed"
         )
+
+    # Solver-resilience invariant: when the schedule forced ADMM stalls on
+    # an ADMM fleet, every one of them must have been answered by the rescue
+    # ladder (an in-solve IPM retry, visible as method_fallbacks) — a stall
+    # that produced a plan without a rescue is a silent bad plan.
+    if config.qp_method == "admm" and fired.get("admm_stall", 0) > 0:
+        rescued = engine.metrics.fleet.method_fallbacks > 0
+        invariants["stalls_rescued"] = rescued
+        if not rescued:
+            violations.append(
+                f"{fired['admm_stall']} forced ADMM stall(s) fired but no "
+                "ADMM->IPM rescue was recorded (method_fallbacks == 0)"
+            )
 
     result = CampaignReport(
         config=config,

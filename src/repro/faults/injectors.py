@@ -45,6 +45,10 @@ class SessionFaultInjector:
         self._force_failures = 0
         #: (scale, rng) of the active illcond fault, if any
         self._illcond: Optional[Tuple[float, object]] = None
+        #: (scale, rng) of the active illcond_qp fault, if any
+        self._illcond_qp: Optional[Tuple[float, object]] = None
+        #: ADMM solves left to force into a stall this tick
+        self._stall_solves = 0
         self._starve_s: Optional[float] = None
         #: counters for assertions/telemetry: kind -> times fired
         self.fired_counts: Dict[str, int] = {}
@@ -56,6 +60,8 @@ class SessionFaultInjector:
         self._fired = self.schedule.fires(tick, self.session_index)
         self._force_failures = 0
         self._illcond = None
+        self._illcond_qp = None
+        self._stall_solves = 0
         self._starve_s = None
         for idx, spec in self._fired:
             self.fired_counts[spec.kind] = self.fired_counts.get(spec.kind, 0) + 1
@@ -66,6 +72,13 @@ class SessionFaultInjector:
                     spec.intensity(),
                     self.schedule.rng_for(tick, self.session_index, idx),
                 )
+            elif spec.kind == "illcond_qp":
+                self._illcond_qp = (
+                    spec.intensity(),
+                    self.schedule.rng_for(tick, self.session_index, idx),
+                )
+            elif spec.kind == "admm_stall":
+                self._stall_solves += max(1, int(spec.intensity()))
             elif spec.kind == "budget_starve":
                 self._starve_s = spec.intensity()
 
@@ -124,6 +137,29 @@ class SessionFaultInjector:
     def force_failure(self) -> bool:
         if self._force_failures > 0:
             self._force_failures -= 1
+            return True
+        return False
+
+    def transform_qp(self, H: np.ndarray) -> np.ndarray:
+        """Consulted by ``solve_qp`` on the condensed Hessian: an active
+        ``illcond_qp`` fault scales one row/col (congruence, so the matrix
+        stays symmetric PSD) to blow up the norm spread the equilibration
+        gate watches."""
+        if self._illcond_qp is None or H.shape[0] < 2:
+            return H
+        scale, rng = self._illcond_qp
+        k = int(rng.integers(H.shape[0]))
+        out = H.copy()
+        out[k, :] *= scale
+        out[:, k] *= scale
+        return out
+
+    def force_stall(self) -> bool:
+        """Consulted once per ADMM solve: ``True`` forces the solve to
+        report a stall, which must drive the rescue ladder (never a silent
+        bad plan)."""
+        if self._stall_solves > 0:
+            self._stall_solves -= 1
             return True
         return False
 

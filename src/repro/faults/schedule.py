@@ -19,6 +19,8 @@ kind             layer    effect
 ``saturate``     sensor   the applied input is clipped to [-magnitude, +magnitude]
 ``chol_fail``    solver   the next ``magnitude`` factorization attempts fail
 ``illcond``      solver   one KKT row/col is scaled by ``magnitude`` (cond blowup)
+``illcond_qp``   solver   one condensed-QP Hessian row/col scaled by ``magnitude``
+``admm_stall``   solver   the next ``magnitude`` ADMM solves report a stall
 ``budget_starve``  solver  the per-step budget is replaced by ``magnitude`` seconds
 ``worker_crash`` serve    the dispatched solve's worker dies mid-solve
 ``slow_worker``  serve    the dispatched solve is delayed by ``magnitude`` seconds
@@ -46,7 +48,13 @@ __all__ = [
 ]
 
 SENSOR_KINDS = ("nan_state", "inf_state", "dropout", "spike", "saturate")
-SOLVER_KINDS = ("chol_fail", "illcond", "budget_starve")
+SOLVER_KINDS = (
+    "chol_fail",
+    "illcond",
+    "illcond_qp",
+    "admm_stall",
+    "budget_starve",
+)
 SERVE_KINDS = ("worker_crash", "slow_worker")
 
 #: fault kind -> injection layer ("sensor" | "solver" | "serve")
@@ -110,6 +118,8 @@ _DEFAULT_MAGNITUDE: Dict[str, float] = {
     "saturate": 0.1,  # input clip bound
     "chol_fail": 2.0,  # failed attempts per factorization
     "illcond": 1e-7,  # row/col scale factor
+    "illcond_qp": 1e5,  # condensed-Hessian row/col scale (spread blowup)
+    "admm_stall": 1.0,  # forced-stall ADMM solves per tick
     "budget_starve": 1e-4,  # replacement wall budget, seconds
     "worker_crash": 1.0,
     "slow_worker": 0.05,  # injected delay, seconds
@@ -224,6 +234,16 @@ def builtin_schedule(name: str, ticks: int = 40, seed: int = 0) -> FaultSchedule
             FaultSpec("slow_worker", *w(0.05, 0.30), probability=0.5),
             FaultSpec("worker_crash", *w(0.30, 0.40), probability=0.3),
         ]
+    elif name == "resilience":
+        # Solver-resilience campaign: force ADMM stalls and genuinely
+        # ill-conditioned QP data, so every recovery must come from the
+        # rescue ladder (equilibration + polish + IPM fallback), never from
+        # the fault simply not firing.  Pair with ``--qp-method admm``.
+        specs = [
+            FaultSpec("admm_stall", *w(0.05, 0.35), probability=0.8),
+            FaultSpec("illcond_qp", *w(0.20, 0.45), probability=0.6),
+            FaultSpec("chol_fail", *w(0.35, 0.55), probability=0.4),
+        ]
     elif name == "mixed":
         specs = [
             FaultSpec("spike", *w(0.05, 0.25), probability=0.6),
@@ -242,4 +262,4 @@ def builtin_schedule(name: str, ticks: int = 40, seed: int = 0) -> FaultSchedule
 
 
 #: names accepted by :func:`builtin_schedule` (and `repro chaos --schedule`)
-BUILTIN_SCHEDULES = ("smoke", "sensor", "solver", "serve", "mixed")
+BUILTIN_SCHEDULES = ("smoke", "sensor", "solver", "serve", "mixed", "resilience")

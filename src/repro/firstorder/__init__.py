@@ -13,9 +13,33 @@ convergence masks reusing the masked-lockstep freeze semantics of
 Select it with ``QPOptions(method="admm")`` (scalar / SQP),
 ``BatchSolver(qp_method="admm")`` (batched), or ``serve-sim --qp-method
 admm`` (end-to-end).  See DESIGN.md for the IPM-vs-ADMM selection guide.
+
+Resilience layer (DESIGN.md "solver resilience"): stiff problems are Ruiz-
+equilibrated first (:mod:`repro.firstorder.precond`, gated on the data's
+norm spread), a windowed stall detector turns flat residual plateaus into
+explicit ``stalled`` verdicts on the :class:`~repro.mpc.qp.ConditioningReport`,
+and ``QPOptions(polish=True)`` adds an active-set rescue polish that
+recovers machine-precision solutions from stalled/capped iterates.  Solves
+that still end without a usable answer are the fallback ladder's input:
+SQP drivers retry them with the IPM inside the remaining budget.
 """
 
 from repro.firstorder.admm import solve_qp_admm
 from repro.firstorder.batch import solve_qp_admm_batch
+from repro.firstorder.precond import (
+    Equilibration,
+    identity_equilibration,
+    norm_spread,
+    ruiz_equilibrate,
+    ruiz_equilibrate_batch,
+)
 
-__all__ = ["solve_qp_admm", "solve_qp_admm_batch"]
+__all__ = [
+    "Equilibration",
+    "identity_equilibration",
+    "norm_spread",
+    "ruiz_equilibrate",
+    "ruiz_equilibrate_batch",
+    "solve_qp_admm",
+    "solve_qp_admm_batch",
+]

@@ -36,12 +36,14 @@ from time import perf_counter
 from typing import List, Optional
 
 from repro.firstorder.admm import (
+    _STALL_WINDOW,
     _admm_refactor_batch,
     _admm_rho_update_batch,
     _admm_setup_batch,
     _admm_warm_batch,
+    _polish_qp,
 )
-from repro.mpc.qp import QPOptions, QPStats
+from repro.mpc.qp import ConditioningReport, QPOptions, QPStats
 
 from repro.batch.backend import HOST, get_backend
 from repro.batch.qp import (
@@ -50,6 +52,7 @@ from repro.batch.qp import (
     _CONV,
     _FAILED,
     _MAXIT,
+    _STALLED,
     _STATUS_NAMES,
     BatchQPResult,
     BatchQPStats,
@@ -133,16 +136,25 @@ def solve_qp_admm_batch(
     lane_finite = xp.from_host(setup["lane_finite"], dtype="bool")
     factz_h = HOST.astype(setup["lane_finite"], "int")  # host counters
 
+    # Per-lane equilibration scale tensors (exact unit scalings when
+    # disabled): part of the same one-time upload, so the in-loop residual
+    # unscaling below is pure device elementwise work — no new host syncs.
+    sc = setup["scale"]
+    Einv = xp.from_host(sc["Einv"])
+    Dinv = xp.from_host(sc["Dinv"])
+    cinv_col = xp.from_host(sc["cinv"][:, None])
+    q_norm = xp.from_host(setup["q_norm"])
+
     if ws is not None:
-        x = xp.from_host(ws["x"])
-        z = xp.clip(xp.from_host(ws["z"]), lo, hi)
-        y = xp.from_host(ws["y"])
+        # Warm dicts travel unscaled; map them into this solve's scaled
+        # space on the host before the upload.
+        x = xp.from_host(ws["x"] * sc["Dinv"])
+        z = xp.clip(xp.from_host(ws["z"] * sc["E"]), lo, hi)
+        y = xp.from_host(ws["y"] * sc["Einv"] * sc["c"][:, None])
     else:
         x = xp.zeros((lanes, n))
         z = xp.clip(xp.zeros((lanes, msz)), lo, hi)
         y = xp.zeros((lanes, msz))
-
-    q_norm = _maxabs(xp, q)
 
     # Iteration caps: the global trip count is a host decision made once.
     max_it = int(opt.admm_max_iterations)
@@ -162,6 +174,18 @@ def solve_qp_admm_batch(
     iterations = xp.zeros((lanes,), dtype="int")
     residual = xp.full((lanes,), _INF)
     deadline_hit = xp.zeros((lanes,), dtype="bool")
+
+    # Stall detection rides the check_interval cadence: the limit counts
+    # iterations (same knob as the scalar path) rounded up to whole
+    # checks, and a lane stalls when a whole window of checks moves its
+    # best relative residual by less than the _STALL_WINDOW fraction.
+    stall_limit = int(opt.admm_stall_iterations)
+    if stall_limit:
+        cadence = 1 if check_interval <= 1 else int(check_interval)
+        stall_checks = max(1, -(-stall_limit // cadence))
+        best_score = xp.full((lanes,), _INF)
+        window_ref = xp.full((lanes,), _INF)
+        checks_done = 0
     res_rows: List[object] = []
     lane_iter_acc = xp.sum(xp.zeros((1,), dtype="int"))
     bstats = BatchQPStats()
@@ -207,18 +231,28 @@ def solve_qp_admm_batch(
             or bool(sync_interval) and it % sync_interval == 0
         )
         if is_check:
+            # Residuals are unscaled back to the ORIGINAL space (pure
+            # elementwise multiplies by the uploaded scale tensors), so
+            # the stopping test matches the scalar path's meaning with and
+            # without equilibration.
             Ax = _bmv(xp, A, x)
             Hx = _bmv(xp, Hd, x)
             Aty = _bmv(xp, At, y)
-            r_prim = _maxabs(xp, Ax - z)
-            r_dual = _maxabs(xp, Hx + q + Aty)
+            r_prim = _maxabs(xp, Einv * (Ax - z))
+            r_dual = _maxabs(xp, cinv_col * (Dinv * (Hx + q + Aty)))
             res = xp.maximum(r_prim, r_dual)
             residual = xp.where(active, res, residual)
             res_rows.append(xp.where(active, res, _NAN))
 
-            prim_scale = 1.0 + xp.maximum(_maxabs(xp, Ax), _maxabs(xp, z))
+            prim_scale = 1.0 + xp.maximum(
+                _maxabs(xp, Einv * Ax), _maxabs(xp, Einv * z)
+            )
             dual_scale = 1.0 + xp.maximum(
-                xp.maximum(_maxabs(xp, Hx), _maxabs(xp, Aty)), q_norm
+                xp.maximum(
+                    _maxabs(xp, cinv_col * (Dinv * Hx)),
+                    _maxabs(xp, cinv_col * (Dinv * Aty)),
+                ),
+                q_norm,
             )
             rp_rel = r_prim / prim_scale
             rd_rel = r_dual / dual_scale
@@ -238,6 +272,25 @@ def solve_qp_admm_batch(
             x = xp.where(fm, 0.0, x)
             z = xp.where(fm, 0.0, z)
             y = xp.where(fm, 0.0, y)
+
+            if stall_limit:
+                # Per-lane stall detector (conv beats stall: convergence
+                # was classified above, so only still-active lanes can
+                # freeze here).  All device elementwise work; the window
+                # boundary is a lockstep host-side counter, not a sync.
+                best_score = xp.minimum(
+                    best_score, xp.maximum(rp_rel, rd_rel)
+                )
+                checks_done += 1
+                if checks_done >= stall_checks:
+                    stalled_now = (
+                        (status == _ACTIVE)
+                        & finite
+                        & (best_score > _STALL_WINDOW * window_ref)
+                    )
+                    status = xp.where(stalled_now, _STALLED, status)
+                    window_ref = best_score
+                    checks_done = 0
 
         # Cap enforcement runs every iteration (elementwise, no matvec) so
         # a budgeted lane freezes exactly at its cap; on check iterations
@@ -280,9 +333,12 @@ def solve_qp_admm_batch(
     loop_time = perf_counter() - t_loop
 
     # ---- single bulk download: the only host materialization ----------
-    x_h = xp.to_host(x)
-    z_h = xp.to_host(z)
-    y_h = xp.to_host(y)
+    # Iterates come back in the scaled space and are unscaled here, on the
+    # host, so everything published (solution, duals, slacks, warm state)
+    # lives in the original space.
+    x_h = xp.to_host(x) * sc["D"]
+    z_h = xp.to_host(z) * sc["Einv"]
+    y_h = xp.to_host(y) * sc["E"] * sc["cinv"][:, None]
     status_h = xp.to_host(status)
     iters_h = xp.to_host(iterations)
     resid_h = xp.to_host(residual)
@@ -320,6 +376,16 @@ def solve_qp_admm_batch(
             st.factorize_time = setup_time / lanes
         st.substitute_flops = int(iters_h[lane]) * matvec_flops
         st.substitute_time = loop_time / lanes
+        st.conditioning = ConditioningReport(
+            equilibrated=bool(sc["lane_eq"][lane]),
+            ruiz_iters=int(sc["iters"]),
+            norm_spread_before=float(sc["spread_before"][lane]),
+            norm_spread_after=float(sc["spread_after"][lane]),
+            cost_scale=float(sc["c"][lane]),
+            rho_rescales=max(0, int(factz_h[lane]) - 1),
+            stalled=status_codes[lane] == _STALLED,
+            diverged=status_names[lane] == "failed" and bool(finite_h[lane]),
+        )
         stats.append(st)
 
     warm_out = None
@@ -336,6 +402,55 @@ def solve_qp_admm_batch(
             "y": HOST.copy(y_h),
             "rho": HOST.copy(rho_lane),
         }
+
+    # ---- per-lane rescue polish (host epilogue, opt.polish) ------------
+    # Lanes that ended without a usable answer — stalled, capped, or
+    # poisoned — get the same active-set polish as the scalar path, run on
+    # the UNSCALED per-lane data stashed at setup.  The warm dict above
+    # was captured first: it always carries the operator-splitting
+    # iterate, never the polished point.  Lanes stopped by an *iteration*
+    # cap polish like the scalar path at the same cap would; lanes stopped
+    # by the wall-clock deadline are left alone (polish work past a
+    # deadline breaks the budget contract).
+    if opt.polish and n > 0:
+        for lane in range(lanes):
+            if not finite_h[lane]:
+                continue
+            code = status_codes[lane]
+            if code not in (_MAXIT, _STALLED, _FAILED, _BUDGET):
+                continue
+            if code == _BUDGET and bool(deadline_h[lane]):
+                continue
+            pol = _polish_qp(
+                setup["H0"][lane],
+                setup["q0"][lane],
+                setup["G0"][lane] if p else None,
+                setup["b0"][lane] if p else None,
+                setup["J"][lane] if m else None,
+                setup["d"][lane] if m else None,
+                x_h[lane],
+                lam_h[lane],
+                opt.regularization,
+                tol,
+            )
+            if pol is None:
+                continue
+            if not (
+                pol["converged"] or pol["residual"] < resid_h[lane]
+            ):
+                continue
+            x_h[lane] = pol["x"]
+            nu_h[lane] = pol["nu"]
+            lam_h[lane] = pol["lam"]
+            slacks_h[lane] = pol["slacks"]
+            resid_h[lane] = pol["residual"]
+            gap_history[lane].append(pol["residual"])
+            stats[lane].factorizations += 1
+            if pol["converged"]:
+                status_codes[lane] = _CONV
+                status_names[lane] = "converged"
+                converged_h[lane] = True
+                stats[lane].conditioning.polished = True
 
     return BatchQPResult(
         x=x_h,

@@ -52,6 +52,12 @@ class SolverHealth:
     factorization_retries: int = 0
     #: largest diagonal regularization the retry ladder had to reach
     regularization_max: float = 0.0
+    #: ADMM subproblems that stalled/diverged and were re-solved by the IPM
+    #: rescue path (the method-health fallback ladder).  A rescued solve is
+    #: still a *successful* solve — this does not flip ``ok`` — but a
+    #: climbing count tells the serving layer the session's configured
+    #: qp_method is the wrong tool for its robot.
+    method_fallbacks: int = 0
     #: free-form annotations ("nonfinite_state[3]", "warm_start_reseeded", …)
     notes: List[str] = field(default_factory=list)
 
@@ -75,6 +81,7 @@ class SolverHealth:
             "steps_rejected": self.steps_rejected,
             "factorization_retries": self.factorization_retries,
             "regularization_max": self.regularization_max,
+            "method_fallbacks": self.method_fallbacks,
             "notes": list(self.notes),
         }
 
@@ -88,5 +95,6 @@ class SolverHealth:
             steps_rejected=int(data.get("steps_rejected", 0)),
             factorization_retries=int(data.get("factorization_retries", 0)),
             regularization_max=float(data.get("regularization_max", 0.0)),
+            method_fallbacks=int(data.get("method_fallbacks", 0)),
             notes=list(data.get("notes", [])),
         )

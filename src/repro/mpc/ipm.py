@@ -167,6 +167,24 @@ class InteriorPointSolver:
         """
         self._qp_warm = None
 
+    def _absorb_qp_stats(self, health, qs) -> None:
+        """Fold one QP subproblem's stats into the solve-level counters.
+
+        Split out so the ADMM->IPM rescue can account both attempts (the
+        stalled first-order run *and* its interior-point retry) instead of
+        silently dropping the failed attempt's work from telemetry.
+        """
+        self.stats["factorize_time"] += qs.factorize_time
+        self.stats["substitute_time"] += qs.substitute_time
+        self.stats["factor_flops"] += qs.factor_flops
+        self.stats["substitute_flops"] += qs.substitute_flops
+        self.stats["factorizations"] += qs.factorizations
+        self.stats["banded_factorizations"] += qs.banded_factorizations
+        health.factorization_retries += qs.retries
+        health.regularization_max = max(
+            health.regularization_max, qs.regularization_max
+        )
+
     def _setup_banded_path(self) -> None:
         """Precompute the stage-interleaved QP permutations and band hints.
 
@@ -543,6 +561,54 @@ class InteriorPointSolver:
                 health.note(f"qp_failed_it{it}")
                 diverged = True
                 break
+
+            # ---- method-health fallback ladder (ADMM -> IPM rescue) ------
+            # The first-order run ended stalled or diverged and the rescue
+            # polish could not repair it to a converged solution: retry the
+            # *same* subproblem with the interior-point method inside the
+            # remaining budget.  Warm-start hygiene: the ADMM iterate triple
+            # is meaningless to the IPM, and a post-rescue ADMM restart must
+            # never resume from the stalled iterate — the carry-over is
+            # invalidated on the way into the rescue (the next ADMM solve,
+            # if the ladder hands the method back, starts cold).
+            cond = qp_res.stats.conditioning
+            if (
+                qp_opt.method == "admm"
+                and qp_opt.admm_fallback
+                and cond is not None
+                and cond.needs_fallback
+                and not (clock is not None and clock.expired())
+            ):
+                # Account the stalled attempt first: if its iterations ate
+                # the whole budget there is no rescue — the counter must
+                # only record retries that actually ran.
+                qp_total += qp_res.iterations
+                self._absorb_qp_stats(health, qp_res.stats)
+                rescue_opt = replace(qp_opt, method="ipm")
+                if budget is not None and budget.qp_iterations is not None:
+                    remaining = budget.qp_iterations - qp_total
+                    if remaining < 1:
+                        budget_hit = True
+                        break
+                    if remaining < rescue_opt.max_iterations:
+                        rescue_opt = replace(rescue_opt, max_iterations=remaining)
+                self._qp_warm = None
+                health.method_fallbacks += 1
+                health.note(f"admm_fallback_it{it}")
+                try:
+                    qp_res = solve_qp(
+                        *qp_args[:6],
+                        rescue_opt,
+                        bandwidth=qp_args[6],
+                        deadline=clock.deadline if clock is not None else None,
+                        fault_hook=self.fault_hook,
+                        warm=None,
+                    )
+                except SolverError:
+                    health.note(f"qp_failed_it{it}")
+                    diverged = True
+                    break
+
             if qperm is not None:
                 # Scatter the stage-interleaved solution back to the
                 # original variable ordering (multipliers are unaffected
@@ -566,17 +632,7 @@ class InteriorPointSolver:
                 # ADMM hands back its iterate triple + adapted rho; seed the
                 # next subproblem (and, across ticks, the next solve) with it.
                 self._qp_warm = qp_res.warm
-            qs = qp_res.stats
-            self.stats["factorize_time"] += qs.factorize_time
-            self.stats["substitute_time"] += qs.substitute_time
-            self.stats["factor_flops"] += qs.factor_flops
-            self.stats["substitute_flops"] += qs.substitute_flops
-            self.stats["factorizations"] += qs.factorizations
-            self.stats["banded_factorizations"] += qs.banded_factorizations
-            health.factorization_retries += qs.retries
-            health.regularization_max = max(
-                health.regularization_max, qs.regularization_max
-            )
+            self._absorb_qp_stats(health, qp_res.stats)
 
             # Deadline passed mid-QP: the direction is a partial (possibly
             # zero) interior-point iterate — discard it rather than spend

@@ -51,7 +51,7 @@ from repro.mpc.linalg import (
     flop_counts_substitution,
 )
 
-__all__ = ["QPOptions", "QPResult", "QPStats", "solve_qp"]
+__all__ = ["ConditioningReport", "QPOptions", "QPResult", "QPStats", "solve_qp"]
 
 
 @dataclass
@@ -102,6 +102,33 @@ class QPOptions:
     #: iterations between rho-adaptation checks (each adaptation triggers
     #: the one re-factorization of the cached KKT matrix)
     admm_rho_interval: int = 25
+    #: Ruiz-equilibrate the box-form data before the ADMM iteration (see
+    #: :mod:`repro.firstorder.precond`).  Termination still tests the
+    #: *unscaled* residuals, so tolerances mean the same thing either way;
+    #: on stiff problems this is the difference between converging and
+    #: stalling.  Ignored by the IPM (whose per-iteration factorizations
+    #: absorb bad scaling directly).
+    admm_equilibrate: bool = True
+    #: Ruiz sweep cap (each sweep is one row/col norm pass; the iteration
+    #: exits early at its fixpoint, typically 3-6 sweeps)
+    admm_equilibrate_iters: int = 10
+    #: norm-spread gate: equilibration only runs when the max/min ratio of
+    #: the stacked row/col infinity norms exceeds this.  Already-well-
+    #: scaled problems are left alone — normalizing them makes the relative
+    #: stopping test effectively absolute, which can land a tight tolerance
+    #: below the iteration's numerical floor (the cached factorization's
+    #: diagonal regularization offsets the fixed point by ``~reg * |x|``,
+    #: and the unscaling amplifies it).  Batched solves gate per lane.
+    admm_equilibrate_spread: float = 100.0
+    #: stall detector: the solve is declared stalled (and becomes a
+    #: fallback-ladder candidate) after this window of iterations goes by
+    #: without the best relative residual improving by at least 10%.  ``0``
+    #: disables detection.  The batched loop rounds this up to its
+    #: ``check_interval`` residual cadence.
+    admm_stall_iterations: int = 250
+    #: let SQP drivers retry a stalled/diverged ADMM subproblem with the
+    #: IPM inside the remaining budget (the method-health fallback ladder)
+    admm_fallback: bool = True
 
     def __post_init__(self):
         if self.max_iterations < 1:
@@ -116,6 +143,69 @@ class QPOptions:
             raise SolverError("admm_max_iterations must be >= 1")
         if not 0.0 < self.admm_alpha < 2.0:
             raise SolverError("admm_alpha must lie in (0, 2)")
+        if self.admm_equilibrate_iters < 0:
+            raise SolverError("admm_equilibrate_iters must be >= 0")
+        if self.admm_equilibrate_spread < 1.0:
+            raise SolverError("admm_equilibrate_spread must be >= 1")
+        if self.admm_stall_iterations < 0:
+            raise SolverError("admm_stall_iterations must be >= 0")
+
+
+@dataclass
+class ConditioningReport:
+    """How one ADMM solve experienced the problem's conditioning.
+
+    Produced by :func:`repro.firstorder.admm.solve_qp_admm` (and per lane
+    by the batched loop) and carried on :attr:`QPStats.conditioning` so
+    the SQP drivers and the serving layer can decide whether the solve is
+    a fallback-ladder candidate instead of re-deriving it from residuals.
+    """
+
+    #: equilibration ran (``QPOptions.admm_equilibrate`` and a non-trivial
+    #: problem)
+    equilibrated: bool = False
+    #: Ruiz sweeps actually executed (early exit at the fixpoint)
+    ruiz_iters: int = 0
+    #: max/min nonzero row+col infinity-norm ratio of the stacked data
+    #: matrix, before and after scaling — the conditioning proxy
+    norm_spread_before: float = 1.0
+    norm_spread_after: float = 1.0
+    #: cost scalar the equilibration settled on
+    cost_scale: float = 1.0
+    #: residual-balancing rho rescales (each one re-factorized the cached
+    #: KKT matrix — a high count on a converged solve is thrash)
+    rho_rescales: int = 0
+    #: the stall detector fired: ``admm_stall_iterations`` went by without
+    #: the best relative residual improving
+    stalled: bool = False
+    #: the iteration produced a non-finite residual (poisoned iterate)
+    diverged: bool = False
+    #: an active-set polish step recovered a converged solution after the
+    #: loop stalled, capped out, or diverged (``QPOptions.polish``)
+    polished: bool = False
+
+    @property
+    def needs_fallback(self) -> bool:
+        """The solve is a candidate for the ADMM->IPM rescue ladder.
+
+        A stall or divergence the polish step already repaired to a
+        converged solution is not — the ladder only spends budget on
+        solves that ended without a usable answer.
+        """
+        return (self.stalled or self.diverged) and not self.polished
+
+    def to_dict(self) -> dict:
+        return {
+            "equilibrated": self.equilibrated,
+            "ruiz_iters": self.ruiz_iters,
+            "norm_spread_before": self.norm_spread_before,
+            "norm_spread_after": self.norm_spread_after,
+            "cost_scale": self.cost_scale,
+            "rho_rescales": self.rho_rescales,
+            "stalled": self.stalled,
+            "diverged": self.diverged,
+            "polished": self.polished,
+        }
 
 
 @dataclass
@@ -149,6 +239,8 @@ class QPStats:
     substitute_time: float = 0.0
     factor_flops: int = 0
     substitute_flops: int = 0
+    #: conditioning/stall record of an ADMM solve (None for the IPM)
+    conditioning: Optional[ConditioningReport] = None
 
 
 @dataclass
@@ -241,8 +333,12 @@ def _robust_factor(
             "factorization input contains non-finite entries "
             "(upstream iterate or constraint data is poisoned)"
         )
-    if fault_hook is not None:
-        A = fault_hook.transform_matrix(A)
+    # Duck-typed hook protocol: a hook may implement any subset of
+    # transform_matrix / force_failure (/ transform_qp, force_stall).
+    transform = getattr(fault_hook, "transform_matrix", None)
+    if transform is not None:
+        A = transform(A)
+    force_failure = getattr(fault_hook, "force_failure", None)
     t0 = perf_counter()
     if band is not None and A.shape[0]:
         B = to_banded(A, band)
@@ -252,7 +348,7 @@ def _robust_factor(
     current = reg
     for _ in range(16):
         try:
-            if fault_hook is not None and fault_hook.force_failure():
+            if force_failure is not None and force_failure():
                 raise SolverError("injected factorization failure")
             factor = make(current)
         except SolverError:
@@ -320,13 +416,22 @@ def solve_qp(
                 "refusing to start the interior-point iteration"
             )
 
+    if fault_hook is not None:
+        # illcond_qp campaigns perturb the problem *data* (not just the
+        # factorization input), so equilibration and the fallback ladder
+        # see a genuinely ill-conditioned QP.  Optional on the hook.
+        transform_qp = getattr(fault_hook, "transform_qp", None)
+        if transform_qp is not None:
+            H = transform_qp(H)
+
     if opt.method == "admm":
         # Imported lazily: repro.firstorder imports this module's dataclasses,
         # so the dependency edge must not exist at import time.
         from repro.firstorder.admm import solve_qp_admm
 
         return solve_qp_admm(
-            H, g, G, b, J, d, options=opt, deadline=deadline, warm=warm
+            H, g, G, b, J, d, options=opt, deadline=deadline, warm=warm,
+            fault_hook=fault_hook,
         )
 
     has_eq = G is not None and G.shape[0] > 0

@@ -1,0 +1,211 @@
+"""Humanoid benchmark: planar double-inverted-pendulum balance.
+
+An extra (non-Table-III) benchmark built to be *stiff*: a standing
+humanoid reduced to its sagittal-plane ankle+hip model — two inverted
+links (legs, torso) actuated at the ankle and hip, balancing against
+gravity.  Posture errors are penalized orders of magnitude harder than
+actuation effort (a fall is catastrophic, torque is cheap), and the ankle
+torque is tightly bounded (the foot is small), so the condensed QP mixes
+very large and very small curvatures and constraint rows.  That norm
+spread is exactly what the solver resilience layer exists for: this robot
+exercises Ruiz equilibration and the ADMM rescue/polish path in
+conformance and chaos runs (see DESIGN.md "solver resilience").
+
+The dynamics are the same closed-form two-link Lagrangian as the
+Manipulator benchmark, with angles measured from the *upright* vertical —
+the gravity terms are destabilizing (``sin`` of the lean angles), so the
+plant is open-loop unstable and the controller must actively balance.
+
+Constraint count = 6 bounded variables (2 torques, 2 angles, 2 rates)
++ 4 task constraints (center-of-mass excursion kept over the foot in both
+directions, head height kept up, hip flexion kept clear of the torso).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import pi
+
+import numpy as np
+
+from repro.mpc.model import RobotModel, VarSpec
+from repro.mpc.task import Constraint, Penalty, Task
+from repro.robots.base import RobotBenchmark
+from repro.symbolic import Var, cos, sin
+
+__all__ = ["HumanoidParams", "build_model", "build_task", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class HumanoidParams:
+    """Planar ankle+hip balance model parameters.
+
+    The mass/length split (heavy torso on light legs) and the deliberately
+    skewed weight scales (posture ≫ damping ≫ effort) are what make this
+    benchmark numerically stiff.
+    """
+
+    m_legs: float = 24.0
+    m_torso: float = 46.0
+    l_legs: float = 0.85  # hip height (m)
+    l_torso: float = 0.75  # hip-to-head (m)
+    r_legs: float = 0.5  # center-of-mass offsets along each link (m)
+    r_torso: float = 0.35
+    i_legs: float = 1.4  # link inertias about their own CoM (kg m^2)
+    i_torso: float = 1.9
+    gravity: float = 9.81
+    #: ankle torque is capped by the foot geometry (CoP must stay inside
+    #: the support polygon) — this is the tight, hard-to-satisfy bound
+    ankle_bound: float = 40.0
+    hip_bound: float = 120.0
+    lean_bound: float = 0.6  # rad, both joints
+    rate_bound: float = 4.0  # rad/s
+    #: foot half-length: CoM horizontal excursion limit (m)
+    foot_half: float = 0.11
+    posture_weight: float = 400.0
+    damp_weight: float = 2.0
+    ankle_effort_weight: float = 5e-4
+    hip_effort_weight: float = 2e-3
+    dt: float = 0.02
+
+
+def build_model(params: HumanoidParams = HumanoidParams()) -> RobotModel:
+    """Two-link *inverted* Lagrangian dynamics (angles from upright)."""
+    p = params
+    q1, q2 = Var("q[0]"), Var("q[1]")  # ankle lean, hip flexion
+    dq1, dq2 = Var("dq[0]"), Var("dq[1]")
+    t1, t2 = Var("tau[0]"), Var("tau[1]")  # ankle, hip torques
+
+    # Mass matrix M(q) = [[a1 + 2 a2 c2, a3 + a2 c2], [a3 + a2 c2, a3]]
+    a1 = (
+        p.i_legs
+        + p.i_torso
+        + p.m_legs * p.r_legs**2
+        + p.m_torso * (p.l_legs**2 + p.r_torso**2)
+    )
+    a2 = p.m_torso * p.l_legs * p.r_torso
+    a3 = p.i_torso + p.m_torso * p.r_torso**2
+    c2 = cos(q2)
+    m11 = a1 + 2.0 * a2 * c2
+    m12 = a3 + a2 * c2
+    m22 = a3
+
+    # Coriolis/centrifugal terms (identical structure to the arm).
+    s2 = sin(q2)
+    cor1 = -a2 * s2 * (2.0 * dq1 * dq2 + dq2 * dq2)
+    cor2 = a2 * s2 * dq1 * dq1
+
+    # Gravity measured from the upright vertical: ``sin`` of the lean
+    # angles, *destabilizing* — leaning increases the toppling torque.
+    g1 = (
+        -(p.m_legs * p.r_legs + p.m_torso * p.l_legs) * p.gravity * sin(q1)
+        - p.m_torso * p.r_torso * p.gravity * sin(q1 + q2)
+    )
+    g2 = -p.m_torso * p.r_torso * p.gravity * sin(q1 + q2)
+
+    rhs1 = t1 - cor1 - g1
+    rhs2 = t2 - cor2 - g2
+
+    # Closed-form inverse: [[m22, -m12], [-m12, m11]] / det
+    det = m11 * m22 - m12 * m12
+    ddq1 = (m22 * rhs1 - m12 * rhs2) / det
+    ddq2 = (m11 * rhs2 - m12 * rhs1) / det
+
+    return RobotModel(
+        name="Humanoid",
+        states=[
+            VarSpec("q[0]", -p.lean_bound, p.lean_bound),
+            VarSpec("q[1]", -p.lean_bound, p.lean_bound),
+            VarSpec("dq[0]", -p.rate_bound, p.rate_bound),
+            VarSpec("dq[1]", -p.rate_bound, p.rate_bound),
+        ],
+        inputs=[
+            VarSpec("tau[0]", -p.ankle_bound, p.ankle_bound),
+            VarSpec("tau[1]", -p.hip_bound, p.hip_bound),
+        ],
+        dynamics={
+            "q[0]": dq1,
+            "q[1]": dq2,
+            "dq[0]": ddq1,
+            "dq[1]": ddq2,
+        },
+        # Open-loop unstable: a zero-torque rollout topples through the
+        # lean box within the horizon, so cold starts hold the measured
+        # configuration instead.
+        rollout_guess=False,
+        params={
+            "m_legs": p.m_legs,
+            "m_torso": p.m_torso,
+            "l_legs": p.l_legs,
+            "l_torso": p.l_torso,
+            "gravity": p.gravity,
+        },
+    )
+
+
+def build_task(
+    model: RobotModel, params: HumanoidParams = HumanoidParams()
+) -> Task:
+    """Balance: drive both joints to a referenced posture and hold it.
+
+    The center of mass must stay over the foot (the static-balance proxy
+    for the CoP condition), the head must stay up, and the hip must not
+    fold past the torso.
+    """
+    p = params
+    q1, q2 = Var("q[0]"), Var("q[1]")
+    dq1, dq2 = Var("dq[0]"), Var("dq[1]")
+    t1, t2 = Var("tau[0]"), Var("tau[1]")
+    rq1, rq2 = Var("ref_q0"), Var("ref_q1")
+
+    # Forward kinematics for the balance constraints (from the ankle).
+    m_total = p.m_legs + p.m_torso
+    com_x = (
+        p.m_legs * p.r_legs * sin(q1)
+        + p.m_torso * (p.l_legs * sin(q1) + p.r_torso * sin(q1 + q2))
+    ) / m_total
+    head_y = p.l_legs * cos(q1) + p.l_torso * cos(q1 + q2)
+
+    w = p.posture_weight
+    return Task(
+        name="balance",
+        model=model,
+        penalties=[
+            Penalty("posture_q0", q1 - rq1, w, "running"),
+            Penalty("posture_q1", q2 - rq2, w, "running"),
+            Penalty("damp_dq0", dq1, p.damp_weight, "running"),
+            Penalty("damp_dq1", dq2, p.damp_weight, "running"),
+            Penalty("effort_ankle", t1, p.ankle_effort_weight, "running"),
+            Penalty("effort_hip", t2, p.hip_effort_weight, "running"),
+        ],
+        constraints=[
+            Constraint("com_forward", com_x, upper=p.foot_half, timing="running"),
+            Constraint("com_back", com_x, lower=-p.foot_half, timing="running"),
+            Constraint(
+                "head_up",
+                head_y,
+                lower=0.8 * (p.l_legs + p.l_torso),
+                timing="running",
+            ),
+            Constraint("hip_clearance", q1 + q2, lower=-0.8, timing="running"),
+        ],
+        references=["ref_q0", "ref_q1"],
+    )
+
+
+def build_benchmark(params: HumanoidParams = HumanoidParams()) -> RobotBenchmark:
+    model = build_model(params)
+    task = build_task(model, params)
+    return RobotBenchmark(
+        name="Humanoid",
+        model=model,
+        task=task,
+        # Pushed posture: leaning forward at the ankle, torso pitched back,
+        # with a little forward momentum — inside every box, but the
+        # recovery saturates the ankle bound.
+        x0=np.array([0.08, -0.05, 0.25, 0.0]),
+        ref=np.array([0.0, 0.0]),
+        dt=params.dt,
+        system_description="Planar Humanoid (ankle+hip)",
+        task_description="Balance",
+    )

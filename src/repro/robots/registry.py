@@ -16,6 +16,7 @@ from repro.robots import (
     auto_vehicle,
     cartpole,
     hexacopter,
+    humanoid,
     manipulator,
     microsat,
     mobile_robot,
@@ -47,6 +48,7 @@ BENCHMARK_NAMES = tuple(_BUILDERS)
 #: paper tables/figures and from ``BENCHMARK_NAMES``.
 _EXTRA_BUILDERS: Dict[str, Callable[[], RobotBenchmark]] = {
     "CartPole": cartpole.build_benchmark,
+    "Humanoid": humanoid.build_benchmark,
 }
 EXTRA_NAMES = tuple(_EXTRA_BUILDERS)
 

@@ -501,6 +501,13 @@ class ServeEngine:
         for sid in sids:
             session = self.sessions[sid]
             x, ref = inputs[sid]
+            if session.qp_method != session.config.qp_method:
+                # The method-health ladder demoted this session: its solves
+                # must not re-enter the shared batch (whose solver still
+                # runs the configured method) — step it scalar-inline with
+                # its own, already-rebound solver instead.
+                self._record(sid, self._step_guarded(sid, x, ref), report)
+                continue
             payload = session.solve_payload(x, ref=ref)
             bad = not np.all(np.isfinite(payload["x"])) or (
                 payload["ref"] is not None

@@ -162,6 +162,12 @@ class StepOutcome:
     #: numerical-health report (None when no solve ran or the solver does
     #: not report health, e.g. injected stubs)
     health: Optional[Dict[str, object]] = None
+    #: ADMM subproblems this step's solve handed to the IPM rescue path
+    #: (copied out of ``health`` so telemetry can count without digging)
+    method_fallbacks: int = 0
+    #: this step demoted the session's effective ``qp_method`` to "ipm"
+    #: (``degrade_after`` consecutive solves needed the rescue path)
+    method_demoted: bool = False
 
     def to_record(self) -> Dict[str, object]:
         """Flat JSONL-trace representation (drops the input vector)."""
@@ -177,6 +183,8 @@ class StepOutcome:
             "partial": self.partial,
             "session_state": self.session_state,
             "consecutive_fallbacks": self.consecutive_fallbacks,
+            "method_fallbacks": self.method_fallbacks,
+            "method_demoted": self.method_demoted,
             "health": self.health,
         }
 
@@ -203,6 +211,12 @@ class ControlSession:
         self.ladder = FallbackLadder(self.problem.nu, hover=hover)
         self.state = ACTIVE
         self.steps = 0
+        #: effective inner QP method; starts at the configured one and is
+        #: demoted to "ipm" when ``degrade_after`` consecutive solves needed
+        #: the ADMM->IPM rescue ladder (the configured method is clearly the
+        #: wrong tool for this robot).  ``reset``/``restart`` re-promote.
+        self.qp_method = config.qp_method
+        self._rescue_streak = 0
         if config.warm_start is not None:
             controller.warm_start = config.warm_start
 
@@ -242,6 +256,7 @@ class ControlSession:
         self._require_serving("reset")
         self.controller.reset()
         self.ladder.reset()
+        self._repromote()
         self.state = ACTIVE
 
     def close(self) -> None:
@@ -267,6 +282,7 @@ class ControlSession:
             )
         self.controller.reset()
         self.ladder.reset()
+        self._repromote()
         self.state = ACTIVE
         return StepOutcome(
             session_id=self.session_id,
@@ -274,6 +290,14 @@ class ControlSession:
             status="restarted",
             session_state=ACTIVE,
         )
+
+    def _repromote(self) -> None:
+        """Restore the configured ``qp_method`` after a demotion (operator
+        reset/restart is an explicit vote of confidence in the binding)."""
+        self._rescue_streak = 0
+        if self.qp_method != self.config.qp_method:
+            self.qp_method = self.config.qp_method
+            apply_qp_method(self.controller.solver, self.qp_method)
 
     def fail_step(
         self,
@@ -368,7 +392,9 @@ class ControlSession:
             "deadline_s": self.config.deadline_s,
             "max_sqp_iterations": self.config.max_sqp_iterations,
             "max_qp_iterations": self.config.max_qp_iterations,
-            "qp_method": self.config.qp_method,
+            # the *effective* method: a demoted session ships "ipm" to the
+            # worker pool even though its config still says "admm"
+            "qp_method": self.qp_method,
         }
 
     def absorb(self, remote: Dict[str, object]) -> StepOutcome:
@@ -447,7 +473,7 @@ class ControlSession:
         self.ladder.record_success(self.problem.split(result.z)[1])
         self.steps += 1
         self.state = ACTIVE  # a good solve recovers a degraded session
-        return StepOutcome(
+        return self._track_method_health(StepOutcome(
             session_id=self.session_id,
             u=u,
             status="ok",
@@ -460,7 +486,7 @@ class ControlSession:
             session_state=self.state,
             partial=result.status == "budget_exhausted" and not result.converged,
             health=_health_dict(result),
-        )
+        ))
 
     def _fallback_outcome(
         self,
@@ -478,7 +504,7 @@ class ControlSession:
         ):
             self.state = DEGRADED
             transition = True
-        return StepOutcome(
+        return self._track_method_health(StepOutcome(
             session_id=self.session_id,
             u=action.input,
             status=action.rung,
@@ -494,7 +520,40 @@ class ControlSession:
             degraded_transition=transition,
             consecutive_fallbacks=self.ladder.consecutive,
             health=health if health is not None else _health_dict(result),
-        )
+        ))
+
+    def _track_method_health(self, outcome: StepOutcome) -> StepOutcome:
+        """Fold the solve's rescue count into the outcome and run the
+        method-demotion ladder.
+
+        ``degrade_after`` *consecutive* solves that each needed at least one
+        ADMM->IPM rescue demote the session's effective ``qp_method`` to
+        "ipm" — every subproblem is already paying for both solvers, so the
+        first-order attempt is pure overhead.  Any rescue-free solve resets
+        the streak.  The solver-internal ADMM warm state is dropped on
+        demotion (warm-start hygiene across the method switch).
+        """
+        if outcome.health:
+            outcome.method_fallbacks = int(
+                outcome.health.get("method_fallbacks", 0) or 0
+            )
+        if self.qp_method != "admm":
+            return outcome
+        if outcome.method_fallbacks > 0:
+            self._rescue_streak += 1
+            if self._rescue_streak >= self.config.degrade_after:
+                self.qp_method = "ipm"
+                apply_qp_method(self.controller.solver, "ipm")
+                reset_warm = getattr(
+                    self.controller.solver, "reset_qp_warm", None
+                )
+                if callable(reset_warm):
+                    reset_warm()
+                self._rescue_streak = 0
+                outcome.method_demoted = True
+        else:
+            self._rescue_streak = 0
+        return outcome
 
     def solver_stats(self) -> Dict[str, float]:
         """The wrapped solver's cumulative per-phase stats (may be empty

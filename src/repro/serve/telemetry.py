@@ -114,6 +114,12 @@ class SessionMetrics:
     worker_deaths: int = 0
     crashes: int = 0
     degraded_transitions: int = 0
+    #: ADMM subproblems re-solved by the IPM rescue ladder (the solves
+    #: still succeeded — this counts the extra work, not failures)
+    method_fallbacks: int = 0
+    #: sessions demoted from "admm" to "ipm" after ``degrade_after``
+    #: consecutive rescued solves
+    method_demotions: int = 0
     sqp_iterations: int = 0
     qp_iterations: int = 0
     solve_latency: Histogram = field(default_factory=Histogram)
@@ -135,6 +141,8 @@ class SessionMetrics:
         self.worker_deaths += other.worker_deaths
         self.crashes += other.crashes
         self.degraded_transitions += other.degraded_transitions
+        self.method_fallbacks += other.method_fallbacks
+        self.method_demotions += other.method_demotions
         self.sqp_iterations += other.sqp_iterations
         self.qp_iterations += other.qp_iterations
         self.solve_latency.merge(other.solve_latency)
@@ -154,6 +162,8 @@ class SessionMetrics:
             "worker_deaths": self.worker_deaths,
             "crashes": self.crashes,
             "degraded_transitions": self.degraded_transitions,
+            "method_fallbacks": self.method_fallbacks,
+            "method_demotions": self.method_demotions,
             "sqp_iterations": self.sqp_iterations,
             "qp_iterations": self.qp_iterations,
             "solve_latency": self.solve_latency.to_dict(),
@@ -224,6 +234,9 @@ class FleetMetrics:
                 target.worker_deaths += 1
             if outcome.degraded_transition:
                 target.degraded_transitions += 1
+            target.method_fallbacks += getattr(outcome, "method_fallbacks", 0)
+            if getattr(outcome, "method_demoted", False):
+                target.method_demotions += 1
             target.sqp_iterations += outcome.sqp_iterations
             target.qp_iterations += outcome.qp_iterations
             if outcome.solve_time is not None:
@@ -381,6 +394,11 @@ def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
         f"crashes={f.crashes}"
     )
     lines.append(f"degraded events: {f.degraded_transitions}")
+    if f.method_fallbacks or f.method_demotions:
+        lines.append(
+            f"method rescues:  fallbacks={f.method_fallbacks}  "
+            f"demotions={f.method_demotions}"
+        )
     lines.append(
         "solve latency:   "
         f"p50={lat.percentile(50) * 1e3:.1f}ms  "

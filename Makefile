@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke resilience-smoke lint
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke resilience-smoke codegen-smoke lint
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -61,6 +61,16 @@ resilience-smoke:
 	mkdir -p conform/failures
 	$(REPRO) chaos --robot manipulator --schedule resilience --qp-method admm --sessions 1 --ticks 10 --horizon 6 --deadline-ms 0 --seed 3 --trace conform/failures/resilience-trace.jsonl
 	$(REPRO) conform run --cases 8 --seed 0 --robots Manipulator,Humanoid --paths dense_kkt,admm_qp,batch_admm --out-dir conform/failures
+
+# Fused-codegen smoke: the differential equivalence property suite, the
+# artifact-store/linearizer suites, the conform linearize family against the
+# interpreted oracle, and the fast-lane speedup gate (fused >= 2x interpreted
+# on the Quadrotor N=30 linearize block; the >= 5x C-tier gate runs under
+# `-m slow` where a compiler is guaranteed).
+codegen-smoke:
+	$(PYTEST) -q tests/test_codegen_equivalence.py tests/test_codegen_store.py tests/test_codegen_linearizer.py
+	$(REPRO) conform run --cases 8 --seed 0 --paths interp_linearize,codegen_linearize --out-dir conform/failures
+	$(PYTEST) -q benchmarks/bench_linearize_codegen.py -m "not slow"
 
 # Fast lane under coverage with the CI floor (requires pytest-cov, which the
 # CI workflow installs; not part of the core dev dependencies).  The floor

@@ -28,6 +28,10 @@ HOT_PATH = [
     # contract; its host-side setup lives in firstorder/admm.py, which —
     # like backend.py — is allowed bare numpy
     REPO / "src" / "repro" / "firstorder" / "batch.py",
+    # the fused-codegen batch kernel executes generated modules against
+    # whatever backend the caller bound — a bare numpy call here would pin
+    # the fused batch linearization to the host
+    REPO / "src" / "repro" / "codegen" / "kernel.py",
 ]
 
 #: anything that binds or uses numpy directly

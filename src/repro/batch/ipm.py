@@ -187,6 +187,9 @@ class BatchSolver:
             "substitute_flops": 0,
             "factorizations": 0,
             "banded_factorizations": 0,
+            # linearize-phase codegen record (kernel tier, cache counters);
+            # None while the batch linearizer runs without fused kernels
+            "codegen": None,
         }
         self.last_report: Optional[BatchSolveReport] = None
 
@@ -781,6 +784,8 @@ class BatchSolver:
         self.stats["solves"] += lanes
         self.stats["sqp_iterations"] += int(iterations.sum())
         self.stats["qp_iterations"] += int(qp_total.sum())
+        if self.lin.codegen_stats is not None:
+            self.stats["codegen"] = self.lin.codegen_stats.as_dict()
 
         wall = perf_counter() - t_solve
         objectives = xp.to_host(self.lin.objective(Z, R))

@@ -29,17 +29,24 @@ permutations of PR 1 carry over unchanged.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import TranscriptionError
+from repro.errors import TranscriptionError, VectorizationError
 from repro.mpc.transcription import TranscribedProblem
-from repro.symbolic.compile import CompiledFunction
+from repro.symbolic.compile import _INFIX, CompiledFunction
 
 from .backend import ArrayBackend, get_backend
 
 __all__ = ["VectorizedFunction", "vectorize_compiled", "BatchLinearizer"]
 
 RefLike = Optional[object]
+
+# fused function names emitted by repro.codegen for one problem
+_RUN_FULL = "fused_run_full"
+_RUN_VALS = "fused_run_vals"
+_TERM_FULL = "fused_term_full"
+_TERM_VALS = "fused_term_vals"
 
 
 class VectorizedFunction:
@@ -59,8 +66,26 @@ class VectorizedFunction:
         self.n_outputs = fn.n_outputs
         name = fn.source.split("(", 1)[0].split()[-1]
         namespace: Dict[str, object] = dict(self.xp.ufuncs())
-        exec(compile(fn.source, f"<vectorized:{name}>", "exec"), namespace)
-        self._func = namespace[name]
+        # Surface unsupported primitives here, at bind time, instead of as
+        # a NameError on the first batched call: the linearizer's loop
+        # fallback keys on exactly this error type.
+        missing = sorted(
+            op
+            for op in fn.op_counts
+            if op not in _INFIX and op != "neg" and op not in namespace
+        )
+        if missing:
+            raise VectorizationError(
+                f"{name}: no ufunc twin on backend {self.xp.name!r} for "
+                f"{missing}"
+            )
+        try:
+            exec(compile(fn.source, f"<vectorized:{name}>", "exec"), namespace)
+            self._func = namespace[name]
+        except (SyntaxError, KeyError) as exc:
+            raise VectorizationError(
+                f"{name}: generated source failed to rebind: {exc}"
+            ) from exc
 
     def __call__(self, cols: Sequence) -> object:
         xp = self.xp
@@ -106,6 +131,8 @@ class BatchLinearizer:
         self.nref = problem.nref
         self._base = (self.N + 1) * self.nx
         self.vectorized = True
+        #: why the loop fallback is active ("" while vectorized)
+        self.fallback_reason = ""
         try:
             names = (
                 "_F", "_A", "_B",
@@ -122,9 +149,27 @@ class BatchLinearizer:
                 nm: vectorize_compiled(getattr(problem, nm), self.xp)
                 for nm in names
             }
-        except Exception:  # any non-vectorizable source -> loop fallback
+        except VectorizationError as exc:
+            # Only a genuine can't-vectorize condition drops to the loop
+            # fallback; any other exception is a bug and must propagate.
             self._v = {}
             self.vectorized = False
+            self.fallback_reason = str(exc)
+
+        # Fused codegen kernel: when the problem's codegen seam decided a
+        # fused tier, bind its module to this backend and serve whole-
+        # horizon group stacks from one generated call per stage family.
+        self._fused = None
+        self._fused_pts: "OrderedDict[tuple, dict]" = OrderedDict()
+        self.codegen_stats = None
+        if self.vectorized:
+            try:
+                kernels = problem.codegen_kernels()
+                if kernels is not None and kernels.active:
+                    self._fused = kernels.backend_kernel(self.xp)
+                    self.codegen_stats = kernels.stats
+            except Exception:
+                self._fused = None
 
     # -- shared plumbing ---------------------------------------------------
 
@@ -213,6 +258,60 @@ class BatchLinearizer:
     def _ks(self, lo: int, hi: int):
         return self.xp.arange(lo, hi)
 
+    # -- fused-kernel plumbing ---------------------------------------------
+
+    def _fused_point(self, Z, ref):
+        """Per-``(Z, ref)`` identity cache of fused whole-horizon stacks.
+
+        The batch SQP loop passes the *same* array objects to all six
+        linearization methods of one iteration, so object identity is a
+        sound cache key; the anchor tuple holds strong references so ids
+        cannot be recycled while an entry lives.  Callers that mutate ``Z``
+        in place between calls would defeat this — the solver layers never
+        do (every step builds new arrays).
+        """
+        if self._fused is None:
+            return None
+        key = (id(Z), id(ref))
+        ent = self._fused_pts.get(key)
+        if ent is None:
+            ent = {"_anchor": (Z, ref)}
+            self._fused_pts[key] = ent
+            while len(self._fused_pts) > 2:
+                self._fused_pts.popitem(last=False)
+        else:
+            self._fused_pts.move_to_end(key)
+        return ent
+
+    def _fused_groups(self, ent, fn_name, cols_fn):
+        # a *_full evaluation is a superset of the matching *_vals one
+        full_of = {_RUN_VALS: _RUN_FULL, _TERM_VALS: _TERM_FULL}
+        for nm in (full_of.get(fn_name, fn_name), fn_name):
+            got = ent.get(nm)
+            if got is not None:
+                if self.codegen_stats is not None:
+                    self.codegen_stats.cache_hits += 1
+                return got
+        if self.codegen_stats is not None:
+            self.codegen_stats.cache_misses += 1
+        ent[fn_name] = self._fused.call(fn_name, cols_fn())
+        return ent[fn_name]
+
+    def _fused_run(self, ent, xs, us, R, full: bool):
+        ks = self._ks(0, self.N)
+        return self._fused_groups(
+            ent,
+            _RUN_FULL if full else _RUN_VALS,
+            lambda: self._run_cols(xs, us, R, ks),
+        )
+
+    def _fused_term(self, ent, xs, R, full: bool):
+        return self._fused_groups(
+            ent,
+            _TERM_FULL if full else _TERM_VALS,
+            lambda: self._term_cols(xs, R),
+        )
+
     # -- objective ---------------------------------------------------------
 
     def objective(self, Z, ref: RefLike = None):
@@ -229,9 +328,14 @@ class BatchLinearizer:
                 ]
             )
         xs, us = self._split(Z)
-        ks = self._ks(0, self.N)
-        run = self._v["_L"](self._run_cols(xs, us, R, ks))[..., 0]
-        term = self._v["_Phi"](self._term_cols(xs, R))[..., 0]
+        ent = self._fused_point(Z, ref)
+        if ent is not None:
+            run = self._fused_run(ent, xs, us, R, full=False)["cost_run"][..., 0]
+            term = self._fused_term(ent, xs, R, full=False)["cost_term"][..., 0]
+        else:
+            ks = self._ks(0, self.N)
+            run = self._v["_L"](self._run_cols(xs, us, R, ks))[..., 0]
+            term = self._v["_Phi"](self._term_cols(xs, R))[..., 0]
         return xp.sum(run, axis=1) + term
 
     def objective_gradient(self, Z, ref: RefLike = None):
@@ -248,16 +352,20 @@ class BatchLinearizer:
                 ]
             )
         xs, us = self._split(Z)
-        ks = self._ks(0, self.N)
-        gs = self._v["_L_grad"](self._run_cols(xs, us, R, ks))  # (B, N, nxu)
+        ent = self._fused_point(Z, ref)
+        if ent is not None:
+            gs = self._fused_run(ent, xs, us, R, full=True)["cost_run_grad"]
+            tg = self._fused_term(ent, xs, R, full=True)["cost_term_grad"]
+        else:
+            ks = self._ks(0, self.N)
+            gs = self._v["_L_grad"](self._run_cols(xs, us, R, ks))  # (B, N, nxu)
+            tg = self._v["_Phi_grad"](self._term_cols(xs, R))
         grad = xp.zeros((lanes, self.nz))
         grad[:, : self.N * self.nx] += xp.reshape(
             gs[:, :, : self.nx], (lanes, -1)
         )
         grad[:, self._base :] += xp.reshape(gs[:, :, self.nx :], (lanes, -1))
-        grad[:, self.N * self.nx : self._base] += self._v["_Phi_grad"](
-            self._term_cols(xs, R)
-        )
+        grad[:, self.N * self.nx : self._base] += tg
         return grad
 
     def objective_gauss_newton(self, Z, ref: RefLike = None):
@@ -276,13 +384,17 @@ class BatchLinearizer:
                 ]
             )
         xs, us = self._split(Z)
+        ent = self._fused_point(Z, ref)
         nxu = self.nx + self.nu
         H = xp.zeros((lanes, self.nz, self.nz))
         n_run = len(self.problem.w_run)
         n_term = len(self.problem.w_term)
         if n_run:
-            ks = self._ks(0, self.N)
-            Jp = self._v["_P_run_jac"](self._run_cols(xs, us, R, ks))
+            if ent is not None:
+                Jp = self._fused_run(ent, xs, us, R, full=True)["pen_run_jac"]
+            else:
+                ks = self._ks(0, self.N)
+                Jp = self._v["_P_run_jac"](self._run_cols(xs, us, R, ks))
             Jp = xp.reshape(Jp, (lanes, self.N, n_run, nxu))
             blk = 2.0 * xp.einsum(
                 "bkrp,r,bkrq->bkpq", Jp, xp.asarray(self.problem.w_run), Jp
@@ -294,7 +406,10 @@ class BatchLinearizer:
                 H[:, su, sx] += blk[:, k, self.nx :, : self.nx]
                 H[:, su, su] += blk[:, k, self.nx :, self.nx :]
         if n_term:
-            Jp = self._v["_P_term_jac"](self._term_cols(xs, R))
+            if ent is not None:
+                Jp = self._fused_term(ent, xs, R, full=True)["pen_term_jac"]
+            else:
+                Jp = self._v["_P_term_jac"](self._term_cols(xs, R))
             Jp = xp.reshape(Jp, (lanes, n_term, self.nx))
             sN = self._state_sl(self.N)
             H[:, sN, sN] += 2.0 * xp.einsum(
@@ -322,8 +437,22 @@ class BatchLinearizer:
             )
         p = self.problem
         xs, us = self._split(Z)
-        ks = self._ks(0, self.N)
+        ent = self._fused_point(Z, ref)
         parts = [xs[:, 0] - X0]
+        if ent is not None:
+            g = self._fused_run(ent, xs, us, R, full=False)
+            F = g["dyn_step"]  # (B, N, nx)
+            parts.append(xp.reshape(xs[:, 1:] - F, (lanes, -1)))
+            if p._eq_state_rows and self.N > 1:
+                parts.append(xp.reshape(g["eq_state"][:, 1:], (lanes, -1)))
+            if p._eq_input_rows:
+                parts.append(xp.reshape(g["eq_input"], (lanes, -1)))
+            if p._eq_term_rows:
+                parts.append(
+                    self._fused_term(ent, xs, R, full=False)["eq_term"]
+                )
+            return xp.concatenate(parts, axis=1)
+        ks = self._ks(0, self.N)
         F = self._v["_F"](self._dyn_cols(xs, us, ks))  # (B, N, nx)
         parts.append(xp.reshape(xs[:, 1:] - F, (lanes, -1)))
         if p._eq_state_rows and self.N > 1:
@@ -352,16 +481,28 @@ class BatchLinearizer:
             )
         p = self.problem
         xs, us = self._split(Z)
+        ent = self._fused_point(Z, ref)
+        fr = (
+            self._fused_run(ent, xs, us, R, full=True)
+            if ent is not None
+            else None
+        )
         nx, nu, nxu = self.nx, self.nu, self.nx + self.nu
         ks = self._ks(0, self.N)
         G = xp.zeros((lanes, p.n_eq, self.nz))
         G[:, :nx, :nx] = xp.eye(nx)
-        A = xp.reshape(
-            self._v["_A"](self._dyn_cols(xs, us, ks)), (lanes, self.N, nx, nx)
-        )
-        Bm = xp.reshape(
-            self._v["_B"](self._dyn_cols(xs, us, ks)), (lanes, self.N, nx, nu)
-        )
+        if fr is not None:
+            A = xp.reshape(fr["dyn_jac_x"], (lanes, self.N, nx, nx))
+            Bm = xp.reshape(fr["dyn_jac_u"], (lanes, self.N, nx, nu))
+        else:
+            A = xp.reshape(
+                self._v["_A"](self._dyn_cols(xs, us, ks)),
+                (lanes, self.N, nx, nx),
+            )
+            Bm = xp.reshape(
+                self._v["_B"](self._dyn_cols(xs, us, ks)),
+                (lanes, self.N, nx, nu),
+            )
         row = nx
         for k in range(self.N):
             rows = slice(row, row + nx)
@@ -370,16 +511,24 @@ class BatchLinearizer:
             G[:, rows, self._input_sl(k)] = -Bm[:, k]
             row += nx
         if p._eq_state_rows and self.N > 1:
-            ks_in = self._ks(1, self.N)
-            J = self._v["_g_state_jac"](self._run_cols(xs, us, R, ks_in))
-            J = xp.reshape(J, (lanes, self.N - 1, p._eq_state_rows, nxu))
+            if fr is not None:
+                J = xp.reshape(
+                    fr["eq_state_jac"], (lanes, self.N, p._eq_state_rows, nxu)
+                )[:, 1:]
+            else:
+                ks_in = self._ks(1, self.N)
+                J = self._v["_g_state_jac"](self._run_cols(xs, us, R, ks_in))
+                J = xp.reshape(J, (lanes, self.N - 1, p._eq_state_rows, nxu))
             for i, k in enumerate(range(1, self.N)):
                 rows = slice(row, row + p._eq_state_rows)
                 G[:, rows, self._state_sl(k)] = J[:, i, :, :nx]
                 G[:, rows, self._input_sl(k)] = J[:, i, :, nx:]
                 row += p._eq_state_rows
         if p._eq_input_rows:
-            J = self._v["_g_input_jac"](self._run_cols(xs, us, R, ks))
+            if fr is not None:
+                J = fr["eq_input_jac"]
+            else:
+                J = self._v["_g_input_jac"](self._run_cols(xs, us, R, ks))
             J = xp.reshape(J, (lanes, self.N, p._eq_input_rows, nxu))
             for k in range(self.N):
                 rows = slice(row, row + p._eq_input_rows)
@@ -387,7 +536,10 @@ class BatchLinearizer:
                 G[:, rows, self._input_sl(k)] = J[:, k, :, nx:]
                 row += p._eq_input_rows
         if p._eq_term_rows:
-            J = self._v["_g_term_jac"](self._term_cols(xs, R))
+            if ent is not None:
+                J = self._fused_term(ent, xs, R, full=True)["eq_term_jac"]
+            else:
+                J = self._v["_g_term_jac"](self._term_cols(xs, R))
             J = xp.reshape(J, (lanes, p._eq_term_rows, nx))
             G[:, row : row + p._eq_term_rows, self._state_sl(self.N)] = J
             row += p._eq_term_rows
@@ -412,7 +564,23 @@ class BatchLinearizer:
         if p.n_ineq == 0:
             return xp.zeros((lanes, 0))
         xs, us = self._split(Z)
+        ent = self._fused_point(Z, ref)
         parts = []
+        if ent is not None:
+            g = self._fused_run(ent, xs, us, R, full=False)
+            if p._h_state_rows and self.N > 1:
+                parts.append(xp.reshape(g["ineq_state"][:, 1:], (lanes, -1)))
+            if p._h_input_rows:
+                parts.append(xp.reshape(g["ineq_input"], (lanes, -1)))
+            if p._h_term_rows:
+                parts.append(
+                    self._fused_term(ent, xs, R, full=False)["ineq_term"]
+                )
+            return (
+                xp.concatenate(parts, axis=1)
+                if parts
+                else xp.zeros((lanes, 0))
+            )
         if p._h_state_rows and self.N > 1:
             ks_in = self._ks(1, self.N)
             vals = self._v["_h_state"](self._run_cols(xs, us, R, ks_in))
@@ -448,19 +616,36 @@ class BatchLinearizer:
         if p.n_ineq == 0:
             return J
         xs, us = self._split(Z)
+        ent = self._fused_point(Z, ref)
+        fr = (
+            self._fused_run(ent, xs, us, R, full=True)
+            if ent is not None
+            else None
+        )
         row = 0
         if p._h_state_rows and self.N > 1:
-            ks_in = self._ks(1, self.N)
-            blk = self._v["_h_state_jac"](self._run_cols(xs, us, R, ks_in))
-            blk = xp.reshape(blk, (lanes, self.N - 1, p._h_state_rows, nxu))
+            if fr is not None:
+                blk = xp.reshape(
+                    fr["ineq_state_jac"],
+                    (lanes, self.N, p._h_state_rows, nxu),
+                )[:, 1:]
+            else:
+                ks_in = self._ks(1, self.N)
+                blk = self._v["_h_state_jac"](self._run_cols(xs, us, R, ks_in))
+                blk = xp.reshape(
+                    blk, (lanes, self.N - 1, p._h_state_rows, nxu)
+                )
             for i, k in enumerate(range(1, self.N)):
                 rows = slice(row, row + p._h_state_rows)
                 J[:, rows, self._state_sl(k)] = blk[:, i, :, :nx]
                 J[:, rows, self._input_sl(k)] = blk[:, i, :, nx:]
                 row += p._h_state_rows
         if p._h_input_rows:
-            ks = self._ks(0, self.N)
-            blk = self._v["_h_input_jac"](self._run_cols(xs, us, R, ks))
+            if fr is not None:
+                blk = fr["ineq_input_jac"]
+            else:
+                ks = self._ks(0, self.N)
+                blk = self._v["_h_input_jac"](self._run_cols(xs, us, R, ks))
             blk = xp.reshape(blk, (lanes, self.N, p._h_input_rows, nxu))
             for k in range(self.N):
                 rows = slice(row, row + p._h_input_rows)
@@ -468,7 +653,10 @@ class BatchLinearizer:
                 J[:, rows, self._input_sl(k)] = blk[:, k, :, nx:]
                 row += p._h_input_rows
         if p._h_term_rows:
-            blk = self._v["_h_term_jac"](self._term_cols(xs, R))
+            if ent is not None:
+                blk = self._fused_term(ent, xs, R, full=True)["ineq_term_jac"]
+            else:
+                blk = self._v["_h_term_jac"](self._term_cols(xs, R))
             blk = xp.reshape(blk, (lanes, p._h_term_rows, nx))
             J[:, row : row + p._h_term_rows, self._state_sl(self.N)] = blk
         return J

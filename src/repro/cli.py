@@ -152,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "factorization + warm-started iterations)",
     )
     p_serve.add_argument(
+        "--codegen",
+        choices=("auto", "on", "off", "numpy", "c"),
+        default="auto",
+        help="fused-kernel codegen for linearization: 'auto' (size-gated, "
+        "default), 'on' (best available tier), 'off' (interpreted), or pin "
+        "a tier with 'numpy'/'c'",
+    )
+    p_serve.add_argument(
         "--tick-budget-ms",
         type=float,
         default=None,
@@ -550,6 +558,7 @@ def _cmd_serve_sim(args) -> int:
         backend=args.backend,
         array_backend=args.array_backend,
         qp_method=args.qp_method,
+        codegen=args.codegen,
         tick_budget_s=(
             args.tick_budget_ms / 1e3 if args.tick_budget_ms else None
         ),

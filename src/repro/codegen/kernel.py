@@ -1,0 +1,67 @@
+"""Backend binding of a fused module: one call per stage family.
+
+A :class:`FusedKernel` re-executes the emitted module source under an
+array backend's ufunc namespace (exactly like
+:class:`repro.batch.transcription.VectorizedFunction` does for a single
+``CompiledFunction``), then serves each merged function as a dict of
+per-group stacked arrays.  Feeding it columns of shape ``(N,)`` evaluates
+every running knot of a scalar problem in one pass; ``(B, N)`` columns
+evaluate a whole batch of lanes at once — either way the per-stage,
+per-function Python dispatch of the interpreted path collapses into one
+generated-function call per linearization request family.
+
+Output semantics are pinned to ``VectorizedFunction``: outputs broadcast
+to the column shape and stack on a trailing axis, so a group with ``m``
+outputs comes back as ``shape + (m,)`` and all existing reshape/assembly
+code downstream applies unchanged.  This file is on the batch hot path and
+is covered by ``scripts/check_no_bare_numpy.py`` — every array touch goes
+through the backend seam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .store import StoredModule
+
+__all__ = ["FusedKernel"]
+
+
+class FusedKernel:
+    """A stored fused module bound to one array backend."""
+
+    def __init__(self, module: StoredModule, backend=None) -> None:
+        # Imported lazily: repro.batch pulls in the solver stack, and the
+        # solver stack imports repro.codegen — binding a kernel is the
+        # first moment the backend seam is genuinely needed.
+        from repro.batch.backend import get_backend
+
+        self.xp = get_backend(backend)
+        self.key = module.key
+        self.layouts = module.layouts
+        namespace: Dict[str, object] = dict(self.xp.ufuncs())
+        exec(
+            compile(module.source, f"<fused:{module.key[:12]}>", "exec"),
+            namespace,
+        )
+        self._fns = {name: namespace[name] for name in module.layouts}
+
+    def functions(self) -> Sequence[str]:
+        return tuple(self._fns)
+
+    def call(self, fn_name: str, cols: Sequence) -> Dict[str, object]:
+        """Evaluate one fused function; return ``{group: shape + (m,)}``."""
+        xp = self.xp
+        layout = self.layouts[fn_name]
+        shape = tuple(cols[0].shape) if cols else ()
+        with xp.errstate():
+            outs = self._fns[fn_name](*cols)
+        groups: Dict[str, object] = {}
+        for g in layout.groups:
+            sel = outs[g.start : g.start + g.count]
+            if sel:
+                stacked = [xp.broadcast_to(xp.asarray(o), shape) for o in sel]
+                groups[g.name] = xp.stack(stacked, axis=-1)
+            else:
+                groups[g.name] = xp.zeros(shape + (0,))
+        return groups

@@ -25,6 +25,16 @@ point near the benchmark's operating state:
 * ``dsl_dynamics``: the DSL-compiled twin model (MobileRobot, Quadrotor)
   discretized identically — the frontend-vs-handwritten cross-check.
 
+``linearize`` family — evaluate the full SQP linearize block (objective,
+gradient, Gauss-Newton blocks, both constraint stacks and Jacobians) at a
+seeded point near the case's initial guess:
+
+* ``interp_linearize`` (baseline): the per-stage interpreted evaluators.
+* ``codegen_linearize``: the ahead-of-time fused kernel path
+  (:mod:`repro.codegen`, mode ``on`` — best tier available here); the C
+  tier is bit-identical to the baseline, the numpy tier agrees to array
+  ufunc round-off.
+
 Paths never see each other's outputs; the runner compares each path against
 its family baseline through the tolerance ledger.
 """
@@ -530,6 +540,55 @@ def _run_dsl_dynamics(ctx: CaseContext) -> PathOutput:
 
 
 # ---------------------------------------------------------------------------
+# linearize family
+# ---------------------------------------------------------------------------
+def _linearize_vector(ctx: CaseContext) -> np.ndarray:
+    """The whole linearize block at a seeded point, flattened.
+
+    The evaluation point derives from an offset of the case seed so it is
+    identical for every path of the family but independent of the draws
+    :class:`CaseContext` already made.
+    """
+    p = ctx.problem
+    rng = np.random.default_rng(ctx.case.seed + 7)
+    z = p.initial_guess(ctx.x0)
+    z = z + 0.02 * rng.standard_normal(z.shape) * p.variable_scales()
+    ref = ctx.ref
+    return np.concatenate(
+        [
+            np.atleast_1d(float(p.objective(z, ref))),
+            p.objective_gradient(z, ref),
+            p.objective_gauss_newton(z, ref).ravel(),
+            p.equality_constraints(z, ctx.x0, ref),
+            p.equality_jacobian(z, ref).ravel(),
+            p.inequality_constraints(z, ref),
+            p.inequality_jacobian(z, ref).ravel(),
+        ]
+    )
+
+
+def _run_interp_linearize(ctx: CaseContext) -> PathOutput:
+    ctx.problem.set_codegen("off")
+    return PathOutput(values=_linearize_vector(ctx))
+
+
+def _run_codegen_linearize(ctx: CaseContext) -> PathOutput:
+    ctx.problem.set_codegen("on")
+    values = _linearize_vector(ctx)
+    stats = ctx.problem.codegen_stats()
+    return PathOutput(
+        values=values,
+        note=(
+            ""
+            if stats.kernel != "interpreted"
+            else f"fused kernel unavailable ({stats.fallback_reason}); "
+            "comparison is trivial"
+        ),
+        detail=stats.as_dict(),
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 PATHS: Dict[str, NumericPath] = {}
@@ -537,6 +596,7 @@ PATHS: Dict[str, NumericPath] = {}
 FAMILY_BASELINES: Dict[str, str] = {
     "qp": "dense_kkt",
     "dynamics": "float_dynamics",
+    "linearize": "interp_linearize",
 }
 
 
@@ -677,6 +737,23 @@ _register(
         description="DSL-compiled twin model's discrete step",
         run=_run_dsl_dynamics,
         supports=lambda case: case.robot in _DSL_TWINS,
+    )
+)
+_register(
+    NumericPath(
+        name="interp_linearize",
+        family="linearize",
+        description="per-stage interpreted linearize block (oracle)",
+        run=_run_interp_linearize,
+        baseline=True,
+    )
+)
+_register(
+    NumericPath(
+        name="codegen_linearize",
+        family="linearize",
+        description="fused-kernel codegen linearize block (best tier here)",
+        run=_run_codegen_linearize,
     )
 )
 

@@ -32,6 +32,23 @@ class TranscriptionError(ReproError):
     """The MPC problem could not be transcribed over the horizon."""
 
 
+class VectorizationError(TranscriptionError):
+    """A compiled stage function could not be re-bound to an array backend
+    (missing ufunc twin, malformed generated source, backend rejection).
+
+    The batch linearizer catches exactly this to drop to its per-lane loop
+    fallback; any other exception from vectorization is a genuine bug and
+    propagates."""
+
+
+class CodegenError(ReproError):
+    """Fused-kernel emission or build failure (codegen subsystem).
+
+    Raised when a DAG contains an op with no emitted spelling, a constant
+    that cannot cross into C, or the cffi build fails — callers step one
+    tier down the codegen fallback ladder instead of crashing."""
+
+
 class SolverError(ReproError):
     """The interior-point solver failed (singular KKT, divergence, ...)."""
 

@@ -134,6 +134,11 @@ class InteriorPointSolver:
     ):
         self.problem = problem
         self.options = options or IPMOptions()
+        # linearize-phase codegen selection flows through the problem: the
+        # default "auto" leaves the problem's own mode (REPRO_CODEGEN or
+        # auto) untouched, an explicit mode overrides it
+        if self.options.qp.codegen != "auto":
+            self.problem.set_codegen(self.options.qp.codegen)
         #: cumulative statistics across solves (used by the benchmark harness):
         #: iteration counts plus per-phase observability — linearize /
         #: factorize / substitute wall time and exact kernel flop totals
@@ -148,6 +153,9 @@ class InteriorPointSolver:
             "substitute_flops": 0,
             "factorizations": 0,
             "banded_factorizations": 0,
+            #: linearize-phase codegen record (kernel tier, cache counters);
+            #: None until the first QP subproblem attaches one
+            "codegen": None,
         }
         #: optional :mod:`repro.faults` solver-layer injector, threaded into
         #: every QP factorization (``None`` in production)
@@ -180,6 +188,8 @@ class InteriorPointSolver:
         self.stats["substitute_flops"] += qs.substitute_flops
         self.stats["factorizations"] += qs.factorizations
         self.stats["banded_factorizations"] += qs.banded_factorizations
+        if qs.codegen is not None:
+            self.stats["codegen"] = qs.codegen.as_dict()
         health.factorization_retries += qs.retries
         health.regularization_max = max(
             health.regularization_max, qs.regularization_max
@@ -608,6 +618,10 @@ class InteriorPointSolver:
                     health.note(f"qp_failed_it{it}")
                     diverged = True
                     break
+
+            # Surface the linearize-phase codegen record alongside the QP
+            # stats (the stats object survives on the returned result).
+            qp_res.stats.codegen = p.codegen_stats()
 
             if qperm is not None:
                 # Scatter the stage-interleaved solution back to the

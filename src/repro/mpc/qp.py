@@ -36,6 +36,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.codegen.stats import CodegenStats
 from repro.errors import SolverError
 from repro.mpc.banded import (
     BandedCholeskyFactor,
@@ -129,6 +130,11 @@ class QPOptions:
     #: let SQP drivers retry a stalled/diverged ADMM subproblem with the
     #: IPM inside the remaining budget (the method-health fallback ladder)
     admm_fallback: bool = True
+    #: linearize-phase codegen mode: "auto" (size-gated on-with-fallback,
+    #: the default), "on" (best available fused tier), "off" (interpreted),
+    #: or a pinned tier "numpy" / "c".  Applied to the transcribed problem
+    #: by the SQP drivers; see :mod:`repro.codegen`.
+    codegen: str = "auto"
 
     def __post_init__(self):
         if self.max_iterations < 1:
@@ -149,6 +155,11 @@ class QPOptions:
             raise SolverError("admm_equilibrate_spread must be >= 1")
         if self.admm_stall_iterations < 0:
             raise SolverError("admm_stall_iterations must be >= 0")
+        if self.codegen not in ("auto", "on", "off", "numpy", "c"):
+            raise SolverError(
+                f"unknown codegen mode {self.codegen!r} (expected one of "
+                "'auto', 'on', 'off', 'numpy', 'c')"
+            )
 
 
 @dataclass
@@ -241,6 +252,9 @@ class QPStats:
     substitute_flops: int = 0
     #: conditioning/stall record of an ADMM solve (None for the IPM)
     conditioning: Optional[ConditioningReport] = None
+    #: linearize-phase codegen record (kernel tier, emit/compile cost,
+    #: cache hits) attached by the SQP drivers; None for bare QP solves
+    codegen: Optional["CodegenStats"] = None
 
 
 @dataclass

@@ -112,6 +112,63 @@ class TranscribedProblem:
         self._build_constraints()
         self._compute_counts()
 
+        #: codegen seam state: mode override (None -> REPRO_CODEGEN / auto),
+        #: lazily-built kernels, and the fused twin of the evaluation methods
+        self._cg_mode: Optional[str] = None
+        self._cg_built = False
+        self._cg_kernels = None
+        self._cg_lin = None
+
+    # -- fused-kernel codegen seam ----------------------------------------------
+    def set_codegen(self, mode: Optional[str]) -> None:
+        """Select the codegen mode (``auto``/``on``/``off``/``numpy``/``c``).
+
+        Resets any kernels already built so the next evaluation re-decides
+        the tier under the new mode.
+        """
+        self._cg_mode = mode
+        self._cg_built = False
+        self._cg_kernels = None
+        self._cg_lin = None
+
+    def _fused_linearizer(self):
+        """The fused evaluation twin, or ``None`` for the interpreted path.
+
+        Built on first use; any failure to build lands on the interpreted
+        path with the reason recorded in :meth:`codegen_stats`.
+        """
+        if not self._cg_built:
+            self._cg_built = True
+            try:
+                from repro.codegen.linearizer import FusedProblemKernels
+
+                self._cg_kernels = FusedProblemKernels(self, self._cg_mode)
+                self._cg_lin = self._cg_kernels.scalar_linearizer()
+            except Exception:
+                self._cg_kernels = None
+                self._cg_lin = None
+        return self._cg_lin
+
+    def _codegen_disable(self, reason: str) -> None:
+        """Drop to the interpreted path permanently for this problem."""
+        self._cg_lin = None
+        if self._cg_kernels is not None:
+            self._cg_kernels.disable(reason)
+
+    def codegen_kernels(self):
+        """The :class:`~repro.codegen.linearizer.FusedProblemKernels` in use
+        (building them if evaluation has not run yet), or ``None``."""
+        self._fused_linearizer()
+        return self._cg_kernels
+
+    def codegen_stats(self):
+        """Current :class:`~repro.codegen.stats.CodegenStats` snapshot."""
+        from repro.codegen.stats import CodegenStats
+
+        if self._cg_kernels is not None:
+            return self._cg_kernels.stats
+        return CodegenStats()
+
     # -- decision-vector layout (Eq. 5) -----------------------------------------
     def state_slice(self, k: int) -> slice:
         """Slice of ``z`` holding ``x_k`` (``0 <= k <= N``)."""
@@ -452,6 +509,14 @@ class TranscribedProblem:
     # (``.tolist()`` rows): per-call input validation on these hot paths
     # costs more than the generated function bodies themselves.
     def objective(self, z: np.ndarray, ref: Optional[np.ndarray] = None) -> float:
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.objective(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         total = 0.0
@@ -467,6 +532,14 @@ class TranscribedProblem:
     def objective_gradient(
         self, z: np.ndarray, ref: Optional[np.ndarray] = None
     ) -> np.ndarray:
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.objective_gradient(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         grad = np.zeros(self.nz)
@@ -519,6 +592,14 @@ class TranscribedProblem:
         ``2 w p * grad^2 p`` curvature term; the gradient it implies,
         ``2 Jp^T W p``, is *exact* and equals :meth:`objective_gradient`.
         """
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.objective_gauss_newton(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         H = np.zeros((self.nz, self.nz))
@@ -556,6 +637,14 @@ class TranscribedProblem:
         ref: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Stacked ``g(z) = 0``: initial condition, dynamics defects, task eq."""
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.equality_constraints(z, x_init, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         x_init = np.asarray(x_init, dtype=float)
         if x_init.shape != (self.nx,):
@@ -598,6 +687,14 @@ class TranscribedProblem:
     def equality_jacobian(
         self, z: np.ndarray, ref: Optional[np.ndarray] = None
     ) -> np.ndarray:
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.equality_jacobian(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         G = np.zeros((self.n_eq, self.nz))
@@ -654,6 +751,14 @@ class TranscribedProblem:
         """Stacked ``h(z) <= 0`` (bounds + task inequality constraints)."""
         if self.n_ineq == 0:
             return np.zeros(0)
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.inequality_constraints(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         parts = []
@@ -689,6 +794,14 @@ class TranscribedProblem:
         J = np.zeros((self.n_ineq, self.nz))
         if self.n_ineq == 0:
             return J
+        fused = self._fused_linearizer()
+        if fused is not None:
+            try:
+                return fused.inequality_jacobian(z, ref)
+            except TranscriptionError:
+                raise
+            except Exception as exc:
+                self._codegen_disable(f"runtime failure: {exc}")
         xs, us = self.split(z)
         xs_l, us_l = xs.tolist(), us.tolist()
         nxu = self.nx + self.nu

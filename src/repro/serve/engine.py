@@ -79,11 +79,18 @@ class EngineConfig:
     #: (engine-wide; scalar/worker paths follow each session's own
     #: ``SessionConfig.qp_method``)
     qp_method: str = "ipm"
+    #: fused-kernel codegen mode for linearization, engine-wide default for
+    #: sessions built through :meth:`ControlEngine.open_session`
+    codegen: str = "auto"
 
     def __post_init__(self):
         if self.qp_method not in ("ipm", "admm"):
             raise ServeError(
                 f"qp_method must be 'ipm' or 'admm', got {self.qp_method!r}"
+            )
+        if self.codegen not in ("auto", "on", "off", "numpy", "c"):
+            raise ServeError(
+                f"codegen must be one of auto/on/off/numpy/c, got {self.codegen!r}"
             )
         if self.max_sessions < 1:
             raise ServeError("max_sessions must be >= 1")
@@ -167,10 +174,12 @@ class ServeEngine:
             from repro.robots import build_benchmark
 
             bench = build_benchmark(config.robot)
-            self._problem_cache[key] = (
-                bench,
-                bench.transcribe(horizon=config.horizon),
-            )
+            problem = bench.transcribe(horizon=config.horizon)
+            if self.config.codegen != "auto":
+                # engine-wide default; a session's own SessionConfig.codegen
+                # still wins inside from_benchmark
+                problem.set_codegen(self.config.codegen)
+            self._problem_cache[key] = (bench, problem)
         bench, problem = self._problem_cache[key]
         session = ControlSession.from_benchmark(
             session_id, config, bench=bench, problem=problem
@@ -384,14 +393,19 @@ class ServeEngine:
             # fork start method the children inherit the compiled problems
             # for free instead of re-transcribing per worker.
             for (robot, horizon), (bench, problem) in self._problem_cache.items():
-                methods = {
-                    s.config.qp_method
+                variants = {
+                    (s.config.qp_method, s.config.codegen)
                     for s in self.sessions.values()
                     if (s.config.robot, s.config.horizon) == (robot, horizon)
-                } or {"ipm"}
-                for method in methods:
+                } or {("ipm", "auto")}
+                for method, codegen in variants:
                     prime_worker_cache(
-                        robot, horizon, bench, problem, qp_method=method
+                        robot,
+                        horizon,
+                        bench,
+                        problem,
+                        qp_method=method,
+                        codegen=codegen,
                     )
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         futures = {}
@@ -609,18 +623,23 @@ class ServeEngine:
 
 # -- worker-side solve (process backend) ----------------------------------------
 
-#: per-process cache: (robot, horizon, qp_method) -> (benchmark, problem,
-#: solver) — the QP method is part of the solver's identity, so sessions
-#: with different methods never share a worker-side solver (or its
-#: ADMM-internal warm state)
-_WORKER_CACHE: Dict[Tuple[str, int, str], Tuple[object, object, object]] = {}
+#: per-process cache: (robot, horizon, qp_method, codegen) -> (benchmark,
+#: problem, solver) — the QP method and codegen mode are part of the
+#: solver's identity, so sessions with different methods never share a
+#: worker-side solver (or its ADMM-internal warm state / fused kernels)
+_WORKER_CACHE: Dict[Tuple[str, int, str, str], Tuple[object, object, object]] = {}
 
 
 def prime_worker_cache(
-    robot: str, horizon: int, bench=None, problem=None, qp_method: str = "ipm"
+    robot: str,
+    horizon: int,
+    bench=None,
+    problem=None,
+    qp_method: str = "ipm",
+    codegen: str = "auto",
 ) -> None:
     """Populate this process's solver cache (parent-side, pre-fork)."""
-    key = (robot, horizon, qp_method)
+    key = (robot, horizon, qp_method, codegen)
     if key in _WORKER_CACHE:
         return
     if bench is None:
@@ -629,6 +648,11 @@ def prime_worker_cache(
         bench = build_benchmark(robot)
     if problem is None:
         problem = bench.transcribe(horizon=horizon)
+    if codegen != "auto":
+        problem.set_codegen(codegen)
+    # warm the fused kernels pre-fork: a cold C compile belongs in the
+    # prime, not inside a worker's first deadline-budgeted solve
+    problem.codegen_kernels()
     solver = bench.make_solver(problem)
     if qp_method != "ipm":
         from repro.serve.session import apply_qp_method
@@ -662,8 +686,9 @@ def remote_solve(payload: Dict[str, object]) -> Dict[str, object]:
         robot = str(payload["robot"])
         horizon = int(payload["horizon"])
         qp_method = str(payload.get("qp_method") or "ipm")
-        prime_worker_cache(robot, horizon, qp_method=qp_method)
-        _, _, solver = _WORKER_CACHE[(robot, horizon, qp_method)]
+        codegen = str(payload.get("codegen") or "auto")
+        prime_worker_cache(robot, horizon, qp_method=qp_method, codegen=codegen)
+        _, _, solver = _WORKER_CACHE[(robot, horizon, qp_method, codegen)]
         budget = None
         if (
             payload.get("deadline_s") is not None

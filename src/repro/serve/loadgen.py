@@ -55,6 +55,8 @@ class LoadConfig:
     array_backend: Optional[str] = None
     #: inner QP solver for every fleet session: "ipm" or "admm"
     qp_method: str = "ipm"
+    #: fused-kernel codegen mode for every fleet session
+    codegen: str = "auto"
     tick_budget_s: Optional[float] = None
     #: plant RK4 sub-steps per control interval
     substeps: int = 2
@@ -119,6 +121,7 @@ def run_load(config: LoadConfig) -> LoadReport:
             backend=config.backend,
             array_backend=config.array_backend,
             qp_method=config.qp_method,
+            codegen=config.codegen,
             tick_budget_s=config.tick_budget_s,
         ),
         trace=trace,
@@ -141,6 +144,7 @@ def run_load(config: LoadConfig) -> LoadReport:
                 deadline_s=config.deadline_s,
                 degrade_after=config.degrade_after,
                 qp_method=config.qp_method,
+                codegen=config.codegen,
             )
         )
         bench, problem = engine.binding(robot, config.horizon)

@@ -107,11 +107,20 @@ class SessionConfig:
     #: :mod:`repro.firstorder` — cached factorization, RTI-friendly
     #: warm-started iterations)
     qp_method: str = "ipm"
+    #: linearize-phase codegen mode for this session's problem: "auto"
+    #: (size-gated on-with-fallback, the default), "on", "off", or a pinned
+    #: tier "numpy" / "c" — see :mod:`repro.codegen`
+    codegen: str = "auto"
 
     def __post_init__(self):
         if self.qp_method not in ("ipm", "admm"):
             raise ServeError(
                 f"qp_method must be 'ipm' or 'admm', got {self.qp_method!r}"
+            )
+        if self.codegen not in ("auto", "on", "off", "numpy", "c"):
+            raise ServeError(
+                f"codegen must be one of 'auto', 'on', 'off', 'numpy', 'c'; "
+                f"got {self.codegen!r}"
             )
 
     def budget(self) -> Optional[SolveBudget]:
@@ -240,6 +249,12 @@ class ControlSession:
             bench = build_benchmark(config.robot)
         if problem is None:
             problem = bench.transcribe(horizon=config.horizon)
+        if config.codegen != "auto":
+            problem.set_codegen(config.codegen)
+        # Build the fused kernels now (this may invoke the C compiler on a
+        # cold artifact store): session construction is off the deadline
+        # clock, the first tick is not.
+        problem.codegen_kernels()
         controller = bench.make_controller(problem)
         if config.qp_method != "ipm":
             apply_qp_method(controller.solver, config.qp_method)
@@ -395,6 +410,7 @@ class ControlSession:
             # the *effective* method: a demoted session ships "ipm" to the
             # worker pool even though its config still says "admm"
             "qp_method": self.qp_method,
+            "codegen": self.config.codegen,
         }
 
     def absorb(self, remote: Dict[str, object]) -> StepOutcome:

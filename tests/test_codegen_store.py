@@ -1,0 +1,174 @@
+"""Artifact-store behavior: content addressing, corruption, concurrency.
+
+The store is an accelerator, never a correctness dependency: every test
+here checks that a bad state (corrupt entry, stale version, unwritable
+root, two racing first-compiles) degrades to a clean re-emit rather than
+a wrong kernel.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    ArtifactStore,
+    FunctionGroup,
+    c_available,
+    emit_fused_module,
+    module_fingerprint,
+)
+from repro.codegen.emit import CODEGEN_VERSION
+from repro.symbolic.expr import Const, Var
+
+
+def _module(weight: float = 2.0):
+    x, u = Var("x"), Var("u")
+    groups = [
+        FunctionGroup(name="dyn", exprs=(x + Const(0.1) * u,)),
+        FunctionGroup(name="cost", exprs=(Const(weight) * x * x + u * u,)),
+    ]
+    return emit_fused_module([("fused_run_full", groups, ["x", "u"])])
+
+
+def test_cache_hit_on_identical_key(tmp_path):
+    store = ArtifactStore(tmp_path)
+    module = _module()
+    key = module_fingerprint(module, extra=("N=8",))
+    assert store.load(key) is None  # cold
+    saved = store.save(key, module.source, module.layouts, meta={"robot": "T"})
+    hit = store.load(key)
+    assert hit is not None
+    assert hit.source == saved.source == module.source
+    assert hit.meta == {"robot": "T"}
+    assert [g.name for g in hit.layouts["fused_run_full"].groups] == [
+        "dyn",
+        "cost",
+    ]
+
+
+def test_key_moves_on_dag_change_and_on_shape_change(tmp_path):
+    base = module_fingerprint(_module(2.0), extra=("N=8",))
+    # a changed weight constant is a different expression DAG
+    assert module_fingerprint(_module(3.0), extra=("N=8",)) != base
+    # same DAG, different horizon/shape context token
+    assert module_fingerprint(_module(2.0), extra=("N=16",)) != base
+    # the old entry is simply never consulted for the new key
+    store = ArtifactStore(tmp_path)
+    module = _module(2.0)
+    store.save(base, module.source, module.layouts)
+    assert store.load(module_fingerprint(_module(3.0), extra=("N=8",))) is None
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["not json at all", json.dumps({"codegen_version": CODEGEN_VERSION})],
+    ids=["garbage", "missing-fields"],
+)
+def test_corrupt_artifact_rejected_and_evicted(tmp_path, corruption):
+    store = ArtifactStore(tmp_path)
+    module = _module()
+    key = module_fingerprint(module, extra=())
+    store.save(key, module.source, module.layouts)
+    store.path_for(key).write_text(corruption)
+    assert store.load(key) is None
+    assert not store.path_for(key).exists()  # evicted, not left to re-fail
+    # a clean re-save recovers
+    store.save(key, module.source, module.layouts)
+    assert store.load(key) is not None
+
+
+def test_checksum_mismatch_rejected(tmp_path):
+    store = ArtifactStore(tmp_path)
+    module = _module()
+    key = module_fingerprint(module, extra=())
+    store.save(key, module.source, module.layouts)
+    data = json.loads(store.path_for(key).read_text())
+    data["source"] = data["source"] + "\n# tampered\n"
+    store.path_for(key).write_text(json.dumps(data))
+    assert store.load(key) is None
+
+
+def test_stale_emitter_version_rejected(tmp_path):
+    store = ArtifactStore(tmp_path)
+    module = _module()
+    key = module_fingerprint(module, extra=())
+    store.save(key, module.source, module.layouts)
+    data = json.loads(store.path_for(key).read_text())
+    data["codegen_version"] = CODEGEN_VERSION + 1
+    store.path_for(key).write_text(json.dumps(data))
+    assert store.load(key) is None
+
+
+def test_unwritable_root_tolerated(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")  # a *file* where the store wants a directory
+    store = ArtifactStore(blocker / "cache")
+    module = _module()
+    key = module_fingerprint(module, extra=())
+    stored = store.save(key, module.source, module.layouts)
+    # nothing persisted, but the in-memory artifact is fully usable
+    assert stored.source == module.source
+    assert store.load(key) is None
+
+
+_CHILD = """
+import sys
+import numpy as np
+from repro.codegen import ArtifactStore, FunctionGroup, emit_fused_module, module_fingerprint
+from repro.codegen.cbackend import build_c_kernel
+from repro.symbolic.expr import Const, Var
+
+x, u = Var("x"), Var("u")
+groups = [
+    FunctionGroup(name="dyn", exprs=(x + Const(0.1) * u,)),
+    FunctionGroup(name="cost", exprs=(Const(2.0) * x * x + u * u,)),
+]
+module = emit_fused_module([("fused_run_full", groups, ["x", "u"])])
+key = module_fingerprint(module, extra=("N=8",))
+store = ArtifactStore(sys.argv[1])
+store.save(key, module.source, module.layouts)
+kern = build_c_kernel(module.irs, key, store)
+out = kern.call("fused_run_full", [np.array([1.5]), np.array([-0.5])])
+assert abs(out["dyn"][0, 0] - 1.45) < 1e-12, out
+assert abs(out["cost"][0, 0] - 4.75) < 1e-12, out
+print("OK", key)
+"""
+
+
+@pytest.mark.skipif(not c_available(), reason="no C compiler / cffi here")
+def test_concurrent_first_compile_converges(tmp_path):
+    """Two processes racing the same cold key must both succeed and leave
+    exactly one valid artifact behind (atomic-replace convergence)."""
+    script = tmp_path / "child.py"
+    script.write_text(_CHILD)
+    root = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, str(script), str(root)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        for _ in range(2)
+    ]
+    outs = [p.communicate(timeout=180) for p in procs]
+    for p, (out, err) in zip(procs, outs):
+        assert p.returncode == 0, err
+        assert out.startswith("OK ")
+    key = outs[0][0].split()[1]
+    assert outs[1][0].split()[1] == key
+
+    store = ArtifactStore(root)
+    loaded = store.load(key)
+    assert loaded is not None
+    sos = list(store.so_dir_for(key).glob("*.so"))
+    assert len(sos) == 1  # racing builders converged on one shared object
+    assert not list(store.so_dir_for(key).glob(".build.*"))  # tmpdirs cleaned

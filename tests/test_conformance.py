@@ -212,13 +212,13 @@ class TestFastLane:
         assert report.n_pass + report.n_infeasible == 4
         assert report.failure_files == []
 
-    def test_single_case_comparisons_cover_both_families(self):
+    def test_single_case_comparisons_cover_every_family(self):
         outcome = run_case(
             ConformanceCase("MobileRobot", horizon=4, seed=11), ledger=LEDGER
         )
         assert outcome.status == "pass"
         families = {c.family for c in outcome.comparisons}
-        assert families == {"qp", "dynamics"}
+        assert families == {"qp", "dynamics", "linearize"}
 
     def test_path_subset_runs_only_that_family(self):
         report = run_conformance(

@@ -1,7 +1,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 REPRO  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro
 
-.PHONY: test-fast test-slow test-all test-cov bench serve-smoke chaos-smoke conform-smoke batch-smoke admm-smoke resilience-smoke codegen-smoke lint
+.PHONY: test-fast test-slow test-all test-cov bench serve-smoke serve2-smoke chaos-smoke conform-smoke batch-smoke admm-smoke resilience-smoke codegen-smoke lint
 
 # Quick unit/property lane — skips the long closed-loop / experiment suites.
 test-fast:
@@ -23,6 +23,21 @@ bench:
 # zero crashed sessions (non-zero exit otherwise).
 serve-smoke:
 	$(REPRO) serve-sim --sessions 10 --ticks 20 --seed 0
+
+# serve2 smoke: the continuous-batching engine end to end.  Unit pyramid
+# (padding equivalence, EDF scheduler, engine, shards), a ragged-horizon
+# sharded fleet that must finish with zero crashed sessions, the padded
+# conform family against the golden ledger, a seeded shard-chaos campaign
+# whose handoff invariant must hold, and the v2-beats-v1 batch-efficiency
+# gate.  Traces and shrunk repro files land in conform/failures/ for the
+# CI artifact upload.
+serve2-smoke:
+	mkdir -p conform/failures
+	$(PYTEST) -q -m "not slow" tests/test_serve2_padding.py tests/test_serve2_scheduler.py tests/test_serve2_engine.py tests/test_serve2_shard.py
+	$(REPRO) serve-sim --engine v2 --sessions 10 --ticks 10 --robots CartPole,MobileRobot --horizons 5,6,8 --rungs 8 --shards 2 --deadline-ms 250 --seed 0 --trace conform/failures/serve2-trace.jsonl
+	$(REPRO) conform run --cases 8 --seed 0 --paths native_horizon,padded_horizon --out-dir conform/failures
+	$(REPRO) chaos --robot cartpole --schedule shards --engine v2 --shards 2 --sessions 4 --ticks 30 --deadline-ms 1000 --seed 3 --trace conform/failures/serve2-chaos-trace.jsonl
+	$(PYTEST) -q benchmarks/bench_serve2_vs_v1.py
 
 # Chaos smoke: a short cartpole fault campaign (sensor + solver faults)
 # must pass every recovery invariant (non-zero exit otherwise).

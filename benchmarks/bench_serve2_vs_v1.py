@@ -1,0 +1,106 @@
+"""serve2 vs serve v1: batch efficiency under identical seeded load.
+
+The v1 engine can only fuse lanes whose sessions share an exact
+``(robot, horizon)`` binding, so a fleet with ragged horizons fragments
+into many small group solves.  The v2 engine pads every lane up to its
+horizon-bucket rung first, which re-joins the fragments into wide batches
+— that is the whole economic argument for continuous batching, and this
+bench measures it head-to-head on the *same* seeded load (same arrival
+pattern, same robots, same per-session horizons).
+
+Run with
+``PYTHONPATH=src python -m pytest benchmarks/bench_serve2_vs_v1.py -q``.
+"""
+
+from repro.serve import LoadConfig, run_load
+
+from conftest import BENCH_SEED
+
+ROBOT = "CartPole"
+SESSIONS = 12
+TICKS = 6
+#: ragged on purpose: four distinct horizons cycled over twelve sessions
+HORIZONS = (5, 6, 7, 8)
+DEADLINE = 1.0
+
+
+def _load(engine: str, **extra) -> LoadConfig:
+    return LoadConfig(
+        sessions=SESSIONS,
+        ticks=TICKS,
+        robots=(ROBOT,),
+        horizons=HORIZONS,
+        deadline_s=DEADLINE,
+        seed=BENCH_SEED,
+        engine=engine,
+        **extra,
+    )
+
+
+def _describe(tag, report):
+    m = report.metrics
+    print(
+        f"  {tag:14s} steps={m.fleet.steps:4d} ok={m.fleet.ok:4d} "
+        f"batch_solves={m.batch_solves:4d} batched_lanes={m.batched_lanes:4d} "
+        f"mean_batch={m.mean_batch:5.2f}"
+    )
+    return m
+
+
+def test_v2_batches_wider_than_v1_on_ragged_horizons():
+    """v2 must beat v1's batch efficiency on an identical ragged fleet."""
+    v1 = run_load(_load("v1", backend="batched"))
+    v2 = run_load(_load("v2", rungs=(8,), max_batch=SESSIONS))
+
+    print("\nserve2 vs v1, identical seeded ragged load "
+          f"({SESSIONS} sessions, horizons {HORIZONS}, seed {BENCH_SEED})")
+    m1 = _describe("v1 (batched)", v1)
+    m2 = _describe("v2 (bucketed)", v2)
+
+    # Both fleets served every request without crashing.
+    assert not v1.crashed and not v2.crashed
+    assert m1.fleet.steps == m2.fleet.steps
+
+    # v1 fragments into one group per distinct horizon; v2 pads everything
+    # into the single 8-rung and fuses it.  Strictly-greater is the
+    # acceptance bar, but the expected gap is ~len(HORIZONS)x.
+    assert m2.mean_batch > m1.mean_batch
+    assert m2.batch_solves < m1.batch_solves
+    # Padding is actually happening (horizons 5/6/7 pad to 8).
+    assert m2.padded_lanes > 0
+
+
+def test_v2_matching_horizons_has_no_padding_overhead():
+    """On a uniform fleet the engines batch identically and v2 pads
+    nothing — bucketing costs nothing when it isn't needed."""
+    uniform = dict(horizons=(8,))
+    v1 = run_load(
+        LoadConfig(
+            sessions=SESSIONS,
+            ticks=3,
+            robots=(ROBOT,),
+            deadline_s=DEADLINE,
+            seed=BENCH_SEED,
+            engine="v1",
+            backend="batched",
+            **uniform,
+        )
+    )
+    v2 = run_load(
+        LoadConfig(
+            sessions=SESSIONS,
+            ticks=3,
+            robots=(ROBOT,),
+            deadline_s=DEADLINE,
+            seed=BENCH_SEED,
+            engine="v2",
+            rungs=(8,),
+            max_batch=SESSIONS,
+            **uniform,
+        )
+    )
+    print("\nuniform-horizon control:")
+    m1 = _describe("v1 (batched)", v1)
+    m2 = _describe("v2 (bucketed)", v2)
+    assert m2.padded_lanes == 0
+    assert m2.mean_batch >= m1.mean_batch

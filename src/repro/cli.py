@@ -15,7 +15,9 @@ Commands
 ``serve-sim``
     Run the multi-session serving runtime against simulated plants:
     deadline-budgeted solves, graceful degradation, fleet telemetry.
-    Exits non-zero when any session crashed (the serve-smoke gate).
+    ``--engine v2`` switches to the async continuous-batching engine
+    (EDF scheduling, horizon bucketing, sharded fleets).  Exits non-zero
+    when any session crashed (the serve-smoke gate).
 ``backends``
     List the registered array backends for the batch kernels (numpy is
     always present; torch/cupy appear when importable) and how to select
@@ -111,6 +113,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--horizon", type=int, default=8, help="MPC horizon N")
     p_serve.add_argument(
+        "--horizons",
+        default=None,
+        help="comma-separated per-session horizons cycled across the fleet "
+        "(overrides --horizon; mixed horizons exercise v2 bucketing)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("v1", "v2"),
+        default="v1",
+        help="serving engine: 'v1' (per-tick group solver, default) or "
+        "'v2' (async continuous batching: EDF scheduling, horizon "
+        "bucketing, sharded fleets)",
+    )
+    p_serve.add_argument(
+        "--arrival-jitter",
+        type=float,
+        default=0.0,
+        help="per-tick probability in [0,1) that a session's request "
+        "arrives late (seeded; models ragged arrivals)",
+    )
+    p_serve.add_argument(
+        "--robot-mix",
+        choices=("cycle", "sample"),
+        default="cycle",
+        help="how sessions draw from --robots: deterministic cycle "
+        "(default) or seeded sampling",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="v2 only: number of solver shards (sessions pin by affinity)",
+    )
+    p_serve.add_argument(
+        "--shard-backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="v2 only: where shard solves run (process = real worker "
+        "processes, killable by chaos)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="v2 only: max lanes fused into one batched solve",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="v2 only: admission-control queue depth (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--rungs",
+        default=None,
+        help="v2 only: comma-separated horizon bucket rungs, e.g. 8,16,32 "
+        "(default: engine ladder)",
+    )
+    p_serve.add_argument(
         "--deadline-ms",
         type=float,
         default=50.0,
@@ -168,7 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--trace", default=None, help="write a JSONL trace to this path"
     )
-    p_serve.add_argument("--seed", type=int, default=0, help="fleet RNG seed")
+    p_serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fleet RNG seed (default: $REPRO_BENCH_SEED, then 0)",
+    )
     p_serve.add_argument(
         "--json",
         action="store_true",
@@ -194,7 +260,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--schedule",
         default="smoke",
         help="builtin fault schedule: smoke, sensor, solver, serve, mixed, "
-        "resilience (default: smoke)",
+        "resilience, shards (default: smoke)",
+    )
+    p_chaos.add_argument(
+        "--engine",
+        choices=("v1", "v2"),
+        default="v1",
+        help="serving engine under chaos: 'v1' (default) or 'v2' "
+        "(continuous batching; pair --schedule shards with --shards >= 2)",
+    )
+    p_chaos.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="v2 only: solver shard count (shard_crash needs >= 2 for "
+        "handoff)",
+    )
+    p_chaos.add_argument(
+        "--shard-backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="v2 only: where shard solves run (process = killable workers)",
     )
     p_chaos.add_argument(
         "--sessions", type=int, default=3, help="fleet size (default 3)"
@@ -546,14 +632,41 @@ def _cmd_serve_sim(args) -> int:
             )
             return 2
 
+    def _int_list(text, flag):
+        try:
+            vals = tuple(int(v) for v in text.split(",") if v.strip())
+        except ValueError:
+            raise ReproError(f"{flag} wants comma-separated ints, got {text!r}")
+        if not vals:
+            raise ReproError(f"{flag} must name at least one value")
+        return vals
+
+    try:
+        horizons = (
+            _int_list(args.horizons, "--horizons") if args.horizons else None
+        )
+        rungs = _int_list(args.rungs, "--rungs") if args.rungs else None
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     config = LoadConfig(
         sessions=args.sessions,
         ticks=args.ticks,
         robots=robots,
         horizon=args.horizon,
+        horizons=horizons,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
         degrade_after=args.degrade_after,
         seed=args.seed,
+        arrival_jitter=args.arrival_jitter,
+        robot_mix=args.robot_mix,
+        engine=args.engine,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
+        rungs=rungs,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
         workers=args.workers,
         backend=args.backend,
         array_backend=args.array_backend,
@@ -661,6 +774,9 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
         workers=args.workers,
         backend=args.backend,
+        engine=args.engine,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
         trace_path=args.trace,
     )
     report = run_campaign(config)

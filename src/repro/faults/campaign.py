@@ -61,6 +61,13 @@ class CampaignConfig:
     seed: int = 0
     workers: int = 0
     backend: str = "thread"
+    #: "v1" drives the tick-batched ServeEngine; "v2" the serve2 async
+    #: continuous-batching engine (the target of the ``shards`` schedule)
+    engine: str = "v1"
+    #: serve2 shard count (engine="v2"; >= 2 for the shard_handoff
+    #: invariant — a lone shard has nowhere to hand its sessions off to)
+    shards: int = 1
+    shard_backend: str = "inline"
     #: QP method every session starts on; "admm" arms the rescue ladder
     #: (and the ``stalls_rescued`` invariant when the schedule stalls it)
     qp_method: str = "ipm"
@@ -73,6 +80,8 @@ class CampaignConfig:
             raise ServeError("sessions must be >= 1")
         if self.ticks < 2:
             raise ServeError("ticks must be >= 2")
+        if self.engine not in ("v1", "v2"):
+            raise ServeError(f"unknown engine {self.engine!r}")
 
     def resolved_schedule(self) -> FaultSchedule:
         if isinstance(self.schedule, FaultSchedule):
@@ -113,6 +122,8 @@ class CampaignReport:
     def to_dict(self) -> Dict[str, object]:
         return {
             "robot": self.config.robot,
+            "engine": self.config.engine,
+            "shards": self.config.shards,
             "backend": self.config.backend,
             "workers": self.config.workers,
             "sessions": self.config.sessions,
@@ -171,14 +182,27 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     trace = (
         TraceWriter(config.trace_path) if config.trace_path is not None else None
     )
-    engine = ServeEngine(
-        EngineConfig(
-            max_sessions=config.sessions,
-            workers=config.workers,
-            backend=config.backend,
-        ),
-        trace=trace,
-    )
+    if config.engine == "v2":
+        from repro.serve2 import AsyncServeEngine, Serve2Config
+
+        engine = AsyncServeEngine(
+            Serve2Config(
+                max_sessions=config.sessions,
+                shards=config.shards,
+                shard_backend=config.shard_backend,
+                qp_method=config.qp_method,
+            ),
+            trace=trace,
+        )
+    else:
+        engine = ServeEngine(
+            EngineConfig(
+                max_sessions=config.sessions,
+                workers=config.workers,
+                backend=config.backend,
+            ),
+            trace=trace,
+        )
 
     t0 = perf_counter()
     rng = np.random.default_rng(config.seed)
@@ -328,6 +352,20 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             violations.append(
                 f"{fired['admm_stall']} forced ADMM stall(s) fired but no "
                 "ADMM->IPM rescue was recorded (method_fallbacks == 0)"
+            )
+
+    # Serve2 sharding invariant: every shard the chaos shot down must have
+    # handed its sessions to a surviving shard — a crash that only
+    # respawned (without re-pinning the orphans) would strand the fleet on
+    # dead capacity for a tick.
+    if config.engine == "v2" and fired.get("shard_crash", 0) > 0:
+        handed_off = engine.metrics.shard_handoffs > 0
+        invariants["shard_handoff"] = handed_off
+        if not handed_off:
+            violations.append(
+                f"{fired['shard_crash']} shard crash(es) fired but no "
+                "session handoff was recorded (shard_handoffs == 0; "
+                "does the campaign run >= 2 shards?)"
             )
 
     result = CampaignReport(

@@ -208,15 +208,23 @@ class EngineFaultInjector:
         if idx is None:
             return None
         t = tick + self.tick_offset
+        shard = None
         crash = None
         slow = None
         for _, spec in self.schedule.fires(t, idx):
-            if spec.kind == "worker_crash" and crash is None:
+            if spec.kind == "shard_crash" and shard is None:
+                shard = {"kind": "shard_crash"}
+            elif spec.kind == "worker_crash" and crash is None:
                 crash = {"kind": "worker_crash"}
             elif spec.kind == "slow_worker" and slow is None:
                 slow = {"kind": "slow", "delay_s": spec.intensity()}
-        directive = crash or slow  # a dead worker preempts a slow one
+        # a dead shard preempts a dead worker preempts a slow one
+        directive = shard or crash or slow
         if directive is not None:
-            key = "worker_crash" if crash else "slow_worker"
+            key = (
+                "shard_crash" if shard else
+                "worker_crash" if crash else
+                "slow_worker"
+            )
             self.fired_counts[key] = self.fired_counts.get(key, 0) + 1
         return directive

@@ -24,6 +24,7 @@ kind             layer    effect
 ``budget_starve``  solver  the per-step budget is replaced by ``magnitude`` seconds
 ``worker_crash`` serve    the dispatched solve's worker dies mid-solve
 ``slow_worker``  serve    the dispatched solve is delayed by ``magnitude`` seconds
+``shard_crash``  serve    the session's solver shard dies (serve2 handoff)
 ===============  =======  ====================================================
 """
 
@@ -55,7 +56,7 @@ SOLVER_KINDS = (
     "admm_stall",
     "budget_starve",
 )
-SERVE_KINDS = ("worker_crash", "slow_worker")
+SERVE_KINDS = ("worker_crash", "slow_worker", "shard_crash")
 
 #: fault kind -> injection layer ("sensor" | "solver" | "serve")
 LAYER_OF: Dict[str, str] = {
@@ -123,6 +124,7 @@ _DEFAULT_MAGNITUDE: Dict[str, float] = {
     "budget_starve": 1e-4,  # replacement wall budget, seconds
     "worker_crash": 1.0,
     "slow_worker": 0.05,  # injected delay, seconds
+    "shard_crash": 1.0,
 }
 
 
@@ -244,6 +246,16 @@ def builtin_schedule(name: str, ticks: int = 40, seed: int = 0) -> FaultSchedule
             FaultSpec("illcond_qp", *w(0.20, 0.45), probability=0.6),
             FaultSpec("chol_fail", *w(0.35, 0.55), probability=0.4),
         ]
+    elif name == "shards":
+        # Serve2 shard chaos: slow solves while shards are being shot out
+        # from under the fleet, then a quiet tail for recovery.  Session
+        # handoff (not just respawn) is the invariant under test — run it
+        # against an engine with >= 2 shards.
+        specs = [
+            FaultSpec("slow_worker", *w(0.05, 0.25), probability=0.4),
+            FaultSpec("shard_crash", *w(0.15, 0.40), probability=0.2),
+            FaultSpec("worker_crash", *w(0.35, 0.50), probability=0.2),
+        ]
     elif name == "mixed":
         specs = [
             FaultSpec("spike", *w(0.05, 0.25), probability=0.6),
@@ -262,4 +274,12 @@ def builtin_schedule(name: str, ticks: int = 40, seed: int = 0) -> FaultSchedule
 
 
 #: names accepted by :func:`builtin_schedule` (and `repro chaos --schedule`)
-BUILTIN_SCHEDULES = ("smoke", "sensor", "solver", "serve", "mixed", "resilience")
+BUILTIN_SCHEDULES = (
+    "smoke",
+    "sensor",
+    "solver",
+    "serve",
+    "mixed",
+    "resilience",
+    "shards",
+)

@@ -45,7 +45,7 @@ from repro.errors import (
     StateValidationError,
 )
 from repro.mpc.budget import SolveBudget
-from repro.serve.session import ControlSession, SessionConfig, StepOutcome
+from repro.serve.session import CLOSED, ControlSession, SessionConfig, StepOutcome
 from repro.serve.telemetry import FleetMetrics, TraceWriter
 
 __all__ = [
@@ -196,6 +196,22 @@ class ServeEngine:
         return session.session_id
 
     def _admit(self) -> None:
+        # Fast path for large fleets: open sessions can never outnumber
+        # the table, so a table under the cap needs no O(n) scan.
+        if len(self.sessions) < self.config.max_sessions:
+            return
+        # At cap, lazily evict closed sessions (and their round-robin
+        # slots): a churned fleet must not grow the table without bound —
+        # that is a leak at soak scale, not bookkeeping.  Crashed sessions
+        # stay: they are restartable.
+        closed = [s for s, ses in self.sessions.items() if ses.state == CLOSED]
+        for sid in closed:
+            del self.sessions[sid]
+        if closed:
+            gone = set(closed)
+            self._rr = deque(sid for sid in self._rr if sid not in gone)
+        if len(self.sessions) < self.config.max_sessions:
+            return
         open_count = sum(1 for s in self.sessions.values() if s.serving)
         if open_count >= self.config.max_sessions:
             raise AdmissionError(
@@ -506,6 +522,10 @@ class ServeEngine:
     def _solve_group(self, key, sids, inputs, report) -> None:
         solver = self._batch_solver(key)
         if solver is None:
+            # No batched solver for this (robot, horizon) — every lane in
+            # the group steps scalar-inline; record why so operators can
+            # tell an unbatchable fleet from a batching regression.
+            self.metrics.observe_group_fallback("unbatchable_binding", len(sids))
             for sid in sids:
                 x, ref = inputs[sid]
                 self._record(sid, self._step_guarded(sid, x, ref), report)
@@ -520,6 +540,7 @@ class ServeEngine:
                 # must not re-enter the shared batch (whose solver still
                 # runs the configured method) — step it scalar-inline with
                 # its own, already-rebound solver instead.
+                self.metrics.observe_group_fallback("method_demoted", 1)
                 self._record(sid, self._step_guarded(sid, x, ref), report)
                 continue
             payload = session.solve_payload(x, ref=ref)
@@ -542,6 +563,7 @@ class ServeEngine:
         except ReproError:
             # Solver-level rejection of the whole group: each session pays
             # one ladder step and drops its (implicated) warm start.
+            self.metrics.observe_group_fallback("group_solver_error", len(lanes))
             for sid in lanes:
                 self._record(
                     sid,
@@ -550,6 +572,7 @@ class ServeEngine:
                 )
             return
         except Exception:
+            self.metrics.observe_group_fallback("group_crashed", len(lanes))
             for sid in lanes:
                 self._record(sid, self.sessions[sid].mark_crashed(), report)
             return

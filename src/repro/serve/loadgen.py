@@ -15,6 +15,7 @@ benchmark's ``x0`` and counted, so one runaway plant cannot poison a run.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -27,7 +28,15 @@ from repro.serve.engine import EngineConfig, ServeEngine
 from repro.serve.session import SessionConfig
 from repro.serve.telemetry import FleetMetrics, TraceWriter, render_summary
 
-__all__ = ["LoadConfig", "LoadReport", "run_load"]
+__all__ = ["LoadConfig", "LoadReport", "run_load", "resolve_seed"]
+
+
+def resolve_seed(seed: Optional[int]) -> int:
+    """An explicit seed wins; otherwise ``REPRO_BENCH_SEED`` (default 0),
+    so seeded benchmark runs and the load generator draw from one knob."""
+    if seed is not None:
+        return int(seed)
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 #: default mixed-robot rotation: one cheap, one mid, one heavy solver, so a
 #: budgeted run exercises healthy sessions, warm-up misses, and sustained
@@ -43,12 +52,30 @@ class LoadConfig:
     ticks: int = 20
     robots: Sequence[str] = DEFAULT_ROBOTS
     horizon: int = 8
+    #: per-session horizon rotation (cycled); None = every session at
+    #: ``horizon``.  Mixed horizons are what serve2's bucketing co-batches.
+    horizons: Optional[Sequence[int]] = None
     #: per-step solve deadline in seconds (None disables budgeting)
     deadline_s: Optional[float] = 0.05
     degrade_after: int = 3
     #: scale of the N(0,1) perturbation added to each benchmark x0
     x0_noise: float = 0.02
-    seed: int = 0
+    #: None resolves from ``REPRO_BENCH_SEED`` (default 0) at run time
+    seed: Optional[int] = None
+    #: probability a session sits a tick out (its own seeded stream, so
+    #: jitter on/off never perturbs the x0 draws)
+    arrival_jitter: float = 0.0
+    #: "cycle" assigns robots round-robin; "sample" draws each session's
+    #: robot from ``robots`` with a seeded RNG
+    robot_mix: str = "cycle"
+    #: "v1" (tick-batched ServeEngine) or "v2" (async continuous batching)
+    engine: str = "v1"
+    #: serve2 knobs (engine="v2" only)
+    shards: int = 1
+    shard_backend: str = "inline"
+    rungs: Optional[Sequence[int]] = None
+    max_batch: int = 64
+    max_queue: Optional[int] = None
     workers: int = 0
     backend: str = "thread"
     #: array backend for backend="batched" (None = env / numpy default)
@@ -69,6 +96,14 @@ class LoadConfig:
             raise ServeError("ticks must be >= 1")
         if not self.robots:
             raise ServeError("robots must be non-empty")
+        if self.horizons is not None and not self.horizons:
+            raise ServeError("horizons must be non-empty (or None)")
+        if not 0.0 <= self.arrival_jitter < 1.0:
+            raise ServeError("arrival_jitter must be in [0, 1)")
+        if self.robot_mix not in ("cycle", "sample"):
+            raise ServeError(f"unknown robot_mix {self.robot_mix!r}")
+        if self.engine not in ("v1", "v2"):
+            raise ServeError(f"unknown engine {self.engine!r}")
 
 
 @dataclass
@@ -95,6 +130,7 @@ class LoadReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "engine": self.config.engine,
             "sessions": self.config.sessions,
             "ticks": self.config.ticks,
             "robots": list(self.config.robots),
@@ -108,13 +144,29 @@ class LoadReport:
         }
 
 
-def run_load(config: LoadConfig) -> LoadReport:
-    """Build the fleet, tick it ``config.ticks`` times, return the report."""
-    rng = np.random.default_rng(config.seed)
-    trace = (
-        TraceWriter(config.trace_path) if config.trace_path is not None else None
-    )
-    engine = ServeEngine(
+def _build_engine(config: LoadConfig, trace):
+    if config.engine == "v2":
+        from repro.serve2 import DEFAULT_RUNGS, AsyncServeEngine, Serve2Config
+
+        return AsyncServeEngine(
+            Serve2Config(
+                max_sessions=config.sessions,
+                rungs=(
+                    tuple(config.rungs)
+                    if config.rungs is not None
+                    else DEFAULT_RUNGS
+                ),
+                max_batch=config.max_batch,
+                max_queue=config.max_queue,
+                shards=config.shards,
+                shard_backend=config.shard_backend,
+                qp_method=config.qp_method,
+                codegen=config.codegen,
+                array_backend=config.array_backend,
+            ),
+            trace=trace,
+        )
+    return ServeEngine(
         EngineConfig(
             max_sessions=config.sessions,
             workers=config.workers,
@@ -127,6 +179,20 @@ def run_load(config: LoadConfig) -> LoadReport:
         trace=trace,
     )
 
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Build the fleet, tick it ``config.ticks`` times, return the report."""
+    seed = resolve_seed(config.seed)
+    rng = np.random.default_rng(seed)
+    # Dedicated streams so turning jitter or robot sampling on never
+    # perturbs the x0 noise draws — identical fleets stay comparable.
+    jitter_rng = np.random.default_rng([seed, 0x1177])
+    mix_rng = np.random.default_rng([seed, 0x5EED])
+    trace = (
+        TraceWriter(config.trace_path) if config.trace_path is not None else None
+    )
+    engine = _build_engine(config, trace)
+
     t0 = perf_counter()
     plants: Dict[Tuple[str, int], PlantIntegrator] = {}
     x: Dict[str, np.ndarray] = {}
@@ -136,19 +202,27 @@ def run_load(config: LoadConfig) -> LoadReport:
     plant_resets = 0
 
     for i in range(config.sessions):
-        robot = config.robots[i % len(config.robots)]
+        if config.robot_mix == "sample":
+            robot = str(mix_rng.choice(list(config.robots)))
+        else:
+            robot = config.robots[i % len(config.robots)]
+        horizon = (
+            int(config.horizons[i % len(config.horizons)])
+            if config.horizons is not None
+            else config.horizon
+        )
         sid = engine.create_session(
             SessionConfig(
                 robot=robot,
-                horizon=config.horizon,
+                horizon=horizon,
                 deadline_s=config.deadline_s,
                 degrade_after=config.degrade_after,
                 qp_method=config.qp_method,
                 codegen=config.codegen,
             )
         )
-        bench, problem = engine.binding(robot, config.horizon)
-        key = (robot, config.horizon)
+        bench, problem = engine.binding(robot, horizon)
+        key = (robot, horizon)
         if key not in plants:
             plants[key] = PlantIntegrator(problem)
         plant_of[sid] = plants[key]
@@ -159,13 +233,22 @@ def run_load(config: LoadConfig) -> LoadReport:
 
     tick_log: List[Tuple[float, int, int]] = []
     for _ in range(config.ticks):
-        inputs = {
+        serving = {
             sid: (x[sid], None)
             for sid, session in engine.sessions.items()
             if session.serving
         }
-        if not inputs:
+        if not serving:
             break
+        inputs = serving
+        if config.arrival_jitter:
+            inputs = {
+                sid: v
+                for sid, v in serving.items()
+                if jitter_rng.random() >= config.arrival_jitter
+            }
+            if not inputs:
+                continue  # everyone sat this tick out; the fleet lives on
         report = engine.tick(inputs)
         tick_log.append(
             (report.duration_s, report.stepped, len(report.deferred))

@@ -15,6 +15,7 @@ aggregated later.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Union
 
@@ -112,6 +113,8 @@ class SessionMetrics:
     bad_states: int = 0
     #: solves lost to a dying pool worker (session survived on the ladder)
     worker_deaths: int = 0
+    #: requests dropped by admission control / load shedding (serve2)
+    sheds: int = 0
     crashes: int = 0
     degraded_transitions: int = 0
     #: ADMM subproblems re-solved by the IPM rescue ladder (the solves
@@ -139,6 +142,7 @@ class SessionMetrics:
         self.divergences += other.divergences
         self.bad_states += other.bad_states
         self.worker_deaths += other.worker_deaths
+        self.sheds += other.sheds
         self.crashes += other.crashes
         self.degraded_transitions += other.degraded_transitions
         self.method_fallbacks += other.method_fallbacks
@@ -160,6 +164,7 @@ class SessionMetrics:
             "divergences": self.divergences,
             "bad_states": self.bad_states,
             "worker_deaths": self.worker_deaths,
+            "sheds": self.sheds,
             "crashes": self.crashes,
             "degraded_transitions": self.degraded_transitions,
             "method_fallbacks": self.method_fallbacks,
@@ -201,6 +206,21 @@ class FleetMetrics:
         self.sqp_lane_slots = 0
         self.qp_lane_iterations = 0
         self.qp_lane_slots = 0
+        #: scalar-inline group fallbacks by reason -> lanes affected (was
+        #: previously invisible: group-level rejections looked identical
+        #: to lane-level ones in the summary)
+        self.group_fallbacks: Dict[str, int] = {}
+        #: serve2 continuous-batching telemetry
+        self.padded_lanes = 0
+        self.shard_handoffs = 0
+        self.shard_respawns = 0
+        #: seconds of deadline slack left when a request was dispatched
+        self.deadline_headroom = Histogram()
+        #: fraction of a padded lane's stages spent on padding (0 when a
+        #: session's horizon sits exactly on a bucket rung)
+        self.padding_waste = Histogram(lo=1e-3, hi=1.0)
+        #: lanes filled / max_batch per group solve
+        self.bucket_occupancy = Histogram(lo=1e-2, hi=1.0)
 
     def session(self, session_id: str) -> SessionMetrics:
         if session_id not in self.sessions:
@@ -232,6 +252,8 @@ class FleetMetrics:
                 target.bad_states += 1
             elif outcome.reason == "worker_died":
                 target.worker_deaths += 1
+            elif outcome.reason == "shed":
+                target.sheds += 1
             if outcome.degraded_transition:
                 target.degraded_transitions += 1
             target.method_fallbacks += getattr(outcome, "method_fallbacks", 0)
@@ -282,10 +304,53 @@ class FleetMetrics:
             else 1.0
         )
 
+    def observe_group_fallback(self, reason: str, lanes: int) -> None:
+        """Record a batched group falling back to scalar-inline solves."""
+        self.group_fallbacks[reason] = self.group_fallbacks.get(reason, 0) + lanes
+
+    def observe_dispatch(self, headroom_s: float, padding_waste: float) -> None:
+        """Record one dispatched request's deadline slack and lane padding.
+
+        ``headroom_s`` may be ``inf`` (no wall-clock budget); only finite
+        slack is histogrammed.
+        """
+        if math.isfinite(headroom_s):
+            self.deadline_headroom.record(max(headroom_s, 0.0))
+        if padding_waste > 0.0:
+            self.padded_lanes += 1
+            self.padding_waste.record(padding_waste)
+
     def absorb_solver_stats(self, stats: Dict[str, float]) -> None:
         """Accumulate one solver's cumulative per-phase stats."""
         for key in _PHASE_KEYS:
             self.phase_totals[key] += stats.get(key, 0)
+
+    def merge(self, other: "FleetMetrics") -> None:
+        """Fold another fleet's metrics in (shard aggregation)."""
+        for sid, m in other.sessions.items():
+            self.session(sid).merge(m)
+        self.fleet.merge(other.fleet)
+        for key in _PHASE_KEYS:
+            self.phase_totals[key] += other.phase_totals[key]
+        self.ticks += other.ticks
+        self.deferred_steps += other.deferred_steps
+        self.batch_solves += other.batch_solves
+        self.batched_lanes += other.batched_lanes
+        self.max_batch = max(self.max_batch, other.max_batch)
+        self.sqp_lane_iterations += other.sqp_lane_iterations
+        self.sqp_lane_slots += other.sqp_lane_slots
+        self.qp_lane_iterations += other.qp_lane_iterations
+        self.qp_lane_slots += other.qp_lane_slots
+        for reason, lanes in other.group_fallbacks.items():
+            self.group_fallbacks[reason] = (
+                self.group_fallbacks.get(reason, 0) + lanes
+            )
+        self.padded_lanes += other.padded_lanes
+        self.shard_handoffs += other.shard_handoffs
+        self.shard_respawns += other.shard_respawns
+        self.deadline_headroom.merge(other.deadline_headroom)
+        self.padding_waste.merge(other.padding_waste)
+        self.bucket_occupancy.merge(other.bucket_occupancy)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -304,6 +369,15 @@ class FleetMetrics:
                 "qp_lane_iterations": self.qp_lane_iterations,
                 "qp_lane_slots": self.qp_lane_slots,
                 "batch_efficiency": self.batch_efficiency,
+            },
+            "group_fallbacks": dict(sorted(self.group_fallbacks.items())),
+            "serve2": {
+                "padded_lanes": self.padded_lanes,
+                "shard_handoffs": self.shard_handoffs,
+                "shard_respawns": self.shard_respawns,
+                "deadline_headroom": self.deadline_headroom.to_dict(),
+                "padding_waste": self.padding_waste.to_dict(),
+                "bucket_occupancy": self.bucket_occupancy.to_dict(),
             },
             "sessions": {
                 sid: m.to_dict() for sid, m in sorted(self.sessions.items())
@@ -391,7 +465,7 @@ def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
         f"failure causes:  deadline_misses={f.deadline_misses}  "
         f"solver_errors={f.solver_errors}  divergences={f.divergences}  "
         f"bad_states={f.bad_states}  worker_deaths={f.worker_deaths}  "
-        f"crashes={f.crashes}"
+        f"sheds={f.sheds}  crashes={f.crashes}"
     )
     lines.append(f"degraded events: {f.degraded_transitions}")
     if f.method_fallbacks or f.method_demotions:
@@ -417,6 +491,24 @@ def render_summary(metrics: FleetMetrics, states: Dict[str, str]) -> str:
             f"max_batch={metrics.max_batch}  "
             f"sqp_eff={metrics.sqp_batch_efficiency:.0%}  "
             f"qp_eff={metrics.batch_efficiency:.0%}"
+        )
+    if metrics.group_fallbacks:
+        causes = "  ".join(
+            f"{reason}={lanes}"
+            for reason, lanes in sorted(metrics.group_fallbacks.items())
+        )
+        lines.append(f"group fallbacks: {causes}")
+    if metrics.deadline_headroom.count or metrics.padded_lanes:
+        hr = metrics.deadline_headroom
+        occ = metrics.bucket_occupancy
+        lines.append(
+            "serve2:          "
+            f"padded_lanes={metrics.padded_lanes}  "
+            f"waste_mean={metrics.padding_waste.mean:.0%}  "
+            f"occupancy_p50={occ.percentile(50):.0%}  "
+            f"headroom_p1={hr.percentile(1) * 1e3:.1f}ms  "
+            f"handoffs={metrics.shard_handoffs}  "
+            f"respawns={metrics.shard_respawns}"
         )
     pt = metrics.phase_totals
     lines.append(

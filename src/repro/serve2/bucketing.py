@@ -1,0 +1,53 @@
+"""Horizon bucketing for the serve2 batch former.
+
+The batch former groups sessions by ``(robot, bucket)`` instead of
+``(robot, horizon)``: every session horizon is rounded *up* to the next
+rung of a configured ladder (powers of two by default), and the padded
+lanes of a bucket all solve the same :class:`TranscribedProblem` shape.
+Sessions whose horizons land between rungs therefore co-batch instead of
+fragmenting into singleton groups, at the cost of the padded tail stages
+— whose fraction :meth:`HorizonBuckets.padding_waste` reports so the
+fleet telemetry can track how much lane capacity the rounding burns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["DEFAULT_RUNGS", "HorizonBuckets"]
+
+#: Powers-of-two rungs, matching the paper-suite horizons (5..60) with at
+#: most one doubling of any horizon.
+DEFAULT_RUNGS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class HorizonBuckets:
+    """Maps a session horizon to the rung it is padded up to."""
+
+    rungs: Tuple[int, ...] = DEFAULT_RUNGS
+
+    def __post_init__(self):
+        rungs = tuple(sorted({int(r) for r in self.rungs}))
+        if not rungs:
+            raise ServeError("HorizonBuckets needs at least one rung")
+        if rungs[0] < 1:
+            raise ServeError(f"rungs must be positive, got {rungs}")
+        object.__setattr__(self, "rungs", rungs)
+
+    def bucket_for(self, horizon: int) -> int:
+        """Smallest rung >= ``horizon``; the horizon itself past the top."""
+        if horizon < 1:
+            raise ServeError(f"horizon must be >= 1, got {horizon}")
+        for rung in self.rungs:
+            if rung >= horizon:
+                return rung
+        return horizon
+
+    def padding_waste(self, horizon: int) -> float:
+        """Fraction of the bucket's stages spent on padding for ``horizon``."""
+        bucket = self.bucket_for(horizon)
+        return (bucket - horizon) / bucket

@@ -1,0 +1,119 @@
+"""Deadline-EDF scheduling and admission for the serve2 queue.
+
+Sessions submit :class:`SolveRequest`\\ s to one central queue; the batch
+former repeatedly takes the request with the earliest deadline and fills
+its batch with queued requests that share the same ``(shard, robot,
+bucket)`` key.  Within a key the queue is FIFO — submission order equals
+deadline order when sessions share a ``SolveBudget`` — so a single heap
+keyed ``(deadline, seq)`` with lazy deletion gives O(log n) pops.
+
+Admission control is a hard cap on queue depth (``max_queue``): a
+request arriving at a full queue is *shed* (the session pays one
+degradation-ladder step with reason ``"shed"``) instead of growing an
+unbounded backlog that would miss every deadline at once.  At dispatch
+time a request whose deadline has already passed is shed too — solving
+it would burn a lane on an answer the session can no longer use.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SolveRequest", "EDFScheduler"]
+
+
+@dataclass
+class SolveRequest:
+    """One queued solve: who wants it, by when, and with what data."""
+
+    session_id: str
+    robot: str
+    horizon: int
+    bucket: int
+    shard: int
+    x: np.ndarray
+    ref: Optional[np.ndarray]
+    #: absolute event-loop deadline (``loop.time() + deadline_s``);
+    #: ``inf`` when the session runs without a wall-clock budget
+    deadline: float = math.inf
+    #: submission tiebreaker (FIFO among equal deadlines)
+    seq: int = 0
+    #: chaos directive drawn at submit time (``slow`` delays the group)
+    directive: Optional[Dict[str, object]] = None
+    #: resolved by the engine once the group solve lands
+    future: object = None
+    #: lazy-deletion flag (set when the batch former takes the request)
+    taken: bool = field(default=False, compare=False)
+
+    @property
+    def group_key(self) -> Tuple[int, str, int]:
+        return (self.shard, self.robot, self.bucket)
+
+
+class EDFScheduler:
+    """Earliest-deadline-first queue with same-key batch extraction."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, SolveRequest]] = []
+        self._by_key: Dict[Hashable, List[SolveRequest]] = {}
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def push(self, request: SolveRequest) -> None:
+        heapq.heappush(self._heap, (request.deadline, request.seq, request))
+        self._by_key.setdefault(request.group_key, []).append(request)
+        self._depth += 1
+
+    def pop_group(self, max_batch: int) -> List[SolveRequest]:
+        """Take the earliest-deadline request plus up to ``max_batch - 1``
+        queued requests sharing its ``(shard, robot, bucket)`` key, in
+        their own EDF order.  Returns ``[]`` when the queue is empty."""
+        head = self._pop_head()
+        if head is None:
+            return []
+        group = [head]
+        peers = self._by_key.get(head.group_key, [])
+        for req in peers:
+            if len(group) >= max_batch:
+                break
+            if req.taken:
+                continue
+            req.taken = True
+            self._depth -= 1
+            group.append(req)
+        self._by_key[head.group_key] = [r for r in peers if not r.taken]
+        if not self._by_key[head.group_key]:
+            del self._by_key[head.group_key]
+        return group
+
+    def _pop_head(self) -> Optional[SolveRequest]:
+        while self._heap:
+            _, _, req = heapq.heappop(self._heap)
+            if req.taken:
+                continue  # already batched behind an earlier head
+            req.taken = True
+            self._depth -= 1
+            return req
+        return None
+
+    def drain(self) -> List[SolveRequest]:
+        """Remove and return every queued request in EDF order."""
+        out = []
+        while True:
+            head = self._pop_head()
+            if head is None:
+                break
+            out.append(head)
+        self._by_key.clear()
+        return out

@@ -1,0 +1,235 @@
+"""Sharded solver arenas for the serve2 engine.
+
+A shard owns the padded :class:`~repro.serve2.padding.PaddedBinding`\\ s
+for the ``(robot, bucket)`` keys routed to it and — in ``process`` mode —
+a single-worker process pool whose death is a real OS process death.
+Sessions (and their warm-start state) live in the *parent* engine; a
+shard is pure solver capacity, which is what makes handoff cheap: when a
+shard dies mid-tick, its in-flight lanes pay one degradation-ladder step
+(``worker_died``, the same contract as a v1 pool death), its sessions are
+re-pinned to surviving shards, and the dead shard respawns lazily.
+
+``inline`` mode solves in-process (deterministic, what the chaos
+campaign drives); ``process`` mode overlaps shard solves across real
+worker processes, with the parent's compiled bindings inherited through
+the fork start method via a prime-before-fork cache, exactly like the v1
+engine's worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+from time import sleep
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError, StateValidationError
+from repro.mpc.budget import SolveBudget
+from repro.mpc.health import SolverHealth
+from repro.mpc.ipm import IPMResult
+from repro.serve2.padding import PaddedBinding
+
+__all__ = ["Shard", "prime_shard_cache", "shard_solve_group"]
+
+
+class Shard:
+    """One solving arena: padded bindings plus an optional worker pool."""
+
+    def __init__(
+        self,
+        index: int,
+        backend: str = "inline",
+        qp_method: str = "ipm",
+        codegen: str = "auto",
+        array_backend: Optional[str] = None,
+    ):
+        self.index = index
+        self.backend = backend
+        self.qp_method = qp_method
+        self.codegen = codegen
+        self.array_backend = array_backend
+        #: (robot, bucket) -> PaddedBinding (built on first use)
+        self.bindings: Dict[Tuple[str, int], PaddedBinding] = {}
+        self.dead = False
+        self.groups_solved = 0
+        self._pool = None
+
+    def binding(self, robot: str, bucket: int, bench) -> PaddedBinding:
+        key = (robot, bucket)
+        if key not in self.bindings:
+            self.bindings[key] = PaddedBinding(
+                bench,
+                bucket,
+                qp_method=self.qp_method,
+                codegen=self.codegen,
+                array_backend=self.array_backend,
+            )
+        return self.bindings[key]
+
+    def pool(self):
+        """The shard's single-worker process pool (process mode only)."""
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Prime this process's cache first: with the fork start method
+            # the worker inherits the compiled padded problems for free.
+            for (robot, bucket), binding in self.bindings.items():
+                prime_shard_cache(
+                    robot,
+                    bucket,
+                    qp_method=self.qp_method,
+                    codegen=self.codegen,
+                    binding=binding,
+                )
+            self._pool = ProcessPoolExecutor(max_workers=1)
+        return self._pool
+
+    def kill(self) -> None:
+        """Mark the shard dead (inline-mode chaos; process mode dies for
+        real inside the worker) and discard any pool."""
+        self.dead = True
+        self.discard_pool()
+
+    def revive(self) -> None:
+        """Bring a dead shard back as fresh capacity (bindings survive —
+        they are pure solver state; the pool rebuilds lazily)."""
+        self.dead = False
+
+    def discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- worker-side group solve (process shards) -----------------------------------
+
+#: per-process cache: (robot, bucket, qp_method, codegen) -> PaddedBinding
+_SHARD_CACHE: Dict[Tuple[str, int, str, str], PaddedBinding] = {}
+
+
+def prime_shard_cache(
+    robot: str,
+    bucket: int,
+    qp_method: str = "ipm",
+    codegen: str = "auto",
+    binding: Optional[PaddedBinding] = None,
+) -> None:
+    """Populate this process's padded-binding cache (parent-side, pre-fork)."""
+    key = (robot, bucket, qp_method, codegen)
+    if key in _SHARD_CACHE:
+        return
+    if binding is None:
+        from repro.robots import build_benchmark
+
+        binding = PaddedBinding(
+            build_benchmark(robot), bucket, qp_method=qp_method, codegen=codegen
+        )
+    # a cold kernel compile belongs in the prime, not a budgeted solve
+    binding.problem.codegen_kernels()
+    _SHARD_CACHE[key] = binding
+
+
+def _result_to_dict(result: IPMResult) -> Dict[str, object]:
+    return {
+        "z": result.z,
+        "nu": result.nu,
+        "lam": result.lam,
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "qp_iterations": result.qp_iterations,
+        "objective": result.objective,
+        "kkt_residual": result.kkt_residual,
+        "status": result.status,
+        "solve_time": result.solve_time,
+        "health": result.health.to_dict() if result.health is not None else None,
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> IPMResult:
+    """Rebuild a (padded) :class:`IPMResult` from a worker reply lane."""
+    return IPMResult(
+        z=np.asarray(data["z"], dtype=float),
+        converged=bool(data["converged"]),
+        iterations=int(data["iterations"]),
+        qp_iterations=int(data["qp_iterations"]),
+        objective=float(data["objective"]),
+        kkt_residual=float(data["kkt_residual"]),
+        nu=None if data["nu"] is None else np.asarray(data["nu"]),
+        lam=None if data["lam"] is None else np.asarray(data["lam"]),
+        status=str(data["status"]),
+        solve_time=float(data["solve_time"] or 0.0),
+        health=SolverHealth.from_dict(data.get("health")),
+    )
+
+
+def shard_solve_group(group: Dict[str, object]) -> Dict[str, object]:
+    """Solve one padded group inside a shard worker process.
+
+    ``group`` carries the binding identity, the already-padded payloads,
+    and an optional chaos directive: ``shard_crash`` / ``worker_crash``
+    hard-kill this worker (the failure mode handoff must survive),
+    ``slow`` sleeps for the injected latency.  The reply is a plain dict
+    of per-lane result dicts plus the batch-occupancy report.
+    """
+    try:
+        fault = group.get("fault")
+        if fault:
+            kind = fault.get("kind")
+            if kind in ("shard_crash", "worker_crash"):
+                os._exit(3)  # no cleanup: simulate an OOM-kill / segfault
+            elif kind == "slow":
+                sleep(float(fault.get("delay_s", 0.0)))
+        robot = str(group["robot"])
+        bucket = int(group["bucket"])
+        qp_method = str(group.get("qp_method") or "ipm")
+        codegen = str(group.get("codegen") or "auto")
+        prime_shard_cache(robot, bucket, qp_method=qp_method, codegen=codegen)
+        binding = _SHARD_CACHE[(robot, bucket, qp_method, codegen)]
+        payloads: List[Dict[str, object]] = group["payloads"]
+        if binding.batchable:
+            results, report = binding.batch_solver.solve_payloads(payloads)
+            report_dict = {
+                "lanes": report.lanes,
+                "sqp_lane_iterations": report.sqp_lane_iterations,
+                "sqp_lane_slots": report.sqp_lane_slots,
+                "qp_lane_iterations": report.qp_lane_iterations,
+                "qp_lane_slots": report.qp_lane_slots,
+            }
+        else:
+            results = [
+                binding.scalar_solver.solve(
+                    pl["x"],
+                    ref=pl.get("ref"),
+                    z_warm=pl.get("z_warm"),
+                    budget=SolveBudget(
+                        wall_clock=pl.get("deadline_s"),
+                        sqp_iterations=pl.get("max_sqp_iterations"),
+                        qp_iterations=pl.get("max_qp_iterations"),
+                    ),
+                )
+                for pl in payloads
+            ]
+            report_dict = None
+        return {
+            "ok": True,
+            "lanes": [_result_to_dict(r) for r in results],
+            "report": report_dict,
+        }
+    except StateValidationError as exc:
+        return {
+            "ok": False,
+            "kind": "bad_state",
+            "error": str(exc),
+            "health": exc.health.to_dict() if exc.health is not None else None,
+        }
+    except ReproError as exc:
+        return {"ok": False, "kind": "solver_error", "error": str(exc)}

@@ -218,7 +218,7 @@ class TestFastLane:
         )
         assert outcome.status == "pass"
         families = {c.family for c in outcome.comparisons}
-        assert families == {"qp", "dynamics", "linearize"}
+        assert families == {"qp", "dynamics", "linearize", "padded"}
 
     def test_path_subset_runs_only_that_family(self):
         report = run_conformance(

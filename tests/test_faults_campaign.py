@@ -111,6 +111,64 @@ class TestProcessBackendCampaign:
         assert all(state == ACTIVE for state in rep.session_states.values())
 
 
+class TestServe2ShardCampaign:
+    def test_shard_crashes_hand_off_and_recover(self):
+        # Deterministic shard chaos: session 0's shard is shot twice
+        # mid-campaign; the handoff invariant must hold on a 2-shard fleet.
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec("shard_crash", start=4, stop=6, sessions=(0,)),
+                FaultSpec("slow_worker", start=2, stop=5, magnitude=0.001),
+            ),
+            seed=0,
+            name="shard-direct",
+        )
+        rep = run_campaign(
+            CampaignConfig(
+                robot="CartPole",
+                schedule=schedule,
+                sessions=4,
+                ticks=20,
+                deadline_s=1.0,
+                engine="v2",
+                shards=2,
+                seed=0,
+            )
+        )
+        assert rep.uncaught is None
+        assert rep.ok, rep.violations
+        # counted on both the session- and engine-side injectors
+        assert rep.fired["shard_crash"] > 0
+        assert rep.invariants["shard_handoff"]
+        assert rep.metrics.shard_handoffs > 0
+        assert rep.metrics.shard_respawns >= 1
+        assert all(state == ACTIVE for state in rep.session_states.values())
+
+    def test_builtin_shards_schedule_runs_v2(self):
+        rep = run_campaign(
+            CampaignConfig(
+                robot="CartPole",
+                schedule="shards",
+                sessions=4,
+                ticks=30,
+                deadline_s=1.0,
+                engine="v2",
+                shards=2,
+                seed=3,
+            )
+        )
+        assert rep.uncaught is None
+        assert rep.ok, rep.violations
+
+    def test_v1_rejects_nothing_but_reports_engine(self):
+        rep = run_campaign(
+            CampaignConfig(
+                robot="CartPole", schedule="smoke", ticks=20, seed=0
+            )
+        )
+        assert rep.to_dict()["engine"] == "v1"
+
+
 class TestCrashedSessionRestart:
     def make(self, cart, script):
         return ControlSession(

@@ -1,0 +1,96 @@
+"""EDF queue unit tests: ordering, same-key batch extraction, lazy deletion."""
+
+import numpy as np
+
+from repro.serve2.scheduler import EDFScheduler, SolveRequest
+
+X = np.zeros(2)
+
+
+def req(sid, deadline, seq, shard=0, robot="Cart", bucket=8):
+    return SolveRequest(
+        session_id=sid,
+        robot=robot,
+        horizon=5,
+        bucket=bucket,
+        shard=shard,
+        x=X,
+        ref=None,
+        deadline=deadline,
+        seq=seq,
+    )
+
+
+class TestEDFOrder:
+    def test_earliest_deadline_pops_first(self):
+        s = EDFScheduler()
+        s.push(req("late", 9.0, 0))
+        s.push(req("early", 1.0, 1))
+        group = s.pop_group(1)
+        assert [r.session_id for r in group] == ["early"]
+
+    def test_fifo_among_equal_deadlines(self):
+        s = EDFScheduler()
+        for i, sid in enumerate(["a", "b", "c"]):
+            s.push(req(sid, 5.0, i))
+        assert [r.session_id for r in s.drain()] == ["a", "b", "c"]
+
+    def test_depth_tracks_push_and_pop(self):
+        s = EDFScheduler()
+        assert s.depth == 0
+        s.push(req("a", 1.0, 0))
+        s.push(req("b", 2.0, 1))
+        assert s.depth == len(s) == 2
+        s.pop_group(8)
+        assert s.depth == 0
+
+
+class TestGroupFormation:
+    def test_same_key_peers_join_the_head(self):
+        s = EDFScheduler()
+        s.push(req("a", 1.0, 0))
+        s.push(req("b", 7.0, 1))
+        s.push(req("c", 3.0, 2))
+        group = s.pop_group(8)
+        assert {r.session_id for r in group} == {"a", "b", "c"}
+        assert group[0].session_id == "a"  # head is the EDF minimum
+        assert s.depth == 0
+
+    def test_max_batch_caps_the_group(self):
+        s = EDFScheduler()
+        for i in range(5):
+            s.push(req(f"s{i}", float(i), i))
+        group = s.pop_group(2)
+        assert len(group) == 2
+        assert s.depth == 3
+        rest = s.pop_group(8)
+        assert len(rest) == 3
+
+    def test_other_keys_stay_queued(self):
+        s = EDFScheduler()
+        s.push(req("cart", 1.0, 0, robot="Cart"))
+        s.push(req("quad", 2.0, 1, robot="Quadrotor"))
+        s.push(req("cart2", 3.0, 2, robot="Cart"))
+        group = s.pop_group(8)
+        assert {r.session_id for r in group} == {"cart", "cart2"}
+        assert [r.session_id for r in s.pop_group(8)] == ["quad"]
+
+    def test_shard_splits_groups(self):
+        s = EDFScheduler()
+        s.push(req("a", 1.0, 0, shard=0))
+        s.push(req("b", 2.0, 1, shard=1))
+        assert len(s.pop_group(8)) == 1
+        assert len(s.pop_group(8)) == 1
+
+    def test_lazy_deletion_skips_batched_peers(self):
+        """A peer absorbed into an earlier group must not pop again from
+        the heap."""
+        s = EDFScheduler()
+        s.push(req("a", 1.0, 0))
+        s.push(req("b", 2.0, 1))
+        s.pop_group(8)  # takes both
+        assert s.pop_group(8) == []
+        assert s.depth == 0
+
+    def test_empty_queue_returns_empty_group(self):
+        assert EDFScheduler().pop_group(4) == []

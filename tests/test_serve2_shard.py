@@ -1,0 +1,133 @@
+"""Shard arena tests: binding cache, kill/revive, the worker-side group
+solve, and real process-mode shard death with session handoff."""
+
+import numpy as np
+import pytest
+
+from repro.robots import build_benchmark
+from repro.serve import SessionConfig
+from repro.serve2 import AsyncServeEngine, Serve2Config
+from repro.serve2.shard import (
+    Shard,
+    _result_to_dict,
+    result_from_dict,
+    shard_solve_group,
+)
+
+
+class TestShardState:
+    def test_binding_is_cached(self):
+        shard = Shard(0)
+        bench = build_benchmark("CartPole")
+        b1 = shard.binding("CartPole", 8, bench)
+        b2 = shard.binding("CartPole", 8, bench)
+        assert b1 is b2
+
+    def test_kill_and_revive(self):
+        shard = Shard(0)
+        assert not shard.dead
+        shard.kill()
+        assert shard.dead
+        shard.revive()
+        assert not shard.dead
+
+    def test_bindings_survive_death(self):
+        shard = Shard(0)
+        bench = build_benchmark("CartPole")
+        binding = shard.binding("CartPole", 8, bench)
+        shard.kill()
+        shard.revive()
+        assert shard.binding("CartPole", 8, bench) is binding
+
+
+class TestWorkerGroupSolve:
+    def test_result_dict_roundtrip(self):
+        bench = build_benchmark("CartPole")
+        problem = bench.transcribe(horizon=5)
+        res = bench.make_solver(problem).solve(bench.x0, ref=bench.ref)
+        back = result_from_dict(_result_to_dict(res))
+        np.testing.assert_array_equal(back.z, res.z)
+        assert back.converged == res.converged
+        assert back.status == res.status
+        assert back.iterations == res.iterations
+
+    def test_group_solve_in_this_process(self):
+        """shard_solve_group is a plain function — drive it inline."""
+        from repro.serve2.padding import pad_reference
+
+        bench = build_benchmark("CartPole")
+        native = bench.transcribe(horizon=5)
+        reply = shard_solve_group(
+            {
+                "robot": "CartPole",
+                "bucket": 8,
+                "payloads": [
+                    {
+                        "x": bench.x0,
+                        "ref": pad_reference(bench.ref, native.nref, 5, 8),
+                        "deadline_s": None,
+                    }
+                ],
+            }
+        )
+        assert reply["ok"]
+        assert len(reply["lanes"]) == 1
+        assert reply["lanes"][0]["converged"]
+        assert reply["report"]["lanes"] == 1
+
+
+class TestProcessShards:
+    @pytest.fixture
+    def engine(self):
+        engine = AsyncServeEngine(
+            Serve2Config(shards=2, shard_backend="process", rungs=(8,))
+        )
+        yield engine
+        engine.shutdown()
+
+    def test_groups_solve_on_worker_processes(self, engine):
+        sids = [
+            engine.create_session(
+                SessionConfig(robot="CartPole", horizon=5, deadline_s=None)
+            )
+            for _ in range(4)
+        ]
+        bench, _ = engine.binding("CartPole", 5)
+        report = engine.tick({sid: (bench.x0, bench.ref) for sid in sids})
+        assert report.stepped == 4
+        assert all(o.status == "ok" for o in report.outcomes.values())
+        assert engine.metrics.batch_solves == 2  # one group per shard
+
+    def test_shard_death_is_a_real_process_death(self, engine):
+        sids = [
+            engine.create_session(
+                SessionConfig(robot="CartPole", horizon=5, deadline_s=None)
+            )
+            for _ in range(4)
+        ]
+        bench, _ = engine.binding("CartPole", 5)
+        engine.tick({sid: (bench.x0, bench.ref) for sid in sids})
+
+        class Hook:
+            fired = 0
+
+            def on_dispatch(self, tick, session_id):
+                if not Hook.fired:
+                    Hook.fired = 1
+                    return {"kind": "shard_crash"}
+                return None
+
+        engine.fault_hook = Hook()
+        report = engine.tick({sid: (bench.x0, bench.ref) for sid in sids})
+        died = [
+            sid
+            for sid, o in report.outcomes.items()
+            if o.reason == "worker_died"
+        ]
+        assert len(died) == 2  # the armed shard's whole group
+        assert engine.metrics.shard_handoffs == 2
+        assert engine.metrics.shard_respawns == 1
+        survivor = engine.shard_of(died[0])
+        assert all(engine.shard_of(sid) == survivor for sid in died)
+        report = engine.tick({sid: (bench.x0, bench.ref) for sid in sids})
+        assert all(o.status == "ok" for o in report.outcomes.values())

@@ -191,6 +191,30 @@ class TestBackpressure:
         engine.tick({sid: (X, None) for sid in sids})
         assert engine._batch_limit is None  # cap removed at fleet size
 
+    def test_overflow_wait_is_bounded(self, cart):
+        """Pinned fairness baseline: under a forced batch limit L with n
+        sessions all requesting every tick, round-robin deferral must
+        serve every session at least once in any window of ceil(n/L)
+        ticks — no session starves behind the overflow."""
+        import math
+
+        engine = ServeEngine(EngineConfig(tick_budget_s=60.0))
+        n, limit = 5, 2
+        sids = fleet(cart, engine, n)
+        bound = math.ceil(n / limit)
+        last_served = {sid: 0 for sid in sids}
+        for tick in range(1, 3 * bound + 1):
+            engine._batch_limit = limit  # pin: headroom must not regrow it
+            report = engine.tick({sid: (X, None) for sid in sids})
+            assert report.stepped == limit
+            assert len(report.deferred) == n - limit
+            for sid in report.outcomes:
+                gap = tick - last_served[sid]
+                assert gap <= bound, f"{sid} waited {gap} ticks (bound {bound})"
+                last_served[sid] = tick
+        stale = [sid for sid, t in last_served.items() if 3 * bound - t >= bound]
+        assert not stale, f"sessions starved at the end: {stale}"
+
     def test_deferred_steps_reach_metrics(self, cart):
         engine = ServeEngine(EngineConfig(tick_budget_s=1e-12))
         sids = fleet(cart, engine, 3)
